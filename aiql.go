@@ -1,0 +1,238 @@
+// Package aiql is the public API of the AIQL system: a query system for
+// efficiently investigating complex attack behaviors over system
+// monitoring data (Gao et al., VLDB 2019 / USENIX ATC 2018).
+//
+// The system ingests SVO events — ⟨subject process, operation, object⟩
+// interactions among processes, files, and network connections observed
+// on enterprise hosts — into a domain-optimized store (entity
+// deduplication, attribute indexes, hypertable chunking by host and
+// time), and executes queries written in the Attack Investigation Query
+// Language:
+//
+//   - multievent queries express multi-step attack behaviors as event
+//     patterns related by shared entity variables and temporal order;
+//   - dependency queries chain constraints along an event path for
+//     causality tracking (forward/backward), including cross-host hops;
+//   - anomaly queries aggregate events over sliding windows and filter
+//     groups against their own historical windows.
+//
+// Basic usage:
+//
+//	db := aiql.Open()
+//	db.Append(aiql.Record{ ... })
+//	db.Flush()
+//	res, err := db.Query(`
+//	    agentid = 2
+//	    proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+//	    proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+//	    with evt1 before evt2
+//	    return distinct p1, p2, f1`)
+//	fmt.Print(res.Table())
+package aiql
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/aiql/parser"
+	"github.com/aiql/aiql/internal/aiql/semantic"
+	"github.com/aiql/aiql/internal/engine"
+	"github.com/aiql/aiql/internal/eventstore"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// Re-exported domain types. Process, File, and Netconn describe system
+// entities; Record is one raw monitoring record as produced by a
+// collection agent.
+type (
+	// Process is a system entity originating from a software application.
+	Process = sysmon.Process
+	// File is a filesystem entity.
+	File = sysmon.File
+	// Netconn is a network connection entity.
+	Netconn = sysmon.Netconn
+	// Record is one raw monitoring record.
+	Record = eventstore.Record
+	// Operation identifies the interaction an event records.
+	Operation = sysmon.Operation
+	// Result is a query result: columns, string-rendered rows, and
+	// execution statistics.
+	Result = engine.Result
+	// StorageOptions toggles the storage optimizations.
+	StorageOptions = eventstore.Options
+	// EngineConfig toggles the query engine optimizations.
+	EngineConfig = engine.Config
+)
+
+// Operations (re-exported).
+const (
+	OpStart   = sysmon.OpStart
+	OpEnd     = sysmon.OpEnd
+	OpRead    = sysmon.OpRead
+	OpWrite   = sysmon.OpWrite
+	OpExecute = sysmon.OpExecute
+	OpDelete  = sysmon.OpDelete
+	OpRename  = sysmon.OpRename
+	OpChmod   = sysmon.OpChmod
+	OpConnect = sysmon.OpConnect
+	OpAccept  = sysmon.OpAccept
+	OpSend    = sysmon.OpSend
+	OpRecv    = sysmon.OpRecv
+)
+
+// Entity type discriminators for Record.ObjType.
+const (
+	EntityProcess = sysmon.EntityProcess
+	EntityFile    = sysmon.EntityFile
+	EntityNetconn = sysmon.EntityNetconn
+)
+
+// DB is an AIQL database: the optimized event store plus the query
+// engine. It is safe for concurrent readers.
+type DB struct {
+	store *eventstore.Store
+	eng   *engine.Engine
+}
+
+// Open creates an empty database with all storage and engine
+// optimizations enabled.
+func Open() *DB {
+	return OpenWithOptions(eventstore.DefaultOptions(), engine.Config{})
+}
+
+// OpenWithOptions creates a database with explicit storage and engine
+// configurations, used by benchmarks and ablation studies.
+func OpenWithOptions(storage StorageOptions, cfg EngineConfig) *DB {
+	store := eventstore.New(storage)
+	return &DB{store: store, eng: engine.NewWithConfig(store, cfg)}
+}
+
+// Append ingests one monitoring record.
+func (db *DB) Append(r Record) { db.store.Append(r) }
+
+// AppendAll bulk-ingests records.
+func (db *DB) AppendAll(rs []Record) { db.store.AppendAll(rs) }
+
+// Flush commits buffered records.
+func (db *DB) Flush() { db.store.Flush() }
+
+// Len returns the number of committed events.
+func (db *DB) Len() int { return db.store.Len() }
+
+// TimeRange returns the [min, max] start timestamps of committed events.
+func (db *DB) TimeRange() (time.Time, time.Time) {
+	lo, hi := db.store.TimeRange()
+	return time.Unix(0, lo), time.Unix(0, hi)
+}
+
+// Query parses, validates, and executes one AIQL query.
+func (db *DB) Query(src string) (*Result, error) {
+	return db.eng.Execute(src)
+}
+
+// Check parses and validates a query without executing it, returning the
+// first syntax or semantic error. The web UI's syntax checker uses it.
+func Check(src string) error {
+	q, err := parser.Parse(src)
+	if err != nil {
+		return err
+	}
+	switch x := q.(type) {
+	case *ast.DependencyQuery:
+		if _, err := semantic.Check(x); err != nil {
+			return err
+		}
+		mq, err := engine.RewriteDependency(x)
+		if err != nil {
+			return err
+		}
+		_, err = semantic.Check(mq)
+		return err
+	default:
+		_, err := semantic.Check(q)
+		return err
+	}
+}
+
+// QueryKind reports which family a query belongs to ("multievent",
+// "dependency", or "anomaly"), or an error if it does not parse.
+func QueryKind(src string) (string, error) {
+	q, err := parser.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return q.Kind(), nil
+}
+
+// Explain returns the engine's scheduled pattern order with pruning-power
+// estimates (lower estimate = scheduled earlier).
+func (db *DB) Explain(src string) (string, error) {
+	entries, err := db.eng.Explain(src)
+	if err != nil {
+		return "", err
+	}
+	out := ""
+	for i, e := range entries {
+		out += fmt.Sprintf("%d. %s (estimated matches: %d)\n", i+1, e.Alias, e.Estimate)
+	}
+	return out, nil
+}
+
+// Save writes a snapshot of the database to w.
+func (db *DB) Save(w io.Writer) error { return db.store.Encode(w) }
+
+// Load reads a snapshot into an empty database.
+func (db *DB) Load(r io.Reader) error { return db.store.Decode(r) }
+
+// SaveFile and LoadFile persist snapshots to disk.
+func (db *DB) SaveFile(path string) error { return db.store.SaveFile(path) }
+
+// LoadFile opens a database from a snapshot file with default options.
+func LoadFile(path string) (*DB, error) {
+	store, err := eventstore.LoadFile(path, eventstore.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &DB{store: store, eng: engine.New(store)}, nil
+}
+
+// Stats summarizes the database contents.
+type Stats struct {
+	Events     int
+	Partitions int
+	Processes  int
+	Files      int
+	Netconns   int
+	Bytes      uint64
+}
+
+// Stats returns database statistics.
+func (db *DB) Stats() Stats {
+	s := db.store.Stats()
+	return Stats{
+		Events:     s.Events,
+		Partitions: s.Partitions,
+		Processes:  s.Processes,
+		Files:      s.Files,
+		Netconns:   s.Netconns,
+		Bytes:      s.ApproxBytes,
+	}
+}
+
+// Store exposes the underlying event store for advanced integrations
+// (baseline loaders, experiment harnesses).
+func (db *DB) Store() *eventstore.Store { return db.store }
+
+// FromStore wraps an existing event store in a DB, for integrations that
+// build stores directly (generators, experiment harnesses).
+func FromStore(store *eventstore.Store) *DB {
+	return &DB{store: store, eng: engine.New(store)}
+}
+
+// DefaultStorage returns the fully optimized storage configuration.
+func DefaultStorage() StorageOptions { return eventstore.DefaultOptions() }
+
+// PlainStorage returns the unoptimized storage configuration (ablations).
+func PlainStorage() StorageOptions { return eventstore.PlainOptions() }

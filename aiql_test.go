@@ -1,0 +1,154 @@
+package aiql_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	aiql "github.com/aiql/aiql"
+)
+
+func demoDB(t *testing.T) *aiql.DB {
+	t.Helper()
+	db := aiql.Open()
+	base := time.Date(2018, 5, 10, 13, 30, 0, 0, time.UTC)
+	at := func(sec int) int64 { return base.Add(time.Duration(sec) * time.Second).UnixNano() }
+	cmd := aiql.Process{PID: 410, ExeName: "cmd.exe", Path: `C:\Windows\System32\cmd.exe`, User: "dbadmin"}
+	osql := aiql.Process{PID: 412, ExeName: "osql.exe", Path: `C:\osql.exe`, User: "dbadmin"}
+	sqlservr := aiql.Process{PID: 301, ExeName: "sqlservr.exe", Path: `C:\sqlservr.exe`, User: "system"}
+	tool := aiql.Process{PID: 905, ExeName: "sbblv.exe", Path: `C:\Temp\sbblv.exe`, User: "dbadmin"}
+	dump := aiql.File{Path: `C:\SQLData\backup1.dmp`, Owner: "system"}
+	conn := aiql.Netconn{SrcIP: "10.0.0.2", SrcPort: 48600, DstIP: "203.0.113.129", DstPort: 443, Protocol: "tcp"}
+	db.AppendAll([]aiql.Record{
+		{AgentID: 7, Subject: cmd, Op: aiql.OpStart, ObjType: aiql.EntityProcess, ObjProc: osql, StartTS: at(0)},
+		{AgentID: 7, Subject: sqlservr, Op: aiql.OpWrite, ObjType: aiql.EntityFile, ObjFile: dump, StartTS: at(30), Amount: 850000},
+		{AgentID: 7, Subject: tool, Op: aiql.OpRead, ObjType: aiql.EntityFile, ObjFile: dump, StartTS: at(60), Amount: 850000},
+		{AgentID: 7, Subject: tool, Op: aiql.OpWrite, ObjType: aiql.EntityNetconn, ObjConn: conn, StartTS: at(90), Amount: 850000},
+	})
+	db.Flush()
+	return db
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := demoDB(t)
+	if db.Len() != 4 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	res, err := db.Query(`
+proc p1["%cmd.exe"] start proc p2 as evt1
+proc p3 write file f["%backup1.dmp"] as evt2
+proc p4 read file f as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, p2, p3, p4, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows:\n%s", res.Table())
+	}
+	want := []string{"cmd.exe", "osql.exe", "sqlservr.exe", "sbblv.exe", `C:\SQLData\backup1.dmp`}
+	for i, cell := range res.Rows[0] {
+		if cell != want[i] {
+			t.Errorf("col %d = %q, want %q", i, cell, want[i])
+		}
+	}
+}
+
+func TestCheckAndKind(t *testing.T) {
+	if err := aiql.Check(`proc p start proc q as e return p`); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	if err := aiql.Check(`proc p start file f as e return p`); err == nil {
+		t.Error("invalid query accepted")
+	}
+	kind, err := aiql.QueryKind(`forward: proc p ->[write] file f return f`)
+	if err != nil || kind != "dependency" {
+		t.Errorf("kind = %q, %v", kind, err)
+	}
+	kind, _ = aiql.QueryKind(`window = 1 min, step = 1 min
+proc p write ip i as e return count(e)`)
+	if kind != "anomaly" {
+		t.Errorf("kind = %q", kind)
+	}
+}
+
+func TestExplainPublic(t *testing.T) {
+	db := demoDB(t)
+	plan, err := db.Explain(`
+proc p1["%cmd.exe"] start proc p2 as evt1
+proc p3 write file f as evt2
+return p1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "evt1") || !strings.Contains(plan, "estimated matches") {
+		t.Errorf("plan = %q", plan)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := demoDB(t)
+	path := filepath.Join(t.TempDir(), "snap.aiql")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := aiql.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != db.Len() {
+		t.Errorf("loaded %d events, want %d", db2.Len(), db.Len())
+	}
+	res, err := db2.Query(`proc p read file f as e return distinct p, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "sbblv.exe" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := aiql.LoadFile(filepath.Join(t.TempDir(), "nope.aiql")); err == nil {
+		t.Error("expected error for missing snapshot")
+	}
+	// corrupted snapshot
+	bad := filepath.Join(t.TempDir(), "bad.aiql")
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aiql.LoadFile(bad); err == nil {
+		t.Error("expected error for corrupted snapshot")
+	}
+}
+
+func TestStatsAndTimeRange(t *testing.T) {
+	db := demoDB(t)
+	st := db.Stats()
+	if st.Events != 4 || st.Processes != 4 || st.Files != 1 || st.Netconns != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	lo, hi := db.TimeRange()
+	if !hi.After(lo) {
+		t.Errorf("time range [%v, %v]", lo, hi)
+	}
+}
+
+func TestAnomalyThroughPublicAPI(t *testing.T) {
+	db := demoDB(t)
+	res, err := db.Query(`
+(from "05/10/2018 13:30:00" to "05/10/2018 13:40:00")
+window = 1 min, step = 1 min
+proc p write ip i as evt
+return p, sum(evt.amount) as total
+group by p
+having total > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "sbblv.exe" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}

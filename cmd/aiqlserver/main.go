@@ -1,0 +1,49 @@
+// Command aiqlserver serves the AIQL web UI (paper §3, Figure 3): a
+// query input box, execution status area, and an interactive results
+// table with sorting and searching, plus syntax checking for query
+// debugging.
+//
+// Usage:
+//
+//	aiqlserver -data data.aiql -addr :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"github.com/aiql/aiql/internal/experiments"
+	"github.com/aiql/aiql/internal/webui"
+
+	aiql "github.com/aiql/aiql"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aiqlserver: ")
+	var (
+		data = flag.String("data", "", "dataset snapshot file (from aiqlgen); empty = built-in demo dataset")
+		addr = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	var db *aiql.DB
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "no -data given; generating the built-in demo dataset (50k events, demo-apt scenario)")
+		db = aiql.FromStore(experiments.BuildStore(experiments.Fig4Dataset(50000, 10, 42)))
+	} else {
+		var err error
+		db, err = aiql.LoadFile(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	log.Printf("serving %d events (%d chunks) on %s", st.Events, st.Partitions, *addr)
+	if err := http.ListenAndServe(*addr, webui.New(db)); err != nil {
+		log.Fatal(err)
+	}
+}

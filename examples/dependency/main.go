@@ -1,0 +1,65 @@
+// Dependency demonstrates forward dependency tracking (the paper's
+// Query 2): starting from the staging of a malware file on the web
+// server, the query follows the causal event path — across hosts through
+// a shared network connection — to the workstation where the malware
+// landed and ran.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/aiql/aiql/internal/experiments"
+
+	aiql "github.com/aiql/aiql"
+)
+
+func main() {
+	fmt.Println("generating the demo enterprise dataset (APT scenario injected)...")
+	db := aiql.FromStore(experiments.BuildStore(experiments.Fig4Dataset(60000, 10, 42)))
+
+	query := `(at "05/10/2018")
+forward: proc p1["%cp%", agentid = 1] ->[write] file f1["%info_stealer%"]
+<-[read] proc p2["%apache%"]
+->[connect] proc p3[agentid = 5]
+->[write] file f2["%info_stealer%"]
+return f1, p1, p2, p3, f2`
+
+	fmt.Println("== forward tracking of the malware's ramification (paper Query 2)")
+	fmt.Println(query)
+	fmt.Println()
+
+	// the dependency query compiles to a multievent query; show the plan
+	plan, err := db.Explain(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("engine schedule (pruning-power order):")
+	fmt.Println(plan)
+
+	res, err := db.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table())
+	fmt.Printf("\n(%d rows in %v, %d events scanned)\n",
+		len(res.Rows), res.Stats.Elapsed.Round(1000), res.Stats.ScannedEvents)
+	fmt.Println(`
+Reading the path: /bin/cp staged the script under the web root on host 1,
+apache2 served it over a connection accepted on host 5, where it was
+written back to disk — the cross-host hop is joined on the shared
+network connection observed by both agents.`)
+
+	// backward variant: from the workstation copy back toward its origin
+	// (each edge to the right happened earlier)
+	back := `(at "05/10/2018")
+backward: file f2["%info_stealer.exe", agentid = 5] <-[write] proc p3 ->[accept] ip c1
+return f2, p3, c1.src_ip`
+	fmt.Println("== backward tracking from the dropped file")
+	bres, err := db.Query(back)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bres.Table())
+	fmt.Printf("(%d rows)\n", len(bres.Rows))
+}

@@ -1,0 +1,45 @@
+// Quickstart: ingest a handful of monitoring records through the public
+// API and run a first multievent query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	aiql "github.com/aiql/aiql"
+)
+
+func main() {
+	db := aiql.Open()
+
+	// Three events on host 7: a shell starts a database client, the
+	// database engine writes a dump, and an unknown tool reads it back.
+	base := time.Date(2018, 5, 10, 13, 30, 0, 0, time.UTC)
+	at := func(sec int) int64 { return base.Add(time.Duration(sec) * time.Second).UnixNano() }
+
+	cmd := aiql.Process{PID: 410, ExeName: "cmd.exe", Path: `C:\Windows\System32\cmd.exe`, User: "dbadmin"}
+	osql := aiql.Process{PID: 412, ExeName: "osql.exe", Path: `C:\Program Files\SQL\osql.exe`, User: "dbadmin"}
+	sqlservr := aiql.Process{PID: 301, ExeName: "sqlservr.exe", Path: `C:\Program Files\SQL\sqlservr.exe`, User: "system"}
+	tool := aiql.Process{PID: 905, ExeName: "sbblv.exe", Path: `C:\Temp\sbblv.exe`, User: "dbadmin"}
+	dump := aiql.File{Path: `C:\SQLData\backup1.dmp`, Owner: "system"}
+
+	db.AppendAll([]aiql.Record{
+		{AgentID: 7, Subject: cmd, Op: aiql.OpStart, ObjType: aiql.EntityProcess, ObjProc: osql, StartTS: at(0)},
+		{AgentID: 7, Subject: sqlservr, Op: aiql.OpWrite, ObjType: aiql.EntityFile, ObjFile: dump, StartTS: at(30), Amount: 850_000_000},
+		{AgentID: 7, Subject: tool, Op: aiql.OpRead, ObjType: aiql.EntityFile, ObjFile: dump, StartTS: at(60), Amount: 850_000_000},
+	})
+	db.Flush()
+
+	res, err := db.Query(`
+proc writer write file f["%backup1.dmp"] as evt1
+proc reader read file f as evt2
+with evt1 before evt2
+return distinct writer, reader, f`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Who read the database dump after it was written?")
+	fmt.Print(res.Table())
+	fmt.Printf("(%d rows, %d events scanned)\n", len(res.Rows), res.Stats.ScannedEvents)
+}

@@ -1,0 +1,208 @@
+// Package ast defines the abstract syntax tree for AIQL queries: the
+// multievent, dependency, and anomaly query families, shared clause nodes
+// (entity references, filters, temporal relations), and the expression
+// language used by return and having clauses.
+package ast
+
+import (
+	"time"
+
+	"github.com/aiql/aiql/internal/aiql/token"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// Query is implemented by the three AIQL query families.
+type Query interface {
+	isQuery()
+	// Kind returns "multievent", "dependency", or "anomaly".
+	Kind() string
+	// Header returns the shared global clauses.
+	Header() *Head
+}
+
+// Head holds the global clauses shared by all query families: the time
+// window and global event-attribute constraints such as `agentid = 5`.
+type Head struct {
+	Window  *TimeWindow
+	Globals []Filter
+}
+
+// TimeWindow is the temporal scope of a query, [From, To) in unix nanos.
+// Zero bounds are open. Raw preserves the source text for display.
+type TimeWindow struct {
+	From int64
+	To   int64
+	Raw  string
+}
+
+// CmpOp is a comparison operator in filters and expressions.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEQ CmpOp = iota
+	CmpNEQ
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpLike
+)
+
+var cmpNames = [...]string{"=", "!=", "<", "<=", ">", ">=", "like"}
+
+// String returns the surface syntax of the operator.
+func (c CmpOp) String() string { return cmpNames[c] }
+
+// Value is a literal in a filter: a string (LIKE pattern or exact) or a
+// number.
+type Value struct {
+	IsNum bool
+	Str   string
+	Num   float64
+}
+
+// Filter is one attribute constraint, e.g. `exe_name = "%cmd.exe"`,
+// `dstip = "XXX.129"`, or `agentid = 1` (an event attribute).
+type Filter struct {
+	Attr string
+	Op   CmpOp
+	Val  Value
+	Pos  token.Pos
+}
+
+// EntityRef is one occurrence of an entity variable in a pattern. The
+// first occurrence declares the variable with its type; later occurrences
+// may omit type and filters (`proc p4 read file f1`).
+type EntityRef struct {
+	Type    sysmon.EntityType
+	Name    string
+	Filters []Filter
+	Pos     token.Pos
+}
+
+// EventPattern is one event constraint: subject process performs one of
+// Ops on the object entity. EvtFilters holds event-level constraints that
+// appeared inside the brackets (e.g. agentid) or in the with clause.
+type EventPattern struct {
+	Subject    EntityRef
+	Ops        []string
+	Object     EntityRef
+	Alias      string // evt name; parser assigns evtN when absent
+	EvtFilters []Filter
+	Pos        token.Pos
+}
+
+// TemporalRel orders two event patterns: `evt1 before evt2 [within 5 min]`.
+type TemporalRel struct {
+	Left   string
+	Op     string // "before" or "after"
+	Right  string
+	Within time.Duration // 0 = unbounded
+	Pos    token.Pos
+}
+
+// EventCond is an event-attribute condition in a with clause,
+// e.g. `evt1.amount > 1000`.
+type EventCond struct {
+	Event string
+	Attr  string
+	Op    CmpOp
+	Val   Value
+	Pos   token.Pos
+}
+
+// WithCond is a clause element of `with ...`: a TemporalRel or EventCond.
+type WithCond interface{ isWithCond() }
+
+func (TemporalRel) isWithCond() {}
+func (EventCond) isWithCond()   {}
+
+// ReturnItem is one projection: an expression with an optional alias.
+type ReturnItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// MultieventQuery expresses a multi-step attack behavior: several event
+// patterns related by shared entity variables and temporal relations.
+type MultieventQuery struct {
+	Head_    Head
+	Patterns []EventPattern
+	With     []WithCond
+	Return   []ReturnItem
+	Distinct bool
+}
+
+func (*MultieventQuery) isQuery() {}
+
+// Kind implements Query.
+func (*MultieventQuery) Kind() string { return "multievent" }
+
+// Header implements Query.
+func (q *MultieventQuery) Header() *Head { return &q.Head_ }
+
+// Direction of a dependency query.
+type Direction int
+
+// Dependency tracking directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// String returns "forward" or "backward".
+func (d Direction) String() string {
+	if d == Forward {
+		return "forward"
+	}
+	return "backward"
+}
+
+// DepEdge connects adjacent nodes of a dependency chain. LeftToRight
+// records the arrow direction: `A ->[op] B` has the left node as subject,
+// `A <-[op] B` has the right node as subject.
+type DepEdge struct {
+	Op          string
+	LeftToRight bool
+	Pos         token.Pos
+}
+
+// DependencyQuery chains constraints among events as an event path for
+// causality tracking (paper §2.2.2). It compiles to a MultieventQuery.
+type DependencyQuery struct {
+	Head_     Head
+	Direction Direction
+	Nodes     []EntityRef
+	Edges     []DepEdge // len(Edges) == len(Nodes)-1
+	Return    []ReturnItem
+	Distinct  bool
+}
+
+func (*DependencyQuery) isQuery() {}
+
+// Kind implements Query.
+func (*DependencyQuery) Kind() string { return "dependency" }
+
+// Header implements Query.
+func (q *DependencyQuery) Header() *Head { return &q.Head_ }
+
+// AnomalyQuery expresses a frequency-based behavioral model over sliding
+// windows (paper §2.2.3).
+type AnomalyQuery struct {
+	Head_   Head
+	Window  time.Duration // sliding window length
+	Step    time.Duration // slide step
+	Pattern EventPattern
+	Return  []ReturnItem
+	GroupBy []Expr
+	Having  Expr
+}
+
+func (*AnomalyQuery) isQuery() {}
+
+// Kind implements Query.
+func (*AnomalyQuery) Kind() string { return "anomaly" }
+
+// Header implements Query.
+func (q *AnomalyQuery) Header() *Head { return &q.Head_ }

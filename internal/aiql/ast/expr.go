@@ -1,0 +1,128 @@
+package ast
+
+import (
+	"github.com/aiql/aiql/internal/aiql/token"
+)
+
+// Expr is the expression language of return, group by, and having
+// clauses.
+type Expr interface {
+	isExpr()
+	// Pos returns the expression's source position.
+	Pos() token.Pos
+}
+
+// VarExpr references an entity or event variable: `p1`. In return clauses
+// a bare entity variable means its default attribute (context-aware
+// shortcut, e.g. p1 → p1.exe_name).
+type VarExpr struct {
+	Name string
+	At   token.Pos
+}
+
+// AttrExpr is a qualified attribute access: `p1.exe_name`, `evt.amount`.
+type AttrExpr struct {
+	Var  string
+	Attr string
+	At   token.Pos
+}
+
+// CallExpr is an aggregate call: `avg(evt.amount)`, `count(evt)`.
+type CallExpr struct {
+	Func string
+	Arg  Expr // nil for count()
+	At   token.Pos
+}
+
+// HistExpr accesses the value of an aggregate alias in a previous sliding
+// window: `amt[1]` is the value one window back.
+type HistExpr struct {
+	Name string
+	Lag  int
+	At   token.Pos
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Val float64
+	At  token.Pos
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	Val string
+	At  token.Pos
+}
+
+// BinaryExpr applies an arithmetic, comparison, or logical operator.
+// Op is one of + - * / = != < <= > >= and or like.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	At   token.Pos
+}
+
+// UnaryExpr applies negation: `not x` or `-x`.
+type UnaryExpr struct {
+	Op string // "not" or "-"
+	X  Expr
+	At token.Pos
+}
+
+func (*VarExpr) isExpr()    {}
+func (*AttrExpr) isExpr()   {}
+func (*CallExpr) isExpr()   {}
+func (*HistExpr) isExpr()   {}
+func (*NumberLit) isExpr()  {}
+func (*StringLit) isExpr()  {}
+func (*BinaryExpr) isExpr() {}
+func (*UnaryExpr) isExpr()  {}
+
+// Pos implements Expr.
+func (e *VarExpr) Pos() token.Pos { return e.At }
+
+// Pos implements Expr.
+func (e *AttrExpr) Pos() token.Pos { return e.At }
+
+// Pos implements Expr.
+func (e *CallExpr) Pos() token.Pos { return e.At }
+
+// Pos implements Expr.
+func (e *HistExpr) Pos() token.Pos { return e.At }
+
+// Pos implements Expr.
+func (e *NumberLit) Pos() token.Pos { return e.At }
+
+// Pos implements Expr.
+func (e *StringLit) Pos() token.Pos { return e.At }
+
+// Pos implements Expr.
+func (e *BinaryExpr) Pos() token.Pos { return e.At }
+
+// Pos implements Expr.
+func (e *UnaryExpr) Pos() token.Pos { return e.At }
+
+// AggregateFuncs is the set of aggregate function names accepted by
+// anomaly queries.
+var AggregateFuncs = map[string]bool{
+	"count": true,
+	"sum":   true,
+	"avg":   true,
+	"min":   true,
+	"max":   true,
+}
+
+// ContainsAggregate reports whether the expression tree contains an
+// aggregate call.
+func ContainsAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *CallExpr:
+		return true
+	case *BinaryExpr:
+		return ContainsAggregate(x.L) || ContainsAggregate(x.R)
+	case *UnaryExpr:
+		return ContainsAggregate(x.X)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,230 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Print renders a query back to AIQL surface syntax. The output parses to
+// an equivalent AST (used by round-trip tests) and is the canonical form
+// shown by tooling.
+func Print(q Query) string {
+	var b strings.Builder
+	printHead(&b, q.Header())
+	switch x := q.(type) {
+	case *MultieventQuery:
+		printMultievent(&b, x)
+	case *DependencyQuery:
+		printDependency(&b, x)
+	case *AnomalyQuery:
+		printAnomaly(&b, x)
+	}
+	return b.String()
+}
+
+func printHead(b *strings.Builder, h *Head) {
+	if h.Window != nil && (h.Window.From != 0 || h.Window.To != 0) {
+		from := time.Unix(0, h.Window.From).UTC()
+		to := time.Unix(0, h.Window.To).UTC()
+		fmt.Fprintf(b, "(from %q to %q)\n", from.Format("01/02/2006 15:04:05"), to.Format("01/02/2006 15:04:05"))
+	}
+	for _, f := range h.Globals {
+		fmt.Fprintf(b, "%s %s %s\n", f.Attr, f.Op, formatValue(f.Val))
+	}
+}
+
+func formatValue(v Value) string {
+	if v.IsNum {
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	}
+	return strconv.Quote(v.Str)
+}
+
+func printFilters(b *strings.Builder, t fmt.Stringer, defAttr string, filters []Filter) {
+	if len(filters) == 0 {
+		return
+	}
+	b.WriteString("[")
+	for i, f := range filters {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if i == 0 && f.Attr == defAttr && f.Op == CmpLike && !f.Val.IsNum {
+			b.WriteString(strconv.Quote(f.Val.Str))
+			continue
+		}
+		fmt.Fprintf(b, "%s %s %s", f.Attr, f.Op, formatValue(f.Val))
+	}
+	b.WriteString("]")
+}
+
+func printEntityRef(b *strings.Builder, r *EntityRef, withType bool) {
+	if withType {
+		b.WriteString(r.Type.String())
+		b.WriteString(" ")
+	}
+	b.WriteString(r.Name)
+	printFilters(b, r.Type, defaultAttrName(r), r.Filters)
+}
+
+func defaultAttrName(r *EntityRef) string {
+	switch r.Type.String() {
+	case "proc":
+		return "exe_name"
+	case "file":
+		return "name"
+	case "ip":
+		return "dst_ip"
+	}
+	return ""
+}
+
+func printPattern(b *strings.Builder, p *EventPattern, declared map[string]bool) {
+	printEntityRef(b, &p.Subject, !declared[p.Subject.Name])
+	declared[p.Subject.Name] = true
+	b.WriteString(" ")
+	b.WriteString(strings.Join(p.Ops, " || "))
+	b.WriteString(" ")
+	printEntityRef(b, &p.Object, !declared[p.Object.Name])
+	declared[p.Object.Name] = true
+	if len(p.EvtFilters) > 0 {
+		b.WriteString(" {")
+		for i, f := range p.EvtFilters {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%s %s %s", f.Attr, f.Op, formatValue(f.Val))
+		}
+		b.WriteString("}")
+	}
+	if p.Alias != "" {
+		fmt.Fprintf(b, " as %s", p.Alias)
+	}
+	b.WriteString("\n")
+}
+
+func printMultievent(b *strings.Builder, q *MultieventQuery) {
+	declared := map[string]bool{}
+	for i := range q.Patterns {
+		printPattern(b, &q.Patterns[i], declared)
+	}
+	if len(q.With) > 0 {
+		b.WriteString("with ")
+		for i, w := range q.With {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			switch c := w.(type) {
+			case TemporalRel:
+				fmt.Fprintf(b, "%s %s %s", c.Left, c.Op, c.Right)
+				if c.Within > 0 {
+					fmt.Fprintf(b, " within %s", formatDuration(c.Within))
+				}
+			case EventCond:
+				fmt.Fprintf(b, "%s.%s %s %s", c.Event, c.Attr, c.Op, formatValue(c.Val))
+			}
+		}
+		b.WriteString("\n")
+	}
+	printReturn(b, q.Return, q.Distinct)
+}
+
+func printDependency(b *strings.Builder, q *DependencyQuery) {
+	fmt.Fprintf(b, "%s: ", q.Direction)
+	declared := map[string]bool{}
+	for i := range q.Nodes {
+		printEntityRef(b, &q.Nodes[i], !declared[q.Nodes[i].Name])
+		declared[q.Nodes[i].Name] = true
+		if i < len(q.Edges) {
+			if q.Edges[i].LeftToRight {
+				fmt.Fprintf(b, " ->[%s] ", q.Edges[i].Op)
+			} else {
+				fmt.Fprintf(b, " <-[%s] ", q.Edges[i].Op)
+			}
+		}
+	}
+	b.WriteString("\n")
+	printReturn(b, q.Return, q.Distinct)
+}
+
+func printAnomaly(b *strings.Builder, q *AnomalyQuery) {
+	fmt.Fprintf(b, "window = %s, step = %s\n", formatDuration(q.Window), formatDuration(q.Step))
+	declared := map[string]bool{}
+	printPattern(b, &q.Pattern, declared)
+	printReturn(b, q.Return, false)
+	if len(q.GroupBy) > 0 {
+		b.WriteString("group by ")
+		for i, e := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprString(e))
+		}
+		b.WriteString("\n")
+	}
+	if q.Having != nil {
+		fmt.Fprintf(b, "having %s\n", ExprString(q.Having))
+	}
+}
+
+func printReturn(b *strings.Builder, items []ReturnItem, distinct bool) {
+	b.WriteString("return ")
+	if distinct {
+		b.WriteString("distinct ")
+	}
+	for i, it := range items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(ExprString(it.Expr))
+		if it.Alias != "" {
+			fmt.Fprintf(b, " as %s", it.Alias)
+		}
+	}
+	b.WriteString("\n")
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d%(24*time.Hour) == 0 && d >= 24*time.Hour:
+		return fmt.Sprintf("%d day", d/(24*time.Hour))
+	case d%time.Hour == 0 && d >= time.Hour:
+		return fmt.Sprintf("%d hour", d/time.Hour)
+	case d%time.Minute == 0 && d >= time.Minute:
+		return fmt.Sprintf("%d min", d/time.Minute)
+	default:
+		return fmt.Sprintf("%d sec", d/time.Second)
+	}
+}
+
+// ExprString renders an expression in surface syntax.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *VarExpr:
+		return x.Name
+	case *AttrExpr:
+		return x.Var + "." + x.Attr
+	case *CallExpr:
+		if x.Arg == nil {
+			return x.Func + "()"
+		}
+		return x.Func + "(" + ExprString(x.Arg) + ")"
+	case *HistExpr:
+		return fmt.Sprintf("%s[%d]", x.Name, x.Lag)
+	case *NumberLit:
+		return strconv.FormatFloat(x.Val, 'g', -1, 64)
+	case *StringLit:
+		return strconv.Quote(x.Val)
+	case *BinaryExpr:
+		return "(" + ExprString(x.L) + " " + x.Op + " " + ExprString(x.R) + ")"
+	case *UnaryExpr:
+		if x.Op == "not" {
+			return "(not " + ExprString(x.X) + ")"
+		}
+		return "(-" + ExprString(x.X) + ")"
+	default:
+		return "?"
+	}
+}

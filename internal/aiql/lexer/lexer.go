@@ -1,0 +1,275 @@
+// Package lexer implements the scanner for AIQL query text. It produces
+// the token stream consumed by the parser, tracking line/column positions
+// for error reporting and supporting '//' line comments as used in the
+// paper's example queries.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/aiql/aiql/internal/aiql/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans AIQL source text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New creates a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the entire input, returning all tokens up to and
+// including EOF, or the first lexical error.
+func Tokenize(src string) ([]token.Token, error) {
+	lx := New(src)
+	var out []token.Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (token.Token, error) {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		return l.scanIdent(pos), nil
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '"' || c == '\'':
+		return l.scanString(pos)
+	}
+	l.advance()
+	mk := func(k token.Kind) (token.Token, error) {
+		return token.Token{Kind: k, Pos: pos, Text: l.src[l.offOf(pos):l.off]}, nil
+	}
+	switch c {
+	case '(':
+		return mk(token.LPAREN)
+	case ')':
+		return mk(token.RPAREN)
+	case '[':
+		return mk(token.LBRACKET)
+	case ']':
+		return mk(token.RBRACKET)
+	case '{':
+		return mk(token.LBRACE)
+	case '}':
+		return mk(token.RBRACE)
+	case ',':
+		return mk(token.COMMA)
+	case '.':
+		return mk(token.DOT)
+	case ':':
+		return mk(token.COLON)
+	case '+':
+		return mk(token.PLUS)
+	case '*':
+		return mk(token.STAR)
+	case '/':
+		return mk(token.SLASH)
+	case '-':
+		if l.peek() == '>' {
+			l.advance()
+			return mk(token.ARROW)
+		}
+		return mk(token.MINUS)
+	case '<':
+		switch l.peek() {
+		case '-':
+			l.advance()
+			return mk(token.BACKARR)
+		case '=':
+			l.advance()
+			return mk(token.LE)
+		}
+		return mk(token.LT)
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.GE)
+		}
+		return mk(token.GT)
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.EQ)
+		}
+		return mk(token.ASSIGN)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.NEQ)
+		}
+		return token.Token{}, &Error{Pos: pos, Msg: "unexpected character '!' (did you mean '!=' ?)"}
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return mk(token.OROR)
+		}
+		return token.Token{}, &Error{Pos: pos, Msg: "unexpected character '|' (did you mean '||' ?)"}
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return mk(token.ANDAND)
+		}
+		return token.Token{}, &Error{Pos: pos, Msg: "unexpected character '&' (did you mean '&&' ?)"}
+	}
+	return token.Token{}, &Error{Pos: pos, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+}
+
+// offOf recovers the byte offset where the current token began. Single and
+// double character punctuation only; identifiers and literals track their
+// own text.
+func (l *Lexer) offOf(pos token.Pos) int {
+	// Tokens never span lines, so walk back from the current offset by the
+	// column delta.
+	return l.off - (l.col - pos.Col)
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && isIdentPart(l.peek()) {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	if k, ok := token.Keywords[strings.ToLower(text)]; ok {
+		return token.Token{Kind: k, Text: strings.ToLower(text), Pos: pos}
+	}
+	return token.Token{Kind: token.IDENT, Text: text, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) (token.Token, error) {
+	start := l.off
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	text := l.src[start:l.off]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token.Token{}, &Error{Pos: pos, Msg: fmt.Sprintf("malformed number %q", text)}
+	}
+	return token.Token{Kind: token.NUMBER, Text: text, Num: v, Pos: pos}, nil
+}
+
+func (l *Lexer) scanString(pos token.Pos) (token.Token, error) {
+	quote := l.advance()
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return token.Token{}, &Error{Pos: pos, Msg: "unterminated string literal"}
+		}
+		c := l.advance()
+		if c == quote {
+			break
+		}
+		if c == '\n' {
+			return token.Token{}, &Error{Pos: pos, Msg: "newline in string literal"}
+		}
+		if c == '\\' && l.off < len(l.src) {
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"', '\'':
+				b.WriteByte(esc)
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(esc)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return token.Token{Kind: token.STRING, Text: b.String(), Pos: pos}, nil
+}

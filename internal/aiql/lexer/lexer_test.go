@@ -1,0 +1,145 @@
+package lexer
+
+import (
+	"testing"
+
+	"github.com/aiql/aiql/internal/aiql/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]token.Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds(t, `proc p1["%cmd.exe"] start proc p2 as evt1`)
+	want := []token.Kind{
+		token.IDENT, token.IDENT, token.LBRACKET, token.STRING, token.RBRACKET,
+		token.IDENT, token.IDENT, token.IDENT, token.AS, token.IDENT, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperatorsAndArrows(t *testing.T) {
+	got := kinds(t, `->[write] <-[read] || && = == != < <= > >= + - * / . , : ( ) { }`)
+	want := []token.Kind{
+		token.ARROW, token.LBRACKET, token.IDENT, token.RBRACKET,
+		token.BACKARR, token.LBRACKET, token.IDENT, token.RBRACKET,
+		token.OROR, token.ANDAND, token.ASSIGN, token.EQ, token.NEQ,
+		token.LT, token.LE, token.GT, token.GE,
+		token.PLUS, token.MINUS, token.STAR, token.SLASH,
+		token.DOT, token.COMMA, token.COLON,
+		token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Tokenize("RETURN Distinct wiTH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.RETURN || toks[1].Kind != token.DISTINCT || toks[2].Kind != token.WITH {
+		t.Errorf("keyword folding failed: %v", toks)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	toks, err := Tokenize(`"a\"b" 'c\'d' "tab\there"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != `a"b` {
+		t.Errorf("double-quote escape: %q", toks[0].Text)
+	}
+	if toks[1].Text != `c'd` {
+		t.Errorf("single-quote escape: %q", toks[1].Text)
+	}
+	if toks[2].Text != "tab\there" {
+		t.Errorf("tab escape: %q", toks[2].Text)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := Tokenize("42 2.5 0 10.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []float64{42, 2.5, 0, 10.25}
+	for i, w := range wants {
+		if toks[i].Kind != token.NUMBER || toks[i].Num != w {
+			t.Errorf("number %d = %v (%v), want %v", i, toks[i].Num, toks[i].Kind, w)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, err := Tokenize("a // comment to end of line\nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("comment handling: %v", toks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  bb\n   \tccc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []token.Pos{{Line: 1, Col: 1}, {Line: 2, Col: 3}, {Line: 3, Col: 5}}
+	for i, w := range wants {
+		if toks[i].Pos != w {
+			t.Errorf("token %d pos = %v, want %v", i, toks[i].Pos, w)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		`"unterminated`,
+		"\"newline\nin string\"",
+		"a ! b", // bare !
+		"a | b", // bare |
+		"a & b", // bare &
+		"a @ b", // unknown char
+	} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Tokenize("abc @")
+	lexErr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if lexErr.Pos.Line != 1 || lexErr.Pos.Col != 5 {
+		t.Errorf("error pos = %v, want 1:5", lexErr.Pos)
+	}
+}

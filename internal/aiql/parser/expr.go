@@ -1,0 +1,223 @@
+package parser
+
+import (
+	"strings"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/aiql/token"
+)
+
+// Expression grammar (lowest to highest precedence):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (('or' | '||') andExpr)*
+//	andExpr := notExpr (('and' | '&&') notExpr)*
+//	notExpr := 'not' notExpr | cmpExpr
+//	cmpExpr := addExpr [cmpOp addExpr]
+//	addExpr := mulExpr (('+'|'-') mulExpr)*
+//	mulExpr := unary (('*'|'/') unary)*
+//	unary   := '-' unary | primary
+//	primary := NUMBER | STRING | '(' expr ')'
+//	         | IDENT '(' [expr] ')'       aggregate call
+//	         | IDENT '[' NUMBER ']'       historical window access
+//	         | IDENT '.' IDENT            attribute access
+//	         | IDENT                      variable
+func (p *parser) parseExpr() (ast.Expr, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (ast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.OR) || p.at(token.OROR) {
+		pos := p.cur().Pos
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinaryExpr{Op: "or", L: l, R: r, At: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (ast.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.AND) || p.at(token.ANDAND) {
+		pos := p.cur().Pos
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinaryExpr{Op: "and", L: l, R: r, At: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (ast.Expr, error) {
+	if p.at(token.NOT) {
+		pos := p.cur().Pos
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: "not", X: x, At: pos}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpTokens = map[token.Kind]string{
+	token.ASSIGN: "=",
+	token.EQ:     "=",
+	token.NEQ:    "!=",
+	token.LT:     "<",
+	token.LE:     "<=",
+	token.GT:     ">",
+	token.GE:     ">=",
+	token.LIKE:   "like",
+}
+
+func (p *parser) parseCmp() (ast.Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpTokens[p.cur().Kind]; ok {
+		pos := p.cur().Pos
+		p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BinaryExpr{Op: op, L: l, R: r, At: pos}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (ast.Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.PLUS) || p.at(token.MINUS) {
+		opTok := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		op := "+"
+		if opTok.Kind == token.MINUS {
+			op = "-"
+		}
+		l = &ast.BinaryExpr{Op: op, L: l, R: r, At: opTok.Pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (ast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.STAR) || p.at(token.SLASH) {
+		opTok := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		op := "*"
+		if opTok.Kind == token.SLASH {
+			op = "/"
+		}
+		l = &ast.BinaryExpr{Op: op, L: l, R: r, At: opTok.Pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	if p.at(token.MINUS) {
+		pos := p.cur().Pos
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: "-", X: x, At: pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case token.NUMBER:
+		p.next()
+		return &ast.NumberLit{Val: tok.Num, At: tok.Pos}, nil
+	case token.STRING:
+		p.next()
+		return &ast.StringLit{Val: tok.Text, At: tok.Pos}, nil
+	case token.LPAREN:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case token.IDENT:
+		p.next()
+		name := tok.Text
+		switch p.cur().Kind {
+		case token.LPAREN:
+			fname := strings.ToLower(name)
+			if !ast.AggregateFuncs[fname] {
+				return nil, p.errAt(tok.Pos, "unknown function %q (aggregates: count, sum, avg, min, max)", name)
+			}
+			p.next()
+			var arg ast.Expr
+			if !p.at(token.RPAREN) {
+				var err error
+				arg, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(token.RPAREN); err != nil {
+				return nil, err
+			}
+			return &ast.CallExpr{Func: fname, Arg: arg, At: tok.Pos}, nil
+		case token.LBRACKET:
+			p.next()
+			lag, err := p.expect(token.NUMBER)
+			if err != nil {
+				return nil, err
+			}
+			if lag.Num != float64(int(lag.Num)) || lag.Num < 0 {
+				return nil, p.errAt(lag.Pos, "window lag must be a non-negative integer")
+			}
+			if _, err := p.expect(token.RBRACKET); err != nil {
+				return nil, err
+			}
+			return &ast.HistExpr{Name: name, Lag: int(lag.Num), At: tok.Pos}, nil
+		case token.DOT:
+			p.next()
+			attr, err := p.expect(token.IDENT)
+			if err != nil {
+				return nil, err
+			}
+			return &ast.AttrExpr{Var: name, Attr: strings.ToLower(attr.Text), At: tok.Pos}, nil
+		default:
+			return &ast.VarExpr{Name: name, At: tok.Pos}, nil
+		}
+	}
+	return nil, p.errf("expected expression, found %s", p.cur())
+}

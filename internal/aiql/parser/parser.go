@@ -1,0 +1,757 @@
+// Package parser implements the recursive-descent parser for the AIQL
+// language. It turns query text into the AST of one of the three query
+// families (multievent, dependency, anomaly) and reports syntax errors
+// with line/column positions and expected-token hints.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/aiql/lexer"
+	"github.com/aiql/aiql/internal/aiql/token"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// Error is a syntax error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("syntax error at %s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []token.Token
+	pos  int
+	// auto-alias counter for event patterns without `as`
+	autoEvt int
+}
+
+// Parse parses one AIQL query.
+func Parse(src string) (ast.Query, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(token.EOF) {
+		return nil, p.errf("unexpected %s after end of query", p.cur())
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token.Token { return p.toks[p.pos] }
+func (p *parser) peek() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+func (p *parser) atWord(w string) bool { return p.cur().Is(w) }
+func (p *parser) next() token.Token {
+	t := p.cur()
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if !p.at(k) {
+		return token.Token{}, p.errf("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) errAt(pos token.Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---------------------------------------------------------------- header
+
+// headState carries the parsed global clauses plus the anomaly window
+// spec if one appeared.
+type headState struct {
+	head    ast.Head
+	window  time.Duration
+	step    time.Duration
+	hasSpec bool
+}
+
+// parseQuery dispatches on the query family after consuming the header.
+func (p *parser) parseQuery() (ast.Query, error) {
+	var hs headState
+	if err := p.parseHeader(&hs); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.at(token.FORWARD) || p.at(token.BACKWARD):
+		if hs.hasSpec {
+			return nil, p.errf("window/step clauses are not allowed in dependency queries")
+		}
+		return p.parseDependency(hs.head)
+	case hs.hasSpec:
+		return p.parseAnomaly(hs)
+	default:
+		return p.parseMultievent(hs.head)
+	}
+}
+
+// parseHeader consumes time-window parens, global constraints, and
+// window/step specs, in any order, until the query body begins.
+func (p *parser) parseHeader(hs *headState) error {
+	for {
+		switch {
+		case p.at(token.LPAREN):
+			// a time window: (at "...") or (from "..." to "...")
+			if err := p.parseTimeWindow(hs); err != nil {
+				return err
+			}
+		case p.at(token.IDENT) && p.cur().Text == "window" && p.peek().Kind == token.ASSIGN:
+			if err := p.parseWindowSpec(hs); err != nil {
+				return err
+			}
+		case p.at(token.IDENT) && p.isGlobalConstraint():
+			f, err := p.parseNamedFilter()
+			if err != nil {
+				return err
+			}
+			if !sysmon.ValidEventAttr(f.Attr) {
+				return p.errAt(f.Pos, "unknown global attribute %q (global constraints apply to event attributes such as agentid)", f.Attr)
+			}
+			hs.head.Globals = append(hs.head.Globals, f)
+			p.skipComma()
+		default:
+			return nil
+		}
+	}
+}
+
+// isGlobalConstraint reports whether the upcoming tokens form a global
+// `attr op value` constraint rather than the start of an event pattern.
+func (p *parser) isGlobalConstraint() bool {
+	switch p.peek().Kind {
+	case token.ASSIGN, token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE, token.LIKE:
+		return true
+	}
+	return false
+}
+
+func (p *parser) skipComma() {
+	if p.at(token.COMMA) {
+		p.next()
+	}
+}
+
+func (p *parser) parseTimeWindow(hs *headState) error {
+	open, _ := p.expect(token.LPAREN)
+	if hs.head.Window != nil {
+		return p.errAt(open.Pos, "duplicate time window")
+	}
+	w := &ast.TimeWindow{}
+	switch {
+	case p.atWord("at"):
+		p.next()
+		lit, err := p.expect(token.STRING)
+		if err != nil {
+			return err
+		}
+		from, to, err := parseInstant(lit.Text, true)
+		if err != nil {
+			return p.errAt(lit.Pos, "%v", err)
+		}
+		w.From, w.To = from, to
+		w.Raw = fmt.Sprintf("at %q", lit.Text)
+	case p.atWord("from"):
+		p.next()
+		litFrom, err := p.expect(token.STRING)
+		if err != nil {
+			return err
+		}
+		from, _, err := parseInstant(litFrom.Text, false)
+		if err != nil {
+			return p.errAt(litFrom.Pos, "%v", err)
+		}
+		if !p.atWord("to") {
+			return p.errf("expected 'to' in time window, found %s", p.cur())
+		}
+		p.next()
+		litTo, err := p.expect(token.STRING)
+		if err != nil {
+			return err
+		}
+		to, _, err := parseInstant(litTo.Text, false)
+		if err != nil {
+			return p.errAt(litTo.Pos, "%v", err)
+		}
+		if to <= from {
+			return p.errAt(litTo.Pos, "time window is empty: 'to' is not after 'from'")
+		}
+		w.From, w.To = from, to
+		w.Raw = fmt.Sprintf("from %q to %q", litFrom.Text, litTo.Text)
+	default:
+		return p.errf("expected 'at' or 'from' in time window, found %s", p.cur())
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return err
+	}
+	hs.head.Window = w
+	return nil
+}
+
+// timeLayouts are the accepted literal formats for time windows.
+var timeLayouts = []struct {
+	layout  string
+	dayOnly bool
+}{
+	{"01/02/2006 15:04:05", false},
+	{"01/02/2006 15:04", false},
+	{"01/02/2006", true},
+	{"2006-01-02 15:04:05", false},
+	{"2006-01-02T15:04:05", false},
+	{"2006-01-02", true},
+}
+
+// parseInstant parses a time literal. With asWindow set and a date-only
+// literal, the result covers the whole day [midnight, midnight+24h).
+func parseInstant(s string, asWindow bool) (from, to int64, err error) {
+	for _, tl := range timeLayouts {
+		t, perr := time.ParseInLocation(tl.layout, s, time.UTC)
+		if perr != nil {
+			continue
+		}
+		from = t.UnixNano()
+		if asWindow {
+			if tl.dayOnly {
+				to = t.Add(24 * time.Hour).UnixNano()
+			} else {
+				to = t.Add(time.Hour).UnixNano()
+			}
+		}
+		return from, to, nil
+	}
+	return 0, 0, fmt.Errorf("cannot parse time %q (use mm/dd/yyyy or yyyy-mm-dd, optionally with hh:mm:ss)", s)
+}
+
+func (p *parser) parseWindowSpec(hs *headState) error {
+	// window = <dur> , step = <dur>
+	p.next() // 'window'
+	if _, err := p.expect(token.ASSIGN); err != nil {
+		return err
+	}
+	d, err := p.parseDuration()
+	if err != nil {
+		return err
+	}
+	hs.window = d
+	p.skipComma()
+	if !(p.at(token.IDENT) && p.cur().Text == "step") {
+		return p.errf("expected 'step = <duration>' after window spec, found %s", p.cur())
+	}
+	p.next()
+	if _, err := p.expect(token.ASSIGN); err != nil {
+		return err
+	}
+	s, err := p.parseDuration()
+	if err != nil {
+		return err
+	}
+	hs.step = s
+	hs.hasSpec = true
+	return nil
+}
+
+func (p *parser) parseDuration() (time.Duration, error) {
+	num, err := p.expect(token.NUMBER)
+	if err != nil {
+		return 0, err
+	}
+	unitTok := p.cur()
+	if unitTok.Kind != token.IDENT {
+		return 0, p.errf("expected duration unit (sec/min/hour/day), found %s", p.cur())
+	}
+	var unit time.Duration
+	switch strings.ToLower(unitTok.Text) {
+	case "s", "sec", "secs", "second", "seconds":
+		unit = time.Second
+	case "m", "min", "mins", "minute", "minutes":
+		unit = time.Minute
+	case "h", "hour", "hours":
+		unit = time.Hour
+	case "d", "day", "days":
+		unit = 24 * time.Hour
+	case "ms", "millisecond", "milliseconds":
+		unit = time.Millisecond
+	default:
+		return 0, p.errf("unknown duration unit %q (use sec/min/hour/day)", unitTok.Text)
+	}
+	p.next()
+	d := time.Duration(num.Num * float64(unit))
+	if d <= 0 {
+		return 0, p.errAt(num.Pos, "duration must be positive")
+	}
+	return d, nil
+}
+
+// -------------------------------------------------------------- filters
+
+// parseNamedFilter parses `attr op value`.
+func (p *parser) parseNamedFilter() (ast.Filter, error) {
+	name, err := p.expect(token.IDENT)
+	if err != nil {
+		return ast.Filter{}, err
+	}
+	op, err := p.parseCmpOp()
+	if err != nil {
+		return ast.Filter{}, err
+	}
+	val, err := p.parseValue()
+	if err != nil {
+		return ast.Filter{}, err
+	}
+	f := ast.Filter{Attr: strings.ToLower(name.Text), Op: op, Val: val, Pos: name.Pos}
+	// `attr = "%pat%"` with wildcards means LIKE
+	if f.Op == ast.CmpEQ && !f.Val.IsNum && strings.ContainsAny(f.Val.Str, "%_") {
+		f.Op = ast.CmpLike
+	}
+	return f, nil
+}
+
+func (p *parser) parseCmpOp() (ast.CmpOp, error) {
+	switch p.cur().Kind {
+	case token.ASSIGN, token.EQ:
+		p.next()
+		return ast.CmpEQ, nil
+	case token.NEQ:
+		p.next()
+		return ast.CmpNEQ, nil
+	case token.LT:
+		p.next()
+		return ast.CmpLT, nil
+	case token.LE:
+		p.next()
+		return ast.CmpLE, nil
+	case token.GT:
+		p.next()
+		return ast.CmpGT, nil
+	case token.GE:
+		p.next()
+		return ast.CmpGE, nil
+	case token.LIKE:
+		p.next()
+		return ast.CmpLike, nil
+	}
+	return 0, p.errf("expected comparison operator, found %s", p.cur())
+}
+
+func (p *parser) parseValue() (ast.Value, error) {
+	switch p.cur().Kind {
+	case token.STRING:
+		t := p.next()
+		return ast.Value{Str: t.Text}, nil
+	case token.NUMBER:
+		t := p.next()
+		return ast.Value{IsNum: true, Num: t.Num, Str: t.Text}, nil
+	case token.MINUS:
+		p.next()
+		t, err := p.expect(token.NUMBER)
+		if err != nil {
+			return ast.Value{}, err
+		}
+		return ast.Value{IsNum: true, Num: -t.Num, Str: "-" + t.Text}, nil
+	}
+	return ast.Value{}, p.errf("expected string or number, found %s", p.cur())
+}
+
+// ---------------------------------------------------------- entity refs
+
+// parseEntityRef parses `[type] name [ '[' filters ']' ]`. The entity type
+// keyword is contextual; declared tracks variables already introduced so a
+// bare name can re-reference one.
+func (p *parser) parseEntityRef(declared map[string]sysmon.EntityType) (ast.EntityRef, []ast.Filter, error) {
+	var ref ast.EntityRef
+	tok := p.cur()
+	if tok.Kind != token.IDENT {
+		return ref, nil, p.errf("expected entity type or variable, found %s", p.cur())
+	}
+	if t, ok := sysmon.ParseEntityType(tok.Text); ok && p.peek().Kind == token.IDENT {
+		ref.Type = t
+		p.next()
+		tok = p.cur()
+	}
+	nameTok, err := p.expect(token.IDENT)
+	if err != nil {
+		return ref, nil, err
+	}
+	ref.Name = nameTok.Text
+	ref.Pos = nameTok.Pos
+	if prev, ok := declared[ref.Name]; ok {
+		if ref.Type != sysmon.EntityInvalid && ref.Type != prev {
+			return ref, nil, p.errAt(nameTok.Pos, "variable %q redeclared with different type %s (was %s)", ref.Name, ref.Type, prev)
+		}
+		ref.Type = prev
+	} else {
+		if ref.Type == sysmon.EntityInvalid {
+			return ref, nil, p.errAt(nameTok.Pos, "variable %q used before declaration (prefix its first use with proc/file/ip)", ref.Name)
+		}
+		declared[ref.Name] = ref.Type
+	}
+	var evtFilters []ast.Filter
+	if p.at(token.LBRACKET) {
+		p.next()
+		first := true
+		for !p.at(token.RBRACKET) {
+			if !first {
+				if _, err := p.expect(token.COMMA); err != nil {
+					return ref, nil, err
+				}
+			}
+			first = false
+			switch {
+			case p.at(token.STRING):
+				// positional filter on the default attribute, LIKE semantics
+				lit := p.next()
+				op := ast.CmpLike
+				if !strings.ContainsAny(lit.Text, "%_") {
+					op = ast.CmpEQ
+				}
+				ref.Filters = append(ref.Filters, ast.Filter{
+					Attr: sysmon.DefaultAttr(ref.Type), Op: op,
+					Val: ast.Value{Str: lit.Text}, Pos: lit.Pos,
+				})
+			case p.at(token.IDENT):
+				f, err := p.parseNamedFilter()
+				if err != nil {
+					return ref, nil, err
+				}
+				if sysmon.ValidEventAttr(f.Attr) && !sysmon.ValidAttr(ref.Type, f.Attr) {
+					evtFilters = append(evtFilters, f)
+				} else {
+					ref.Filters = append(ref.Filters, f)
+				}
+			default:
+				return ref, nil, p.errf("expected filter, found %s", p.cur())
+			}
+		}
+		p.next() // ']'
+	}
+	return ref, evtFilters, nil
+}
+
+// ------------------------------------------------------- event patterns
+
+// parseOps parses `op (|| op)*`.
+func (p *parser) parseOps() ([]string, error) {
+	var ops []string
+	for {
+		tok := p.cur()
+		if tok.Kind != token.IDENT {
+			return nil, p.errf("expected operation name, found %s", p.cur())
+		}
+		if _, ok := sysmon.ParseOperation(strings.ToLower(tok.Text)); !ok {
+			return nil, p.errAt(tok.Pos, "unknown operation %q", tok.Text)
+		}
+		ops = append(ops, strings.ToLower(tok.Text))
+		p.next()
+		if !p.at(token.OROR) {
+			return ops, nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parsePattern(declared map[string]sysmon.EntityType) (ast.EventPattern, error) {
+	var pat ast.EventPattern
+	pat.Pos = p.cur().Pos
+	subj, subjEvt, err := p.parseEntityRef(declared)
+	if err != nil {
+		return pat, err
+	}
+	if subj.Type != sysmon.EntityProcess {
+		return pat, p.errAt(subj.Pos, "event subject %q must be a process", subj.Name)
+	}
+	pat.Subject = subj
+	pat.EvtFilters = append(pat.EvtFilters, subjEvt...)
+	pat.Ops, err = p.parseOps()
+	if err != nil {
+		return pat, err
+	}
+	obj, objEvt, err := p.parseEntityRef(declared)
+	if err != nil {
+		return pat, err
+	}
+	pat.Object = obj
+	pat.EvtFilters = append(pat.EvtFilters, objEvt...)
+	// optional event-filter block: { attr op value, ... }
+	if p.at(token.LBRACE) {
+		p.next()
+		first := true
+		for !p.at(token.RBRACE) {
+			if !first {
+				if _, err := p.expect(token.COMMA); err != nil {
+					return pat, err
+				}
+			}
+			first = false
+			f, err := p.parseNamedFilter()
+			if err != nil {
+				return pat, err
+			}
+			pat.EvtFilters = append(pat.EvtFilters, f)
+		}
+		p.next()
+	}
+	if p.at(token.AS) {
+		p.next()
+		alias, err := p.expect(token.IDENT)
+		if err != nil {
+			return pat, err
+		}
+		pat.Alias = alias.Text
+	} else {
+		p.autoEvt++
+		pat.Alias = fmt.Sprintf("evt%d", p.autoEvt)
+	}
+	return pat, nil
+}
+
+// ---------------------------------------------------------- multievent
+
+func (p *parser) parseMultievent(head ast.Head) (*ast.MultieventQuery, error) {
+	q := &ast.MultieventQuery{Head_: head}
+	declared := map[string]sysmon.EntityType{}
+	for !p.at(token.WITH) && !p.at(token.RETURN) {
+		if p.at(token.EOF) {
+			return nil, p.errf("unexpected end of query: missing return clause")
+		}
+		pat, err := p.parsePattern(declared)
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, pat)
+	}
+	if len(q.Patterns) == 0 {
+		return nil, p.errf("multievent query needs at least one event pattern")
+	}
+	if p.at(token.WITH) {
+		p.next()
+		for {
+			cond, err := p.parseWithCond()
+			if err != nil {
+				return nil, err
+			}
+			q.With = append(q.With, cond)
+			if !p.at(token.COMMA) {
+				break
+			}
+			p.next()
+		}
+	}
+	var err error
+	q.Return, q.Distinct, err = p.parseReturn()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseWithCond() (ast.WithCond, error) {
+	name, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.at(token.BEFORE) || p.at(token.AFTER):
+		opTok := p.next()
+		right, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		rel := ast.TemporalRel{Left: name.Text, Op: opTok.Text, Right: right.Text, Pos: name.Pos}
+		if p.at(token.WITHIN) {
+			p.next()
+			d, err := p.parseDuration()
+			if err != nil {
+				return nil, err
+			}
+			rel.Within = d
+		}
+		return rel, nil
+	case p.at(token.DOT):
+		p.next()
+		attr, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.parseCmpOp()
+		if err != nil {
+			return nil, err
+		}
+		val, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		return ast.EventCond{Event: name.Text, Attr: strings.ToLower(attr.Text), Op: op, Val: val, Pos: name.Pos}, nil
+	}
+	return nil, p.errf("expected 'before', 'after', or '.attr' in with clause, found %s", p.cur())
+}
+
+// ---------------------------------------------------------- dependency
+
+func (p *parser) parseDependency(head ast.Head) (*ast.DependencyQuery, error) {
+	q := &ast.DependencyQuery{Head_: head}
+	if p.at(token.FORWARD) {
+		q.Direction = ast.Forward
+	} else {
+		q.Direction = ast.Backward
+	}
+	p.next()
+	if _, err := p.expect(token.COLON); err != nil {
+		return nil, err
+	}
+	declared := map[string]sysmon.EntityType{}
+	node, evtF, err := p.parseEntityRef(declared)
+	if err != nil {
+		return nil, err
+	}
+	if len(evtF) > 0 {
+		// event filters on dependency nodes attach to the adjacent edge;
+		// stash them on the node's filter list keyed as event attrs
+		node.Filters = append(node.Filters, evtF...)
+	}
+	q.Nodes = append(q.Nodes, node)
+	for p.at(token.ARROW) || p.at(token.BACKARR) {
+		dirTok := p.next()
+		if _, err := p.expect(token.LBRACKET); err != nil {
+			return nil, err
+		}
+		opTok, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		opName := strings.ToLower(opTok.Text)
+		if _, ok := sysmon.ParseOperation(opName); !ok && opName != "connect" {
+			return nil, p.errAt(opTok.Pos, "unknown operation %q", opTok.Text)
+		}
+		if _, err := p.expect(token.RBRACKET); err != nil {
+			return nil, err
+		}
+		next, evtF, err := p.parseEntityRef(declared)
+		if err != nil {
+			return nil, err
+		}
+		if len(evtF) > 0 {
+			next.Filters = append(next.Filters, evtF...)
+		}
+		q.Edges = append(q.Edges, ast.DepEdge{
+			Op:          opName,
+			LeftToRight: dirTok.Kind == token.ARROW,
+			Pos:         dirTok.Pos,
+		})
+		q.Nodes = append(q.Nodes, next)
+	}
+	if len(q.Nodes) < 2 {
+		return nil, p.errf("dependency query needs at least one edge (use '->[op]' or '<-[op]')")
+	}
+	q.Return, q.Distinct, err = p.parseReturn()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ------------------------------------------------------------- anomaly
+
+func (p *parser) parseAnomaly(hs headState) (*ast.AnomalyQuery, error) {
+	q := &ast.AnomalyQuery{Head_: hs.head, Window: hs.window, Step: hs.step}
+	if q.Step > q.Window {
+		return nil, p.errf("window step (%s) must not exceed window length (%s)", q.Step, q.Window)
+	}
+	declared := map[string]sysmon.EntityType{}
+	pat, err := p.parsePattern(declared)
+	if err != nil {
+		return nil, err
+	}
+	q.Pattern = pat
+	if !p.at(token.RETURN) {
+		return nil, p.errf("anomaly query takes exactly one event pattern; expected 'return', found %s", p.cur())
+	}
+	q.Return, _, err = p.parseReturn()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(token.GROUP) {
+		p.next()
+		if _, err := p.expect(token.BY); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, e)
+			if !p.at(token.COMMA) {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.at(token.HAVING) {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = e
+	}
+	return q, nil
+}
+
+// -------------------------------------------------------------- return
+
+func (p *parser) parseReturn() ([]ast.ReturnItem, bool, error) {
+	if _, err := p.expect(token.RETURN); err != nil {
+		return nil, false, err
+	}
+	distinct := false
+	if p.at(token.DISTINCT) {
+		distinct = true
+		p.next()
+	}
+	var items []ast.ReturnItem
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, false, err
+		}
+		item := ast.ReturnItem{Expr: e}
+		if p.at(token.AS) {
+			p.next()
+			alias, err := p.expect(token.IDENT)
+			if err != nil {
+				return nil, false, err
+			}
+			item.Alias = alias.Text
+		}
+		items = append(items, item)
+		if !p.at(token.COMMA) {
+			break
+		}
+		p.next()
+	}
+	return items, distinct, nil
+}

@@ -1,0 +1,282 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+func parseMulti(t *testing.T, src string) *ast.MultieventQuery {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, src)
+	}
+	mq, ok := q.(*ast.MultieventQuery)
+	if !ok {
+		t.Fatalf("got %T, want multievent", q)
+	}
+	return mq
+}
+
+func TestParseQuery1(t *testing.T) {
+	// the paper's Query 1 verbatim (modulo obfuscated values)
+	mq := parseMulti(t, `
+(at "05/10/2018")
+agentid = 7
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip="203.0.113.129"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, p2, p3, f1, p4, i1`)
+	if len(mq.Patterns) != 4 {
+		t.Fatalf("got %d patterns, want 4", len(mq.Patterns))
+	}
+	if mq.Head_.Window == nil {
+		t.Fatal("missing time window")
+	}
+	day := time.Date(2018, 5, 10, 0, 0, 0, 0, time.UTC)
+	if mq.Head_.Window.From != day.UnixNano() || mq.Head_.Window.To != day.Add(24*time.Hour).UnixNano() {
+		t.Errorf("window = [%d, %d)", mq.Head_.Window.From, mq.Head_.Window.To)
+	}
+	if len(mq.Head_.Globals) != 1 || mq.Head_.Globals[0].Attr != "agentid" {
+		t.Errorf("globals = %+v", mq.Head_.Globals)
+	}
+	p4 := mq.Patterns[3]
+	if len(p4.Ops) != 2 || p4.Ops[0] != "read" || p4.Ops[1] != "write" {
+		t.Errorf("ops = %v", p4.Ops)
+	}
+	if p4.Object.Type != sysmon.EntityNetconn {
+		t.Errorf("object type = %v", p4.Object.Type)
+	}
+	if len(mq.With) != 3 {
+		t.Errorf("with conds = %d", len(mq.With))
+	}
+	if !mq.Distinct || len(mq.Return) != 6 {
+		t.Errorf("return: distinct=%v items=%d", mq.Distinct, len(mq.Return))
+	}
+}
+
+func TestPositionalFilterBindsDefaultAttr(t *testing.T) {
+	mq := parseMulti(t, `proc p["%cmd.exe"] start proc q return p`)
+	f := mq.Patterns[0].Subject.Filters[0]
+	if f.Attr != "exe_name" || f.Op != ast.CmpLike {
+		t.Errorf("filter = %+v", f)
+	}
+	// exact positional strings parse as equality
+	mq = parseMulti(t, `proc p["cmd.exe"] start proc q return p`)
+	if mq.Patterns[0].Subject.Filters[0].Op != ast.CmpEQ {
+		t.Error("wildcard-free positional filter should be equality")
+	}
+}
+
+func TestAgentFilterInBracketsBecomesEventFilter(t *testing.T) {
+	mq := parseMulti(t, `proc p["%cp%", agentid = 1] write file f return p`)
+	if len(mq.Patterns[0].EvtFilters) != 1 || mq.Patterns[0].EvtFilters[0].Attr != "agentid" {
+		t.Errorf("event filters = %+v", mq.Patterns[0].EvtFilters)
+	}
+	if len(mq.Patterns[0].Subject.Filters) != 1 {
+		t.Errorf("entity filters = %+v", mq.Patterns[0].Subject.Filters)
+	}
+}
+
+func TestAutoAliases(t *testing.T) {
+	mq := parseMulti(t, `
+proc a start proc b
+proc b start proc c
+return a, b, c`)
+	if mq.Patterns[0].Alias != "evt1" || mq.Patterns[1].Alias != "evt2" {
+		t.Errorf("aliases = %q, %q", mq.Patterns[0].Alias, mq.Patterns[1].Alias)
+	}
+}
+
+func TestWithinClause(t *testing.T) {
+	mq := parseMulti(t, `
+proc a start proc b as e1
+proc b start proc c as e2
+with e1 before e2 within 5 min
+return a`)
+	rel := mq.With[0].(ast.TemporalRel)
+	if rel.Within != 5*time.Minute {
+		t.Errorf("within = %v", rel.Within)
+	}
+}
+
+func TestEventCondInWith(t *testing.T) {
+	mq := parseMulti(t, `
+proc p write ip i as e1
+with e1.amount > 1000000
+return p`)
+	cond := mq.With[0].(ast.EventCond)
+	if cond.Attr != "amount" || cond.Op != ast.CmpGT || cond.Val.Num != 1000000 {
+		t.Errorf("cond = %+v", cond)
+	}
+}
+
+func TestParseDependency(t *testing.T) {
+	q, err := Parse(`
+forward: proc p1["%cp%", agentid = 1] ->[write] file f1["%x%"]
+<-[read] proc p2
+->[connect] proc p3[agentid = 2]
+return f1, p1, p2, p3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq := q.(*ast.DependencyQuery)
+	if dq.Direction != ast.Forward {
+		t.Error("direction")
+	}
+	if len(dq.Nodes) != 4 || len(dq.Edges) != 3 {
+		t.Fatalf("nodes=%d edges=%d", len(dq.Nodes), len(dq.Edges))
+	}
+	if dq.Edges[0].Op != "write" || !dq.Edges[0].LeftToRight {
+		t.Errorf("edge0 = %+v", dq.Edges[0])
+	}
+	if dq.Edges[1].Op != "read" || dq.Edges[1].LeftToRight {
+		t.Errorf("edge1 = %+v", dq.Edges[1])
+	}
+}
+
+func TestParseBackwardDependency(t *testing.T) {
+	q, err := Parse(`backward: file f <-[write] proc p return f, p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.(*ast.DependencyQuery).Direction != ast.Backward {
+		t.Error("direction should be backward")
+	}
+}
+
+func TestParseAnomaly(t *testing.T) {
+	q, err := Parse(`
+(at "05/10/2018")
+window = 1 min, step = 10 sec
+proc p write ip i[dstip="203.0.113.129"] as evt
+return p, avg(evt.amount) as amt
+group by p
+having amt > 2 * (amt + amt[1] + amt[2]) / 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aq := q.(*ast.AnomalyQuery)
+	if aq.Window != time.Minute || aq.Step != 10*time.Second {
+		t.Errorf("window=%v step=%v", aq.Window, aq.Step)
+	}
+	if len(aq.GroupBy) != 1 || aq.Having == nil {
+		t.Error("group by / having missing")
+	}
+	call, ok := aq.Return[1].Expr.(*ast.CallExpr)
+	if !ok || call.Func != "avg" {
+		t.Errorf("return[1] = %T", aq.Return[1].Expr)
+	}
+	// having parses with correct precedence: amt > ((2*(amt+amt[1]+amt[2]))/3)
+	bin := aq.Having.(*ast.BinaryExpr)
+	if bin.Op != ">" {
+		t.Errorf("having top op = %q", bin.Op)
+	}
+}
+
+func TestFromToWindow(t *testing.T) {
+	mq := parseMulti(t, `
+(from "05/10/2018 13:00:00" to "05/10/2018 14:00:00")
+proc p start proc q return p`)
+	from := time.Date(2018, 5, 10, 13, 0, 0, 0, time.UTC).UnixNano()
+	to := time.Date(2018, 5, 10, 14, 0, 0, 0, time.UTC).UnixNano()
+	if mq.Head_.Window.From != from || mq.Head_.Window.To != to {
+		t.Errorf("window = [%d, %d)", mq.Head_.Window.From, mq.Head_.Window.To)
+	}
+	// ISO dates work too
+	parseMulti(t, `(from "2018-05-10 13:00:00" to "2018-05-10 14:00:00")
+proc p start proc q return p`)
+}
+
+func TestDurationUnits(t *testing.T) {
+	for unit, want := range map[string]time.Duration{
+		"sec": time.Second, "min": time.Minute, "hour": time.Hour, "day": 24 * time.Hour,
+	} {
+		q, err := Parse(`window = 2 ` + unit + `, step = 1 ` + unit + `
+proc p write ip i as evt return count(evt)`)
+		if err != nil {
+			t.Fatalf("%s: %v", unit, err)
+		}
+		if q.(*ast.AnomalyQuery).Window != 2*want {
+			t.Errorf("%s: window = %v", unit, q.(*ast.AnomalyQuery).Window)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{`proc p1 start proc p2`, "missing return"},
+		{`proc p1 start p2x return p1`, "before declaration"},
+		{`proc p1 bogusop proc p2 return p1`, "unknown operation"},
+		{`(at "not a date") proc p start proc q return p`, "cannot parse time"},
+		{`(from "05/10/2018" to "05/09/2018") proc p start proc q return p`, "empty"},
+		{`window = 10 min, step = 20 min proc p write ip i as e return count(e)`, "must not exceed"},
+		{`window = 1 parsec, step = 1 sec proc p write ip i as e return count(e)`, "unknown duration unit"},
+		{`proc p start proc q return p,`, "expected expression"},
+		{`forward: proc p return p`, "at least one edge"},
+		{`proc p[exe_name ~ "x"] start proc q return p`, ""},
+		{`(at "05/10/2018") (at "05/10/2018") proc p start proc q return p`, "duplicate time window"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", c.src)
+			continue
+		}
+		if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q): error %q does not mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	_, err := Parse("proc p1 start proc p2\nreturn p1,")
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if perr.Pos.Line != 2 {
+		t.Errorf("error line = %d, want 2", perr.Pos.Line)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	sources := []string{
+		`(from "05/10/2018 00:00:00" to "05/11/2018 00:00:00")
+agentid = 7
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+with evt1 before evt2
+return distinct p1, p2, f1`,
+		`forward: proc p1["%cp%"] ->[write] file f1["%x%"] <-[read] proc p2 return f1, p2`,
+		`window = 1 min, step = 30 sec
+proc p write ip i[dstip = "1.2.3.4"] as evt
+return p, avg(evt.amount) as amt
+group by p
+having amt > 2 * amt[1]`,
+	}
+	for _, src := range sources {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse original: %v\n%s", err, src)
+		}
+		printed := ast.Print(q1)
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("parse printed form: %v\n--- printed:\n%s", err, printed)
+		}
+		reprinted := ast.Print(q2)
+		if printed != reprinted {
+			t.Errorf("round trip not stable:\n--- first:\n%s\n--- second:\n%s", printed, reprinted)
+		}
+	}
+}

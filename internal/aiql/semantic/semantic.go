@@ -1,0 +1,386 @@
+// Package semantic validates and normalizes parsed AIQL queries: it
+// resolves entity variable types, checks attribute names against the data
+// model, verifies that operations are compatible with object entity types,
+// resolves event aliases in with clauses, and expands the context-aware
+// return shortcuts (a bare entity variable means its default attribute,
+// e.g. p1 → p1.exe_name).
+package semantic
+
+import (
+	"fmt"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/aiql/token"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// Error is a semantic error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("semantic error at %s: %s", e.Pos, e.Msg) }
+
+func errf(pos token.Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Info is the symbol information produced by Check.
+type Info struct {
+	// Vars maps entity variable names to their types.
+	Vars map[string]sysmon.EntityType
+	// Events maps event aliases to their pattern index.
+	Events map[string]int
+	// Columns are the output column labels, in return order.
+	Columns []string
+	// Aggregates maps return aliases to their aggregate expression, for
+	// anomaly queries.
+	Aggregates map[string]*ast.CallExpr
+}
+
+// Check validates q, normalizing it in place, and returns symbol info.
+// Dependency queries must be rewritten to multievent form first (package
+// engine does this); Check rejects them.
+func Check(q ast.Query) (*Info, error) {
+	info := &Info{
+		Vars:       map[string]sysmon.EntityType{},
+		Events:     map[string]int{},
+		Aggregates: map[string]*ast.CallExpr{},
+	}
+	switch x := q.(type) {
+	case *ast.MultieventQuery:
+		return info, checkMultievent(x, info)
+	case *ast.AnomalyQuery:
+		return info, checkAnomaly(x, info)
+	case *ast.DependencyQuery:
+		return info, checkDependencyShape(x)
+	default:
+		return nil, fmt.Errorf("semantic: unknown query type %T", q)
+	}
+}
+
+// opObjectTypes returns the object entity types permitted for an op name.
+func opObjectTypes(op string) []sysmon.EntityType {
+	switch op {
+	case "start", "end":
+		return []sysmon.EntityType{sysmon.EntityProcess}
+	case "execute", "delete", "rename", "chmod":
+		return []sysmon.EntityType{sysmon.EntityFile}
+	case "read", "write":
+		return []sysmon.EntityType{sysmon.EntityFile, sysmon.EntityNetconn}
+	case "connect", "accept", "send", "recv":
+		return []sysmon.EntityType{sysmon.EntityNetconn}
+	default:
+		return nil
+	}
+}
+
+func contains(ts []sysmon.EntityType, t sysmon.EntityType) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+func checkEntityRef(r *ast.EntityRef, info *Info) error {
+	if prev, ok := info.Vars[r.Name]; ok {
+		if r.Type == sysmon.EntityInvalid {
+			r.Type = prev
+		} else if r.Type != prev {
+			return errf(r.Pos, "variable %q has conflicting types %s and %s", r.Name, prev, r.Type)
+		}
+	} else {
+		if r.Type == sysmon.EntityInvalid {
+			return errf(r.Pos, "variable %q used before declaration", r.Name)
+		}
+		info.Vars[r.Name] = r.Type
+	}
+	for i := range r.Filters {
+		f := &r.Filters[i]
+		canon, ok := sysmon.CanonicalAttr(r.Type, f.Attr)
+		if !ok {
+			return errf(f.Pos, "entity %q (%s) has no attribute %q (valid: %v)",
+				r.Name, r.Type, f.Attr, sysmon.Attrs(r.Type))
+		}
+		f.Attr = canon
+	}
+	return nil
+}
+
+func checkPattern(p *ast.EventPattern, idx int, info *Info) error {
+	if err := checkEntityRef(&p.Subject, info); err != nil {
+		return err
+	}
+	if p.Subject.Type != sysmon.EntityProcess {
+		return errf(p.Subject.Pos, "event subject %q must be a process", p.Subject.Name)
+	}
+	if err := checkEntityRef(&p.Object, info); err != nil {
+		return err
+	}
+	for _, op := range p.Ops {
+		allowed := opObjectTypes(op)
+		if allowed == nil {
+			return errf(p.Pos, "unknown operation %q", op)
+		}
+		if !contains(allowed, p.Object.Type) {
+			return errf(p.Object.Pos, "operation %q cannot target a %s (%q)", op, p.Object.Type, p.Object.Name)
+		}
+	}
+	for i := range p.EvtFilters {
+		f := &p.EvtFilters[i]
+		if !sysmon.ValidEventAttr(f.Attr) {
+			return errf(f.Pos, "unknown event attribute %q", f.Attr)
+		}
+	}
+	if p.Alias != "" {
+		if _, dup := info.Events[p.Alias]; dup {
+			return errf(p.Pos, "duplicate event alias %q", p.Alias)
+		}
+		if _, isVar := info.Vars[p.Alias]; isVar {
+			return errf(p.Pos, "event alias %q collides with entity variable", p.Alias)
+		}
+		info.Events[p.Alias] = idx
+	}
+	return nil
+}
+
+func checkMultievent(q *ast.MultieventQuery, info *Info) error {
+	for i := range q.Patterns {
+		if err := checkPattern(&q.Patterns[i], i, info); err != nil {
+			return err
+		}
+	}
+	for _, w := range q.With {
+		switch c := w.(type) {
+		case ast.TemporalRel:
+			if _, ok := info.Events[c.Left]; !ok {
+				return errf(c.Pos, "unknown event alias %q in with clause", c.Left)
+			}
+			if _, ok := info.Events[c.Right]; !ok {
+				return errf(c.Pos, "unknown event alias %q in with clause", c.Right)
+			}
+			if c.Left == c.Right {
+				return errf(c.Pos, "temporal relation relates %q to itself", c.Left)
+			}
+		case ast.EventCond:
+			if _, ok := info.Events[c.Event]; !ok {
+				return errf(c.Pos, "unknown event alias %q in with clause", c.Event)
+			}
+			if !sysmon.ValidEventAttr(c.Attr) {
+				return errf(c.Pos, "unknown event attribute %q", c.Attr)
+			}
+		}
+	}
+	if len(q.Return) == 0 {
+		return fmt.Errorf("semantic: query returns nothing")
+	}
+	for i := range q.Return {
+		if err := checkReturnItem(&q.Return[i], info, false); err != nil {
+			return err
+		}
+		info.Columns = append(info.Columns, columnLabel(&q.Return[i]))
+	}
+	return nil
+}
+
+// checkReturnItem validates and normalizes one return item. Bare entity
+// variables expand to their default attribute (context-aware shortcut).
+// Aggregates are only legal when agg is true (anomaly queries).
+func checkReturnItem(it *ast.ReturnItem, info *Info, agg bool) error {
+	expanded, err := normalizeExpr(it.Expr, info, agg)
+	if err != nil {
+		return err
+	}
+	it.Expr = expanded
+	if !agg && ast.ContainsAggregate(it.Expr) {
+		return errf(it.Expr.Pos(), "aggregate functions require an anomaly query (window = ..., step = ...)")
+	}
+	if agg {
+		if call, ok := it.Expr.(*ast.CallExpr); ok {
+			name := it.Alias
+			if name == "" {
+				name = call.Func
+			}
+			info.Aggregates[name] = call
+		}
+	}
+	return nil
+}
+
+// normalizeExpr resolves variables in a return/group-by expression.
+func normalizeExpr(e ast.Expr, info *Info, agg bool) (ast.Expr, error) {
+	switch x := e.(type) {
+	case *ast.VarExpr:
+		if t, ok := info.Vars[x.Name]; ok {
+			return &ast.AttrExpr{Var: x.Name, Attr: sysmon.DefaultAttr(t), At: x.At}, nil
+		}
+		if _, ok := info.Events[x.Name]; ok {
+			return x, nil // bare event reference (count(evt), evt id projection)
+		}
+		return nil, errf(x.At, "unknown variable %q", x.Name)
+	case *ast.AttrExpr:
+		if t, ok := info.Vars[x.Var]; ok {
+			canon, ok := sysmon.CanonicalAttr(t, x.Attr)
+			if !ok {
+				return nil, errf(x.At, "entity %q (%s) has no attribute %q (valid: %v)", x.Var, t, x.Attr, sysmon.Attrs(t))
+			}
+			x.Attr = canon
+			return x, nil
+		}
+		if _, ok := info.Events[x.Var]; ok {
+			if !sysmon.ValidEventAttr(x.Attr) {
+				return nil, errf(x.At, "unknown event attribute %q", x.Attr)
+			}
+			return x, nil
+		}
+		return nil, errf(x.At, "unknown variable %q", x.Var)
+	case *ast.CallExpr:
+		if !agg {
+			return nil, errf(x.At, "aggregate %q requires an anomaly query", x.Func)
+		}
+		if x.Arg != nil {
+			arg, err := normalizeExpr(x.Arg, info, false)
+			if err != nil {
+				return nil, err
+			}
+			x.Arg = arg
+		} else if x.Func != "count" {
+			return nil, errf(x.At, "%s() needs an argument", x.Func)
+		}
+		return x, nil
+	case *ast.BinaryExpr:
+		l, err := normalizeExpr(x.L, info, agg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := normalizeExpr(x.R, info, agg)
+		if err != nil {
+			return nil, err
+		}
+		x.L, x.R = l, r
+		return x, nil
+	case *ast.UnaryExpr:
+		sub, err := normalizeExpr(x.X, info, agg)
+		if err != nil {
+			return nil, err
+		}
+		x.X = sub
+		return x, nil
+	default:
+		return e, nil
+	}
+}
+
+func columnLabel(it *ast.ReturnItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	return ast.ExprString(it.Expr)
+}
+
+func checkAnomaly(q *ast.AnomalyQuery, info *Info) error {
+	if q.Window <= 0 || q.Step <= 0 {
+		return fmt.Errorf("semantic: anomaly query needs positive window and step")
+	}
+	if err := checkPattern(&q.Pattern, 0, info); err != nil {
+		return err
+	}
+	if len(q.Return) == 0 {
+		return fmt.Errorf("semantic: query returns nothing")
+	}
+	for i := range q.Return {
+		if err := checkReturnItem(&q.Return[i], info, true); err != nil {
+			return err
+		}
+		info.Columns = append(info.Columns, columnLabel(&q.Return[i]))
+	}
+	for i, e := range q.GroupBy {
+		g, err := normalizeExpr(e, info, false)
+		if err != nil {
+			return err
+		}
+		q.GroupBy[i] = g
+	}
+	if q.Having != nil {
+		if err := checkHaving(q.Having, info); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkHaving validates a having expression: it may reference return
+// aliases (current or lagged window), literals, and arithmetic over them.
+func checkHaving(e ast.Expr, info *Info) error {
+	switch x := e.(type) {
+	case *ast.VarExpr:
+		if _, ok := info.Aggregates[x.Name]; !ok {
+			return errf(x.At, "having references %q, which is not an aggregate return alias", x.Name)
+		}
+		return nil
+	case *ast.HistExpr:
+		if _, ok := info.Aggregates[x.Name]; !ok {
+			return errf(x.At, "having references %q[%d], but %q is not an aggregate return alias", x.Name, x.Lag, x.Name)
+		}
+		return nil
+	case *ast.NumberLit, *ast.StringLit:
+		return nil
+	case *ast.BinaryExpr:
+		if err := checkHaving(x.L, info); err != nil {
+			return err
+		}
+		return checkHaving(x.R, info)
+	case *ast.UnaryExpr:
+		return checkHaving(x.X, info)
+	case *ast.AttrExpr:
+		return errf(x.At, "having may only reference aggregate aliases, not %s.%s", x.Var, x.Attr)
+	case *ast.CallExpr:
+		return errf(x.At, "aggregates in having must be named in the return clause and referenced by alias")
+	default:
+		return fmt.Errorf("semantic: unsupported having expression")
+	}
+}
+
+// checkDependencyShape performs the structural checks possible before the
+// dependency query is rewritten to multievent form.
+func checkDependencyShape(q *ast.DependencyQuery) error {
+	if len(q.Nodes) != len(q.Edges)+1 {
+		return fmt.Errorf("semantic: malformed dependency chain")
+	}
+	types := map[string]sysmon.EntityType{}
+	for i := range q.Nodes {
+		n := &q.Nodes[i]
+		if prev, ok := types[n.Name]; ok {
+			if n.Type != sysmon.EntityInvalid && n.Type != prev {
+				return errf(n.Pos, "variable %q has conflicting types", n.Name)
+			}
+			n.Type = prev
+		} else {
+			if n.Type == sysmon.EntityInvalid {
+				return errf(n.Pos, "variable %q used before declaration", n.Name)
+			}
+			types[n.Name] = n.Type
+		}
+	}
+	for i, e := range q.Edges {
+		l, r := &q.Nodes[i], &q.Nodes[i+1]
+		subj, obj := l, r
+		if !e.LeftToRight {
+			subj, obj = r, l
+		}
+		if subj.Type != sysmon.EntityProcess {
+			return errf(subj.Pos, "dependency edge subject %q must be a process", subj.Name)
+		}
+		if e.Op == "connect" && obj.Type == sysmon.EntityProcess {
+			continue // cross-host IPC edge; expanded during rewrite
+		}
+		if allowed := opObjectTypes(e.Op); !contains(allowed, obj.Type) {
+			return errf(obj.Pos, "operation %q cannot target a %s (%q)", e.Op, obj.Type, obj.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package semantic
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/aiql/parser"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	q, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return Check(q)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("Check: %v\n%s", err, src)
+	}
+	return info
+}
+
+func TestSymbolsResolved(t *testing.T) {
+	info := mustCheck(t, `
+proc p1["%cmd.exe"] start proc p2 as evt1
+proc p2 write file f as evt2
+with evt1 before evt2
+return distinct p1, p2, f`)
+	if info.Vars["p1"] != sysmon.EntityProcess || info.Vars["f"] != sysmon.EntityFile {
+		t.Errorf("vars = %v", info.Vars)
+	}
+	if info.Events["evt1"] != 0 || info.Events["evt2"] != 1 {
+		t.Errorf("events = %v", info.Events)
+	}
+	if len(info.Columns) != 3 {
+		t.Errorf("columns = %v", info.Columns)
+	}
+}
+
+func TestReturnShortcutExpansion(t *testing.T) {
+	q, err := parser.Parse(`proc p start proc q as e return p, q.pid, e.amount`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(q); err != nil {
+		t.Fatal(err)
+	}
+	mq := q.(*ast.MultieventQuery)
+	// bare p expands to p.exe_name
+	attr, ok := mq.Return[0].Expr.(*ast.AttrExpr)
+	if !ok || attr.Attr != "exe_name" {
+		t.Errorf("return[0] = %#v", mq.Return[0].Expr)
+	}
+	// q.pid stays as written
+	if a := mq.Return[1].Expr.(*ast.AttrExpr); a.Attr != "pid" {
+		t.Errorf("return[1] = %#v", a)
+	}
+	// event attribute reference passes
+	if a := mq.Return[2].Expr.(*ast.AttrExpr); a.Var != "e" || a.Attr != "amount" {
+		t.Errorf("return[2] = %#v", a)
+	}
+}
+
+func TestAttributeCanonicalization(t *testing.T) {
+	q, err := parser.Parse(`proc p connect ip i[dstip = "1.2.3.4"] as e return i.dstip`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(q); err != nil {
+		t.Fatal(err)
+	}
+	mq := q.(*ast.MultieventQuery)
+	if mq.Patterns[0].Object.Filters[0].Attr != "dst_ip" {
+		t.Errorf("filter attr = %q", mq.Patterns[0].Object.Filters[0].Attr)
+	}
+	if mq.Return[0].Expr.(*ast.AttrExpr).Attr != "dst_ip" {
+		t.Errorf("return attr not canonicalized")
+	}
+}
+
+func TestCheckIsIdempotent(t *testing.T) {
+	q, err := parser.Parse(`proc p start proc q as e return p, q`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(q); err != nil {
+		t.Fatalf("second Check failed: %v", err)
+	}
+}
+
+func TestSemanticRejections(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{`proc p start file f as e return p`, "cannot target"},
+		{`proc p read proc q as e return p`, "cannot target"},
+		{`proc p connect file f as e return p`, "cannot target"},
+		{`proc p start proc q as e return bogus`, "unknown variable"},
+		{`proc p start proc q as e return p.bogus`, "no attribute"},
+		{`proc p[bogus = "x"] start proc q as e return p`, "no attribute"},
+		{`proc p start proc q as e with e before e return p`, "itself"},
+		{`proc p start proc q as e with zz before e return p`, "unknown event alias"},
+		{`proc p start proc q as e with e.bogus > 1 return p`, "unknown event attribute"},
+		{`proc p start proc q as e return count(e)`, "anomaly"},
+		{`proc p start proc q as e proc x start proc y as e return p`, "duplicate event alias"},
+		{`proc e start proc q as e return e`, "collides"},
+		{`window = 1 min, step = 1 min
+proc p write ip i as evt
+return p, avg(evt.amount) as amt
+having bogus > 1`, "not an aggregate"},
+		{`window = 1 min, step = 1 min
+proc p write ip i as evt
+return p, avg(evt.amount) as amt
+having p.exe_name > 1`, "aggregate aliases"},
+		{`window = 1 min, step = 1 min
+proc p write ip i as evt
+return p, avg(evt.amount) as amt
+having avg(evt.amount) > 1`, "referenced by alias"},
+	}
+	for _, c := range cases {
+		_, err := check(t, c.src)
+		if err == nil {
+			t.Errorf("Check(%q): expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Check(%q): error %q does not mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestAnomalyAggregatesRegistered(t *testing.T) {
+	info := mustCheck(t, `
+window = 1 min, step = 1 min
+proc p write ip i as evt
+return p, avg(evt.amount) as amt, count(evt) as n
+group by p
+having amt > 2 * amt[1] and n > 0`)
+	if info.Aggregates["amt"] == nil || info.Aggregates["n"] == nil {
+		t.Errorf("aggregates = %v", info.Aggregates)
+	}
+}
+
+func TestDependencyShapeChecks(t *testing.T) {
+	// ip node as an edge subject is rejected
+	_, err := check(t, `forward: file f <-[write] proc p ->[read] file g <-[connect] ip c return f`)
+	if err == nil {
+		t.Error("expected subject-type error for connect edge from ip")
+	}
+	// valid chains pass
+	mustCheck(t, `forward: proc a ->[write] file f <-[read] proc b ->[connect] proc c return f`)
+}
+
+func TestPolymorphicReadWrite(t *testing.T) {
+	// read targets both files and connections
+	mustCheck(t, `proc p read file f as e return p`)
+	mustCheck(t, `proc p read ip i as e return p`)
+	mustCheck(t, `proc p read || write ip i as e return p`)
+}

@@ -1,0 +1,177 @@
+// Package token defines the lexical tokens of the AIQL language and the
+// source positions used in error reporting.
+package token
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds. Most AIQL words (entity types, operations, duration units,
+// aggregate functions) are contextual: they lex as IDENT and the parser
+// gives them meaning by position, which keeps the reserved-word set small.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	IDENT  // p1, proc, write, agentid
+	STRING // "%cmd.exe"
+	NUMBER // 42, 2.5
+
+	LPAREN   // (
+	RPAREN   // )
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+	DOT      // .
+	COLON    // :
+	ARROW    // ->
+	BACKARR  // <-
+	OROR     // ||
+	ANDAND   // &&
+
+	ASSIGN // =
+	EQ     // == (accepted as synonym of =)
+	NEQ    // !=
+	LT     // <
+	LE     // <=
+	GT     // >
+	GE     // >=
+
+	PLUS  // +
+	MINUS // -
+	STAR  // *
+	SLASH // /
+	RBRACE
+	LBRACE
+
+	// Reserved keywords
+	RETURN
+	DISTINCT
+	AS
+	WITH
+	GROUP
+	BY
+	HAVING
+	FORWARD
+	BACKWARD
+	BEFORE
+	AFTER
+	WITHIN
+	AND
+	OR
+	NOT
+	LIKE
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL:  "ILLEGAL",
+	EOF:      "EOF",
+	IDENT:    "identifier",
+	STRING:   "string",
+	NUMBER:   "number",
+	LPAREN:   "'('",
+	RPAREN:   "')'",
+	LBRACKET: "'['",
+	RBRACKET: "']'",
+	LBRACE:   "'{'",
+	RBRACE:   "'}'",
+	COMMA:    "','",
+	DOT:      "'.'",
+	COLON:    "':'",
+	ARROW:    "'->'",
+	BACKARR:  "'<-'",
+	OROR:     "'||'",
+	ANDAND:   "'&&'",
+	ASSIGN:   "'='",
+	EQ:       "'=='",
+	NEQ:      "'!='",
+	LT:       "'<'",
+	LE:       "'<='",
+	GT:       "'>'",
+	GE:       "'>='",
+	PLUS:     "'+'",
+	MINUS:    "'-'",
+	STAR:     "'*'",
+	SLASH:    "'/'",
+	RETURN:   "'return'",
+	DISTINCT: "'distinct'",
+	AS:       "'as'",
+	WITH:     "'with'",
+	GROUP:    "'group'",
+	BY:       "'by'",
+	HAVING:   "'having'",
+	FORWARD:  "'forward'",
+	BACKWARD: "'backward'",
+	BEFORE:   "'before'",
+	AFTER:    "'after'",
+	WITHIN:   "'within'",
+	AND:      "'and'",
+	OR:       "'or'",
+	NOT:      "'not'",
+	LIKE:     "'like'",
+}
+
+// String returns a human-readable name for the kind, used in error
+// messages ("expected ')', found identifier").
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps reserved words to their kinds.
+var Keywords = map[string]Kind{
+	"return":   RETURN,
+	"distinct": DISTINCT,
+	"as":       AS,
+	"with":     WITH,
+	"group":    GROUP,
+	"by":       BY,
+	"having":   HAVING,
+	"forward":  FORWARD,
+	"backward": BACKWARD,
+	"before":   BEFORE,
+	"after":    AFTER,
+	"within":   WITHIN,
+	"and":      AND,
+	"or":       OR,
+	"not":      NOT,
+	"like":     LIKE,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit.
+type Token struct {
+	Kind Kind
+	Text string // raw text (string tokens hold the unquoted value)
+	Num  float64
+	Pos  Pos
+}
+
+// Is reports whether the token is an IDENT with the given (case-sensitive)
+// text — the test for contextual keywords such as "proc" or "window".
+func (t Token) Is(word string) bool { return t.Kind == IDENT && t.Text == word }
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return t.Text
+	case STRING:
+		return fmt.Sprintf("%q", t.Text)
+	case NUMBER:
+		return t.Text
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,106 @@
+package concise
+
+import (
+	"testing"
+)
+
+const sampleAIQL = `
+(at "05/10/2018")
+agentid = 7
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+with evt1 before evt2
+return distinct p1, p2, p3, f1`
+
+func TestMeasureAIQL(t *testing.T) {
+	m, err := MeasureAIQL(sampleAIQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// constraints: window(1) + agentid(1) + 4 entity filters + 2 ops + 1 with = 9
+	if m.Constraints != 9 {
+		t.Errorf("constraints = %d, want 9", m.Constraints)
+	}
+	if m.Words == 0 || m.Chars == 0 {
+		t.Error("zero word/char counts")
+	}
+	if m.Chars <= m.Words {
+		t.Error("chars should exceed words")
+	}
+}
+
+func TestMeasureAIQLAnomaly(t *testing.T) {
+	m, err := MeasureAIQL(`
+window = 1 min, step = 1 min
+proc p write ip i[dstip = "1.2.3.4"] as evt
+return p, avg(evt.amount) as amt
+group by p
+having amt > 2 * amt[1]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// constraints: window spec(1) + dstip filter(1) + op(1) + having(1) = 4
+	if m.Constraints != 4 {
+		t.Errorf("constraints = %d, want 4", m.Constraints)
+	}
+}
+
+func TestMeasureSQL(t *testing.T) {
+	m, err := MeasureSQL(`
+SELECT p.name FROM people p JOIN orders o ON o.person_id = p.id AND o.x = 1
+WHERE p.age > 30 AND p.name LIKE '%a%'
+GROUP BY p.name HAVING COUNT(*) > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 ON conjuncts + 2 WHERE + 1 GROUP BY key + 1 HAVING = 6
+	if m.Constraints != 6 {
+		t.Errorf("constraints = %d, want 6", m.Constraints)
+	}
+}
+
+func TestMeasureSQLDerivedTables(t *testing.T) {
+	m, err := MeasureSQL(`
+SELECT b0.n FROM (SELECT age, COUNT(*) AS n FROM people WHERE age > 1 GROUP BY age) b0
+WHERE b0.n > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// outer WHERE(1) + inner WHERE(1) + inner GROUP BY(1) = 3
+	if m.Constraints != 3 {
+		t.Errorf("constraints = %d, want 3", m.Constraints)
+	}
+}
+
+func TestMeasureCypher(t *testing.T) {
+	m := MeasureCypher(`MATCH (p1:Process)-[e1:START]->(p2:Process),
+      (p3:Process)-[e2:WRITE]->(f1:File)
+WHERE p1.exe_name =~ '(?i).*cmd\.exe' AND e1.agentid = 7 AND e1.start_ts < e2.start_ts
+RETURN DISTINCT p1.exe_name, p2.exe_name`)
+	// 2 relationship patterns + 3 WHERE conjuncts = 5
+	if m.Constraints != 5 {
+		t.Errorf("constraints = %d, want 5", m.Constraints)
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	if _, err := MeasureAIQL("not a query"); err == nil {
+		t.Error("expected AIQL parse error")
+	}
+	if _, err := MeasureSQL("SELECT FROM"); err == nil {
+		t.Error("expected SQL parse error")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	a := Metrics{Constraints: 2, Words: 10, Chars: 50}
+	b := Metrics{Constraints: 6, Words: 35, Chars: 260}
+	c, w, ch := Ratio(a, b)
+	if c != 3 || w != 3.5 || ch != 5.2 {
+		t.Errorf("ratios = %v, %v, %v", c, w, ch)
+	}
+	// zero denominators are safe
+	if c, _, _ := Ratio(Metrics{}, b); c != 0 {
+		t.Error("zero denominator should yield 0")
+	}
+}

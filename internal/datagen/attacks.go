@@ -1,0 +1,265 @@
+package datagen
+
+import (
+	"github.com/aiql/aiql/internal/eventstore"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// Well-known attack entities referenced by the investigation queries.
+var (
+	// demo APT
+	procUnrealIRC  = sysmon.Process{PID: 1201, ExeName: "unrealircd", Path: "/usr/sbin/unrealircd", User: "ircd"}
+	procShell      = sysmon.Process{PID: 4301, ExeName: "sh", Path: "/bin/sh", User: "ircd"}
+	procCp         = sysmon.Process{PID: 4310, ExeName: "cp", Path: "/bin/cp", User: "ircd"}
+	procApache     = sysmon.Process{PID: 1210, ExeName: "apache2", Path: "/usr/sbin/apache2", User: "www-data"}
+	procWget       = sysmon.Process{PID: 5202, ExeName: "wget.exe", Path: `C:\Tools\wget.exe`, User: "user5"}
+	procStealer    = sysmon.Process{PID: 5210, ExeName: "info_stealer.exe", Path: `C:\Temp\info_stealer.exe`, User: "user5"}
+	procExploit    = sysmon.Process{PID: 5220, ExeName: "cve1701.exe", Path: `C:\Temp\cve1701.exe`, User: "user5"}
+	procMimikatz   = sysmon.Process{PID: 5230, ExeName: "mimikatz.exe", Path: `C:\Temp\mimikatz.exe`, User: "system"}
+	procKiwi       = sysmon.Process{PID: 5240, ExeName: "kiwi.exe", Path: `C:\Temp\kiwi.exe`, User: "system"}
+	procDCServices = sysmon.Process{PID: 3105, ExeName: "services.exe", Path: `C:\Windows\System32\services.exe`, User: "system"}
+	procPwDump     = sysmon.Process{PID: 3210, ExeName: "PwDump7.exe", Path: `C:\Temp\PwDump7.exe`, User: "system"}
+	procWCE        = sysmon.Process{PID: 3220, ExeName: "WCE.exe", Path: `C:\Temp\WCE.exe`, User: "system"}
+	procDBServices = sysmon.Process{PID: 2105, ExeName: "services.exe", Path: `C:\Windows\System32\services.exe`, User: "system"}
+	procCmdDB      = sysmon.Process{PID: 2210, ExeName: "cmd.exe", Path: `C:\Windows\System32\cmd.exe`, User: "dbadmin"}
+	procOsql       = sysmon.Process{PID: 2220, ExeName: "osql.exe", Path: `C:\Program Files\SQL\osql.exe`, User: "dbadmin"}
+	procSQLServer  = sysmon.Process{PID: 2110, ExeName: "sqlservr.exe", Path: `C:\Program Files\SQL\sqlservr.exe`, User: "system"}
+	procSbblv      = sysmon.Process{PID: 2230, ExeName: "sbblv.exe", Path: `C:\Temp\sbblv.exe`, User: "dbadmin"}
+	procPowershell = sysmon.Process{PID: 2240, ExeName: "powershell.exe", Path: `C:\Windows\System32\WindowsPowerShell\powershell.exe`, User: "dbadmin"}
+
+	fileStealerWeb = sysmon.File{Path: "/var/www/html/info_stealer.sh", Owner: "www-data"}
+	fileStealerWS  = sysmon.File{Path: `C:\Temp\info_stealer.exe`, Owner: "user5"}
+	fileLsass      = sysmon.File{Path: `C:\Windows\System32\lsass.exe`, Owner: "system"}
+	fileCreds      = sysmon.File{Path: `C:\Temp\creds.txt`, Owner: "system"}
+	fileKiwiCreds  = sysmon.File{Path: `C:\Temp\kiwi_creds.txt`, Owner: "system"}
+	fileNTDS       = sysmon.File{Path: `C:\Windows\NTDS\ntds.dit`, Owner: "system"}
+	filePwOut      = sysmon.File{Path: `C:\Temp\pwdump_out.txt`, Owner: "system"}
+	fileWCEOut     = sysmon.File{Path: `C:\Temp\wce_creds.txt`, Owner: "system"}
+	fileBackup     = sysmon.File{Path: `C:\SQLData\backup1.dmp`, Owner: "system"}
+	fileDBBak      = sysmon.File{Path: `C:\SQLData\db.bak`, Owner: "system"}
+)
+
+func conn(src string, sport uint16, dst string, dport uint16) sysmon.Netconn {
+	return sysmon.Netconn{SrcIP: src, SrcPort: sport, DstIP: dst, DstPort: dport, Protocol: "tcp"}
+}
+
+// rec builds one attack record.
+func rec(agent uint32, subj sysmon.Process, op sysmon.Operation, ts int64, amount uint64) eventstore.Record {
+	return eventstore.Record{AgentID: agent, Subject: subj, Op: op, StartTS: ts, Amount: amount}
+}
+
+func withFile(r eventstore.Record, f sysmon.File) eventstore.Record {
+	r.ObjType = sysmon.EntityFile
+	r.ObjFile = f
+	return r
+}
+
+func withProc(r eventstore.Record, p sysmon.Process) eventstore.Record {
+	r.ObjType = sysmon.EntityProcess
+	r.ObjProc = p
+	return r
+}
+
+func withConn(r eventstore.Record, c sysmon.Netconn) eventstore.Record {
+	r.ObjType = sysmon.EntityNetconn
+	r.ObjConn = c
+	return r
+}
+
+// demoAPT injects the five-step attack of the demo paper (Figure 2),
+// running in the DemoAttackHour of the timeline. Step timings are fixed
+// so investigation queries can bracket them.
+func (g *generator) demoAPT() []eventstore.Record {
+	H := DemoAttackHour
+	ws := uint32(FirstWorkstation) // compromised intranet workstation
+	var out []eventstore.Record
+
+	// ---- a1: initial compromise of the IRC/web server
+	ircConn := conn(AttackerIP, 50123, "10.0.0.1", 6667)
+	backConn := conn("10.0.0.1", 48100, AttackerIP, 31337)
+	out = append(out,
+		withConn(rec(AgentWebServer, procUnrealIRC, sysmon.OpAccept, g.at(H, 0, 0), 900), ircConn),
+		withProc(rec(AgentWebServer, procUnrealIRC, sysmon.OpStart, g.at(H, 0, 5), 0), procShell),
+		withConn(rec(AgentWebServer, procShell, sysmon.OpConnect, g.at(H, 0, 10), 0), backConn),
+		withConn(rec(AgentWebServer, procShell, sysmon.OpRecv, g.at(H, 0, 20), 2048), backConn),
+	)
+
+	// ---- a2: malware staged on the web root and fetched by a workstation
+	fetchConn := conn("10.0.0.1", 48200, "10.0.0.5", 80)
+	out = append(out,
+		withProc(rec(AgentWebServer, procShell, sysmon.OpStart, g.at(H, 5, 0), 0), procCp),
+		withFile(rec(AgentWebServer, procCp, sysmon.OpWrite, g.at(H, 5, 5), 150000), fileStealerWeb),
+		withFile(rec(AgentWebServer, procApache, sysmon.OpRead, g.at(H, 5, 30), 150000), fileStealerWeb),
+		withConn(rec(AgentWebServer, procApache, sysmon.OpConnect, g.at(H, 5, 31), 150000), fetchConn),
+		withConn(rec(ws, procWget, sysmon.OpAccept, g.at(H, 6, 0), 150000), fetchConn),
+		withFile(rec(ws, procWget, sysmon.OpWrite, g.at(H, 6, 5), 150000), fileStealerWS),
+		withFile(rec(ws, procWget, sysmon.OpChmod, g.at(H, 6, 10), 0), fileStealerWS),
+		withProc(rec(ws, procWget, sysmon.OpStart, g.at(H, 6, 20), 0), procStealer),
+	)
+
+	// ---- a3: privilege escalation and memory dumping on the workstation
+	out = append(out,
+		withProc(rec(ws, procStealer, sysmon.OpStart, g.at(H, 10, 0), 0), procExploit),
+		withProc(rec(ws, procExploit, sysmon.OpStart, g.at(H, 10, 30), 0), procMimikatz),
+		withFile(rec(ws, procMimikatz, sysmon.OpRead, g.at(H, 10, 35), 52000000), fileLsass),
+		withFile(rec(ws, procMimikatz, sysmon.OpWrite, g.at(H, 10, 40), 4096), fileCreds),
+		withProc(rec(ws, procExploit, sysmon.OpStart, g.at(H, 11, 0), 0), procKiwi),
+		withFile(rec(ws, procKiwi, sysmon.OpRead, g.at(H, 11, 5), 52000000), fileLsass),
+		withFile(rec(ws, procKiwi, sysmon.OpWrite, g.at(H, 11, 10), 4096), fileKiwiCreds),
+	)
+
+	// ---- a4: credential dumping on the domain controller
+	dcConn := conn("10.0.0.5", 48300, "10.0.0.3", 445)
+	exfilDC := conn("10.0.0.3", 48400, AttackerIP, 443)
+	out = append(out,
+		withConn(rec(ws, procStealer, sysmon.OpConnect, g.at(H, 20, 0), 2000), dcConn),
+		withConn(rec(AgentDC, procDCServices, sysmon.OpAccept, g.at(H, 20, 5), 2000), dcConn),
+		withProc(rec(AgentDC, procDCServices, sysmon.OpStart, g.at(H, 20, 10), 0), procPwDump),
+		withFile(rec(AgentDC, procPwDump, sysmon.OpRead, g.at(H, 20, 30), 8300000), fileNTDS),
+		withFile(rec(AgentDC, procPwDump, sysmon.OpWrite, g.at(H, 20, 40), 96000), filePwOut),
+		withProc(rec(AgentDC, procDCServices, sysmon.OpStart, g.at(H, 21, 0), 0), procWCE),
+		withFile(rec(AgentDC, procWCE, sysmon.OpRead, g.at(H, 21, 5), 52000000), fileLsass),
+		withFile(rec(AgentDC, procWCE, sysmon.OpWrite, g.at(H, 21, 10), 48000), fileWCEOut),
+		withConn(rec(AgentDC, procPwDump, sysmon.OpConnect, g.at(H, 21, 30), 0), exfilDC),
+		withConn(rec(AgentDC, procPwDump, sysmon.OpWrite, g.at(H, 21, 40), 144000), exfilDC),
+	)
+
+	// ---- a5: data exfiltration from the database server
+	dbConn := conn("10.0.0.5", 48500, "10.0.0.2", 445)
+	exfilConn := conn("10.0.0.2", 48600, AttackerIP, 443)
+	out = append(out,
+		withConn(rec(ws, procStealer, sysmon.OpConnect, g.at(H, 30, 0), 2000), dbConn),
+		withConn(rec(AgentDBServer, procDBServices, sysmon.OpAccept, g.at(H, 30, 5), 2000), dbConn),
+		withProc(rec(AgentDBServer, procDBServices, sysmon.OpStart, g.at(H, 30, 8), 0), procCmdDB),
+		withProc(rec(AgentDBServer, procCmdDB, sysmon.OpStart, g.at(H, 30, 10), 0), procOsql),
+		withFile(rec(AgentDBServer, procSQLServer, sysmon.OpWrite, g.at(H, 31, 0), 850000000), fileBackup),
+		withProc(rec(AgentDBServer, procCmdDB, sysmon.OpStart, g.at(H, 32, 0), 0), procSbblv),
+		withFile(rec(AgentDBServer, procSbblv, sysmon.OpRead, g.at(H, 32, 30), 850000000), fileBackup),
+		withConn(rec(AgentDBServer, procSbblv, sysmon.OpConnect, g.at(H, 33, 0), 0), exfilConn),
+	)
+	// exfiltration burst: large transfers over several minutes — the
+	// anomaly query's target
+	for m := 0; m < 6; m++ {
+		out = append(out, withConn(
+			rec(AgentDBServer, procSbblv, sysmon.OpWrite, g.at(H, 33+m, 30), uint64(6000000+g.rnd(2000000))),
+			exfilConn))
+	}
+	// the powershell variant from the demo walkthrough: a second dump
+	// (db.bak) read and shipped by powershell.exe
+	out = append(out,
+		withProc(rec(AgentDBServer, procCmdDB, sysmon.OpStart, g.at(H, 34, 0), 0), procPowershell),
+		withFile(rec(AgentDBServer, procSQLServer, sysmon.OpWrite, g.at(H, 35, 0), 425000000), fileDBBak),
+		withFile(rec(AgentDBServer, procPowershell, sysmon.OpRead, g.at(H, 36, 0), 425000000), fileDBBak),
+		withConn(rec(AgentDBServer, procPowershell, sysmon.OpConnect, g.at(H, 36, 30), 0), exfilConn),
+	)
+	for m := 0; m < 5; m++ {
+		out = append(out, withConn(
+			rec(AgentDBServer, procPowershell, sysmon.OpWrite, g.at(H, 37+m, 0), uint64(5000000+g.rnd(3000000))),
+			exfilConn))
+	}
+
+	// decoys that shape the joins: a benign scheduled backup touches the
+	// same dump file earlier, and benign cmd.exe starts happen elsewhere
+	backupSvc := sysmon.Process{PID: 2150, ExeName: "backupsvc.exe", Path: `C:\Program Files\Backup\backupsvc.exe`, User: "system"}
+	out = append(out,
+		withFile(rec(AgentDBServer, backupSvc, sysmon.OpRead, g.at(H-2, 15, 0), 850000000), fileBackup),
+		withFile(rec(AgentDBServer, procSQLServer, sysmon.OpWrite, g.at(H-3, 0, 0), 850000000), fileBackup),
+	)
+	return out
+}
+
+// ---- ATC'18 case-study entities
+var (
+	procOutlook   = sysmon.Process{PID: 6101, ExeName: "outlook.exe", Path: `C:\Program Files\Office\outlook.exe`, User: "user6"}
+	procWord      = sysmon.Process{PID: 6110, ExeName: "winword.exe", Path: `C:\Program Files\Office\winword.exe`, User: "user6"}
+	procCmdWS     = sysmon.Process{PID: 6120, ExeName: "cmd.exe", Path: `C:\Windows\System32\cmd.exe`, User: "user6"}
+	procPSWS      = sysmon.Process{PID: 6130, ExeName: "powershell.exe", Path: `C:\Windows\System32\WindowsPowerShell\powershell.exe`, User: "user6"}
+	procDropper   = sysmon.Process{PID: 6140, ExeName: "dropper.exe", Path: `C:\Users\user6\AppData\dropper.exe`, User: "user6"}
+	procBackdoor  = sysmon.Process{PID: 6150, ExeName: "backdoor.exe", Path: `C:\Users\user6\AppData\backdoor.exe`, User: "user6"}
+	procMS16      = sysmon.Process{PID: 6160, ExeName: "ms16-032.exe", Path: `C:\Users\user6\AppData\ms16-032.exe`, User: "user6"}
+	procSysCmd    = sysmon.Process{PID: 6170, ExeName: "cmd.exe", Path: `C:\Windows\System32\cmd.exe`, User: "system"}
+	procFSService = sysmon.Process{PID: 4105, ExeName: "services.exe", Path: `C:\Windows\System32\services.exe`, User: "system"}
+	procPsexesvc  = sysmon.Process{PID: 4210, ExeName: "psexesvc.exe", Path: `C:\Windows\psexesvc.exe`, User: "system"}
+	procFSCmd     = sysmon.Process{PID: 4220, ExeName: "cmd.exe", Path: `C:\Windows\System32\cmd.exe`, User: "system"}
+	procRobocopy  = sysmon.Process{PID: 4230, ExeName: "robocopy.exe", Path: `C:\Windows\System32\robocopy.exe`, User: "system"}
+	procFtp       = sysmon.Process{PID: 4240, ExeName: "ftp.exe", Path: `C:\Windows\System32\ftp.exe`, User: "system"}
+
+	fileInvoice = sysmon.File{Path: `C:\Users\user6\Downloads\invoice.doc`, Owner: "user6"}
+	fileDropper = sysmon.File{Path: `C:\Users\user6\AppData\dropper.exe`, Owner: "user6"}
+	fileBackdr  = sysmon.File{Path: `C:\Users\user6\AppData\backdoor.exe`, Owner: "user6"}
+	fileArchive = sysmon.File{Path: `C:\Staging\archive.rar`, Owner: "system"}
+)
+
+// atcCase injects the ATC'18 case-study attack in the ATCAttackHour.
+func (g *generator) atcCase() []eventstore.Record {
+	H := ATCAttackHour
+	ws := uint32(FirstWorkstation + 1) // workstation 6
+	var out []eventstore.Record
+
+	// ---- c1: phishing delivery and malicious document
+	out = append(out,
+		withFile(rec(ws, procOutlook, sysmon.OpWrite, g.at(H, 0, 0), 380000), fileInvoice),
+		withFile(rec(ws, procWord, sysmon.OpRead, g.at(H, 1, 0), 380000), fileInvoice),
+		withProc(rec(ws, procWord, sysmon.OpStart, g.at(H, 1, 30), 0), procCmdWS),
+		withProc(rec(ws, procCmdWS, sysmon.OpStart, g.at(H, 1, 40), 0), procPSWS),
+	)
+
+	// ---- c2: backdoor download and beaconing
+	c2Conn := conn("10.0.0.6", 49200, ATCAttackerIP, 443)
+	beacon := conn("10.0.0.6", 49210, ATCAttackerIP, 8443)
+	out = append(out,
+		withConn(rec(ws, procPSWS, sysmon.OpConnect, g.at(H, 2, 0), 0), c2Conn),
+		withConn(rec(ws, procPSWS, sysmon.OpRecv, g.at(H, 2, 10), 720000), c2Conn),
+		withFile(rec(ws, procPSWS, sysmon.OpWrite, g.at(H, 2, 20), 720000), fileDropper),
+		withProc(rec(ws, procPSWS, sysmon.OpStart, g.at(H, 2, 40), 0), procDropper),
+		withFile(rec(ws, procDropper, sysmon.OpWrite, g.at(H, 3, 0), 910000), fileBackdr),
+		withProc(rec(ws, procDropper, sysmon.OpStart, g.at(H, 3, 20), 0), procBackdoor),
+		withConn(rec(ws, procBackdoor, sysmon.OpConnect, g.at(H, 3, 40), 0), beacon),
+	)
+	for m := 4; m < 58; m += 3 {
+		out = append(out, withConn(
+			rec(ws, procBackdoor, sysmon.OpWrite, g.at(H, m, 15), uint64(300+g.rnd(200))), beacon))
+	}
+
+	// ---- c3: privilege escalation on the workstation
+	out = append(out,
+		withProc(rec(ws, procBackdoor, sysmon.OpStart, g.at(H, 8, 0), 0), procMS16),
+		withProc(rec(ws, procMS16, sysmon.OpStart, g.at(H, 8, 30), 0), procSysCmd),
+		withFile(rec(ws, procSysCmd, sysmon.OpRead, g.at(H, 8, 45), 52000000), fileLsass),
+	)
+
+	// ---- c4: lateral movement to the file server and staging
+	fsConn := conn("10.0.0.6", 49300, "10.0.0.4", 445)
+	out = append(out,
+		withConn(rec(ws, procBackdoor, sysmon.OpConnect, g.at(H, 15, 0), 4000), fsConn),
+		withConn(rec(AgentFileServer, procFSService, sysmon.OpAccept, g.at(H, 15, 5), 4000), fsConn),
+		withProc(rec(AgentFileServer, procFSService, sysmon.OpStart, g.at(H, 15, 10), 0), procPsexesvc),
+		withProc(rec(AgentFileServer, procPsexesvc, sysmon.OpStart, g.at(H, 15, 20), 0), procFSCmd),
+		withProc(rec(AgentFileServer, procFSCmd, sysmon.OpStart, g.at(H, 16, 0), 0), procRobocopy),
+	)
+	for i := 0; i < 8; i++ {
+		design := sysmon.File{Path: designDoc(i), Owner: "engineering"}
+		out = append(out, withFile(
+			rec(AgentFileServer, procRobocopy, sysmon.OpRead, g.at(H, 17, i*10), uint64(12000000+g.rnd(9000000))), design))
+	}
+	out = append(out, withFile(
+		rec(AgentFileServer, procRobocopy, sysmon.OpWrite, g.at(H, 19, 0), 96000000), fileArchive))
+
+	// ---- c5: exfiltration from the file server
+	exfil := conn("10.0.0.4", 49400, ATCAttackerIP, 21)
+	out = append(out,
+		withProc(rec(AgentFileServer, procFSCmd, sysmon.OpStart, g.at(H, 25, 0), 0), procFtp),
+		withFile(rec(AgentFileServer, procFtp, sysmon.OpRead, g.at(H, 25, 30), 96000000), fileArchive),
+		withConn(rec(AgentFileServer, procFtp, sysmon.OpConnect, g.at(H, 26, 0), 0), exfil),
+	)
+	for m := 0; m < 6; m++ {
+		out = append(out, withConn(
+			rec(AgentFileServer, procFtp, sysmon.OpWrite, g.at(H, 26+m, 30), uint64(14000000+g.rnd(4000000))), exfil))
+	}
+	return out
+}
+
+func designDoc(i int) string {
+	names := []string{"chassis", "pcb", "firmware", "antenna", "battery", "sensor", "housing", "optics"}
+	return `C:\Projects\eng\` + names[i%len(names)] + `_design.cad`
+}

@@ -1,0 +1,441 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/aiql/semantic"
+	"github.com/aiql/aiql/internal/numfmt"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// aggState accumulates one aggregate over one (window, group) cell. One
+// state reproduces any of the five aggregate functions.
+type aggState struct {
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+func (a *aggState) add(v float64) {
+	if a.count == 0 {
+		a.min, a.max = v, v
+	} else {
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	a.count++
+	a.sum += v
+}
+
+func (a *aggState) value(fn string) float64 {
+	switch fn {
+	case "count":
+		return float64(a.count)
+	case "sum":
+		return a.sum
+	case "avg":
+		if a.count == 0 {
+			return 0
+		}
+		return a.sum / float64(a.count)
+	case "min":
+		return a.min
+	case "max":
+		return a.max
+	default:
+		return math.NaN()
+	}
+}
+
+// groupCell is the per-group state across all windows.
+type groupCell struct {
+	keys []string              // rendered non-aggregate return cells
+	aggs map[string][]aggState // alias → per-window states
+}
+
+// anomalyEnv resolves variables during anomaly evaluation: the single
+// pattern's subject/object roles plus the aggregate alias table.
+type anomalyEnv struct {
+	subjName string
+	objName  string
+	objType  sysmon.EntityType
+	aggFns   map[string]string // alias → aggregate function
+}
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// execAnomaly evaluates an anomaly query: partition the matched events
+// into sliding windows by timestamp, compute the aggregates per window
+// and group, and enforce the having filter, which may access historical
+// window results (paper §2.3).
+func (e *Engine) execAnomaly(q *ast.AnomalyQuery, info *semantic.Info, res *Result) error {
+	// reuse the multievent planner for the single pattern
+	mq := &ast.MultieventQuery{Head_: q.Head_, Patterns: []ast.EventPattern{q.Pattern}}
+	plan, err := e.buildPlan(mq)
+	if err != nil {
+		return err
+	}
+	pp := plan.patterns[0]
+	events, scanned := e.scanPattern(&pp.filter, pp)
+	res.Stats.ScannedEvents = scanned
+	res.Stats.PatternOrder = []string{pp.alias}
+	res.Columns = info.Columns
+
+	// window extent: explicit time window, else the data's extent
+	from, to := plan.window.From, plan.window.To
+	if from == 0 || to == 0 {
+		minTS, maxTS := e.store.TimeRange()
+		if from == 0 {
+			from = minTS
+		}
+		if to == 0 {
+			to = maxTS + 1
+		}
+	}
+	if to <= from || len(events) == 0 {
+		return nil
+	}
+	step, win := int64(q.Step), int64(q.Window)
+	numWin := int((to-1-from)/step) + 1
+
+	env := &anomalyEnv{
+		subjName: q.Pattern.Subject.Name,
+		objName:  q.Pattern.Object.Name,
+		objType:  q.Pattern.Object.Type,
+		aggFns:   map[string]string{},
+	}
+
+	// split return items into aggregates and group keys
+	type aggItem struct {
+		alias string
+		fn    string
+		arg   ast.Expr
+	}
+	var aggItems []aggItem
+	var keyIdx []int
+	for i := range q.Return {
+		if call, ok := q.Return[i].Expr.(*ast.CallExpr); ok {
+			alias := q.Return[i].Alias
+			if alias == "" {
+				alias = call.Func
+			}
+			aggItems = append(aggItems, aggItem{alias: alias, fn: call.Func, arg: call.Arg})
+			env.aggFns[alias] = call.Func
+		} else {
+			keyIdx = append(keyIdx, i)
+		}
+	}
+	groupExprs := q.GroupBy
+	if len(groupExprs) == 0 {
+		for _, i := range keyIdx {
+			groupExprs = append(groupExprs, q.Return[i].Expr)
+		}
+	}
+
+	groups := map[string]*groupCell{}
+	var groupOrder []string
+	for i := range events {
+		ev := &events[i]
+		if ev.StartTS < from || ev.StartTS >= to {
+			continue
+		}
+		gk, err := e.eventExprKey(groupExprs, info, env, ev)
+		if err != nil {
+			return err
+		}
+		cell := groups[gk]
+		if cell == nil {
+			cell = &groupCell{aggs: map[string][]aggState{}}
+			for _, it := range aggItems {
+				cell.aggs[it.alias] = make([]aggState, numWin)
+			}
+			for _, ri := range keyIdx {
+				v, err := e.eventExprValue(q.Return[ri].Expr, info, env, ev)
+				if err != nil {
+					return err
+				}
+				cell.keys = append(cell.keys, v)
+			}
+			groups[gk] = cell
+			groupOrder = append(groupOrder, gk)
+		}
+		// the event belongs to every window k with
+		// from+k*step <= ts < from+k*step+win
+		off := ev.StartTS - from
+		kHigh := off / step
+		kLow := floorDiv(off-win, step) + 1
+		if kLow < 0 {
+			kLow = 0
+		}
+		for k := kLow; k <= kHigh && k < int64(numWin); k++ {
+			for _, it := range aggItems {
+				v := 1.0
+				if it.fn != "count" && it.arg != nil {
+					av, err := e.eventExprNum(it.arg, info, ev)
+					if err != nil {
+						return err
+					}
+					v = av
+				}
+				cell.aggs[it.alias][k].add(v)
+			}
+		}
+	}
+	sort.Strings(groupOrder)
+
+	// Windows without full history for the deepest lag the having clause
+	// references are skipped: a model comparing against previous windows
+	// needs those windows to exist.
+	firstWin := 0
+	if q.Having != nil {
+		firstWin = maxLag(q.Having)
+	}
+	for _, gk := range groupOrder {
+		cell := groups[gk]
+		for k := firstWin; k < numWin; k++ {
+			active := false
+			for _, it := range aggItems {
+				if cell.aggs[it.alias][k].count > 0 {
+					active = true
+					break
+				}
+			}
+			if !active {
+				continue
+			}
+			if q.Having != nil {
+				v, err := evalHavingNum(q.Having, cell, env, k)
+				if err != nil {
+					return err
+				}
+				if v == 0 {
+					continue
+				}
+			}
+			row := make([]string, len(q.Return))
+			ki, ai := 0, 0
+			for i := range q.Return {
+				if _, isAgg := q.Return[i].Expr.(*ast.CallExpr); isAgg {
+					it := aggItems[ai]
+					ai++
+					row[i] = numfmt.Format(cell.aggs[it.alias][k].value(it.fn))
+				} else {
+					row[i] = cell.keys[ki]
+					ki++
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	res.SortRows()
+	res.Rows = dedupRows(res.Rows) // identical rows recur across windows
+	return nil
+}
+
+// maxLag returns the deepest historical window access in an expression.
+func maxLag(e ast.Expr) int {
+	switch x := e.(type) {
+	case *ast.HistExpr:
+		return x.Lag
+	case *ast.BinaryExpr:
+		l, r := maxLag(x.L), maxLag(x.R)
+		if l > r {
+			return l
+		}
+		return r
+	case *ast.UnaryExpr:
+		return maxLag(x.X)
+	default:
+		return 0
+	}
+}
+
+func dedupRows(rows [][]string) [][]string {
+	out := rows[:0]
+	var prev string
+	for i, r := range rows {
+		k := strings.Join(r, "\t")
+		if i == 0 || k != prev {
+			out = append(out, r)
+		}
+		prev = k
+	}
+	return out
+}
+
+// eventExprKey renders the group key for an event.
+func (e *Engine) eventExprKey(exprs []ast.Expr, info *semantic.Info, env *anomalyEnv, ev *sysmon.Event) (string, error) {
+	parts := make([]string, len(exprs))
+	for i, x := range exprs {
+		v, err := e.eventExprValue(x, info, env, ev)
+		if err != nil {
+			return "", err
+		}
+		parts[i] = v
+	}
+	return strings.Join(parts, "\x00"), nil
+}
+
+// eventExprValue renders a non-aggregate expression against one event.
+func (e *Engine) eventExprValue(expr ast.Expr, info *semantic.Info, env *anomalyEnv, ev *sysmon.Event) (string, error) {
+	switch x := expr.(type) {
+	case *ast.AttrExpr:
+		if t, ok := info.Vars[x.Var]; ok {
+			var id sysmon.EntityID
+			switch x.Var {
+			case env.subjName:
+				id = ev.Subject
+			case env.objName:
+				id = ev.Object
+			default:
+				return "", fmt.Errorf("engine: variable %q is not part of the anomaly pattern", x.Var)
+			}
+			return e.store.Dict().Attr(t, id, x.Attr), nil
+		}
+		if _, ok := info.Events[x.Var]; ok {
+			v, ok := sysmon.EventAttr(ev, x.Attr)
+			if !ok {
+				return "", fmt.Errorf("engine: unknown event attribute %q", x.Attr)
+			}
+			return v, nil
+		}
+		return "", fmt.Errorf("engine: unknown variable %q", x.Var)
+	case *ast.NumberLit:
+		return numfmt.Format(x.Val), nil
+	case *ast.StringLit:
+		return x.Val, nil
+	default:
+		return "", fmt.Errorf("engine: unsupported group expression %s", ast.ExprString(expr))
+	}
+}
+
+// eventExprNum evaluates an aggregate argument numerically for one event.
+func (e *Engine) eventExprNum(expr ast.Expr, info *semantic.Info, ev *sysmon.Event) (float64, error) {
+	switch x := expr.(type) {
+	case *ast.AttrExpr:
+		if _, ok := info.Events[x.Var]; ok {
+			switch x.Attr {
+			case "amount":
+				return float64(ev.Amount), nil
+			case "agentid", "agent_id":
+				return float64(ev.AgentID), nil
+			case "id":
+				return float64(ev.ID), nil
+			case "seq":
+				return float64(ev.Seq), nil
+			case "starttime", "start_time":
+				return float64(ev.StartTS), nil
+			case "endtime", "end_time":
+				return float64(ev.EndTS), nil
+			}
+			return 0, fmt.Errorf("engine: event attribute %q is not numeric", x.Attr)
+		}
+		return 0, fmt.Errorf("engine: aggregate argument must be an event attribute, got %s", ast.ExprString(expr))
+	case *ast.VarExpr:
+		return 1, nil // count(evt): value is irrelevant
+	case *ast.NumberLit:
+		return x.Val, nil
+	default:
+		return 0, fmt.Errorf("engine: unsupported aggregate argument %s", ast.ExprString(expr))
+	}
+}
+
+// evalHavingNum evaluates a having expression for a group at window k.
+// Comparisons and logical operators yield 1/0; history before the first
+// window reads as 0.
+func evalHavingNum(expr ast.Expr, cell *groupCell, env *anomalyEnv, k int) (float64, error) {
+	switch x := expr.(type) {
+	case *ast.NumberLit:
+		return x.Val, nil
+	case *ast.VarExpr:
+		return aggAt(cell, env, x.Name, k)
+	case *ast.HistExpr:
+		return aggAt(cell, env, x.Name, k-x.Lag)
+	case *ast.UnaryExpr:
+		v, err := evalHavingNum(x.X, cell, env, k)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == "not" {
+			return b2f(v == 0), nil
+		}
+		return -v, nil
+	case *ast.BinaryExpr:
+		l, err := evalHavingNum(x.L, cell, env, k)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalHavingNum(x.R, cell, env, k)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, nil
+			}
+			return l / r, nil
+		case "=":
+			return b2f(l == r), nil
+		case "!=":
+			return b2f(l != r), nil
+		case "<":
+			return b2f(l < r), nil
+		case "<=":
+			return b2f(l <= r), nil
+		case ">":
+			return b2f(l > r), nil
+		case ">=":
+			return b2f(l >= r), nil
+		case "and":
+			return b2f(l != 0 && r != 0), nil
+		case "or":
+			return b2f(l != 0 || r != 0), nil
+		}
+		return 0, fmt.Errorf("engine: unsupported having operator %q", x.Op)
+	default:
+		return 0, fmt.Errorf("engine: unsupported having expression %s", ast.ExprString(expr))
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// aggAt reads an aggregate alias at window k; out-of-range windows read 0.
+func aggAt(cell *groupCell, env *anomalyEnv, alias string, k int) (float64, error) {
+	fn, ok := env.aggFns[alias]
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown aggregate alias %q in having", alias)
+	}
+	states := cell.aggs[alias]
+	if k < 0 || k >= len(states) {
+		return 0, nil
+	}
+	return states[k].value(fn), nil
+}

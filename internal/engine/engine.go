@@ -1,0 +1,158 @@
+// Package engine implements the AIQL optimized query execution engine.
+//
+// The engine leverages the domain-specific characteristics of system
+// monitoring data and the semantics of the query to schedule execution
+// (paper §2.3): for a multievent query it synthesizes a data query per
+// event pattern, prioritizes patterns with higher pruning power, and
+// partitions work along the temporal and spatial dimensions for parallel
+// execution; a dependency query is compiled to an equivalent multievent
+// query; an anomaly query partitions events into sliding windows,
+// aggregates, and filters with access to historical windows.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/aiql/parser"
+	"github.com/aiql/aiql/internal/aiql/semantic"
+	"github.com/aiql/aiql/internal/eventstore"
+)
+
+// Config toggles the engine's optimizations, for the scheduling ablation
+// experiment (E6 in DESIGN.md).
+type Config struct {
+	// DisableReordering executes event patterns in syntactic order
+	// instead of pruning-power order.
+	DisableReordering bool
+	// DisableParallel scans partitions sequentially.
+	DisableParallel bool
+}
+
+// Engine executes AIQL queries against an event store.
+type Engine struct {
+	store *eventstore.Store
+	cfg   Config
+}
+
+// New creates an engine over store with the fully optimized configuration.
+func New(store *eventstore.Store) *Engine {
+	return NewWithConfig(store, Config{})
+}
+
+// NewWithConfig creates an engine with explicit optimization toggles.
+func NewWithConfig(store *eventstore.Store, cfg Config) *Engine {
+	return &Engine{store: store, cfg: cfg}
+}
+
+// Store returns the engine's event store.
+func (e *Engine) Store() *eventstore.Store { return e.store }
+
+// Execute parses, validates, and runs one AIQL query.
+func (e *Engine) Execute(src string) (*Result, error) {
+	q, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteQuery(q)
+}
+
+// ExecuteQuery validates and runs a parsed query.
+func (e *Engine) ExecuteQuery(q ast.Query) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	switch x := q.(type) {
+	case *ast.DependencyQuery:
+		if _, err := semantic.Check(x); err != nil {
+			return nil, err
+		}
+		mq, err := RewriteDependency(x)
+		if err != nil {
+			return nil, err
+		}
+		info, err := semantic.Check(mq)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := e.buildPlan(mq)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.execMultievent(mq, info, plan, res); err != nil {
+			return nil, err
+		}
+	case *ast.MultieventQuery:
+		info, err := semantic.Check(x)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := e.buildPlan(x)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.execMultievent(x, info, plan, res); err != nil {
+			return nil, err
+		}
+	case *ast.AnomalyQuery:
+		info, err := semantic.Check(x)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.execAnomaly(x, info, res); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("engine: unsupported query type %T", q)
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// ExplainEntry describes one scheduled pattern in an execution plan.
+type ExplainEntry struct {
+	Alias    string
+	Estimate int
+}
+
+// Explain returns the scheduled pattern order and pruning-power estimates
+// for a multievent or dependency query without executing it.
+func (e *Engine) Explain(src string) ([]ExplainEntry, error) {
+	q, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var mq *ast.MultieventQuery
+	switch x := q.(type) {
+	case *ast.MultieventQuery:
+		if _, err := semantic.Check(x); err != nil {
+			return nil, err
+		}
+		mq = x
+	case *ast.DependencyQuery:
+		if _, err := semantic.Check(x); err != nil {
+			return nil, err
+		}
+		mq, err = RewriteDependency(x)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := semantic.Check(mq); err != nil {
+			return nil, err
+		}
+	case *ast.AnomalyQuery:
+		if _, err := semantic.Check(x); err != nil {
+			return nil, err
+		}
+		mq = &ast.MultieventQuery{Head_: x.Head_, Patterns: []ast.EventPattern{x.Pattern}}
+	}
+	plan, err := e.buildPlan(mq)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ExplainEntry, 0, len(plan.patterns))
+	for _, pp := range plan.patterns {
+		out = append(out, ExplainEntry{Alias: pp.alias, Estimate: pp.estimate})
+	}
+	return out, nil
+}

@@ -1,0 +1,391 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/aiql/semantic"
+	"github.com/aiql/aiql/internal/eventstore"
+	"github.com/aiql/aiql/internal/numfmt"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// maxBindings bounds intermediate join results to keep a runaway query
+// from exhausting memory.
+const maxBindings = 4 << 20
+
+// binding is one partial match: entity variable assignments plus the
+// events matched so far, stored in plan-assigned slots.
+type binding struct {
+	ents []sysmon.EntityID
+	evts []sysmon.Event
+}
+
+// slots assigns dense indices to entity variables and event aliases.
+type slots struct {
+	vars map[string]int
+	evts map[string]int
+}
+
+func newSlots(plan *queryPlan) *slots {
+	s := &slots{vars: map[string]int{}, evts: map[string]int{}}
+	for _, pp := range plan.patterns {
+		if _, ok := s.vars[pp.subjVar]; !ok {
+			s.vars[pp.subjVar] = len(s.vars)
+		}
+		if _, ok := s.vars[pp.objVar]; !ok {
+			s.vars[pp.objVar] = len(s.vars)
+		}
+		if _, ok := s.evts[pp.alias]; !ok {
+			s.evts[pp.alias] = len(s.evts)
+		}
+	}
+	return s
+}
+
+// execMultievent runs the scheduled plan with progressive binding joins.
+func (e *Engine) execMultievent(q *ast.MultieventQuery, info *semantic.Info, plan *queryPlan, res *Result) error {
+	sl := newSlots(plan)
+	var bindings []binding
+	boundVars := map[string]bool{}
+	boundEvts := map[string]bool{}
+
+	for step, pp := range plan.patterns {
+		res.Stats.PatternOrder = append(res.Stats.PatternOrder, pp.alias)
+		filter := pp.filter // copy; we will narrow it
+
+		subjBound := boundVars[pp.subjVar]
+		objBound := boundVars[pp.objVar]
+		if step > 0 {
+			narrowByBindings(&filter, sl, pp, bindings, subjBound, objBound)
+			narrowByTemporal(&filter, plan.rels, sl, pp.alias, bindings, boundEvts)
+		}
+
+		events, scanned := e.scanPattern(&filter, pp)
+		res.Stats.ScannedEvents += scanned
+		if step == 0 {
+			res.Stats.Partitions = e.store.NumPartitions()
+			bindings = make([]binding, 0, len(events))
+			for i := range events {
+				b := binding{
+					ents: make([]sysmon.EntityID, len(sl.vars)),
+					evts: make([]sysmon.Event, len(sl.evts)),
+				}
+				b.ents[sl.vars[pp.subjVar]] = events[i].Subject
+				b.ents[sl.vars[pp.objVar]] = events[i].Object
+				b.evts[sl.evts[pp.alias]] = events[i]
+				bindings = append(bindings, b)
+			}
+		} else {
+			var err error
+			bindings, err = joinStep(bindings, events, sl, pp, plan.rels, boundVars, boundEvts)
+			if err != nil {
+				return err
+			}
+		}
+		boundVars[pp.subjVar] = true
+		boundVars[pp.objVar] = true
+		boundEvts[pp.alias] = true
+		res.Stats.Bindings += len(bindings)
+		if len(bindings) == 0 {
+			break // no match can complete
+		}
+		if len(bindings) > maxBindings {
+			return fmt.Errorf("engine: intermediate result exceeds %d bindings; add more selective constraints", maxBindings)
+		}
+	}
+
+	return e.project(q, info, sl, bindings, res)
+}
+
+// scanPattern collects the events matching a pattern plan's filter and
+// per-event predicates, using parallel partition scans unless disabled.
+func (e *Engine) scanPattern(filter *eventstore.EventFilter, pp *patternPlan) ([]sysmon.Event, int64) {
+	var (
+		mu      sync.Mutex
+		events  []sysmon.Event
+		scanned int64
+	)
+	if e.cfg.DisableParallel {
+		e.store.Scan(filter, func(ev *sysmon.Event) bool {
+			scanned++
+			if evtPredsOK(pp.evtPreds, ev) {
+				events = append(events, *ev)
+			}
+			return true
+		})
+		return events, scanned
+	}
+	e.store.ScanPartitions(filter,
+		func(ev *sysmon.Event) bool { return evtPredsOK(pp.evtPreds, ev) },
+		func(batch []sysmon.Event, visited int64) {
+			mu.Lock()
+			events = append(events, batch...)
+			scanned += visited
+			mu.Unlock()
+		})
+	// canonical order: parallel partition scans return events in
+	// nondeterministic interleaving
+	sort.Slice(events, func(i, j int) bool { return events[i].ID < events[j].ID })
+	return events, scanned
+}
+
+func evtPredsOK(preds []evtPred, ev *sysmon.Event) bool {
+	for i := range preds {
+		if !preds[i].eval(ev) {
+			return false
+		}
+	}
+	return true
+}
+
+// narrowByBindings intersects the filter's entity sets with the values
+// already bound for the pattern's variables, so the storage layer can use
+// posting lists instead of scanning.
+func narrowByBindings(f *eventstore.EventFilter, sl *slots, pp *patternPlan, bindings []binding, subjBound, objBound bool) {
+	const narrowLimit = 65536 // beyond this a set intersection costs more than it saves
+	if len(bindings) > narrowLimit {
+		return
+	}
+	if subjBound {
+		set := eventstore.NewIDSet()
+		slot := sl.vars[pp.subjVar]
+		for i := range bindings {
+			set.Add(bindings[i].ents[slot])
+		}
+		f.Subjects = f.Subjects.Intersect(set)
+	}
+	if objBound {
+		set := eventstore.NewIDSet()
+		slot := sl.vars[pp.objVar]
+		for i := range bindings {
+			set.Add(bindings[i].ents[slot])
+		}
+		f.Objects = f.Objects.Intersect(set)
+	}
+}
+
+// narrowByTemporal tightens the filter's time range using temporal
+// relations that connect the pattern to aliases that are already bound:
+// if this pattern must come after some bound event, no event earlier than
+// the earliest such binding can ever join.
+func narrowByTemporal(f *eventstore.EventFilter, rels []ast.TemporalRel, sl *slots, alias string, bindings []binding, boundEvts map[string]bool) {
+	if len(bindings) == 0 {
+		return
+	}
+	for _, rel := range rels {
+		var other string
+		mustBeAfter := false // whether `alias` must come after `other`
+		switch {
+		case rel.Left == alias && boundEvts[rel.Right]:
+			other = rel.Right
+			mustBeAfter = rel.Op == "after"
+		case rel.Right == alias && boundEvts[rel.Left]:
+			other = rel.Left
+			mustBeAfter = rel.Op == "before"
+		default:
+			continue
+		}
+		slot := sl.evts[other]
+		if mustBeAfter {
+			minTS := bindings[0].evts[slot].StartTS
+			for i := 1; i < len(bindings); i++ {
+				if ts := bindings[i].evts[slot].StartTS; ts < minTS {
+					minTS = ts
+				}
+			}
+			if f.From == 0 || minTS > f.From {
+				f.From = minTS
+			}
+		} else {
+			maxTS := bindings[0].evts[slot].StartTS
+			for i := 1; i < len(bindings); i++ {
+				if ts := bindings[i].evts[slot].StartTS; ts > maxTS {
+					maxTS = ts
+				}
+			}
+			if f.To == 0 || maxTS+1 < f.To {
+				f.To = maxTS + 1
+			}
+		}
+	}
+}
+
+// before reports whether event a precedes event b in the engine's total
+// order: by start timestamp, then by event ID for determinism.
+func before(a, b *sysmon.Event) bool {
+	if a.StartTS != b.StartTS {
+		return a.StartTS < b.StartTS
+	}
+	return a.ID < b.ID
+}
+
+// joinStep extends the current bindings with the events matched for one
+// pattern, hash-joining on the shared entity variables and enforcing the
+// temporal relations that connect the new alias to bound aliases.
+func joinStep(bindings []binding, events []sysmon.Event, sl *slots, pp *patternPlan, rels []ast.TemporalRel, boundVars, boundEvts map[string]bool) ([]binding, error) {
+	subjSlot, objSlot := sl.vars[pp.subjVar], sl.vars[pp.objVar]
+	evtSlot := sl.evts[pp.alias]
+	subjShared := boundVars[pp.subjVar]
+	objShared := boundVars[pp.objVar] && pp.objVar != pp.subjVar
+
+	// temporal checks applicable at this step
+	var checks []tcheck
+	for _, rel := range rels {
+		switch {
+		case rel.Left == pp.alias && boundEvts[rel.Right]:
+			checks = append(checks, tcheck{otherSlot: sl.evts[rel.Right], newIsLeft: true, op: rel.Op, within: int64(rel.Within)})
+		case rel.Right == pp.alias && boundEvts[rel.Left]:
+			checks = append(checks, tcheck{otherSlot: sl.evts[rel.Left], newIsLeft: false, op: rel.Op, within: int64(rel.Within)})
+		}
+	}
+
+	key := func(b *binding) uint64 {
+		var k uint64
+		if subjShared {
+			k = uint64(b.ents[subjSlot])
+		}
+		if objShared {
+			k = k<<32 | uint64(b.ents[objSlot])
+		}
+		return k
+	}
+	evKey := func(ev *sysmon.Event) uint64 {
+		var k uint64
+		if subjShared {
+			k = uint64(ev.Subject)
+		}
+		if objShared {
+			k = k<<32 | uint64(ev.Object)
+		}
+		return k
+	}
+
+	index := make(map[uint64][]int, len(bindings))
+	for i := range bindings {
+		k := key(&bindings[i])
+		index[k] = append(index[k], i)
+	}
+
+	var out []binding
+	for i := range events {
+		ev := &events[i]
+		for _, bi := range index[evKey(ev)] {
+			b := &bindings[bi]
+			// a same-variable subject+object (rare self-loop) needs both
+			// endpoints checked even though only one was hashed
+			if subjShared && b.ents[subjSlot] != ev.Subject {
+				continue
+			}
+			if boundVars[pp.objVar] && b.ents[objSlot] != ev.Object {
+				continue
+			}
+			if !temporalOK(checks, b, ev) {
+				continue
+			}
+			nb := binding{
+				ents: append([]sysmon.EntityID{}, b.ents...),
+				evts: append([]sysmon.Event{}, b.evts...),
+			}
+			nb.ents[subjSlot] = ev.Subject
+			nb.ents[objSlot] = ev.Object
+			nb.evts[evtSlot] = *ev
+			out = append(out, nb)
+			if len(out) > maxBindings {
+				return nil, fmt.Errorf("engine: intermediate result exceeds %d bindings; add more selective constraints", maxBindings)
+			}
+		}
+	}
+	return out, nil
+}
+
+// tcheck is one temporal-relation check between a newly scanned event and
+// an already-bound alias.
+type tcheck struct {
+	otherSlot int
+	newIsLeft bool // the new event plays rel.Left
+	op        string
+	within    int64
+}
+
+func temporalOK(checks []tcheck, b *binding, ev *sysmon.Event) bool {
+	for _, c := range checks {
+		other := &b.evts[c.otherSlot]
+		left, right := ev, other
+		if !c.newIsLeft {
+			left, right = other, ev
+		}
+		if c.op == "after" {
+			left, right = right, left
+		}
+		// now require left before right
+		if !before(left, right) {
+			return false
+		}
+		if c.within > 0 && right.StartTS-left.StartTS > c.within {
+			return false
+		}
+	}
+	return true
+}
+
+// project evaluates the return clause over the completed bindings.
+func (e *Engine) project(q *ast.MultieventQuery, info *semantic.Info, sl *slots, bindings []binding, res *Result) error {
+	res.Columns = info.Columns
+	seen := map[string]struct{}{}
+	for i := range bindings {
+		row := make([]string, len(q.Return))
+		for j := range q.Return {
+			cell, err := e.projectExpr(q.Return[j].Expr, info, sl, &bindings[i])
+			if err != nil {
+				return err
+			}
+			row[j] = cell
+		}
+		if q.Distinct {
+			k := strings.Join(row, "\t")
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.SortRows()
+	return nil
+}
+
+// projectExpr renders one return expression for a binding.
+func (e *Engine) projectExpr(expr ast.Expr, info *semantic.Info, sl *slots, b *binding) (string, error) {
+	switch x := expr.(type) {
+	case *ast.AttrExpr:
+		if t, ok := info.Vars[x.Var]; ok {
+			id := b.ents[sl.vars[x.Var]]
+			return e.store.Dict().Attr(t, id, x.Attr), nil
+		}
+		if _, ok := info.Events[x.Var]; ok {
+			ev := b.evts[sl.evts[x.Var]]
+			v, ok := sysmon.EventAttr(&ev, x.Attr)
+			if !ok {
+				return "", fmt.Errorf("engine: unknown event attribute %q", x.Attr)
+			}
+			return v, nil
+		}
+		return "", fmt.Errorf("engine: unknown variable %q", x.Var)
+	case *ast.VarExpr:
+		if _, ok := info.Events[x.Name]; ok {
+			ev := b.evts[sl.evts[x.Name]]
+			return numfmt.Format(float64(ev.ID)), nil
+		}
+		return "", fmt.Errorf("engine: unresolved variable %q", x.Name)
+	case *ast.NumberLit:
+		return numfmt.Format(x.Val), nil
+	case *ast.StringLit:
+		return x.Val, nil
+	default:
+		return "", fmt.Errorf("engine: unsupported return expression %s", ast.ExprString(expr))
+	}
+}

@@ -1,0 +1,344 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/eventstore"
+	"github.com/aiql/aiql/internal/like"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// patternPlan is the executable form of one event pattern: the storage
+// filter it scans with, the candidate entity sets implied by its attribute
+// filters, per-event predicates, and the optimizer's match estimate.
+type patternPlan struct {
+	idx      int // position in the query's syntactic order
+	alias    string
+	subjVar  string
+	objVar   string
+	objType  sysmon.EntityType
+	filter   eventstore.EventFilter
+	subjSet  *eventstore.IDSet // nil = unconstrained
+	objSet   *eventstore.IDSet
+	evtPreds []evtPred
+	estimate int
+}
+
+// evtPred is a compiled event-attribute predicate (agentid, amount, ...).
+type evtPred struct {
+	attr string
+	op   ast.CmpOp
+	num  float64
+	str  string
+	strP *like.Pattern
+}
+
+func (p *evtPred) eval(ev *sysmon.Event) bool {
+	var numVal float64
+	var strVal string
+	isNum := true
+	switch p.attr {
+	case "id":
+		numVal = float64(ev.ID)
+	case "agentid", "agent_id":
+		numVal = float64(ev.AgentID)
+	case "amount":
+		numVal = float64(ev.Amount)
+	case "seq":
+		numVal = float64(ev.Seq)
+	case "starttime", "start_time":
+		numVal = float64(ev.StartTS)
+	case "endtime", "end_time":
+		numVal = float64(ev.EndTS)
+	case "optype", "op":
+		isNum = false
+		strVal = ev.Op.String()
+	default:
+		return false
+	}
+	if isNum {
+		switch p.op {
+		case ast.CmpEQ:
+			return numVal == p.num
+		case ast.CmpNEQ:
+			return numVal != p.num
+		case ast.CmpLT:
+			return numVal < p.num
+		case ast.CmpLE:
+			return numVal <= p.num
+		case ast.CmpGT:
+			return numVal > p.num
+		case ast.CmpGE:
+			return numVal >= p.num
+		default:
+			return false
+		}
+	}
+	switch p.op {
+	case ast.CmpEQ:
+		return strings.EqualFold(strVal, p.str)
+	case ast.CmpNEQ:
+		return !strings.EqualFold(strVal, p.str)
+	case ast.CmpLike:
+		return p.strP.Match(strVal)
+	default:
+		return false
+	}
+}
+
+// queryPlan is the scheduled execution plan for a multievent query.
+type queryPlan struct {
+	patterns []*patternPlan // in scheduled order
+	rels     []ast.TemporalRel
+	window   ast.TimeWindow
+}
+
+// compileEvtPred turns an AST event filter into a predicate.
+func compileEvtPred(f ast.Filter) evtPred {
+	p := evtPred{attr: f.Attr, op: f.Op}
+	if f.Val.IsNum {
+		p.num = f.Val.Num
+	} else {
+		p.str = f.Val.Str
+		p.strP = like.Compile(f.Val.Str)
+		// numeric attrs given as strings still compare numerically
+		if n, err := strconv.ParseFloat(f.Val.Str, 64); err == nil {
+			p.num = n
+		}
+	}
+	return p
+}
+
+// entityCandidates evaluates an entity reference's attribute filters
+// against the dictionary, returning the candidate ID set (nil when the
+// reference is unconstrained).
+func (e *Engine) entityCandidates(ref *ast.EntityRef) (*eventstore.IDSet, error) {
+	if len(ref.Filters) == 0 {
+		return nil, nil
+	}
+	dict := e.store.Dict()
+	var set *eventstore.IDSet
+	for i := range ref.Filters {
+		f := &ref.Filters[i]
+		attr, ok := sysmon.CanonicalAttr(ref.Type, f.Attr)
+		if !ok {
+			return nil, fmt.Errorf("engine: entity %q has no attribute %q", ref.Name, f.Attr)
+		}
+		var cur *eventstore.IDSet
+		switch f.Op {
+		case ast.CmpLike:
+			cur = dict.MatchEntities(ref.Type, attr, like.Compile(f.Val.Str))
+		case ast.CmpEQ:
+			if f.Val.IsNum {
+				cur = matchNumeric(dict, ref.Type, attr, f.Op, f.Val.Num)
+			} else {
+				cur = dict.MatchEntities(ref.Type, attr, like.Compile(f.Val.Str))
+			}
+		case ast.CmpNEQ:
+			if f.Val.IsNum {
+				cur = matchNumeric(dict, ref.Type, attr, f.Op, f.Val.Num)
+			} else {
+				pat := like.Compile(f.Val.Str)
+				cur = matchPredicate(dict, ref.Type, attr, func(v string) bool { return !pat.Match(v) })
+			}
+		default: // numeric comparisons
+			num := f.Val.Num
+			if !f.Val.IsNum {
+				n, err := strconv.ParseFloat(f.Val.Str, 64)
+				if err != nil {
+					return nil, fmt.Errorf("engine: attribute %s.%s compared with non-numeric value %q", ref.Name, attr, f.Val.Str)
+				}
+				num = n
+			}
+			cur = matchNumeric(dict, ref.Type, attr, f.Op, num)
+		}
+		set = set.Intersect(cur)
+	}
+	return set, nil
+}
+
+func matchPredicate(dict *eventstore.Dictionary, t sysmon.EntityType, attr string, pred func(string) bool) *eventstore.IDSet {
+	out := eventstore.NewIDSet()
+	n := dict.Count(t)
+	for i := 1; i <= n; i++ {
+		if pred(dict.Attr(t, sysmon.EntityID(i), attr)) {
+			out.Add(sysmon.EntityID(i))
+		}
+	}
+	return out
+}
+
+func matchNumeric(dict *eventstore.Dictionary, t sysmon.EntityType, attr string, op ast.CmpOp, num float64) *eventstore.IDSet {
+	return matchPredicate(dict, t, attr, func(v string) bool {
+		x, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return false
+		}
+		switch op {
+		case ast.CmpEQ:
+			return x == num
+		case ast.CmpNEQ:
+			return x != num
+		case ast.CmpLT:
+			return x < num
+		case ast.CmpLE:
+			return x <= num
+		case ast.CmpGT:
+			return x > num
+		case ast.CmpGE:
+			return x >= num
+		}
+		return false
+	})
+}
+
+// buildPlan compiles every pattern of a multievent query into a pattern
+// plan and schedules them. Scheduling follows the paper's two insights:
+// patterns with higher pruning power (lower match estimates) run first,
+// and each scan is confined to the spatial/temporal partitions implied by
+// the global constraints.
+func (e *Engine) buildPlan(q *ast.MultieventQuery) (*queryPlan, error) {
+	plan := &queryPlan{}
+	if q.Head_.Window != nil {
+		plan.window = *q.Head_.Window
+	}
+	globalAgents, globalPreds, err := splitGlobals(q.Head_.Globals)
+	if err != nil {
+		return nil, err
+	}
+	// index temporal relations; event-attribute with-conditions fold into
+	// their pattern's predicate list
+	perEventConds := map[string][]ast.Filter{}
+	for _, w := range q.With {
+		switch c := w.(type) {
+		case ast.TemporalRel:
+			plan.rels = append(plan.rels, c)
+		case ast.EventCond:
+			perEventConds[c.Event] = append(perEventConds[c.Event], ast.Filter{
+				Attr: c.Attr, Op: c.Op, Val: c.Val, Pos: c.Pos,
+			})
+		}
+	}
+	for i := range q.Patterns {
+		pat := &q.Patterns[i]
+		pp := &patternPlan{
+			idx:     i,
+			alias:   pat.Alias,
+			subjVar: pat.Subject.Name,
+			objVar:  pat.Object.Name,
+			objType: pat.Object.Type,
+		}
+		pp.filter = eventstore.EventFilter{
+			From:    plan.window.From,
+			To:      plan.window.To,
+			ObjType: pat.Object.Type,
+			Agents:  append([]uint32{}, globalAgents...),
+		}
+		for _, op := range pat.Ops {
+			o, ok := sysmon.ParseOperation(op)
+			if !ok {
+				return nil, fmt.Errorf("engine: unknown operation %q", op)
+			}
+			pp.filter.Ops = append(pp.filter.Ops, o)
+		}
+		pp.subjSet, err = e.entityCandidates(&pat.Subject)
+		if err != nil {
+			return nil, err
+		}
+		pp.objSet, err = e.entityCandidates(&pat.Object)
+		if err != nil {
+			return nil, err
+		}
+		pp.filter.Subjects = pp.subjSet
+		pp.filter.Objects = pp.objSet
+		pp.evtPreds = append(pp.evtPreds, globalPreds...)
+		evtFilters := append(append([]ast.Filter{}, pat.EvtFilters...), perEventConds[pat.Alias]...)
+		for _, f := range evtFilters {
+			// agent equality narrows the spatial scope directly
+			if (f.Attr == "agentid" || f.Attr == "agent_id") && f.Op == ast.CmpEQ {
+				if a, ok := filterAgent(f); ok {
+					pp.filter.Agents = append(pp.filter.Agents, a)
+					continue
+				}
+			}
+			pp.evtPreds = append(pp.evtPreds, compileEvtPred(f))
+		}
+		pp.estimate = e.store.EstimateMatches(&pp.filter)
+		plan.patterns = append(plan.patterns, pp)
+	}
+	e.schedule(plan)
+	return plan, nil
+}
+
+// splitGlobals separates global constraints into an agent list (spatial
+// pruning) and residual event predicates.
+func splitGlobals(globals []ast.Filter) ([]uint32, []evtPred, error) {
+	var agents []uint32
+	var preds []evtPred
+	for _, f := range globals {
+		if (f.Attr == "agentid" || f.Attr == "agent_id") && f.Op == ast.CmpEQ {
+			if a, ok := filterAgent(f); ok {
+				agents = append(agents, a)
+				continue
+			}
+		}
+		preds = append(preds, compileEvtPred(f))
+	}
+	return agents, preds, nil
+}
+
+func filterAgent(f ast.Filter) (uint32, bool) {
+	if f.Val.IsNum {
+		if f.Val.Num >= 0 && f.Val.Num == float64(uint32(f.Val.Num)) {
+			return uint32(f.Val.Num), true
+		}
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimPrefix(f.Val.Str, "agent-"), 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return uint32(n), true
+}
+
+// schedule orders the pattern plans. The optimized strategy runs the most
+// selective pattern first and then greedily picks, among patterns sharing
+// an entity variable with what has already run (to keep joins connected),
+// the one with the lowest estimate. Reordering can be disabled for the
+// ablation experiment, leaving syntactic order.
+func (e *Engine) schedule(plan *queryPlan) {
+	if e.cfg.DisableReordering || len(plan.patterns) <= 1 {
+		return
+	}
+	remaining := append([]*patternPlan{}, plan.patterns...)
+	sort.SliceStable(remaining, func(i, j int) bool { return remaining[i].estimate < remaining[j].estimate })
+
+	bound := map[string]bool{}
+	var ordered []*patternPlan
+	pick := func(k int) {
+		p := remaining[k]
+		remaining = append(remaining[:k], remaining[k+1:]...)
+		ordered = append(ordered, p)
+		bound[p.subjVar] = true
+		bound[p.objVar] = true
+	}
+	pick(0)
+	for len(remaining) > 0 {
+		chosen := -1
+		for k, p := range remaining {
+			if bound[p.subjVar] || bound[p.objVar] {
+				chosen = k
+				break
+			}
+		}
+		if chosen < 0 {
+			chosen = 0 // disconnected component: fall back to global minimum
+		}
+		pick(chosen)
+	}
+	plan.patterns = ordered
+}

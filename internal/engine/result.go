@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Result is the outcome of executing a query: a column header, string-
+// rendered rows, and execution statistics. Rows are rendered to strings so
+// results can be displayed directly and compared across engines in the
+// cross-engine equivalence tests.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+	Stats   ExecStats
+}
+
+// ExecStats describes how a query executed.
+type ExecStats struct {
+	Elapsed       time.Duration
+	ScannedEvents int64    // events touched by pattern scans
+	Bindings      int      // partial bindings materialized
+	PatternOrder  []string // event aliases in scheduled execution order
+	Partitions    int      // hypertable chunks visited by the first scan
+}
+
+// Len returns the number of result rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// SortRows orders rows lexicographically, making result sets canonical
+// for comparison and display.
+func (r *Result) SortRows() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// Table renders the result as an aligned text table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// RowSet returns the rows as a set of tab-joined strings, for equality
+// checks that ignore row order and duplicates.
+func (r *Result) RowSet() map[string]struct{} {
+	set := make(map[string]struct{}, len(r.Rows))
+	for _, row := range r.Rows {
+		set[strings.Join(row, "\t")] = struct{}{}
+	}
+	return set
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// RewriteDependency compiles a dependency query into a semantically
+// equivalent multievent query (paper §2.3: "For a dependency query, the
+// parser compiles it to a semantically equivalent multievent query for
+// execution").
+//
+// Each edge becomes one event pattern. A `->[connect]` edge between two
+// process nodes expresses cross-host tracking; it expands into a pair of
+// patterns — subject connects to a fresh network connection, and the
+// remote process accepts the same connection — joined on the shared
+// connection variable, which is how two hosts observe one flow.
+//
+// The chain's temporal order depends on direction: forward means each
+// edge's event happens before the next edge's event; backward reverses
+// the order (tracking from symptom back to root cause).
+func RewriteDependency(q *ast.DependencyQuery) (*ast.MultieventQuery, error) {
+	if len(q.Nodes) != len(q.Edges)+1 {
+		return nil, fmt.Errorf("engine: malformed dependency chain")
+	}
+	out := &ast.MultieventQuery{
+		Head_:    q.Head_,
+		Return:   q.Return,
+		Distinct: q.Distinct,
+	}
+	// Split each node's filters into entity filters and event filters
+	// (e.g. agentid); event filters apply to every pattern the node
+	// participates in.
+	type nodeInfo struct {
+		ref     ast.EntityRef
+		evtF    []ast.Filter
+		emitted bool
+	}
+	nodes := make(map[string]*nodeInfo)
+	order := make([]*nodeInfo, len(q.Nodes))
+	for i := range q.Nodes {
+		n := q.Nodes[i]
+		if existing, ok := nodes[n.Name]; ok {
+			order[i] = existing
+			continue
+		}
+		info := &nodeInfo{ref: n}
+		info.ref.Filters = nil
+		for _, f := range n.Filters {
+			if sysmon.ValidEventAttr(f.Attr) && !sysmon.ValidAttr(n.Type, f.Attr) {
+				info.evtF = append(info.evtF, f)
+			} else {
+				info.ref.Filters = append(info.ref.Filters, f)
+			}
+		}
+		nodes[n.Name] = info
+		order[i] = info
+	}
+	// ref returns the entity reference for a node occurrence: the first
+	// use carries type and filters, later uses are bare.
+	ref := func(info *nodeInfo) ast.EntityRef {
+		if info.emitted {
+			return ast.EntityRef{Type: info.ref.Type, Name: info.ref.Name, Pos: info.ref.Pos}
+		}
+		info.emitted = true
+		return info.ref
+	}
+
+	var aliases []string // one alias per edge, in chain order
+	freshConn := 0
+	for i, e := range q.Edges {
+		left, right := order[i], order[i+1]
+		subj, obj := left, right
+		if !e.LeftToRight {
+			subj, obj = right, left
+		}
+		if e.Op == "connect" && obj.ref.Type == sysmon.EntityProcess {
+			// cross-host edge: subj connects to conn C, obj accepts C
+			freshConn++
+			connName := fmt.Sprintf("__dep_conn%d", freshConn)
+			connRef := ast.EntityRef{Type: sysmon.EntityNetconn, Name: connName}
+			aliasA := fmt.Sprintf("__dep_evt%d_conn", i+1)
+			aliasB := fmt.Sprintf("__dep_evt%d_acc", i+1)
+			out.Patterns = append(out.Patterns,
+				ast.EventPattern{
+					Subject:    ref(subj),
+					Ops:        []string{"connect"},
+					Object:     connRef,
+					Alias:      aliasA,
+					EvtFilters: subj.evtF,
+					Pos:        e.Pos,
+				},
+				ast.EventPattern{
+					Subject:    ref(obj),
+					Ops:        []string{"accept"},
+					Object:     ast.EntityRef{Type: sysmon.EntityNetconn, Name: connName},
+					Alias:      aliasB,
+					EvtFilters: obj.evtF,
+					Pos:        e.Pos,
+				},
+			)
+			out.With = append(out.With, ast.TemporalRel{Left: aliasA, Op: "before", Right: aliasB, Pos: e.Pos})
+			aliases = append(aliases, aliasA) // anchor the chain on the connect event
+		} else {
+			alias := fmt.Sprintf("__dep_evt%d", i+1)
+			evtF := append(append([]ast.Filter{}, subj.evtF...), obj.evtF...)
+			out.Patterns = append(out.Patterns, ast.EventPattern{
+				Subject:    ref(subj),
+				Ops:        []string{e.Op},
+				Object:     ref(obj),
+				Alias:      alias,
+				EvtFilters: evtF,
+				Pos:        e.Pos,
+			})
+			aliases = append(aliases, alias)
+		}
+	}
+	for i := 0; i+1 < len(aliases); i++ {
+		rel := ast.TemporalRel{Left: aliases[i], Op: "before", Right: aliases[i+1]}
+		if q.Direction == ast.Backward {
+			rel = ast.TemporalRel{Left: aliases[i+1], Op: "before", Right: aliases[i]}
+		}
+		out.With = append(out.With, rel)
+	}
+	return out, nil
+}

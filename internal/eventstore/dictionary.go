@@ -1,0 +1,236 @@
+package eventstore
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/aiql/aiql/internal/like"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// Dictionary holds the entity tables. With deduplication enabled,
+// structurally identical entities are interned to a single ID; with
+// attribute indexes enabled, exact-value hash indexes and sorted-value
+// lists support fast lookup and prefix range scans.
+type Dictionary struct {
+	dedup   bool
+	indexed bool
+
+	procs []sysmon.Process // index = EntityID-1
+	files []sysmon.File
+	conns []sysmon.Netconn
+
+	procIntern map[sysmon.Process]sysmon.EntityID
+	fileIntern map[sysmon.File]sysmon.EntityID
+	connIntern map[sysmon.Netconn]sysmon.EntityID
+
+	// exact-value indexes: attr → lowercased value → IDs
+	procIdx map[string]map[string][]sysmon.EntityID
+	fileIdx map[string]map[string][]sysmon.EntityID
+	connIdx map[string]map[string][]sysmon.EntityID
+}
+
+func newDictionary(dedup, indexed bool) *Dictionary {
+	d := &Dictionary{dedup: dedup, indexed: indexed}
+	if dedup {
+		d.procIntern = make(map[sysmon.Process]sysmon.EntityID)
+		d.fileIntern = make(map[sysmon.File]sysmon.EntityID)
+		d.connIntern = make(map[sysmon.Netconn]sysmon.EntityID)
+	}
+	if indexed {
+		d.procIdx = make(map[string]map[string][]sysmon.EntityID)
+		d.fileIdx = make(map[string]map[string][]sysmon.EntityID)
+		d.connIdx = make(map[string]map[string][]sysmon.EntityID)
+	}
+	return d
+}
+
+// InternProcess returns the ID for p, creating (and indexing) it if new.
+func (d *Dictionary) InternProcess(p sysmon.Process) sysmon.EntityID {
+	if d.dedup {
+		if id, ok := d.procIntern[p]; ok {
+			return id
+		}
+	}
+	d.procs = append(d.procs, p)
+	id := sysmon.EntityID(len(d.procs))
+	if d.dedup {
+		d.procIntern[p] = id
+	}
+	if d.indexed {
+		for _, attr := range sysmon.Attrs(sysmon.EntityProcess) {
+			addIdx(d.procIdx, attr, sysmon.ProcessAttr(&p, attr), id)
+		}
+	}
+	return id
+}
+
+// InternFile returns the ID for f, creating (and indexing) it if new.
+func (d *Dictionary) InternFile(f sysmon.File) sysmon.EntityID {
+	if d.dedup {
+		if id, ok := d.fileIntern[f]; ok {
+			return id
+		}
+	}
+	d.files = append(d.files, f)
+	id := sysmon.EntityID(len(d.files))
+	if d.dedup {
+		d.fileIntern[f] = id
+	}
+	if d.indexed {
+		for _, attr := range sysmon.Attrs(sysmon.EntityFile) {
+			addIdx(d.fileIdx, attr, sysmon.FileAttr(&f, attr), id)
+		}
+	}
+	return id
+}
+
+// InternNetconn returns the ID for n, creating (and indexing) it if new.
+func (d *Dictionary) InternNetconn(n sysmon.Netconn) sysmon.EntityID {
+	if d.dedup {
+		if id, ok := d.connIntern[n]; ok {
+			return id
+		}
+	}
+	d.conns = append(d.conns, n)
+	id := sysmon.EntityID(len(d.conns))
+	if d.dedup {
+		d.connIntern[n] = id
+	}
+	if d.indexed {
+		for _, attr := range sysmon.Attrs(sysmon.EntityNetconn) {
+			addIdx(d.connIdx, attr, sysmon.NetconnAttr(&n, attr), id)
+		}
+	}
+	return id
+}
+
+func addIdx(idx map[string]map[string][]sysmon.EntityID, attr, val string, id sysmon.EntityID) {
+	val = strings.ToLower(val)
+	m := idx[attr]
+	if m == nil {
+		m = make(map[string][]sysmon.EntityID)
+		idx[attr] = m
+	}
+	m[val] = append(m[val], id)
+}
+
+// Process returns the process entity for id, or nil if out of range.
+func (d *Dictionary) Process(id sysmon.EntityID) *sysmon.Process {
+	if id == 0 || int(id) > len(d.procs) {
+		return nil
+	}
+	return &d.procs[id-1]
+}
+
+// File returns the file entity for id, or nil if out of range.
+func (d *Dictionary) File(id sysmon.EntityID) *sysmon.File {
+	if id == 0 || int(id) > len(d.files) {
+		return nil
+	}
+	return &d.files[id-1]
+}
+
+// Netconn returns the connection entity for id, or nil if out of range.
+func (d *Dictionary) Netconn(id sysmon.EntityID) *sysmon.Netconn {
+	if id == 0 || int(id) > len(d.conns) {
+		return nil
+	}
+	return &d.conns[id-1]
+}
+
+// Attr returns the string value of attr for the entity (t, id).
+func (d *Dictionary) Attr(t sysmon.EntityType, id sysmon.EntityID, attr string) string {
+	switch t {
+	case sysmon.EntityProcess:
+		if p := d.Process(id); p != nil {
+			return sysmon.ProcessAttr(p, attr)
+		}
+	case sysmon.EntityFile:
+		if f := d.File(id); f != nil {
+			return sysmon.FileAttr(f, attr)
+		}
+	case sysmon.EntityNetconn:
+		if n := d.Netconn(id); n != nil {
+			return sysmon.NetconnAttr(n, attr)
+		}
+	}
+	return ""
+}
+
+// Count returns the number of entities of type t.
+func (d *Dictionary) Count(t sysmon.EntityType) int {
+	switch t {
+	case sysmon.EntityProcess:
+		return len(d.procs)
+	case sysmon.EntityFile:
+		return len(d.files)
+	case sysmon.EntityNetconn:
+		return len(d.conns)
+	default:
+		return 0
+	}
+}
+
+// MatchEntities returns the set of entity IDs of type t whose attribute
+// attr matches the LIKE pattern. With indexes enabled, exact patterns use
+// the hash index; wildcard patterns scan the (deduplicated, hence small)
+// dictionary. Without indexes every lookup scans the dictionary.
+func (d *Dictionary) MatchEntities(t sysmon.EntityType, attr string, pat *like.Pattern) *IDSet {
+	attr, ok := sysmon.CanonicalAttr(t, attr)
+	if !ok {
+		return NewIDSet()
+	}
+	if d.indexed && pat.Exact() {
+		var idx map[string]map[string][]sysmon.EntityID
+		switch t {
+		case sysmon.EntityProcess:
+			idx = d.procIdx
+		case sysmon.EntityFile:
+			idx = d.fileIdx
+		case sysmon.EntityNetconn:
+			idx = d.connIdx
+		}
+		if m := idx[attr]; m != nil {
+			return NewIDSet(m[pat.ExactValue()]...)
+		}
+	}
+	out := NewIDSet()
+	switch t {
+	case sysmon.EntityProcess:
+		for i := range d.procs {
+			if pat.Match(sysmon.ProcessAttr(&d.procs[i], attr)) {
+				out.Add(sysmon.EntityID(i + 1))
+			}
+		}
+	case sysmon.EntityFile:
+		for i := range d.files {
+			if pat.Match(sysmon.FileAttr(&d.files[i], attr)) {
+				out.Add(sysmon.EntityID(i + 1))
+			}
+		}
+	case sysmon.EntityNetconn:
+		for i := range d.conns {
+			if pat.Match(sysmon.NetconnAttr(&d.conns[i], attr)) {
+				out.Add(sysmon.EntityID(i + 1))
+			}
+		}
+	}
+	return out
+}
+
+// AllValues returns the distinct lowercased values of attr over entities of
+// type t, sorted; used by tools and tests.
+func (d *Dictionary) AllValues(t sysmon.EntityType, attr string) []string {
+	seen := map[string]struct{}{}
+	n := d.Count(t)
+	for i := 1; i <= n; i++ {
+		seen[strings.ToLower(d.Attr(t, sysmon.EntityID(i), attr))] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

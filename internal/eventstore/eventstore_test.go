@@ -1,0 +1,394 @@
+package eventstore
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/aiql/aiql/internal/like"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+var base = time.Date(2018, 5, 10, 0, 0, 0, 0, time.UTC)
+
+func mkRecord(agent uint32, exe string, op sysmon.Operation, obj string, minute int) Record {
+	r := Record{
+		AgentID: agent,
+		Subject: sysmon.Process{PID: 100, ExeName: exe, Path: "/bin/" + exe, User: "u"},
+		Op:      op,
+		StartTS: base.Add(time.Duration(minute) * time.Minute).UnixNano(),
+		Amount:  64,
+	}
+	switch op.ObjectType() {
+	case sysmon.EntityProcess:
+		r.ObjType = sysmon.EntityProcess
+		r.ObjProc = sysmon.Process{PID: 200, ExeName: obj, Path: "/bin/" + obj, User: "u"}
+	case sysmon.EntityNetconn:
+		r.ObjType = sysmon.EntityNetconn
+		r.ObjConn = sysmon.Netconn{SrcIP: "10.0.0.1", SrcPort: 1000, DstIP: obj, DstPort: 443, Protocol: "tcp"}
+	default:
+		r.ObjType = sysmon.EntityFile
+		r.ObjFile = sysmon.File{Path: "/data/" + obj}
+	}
+	return r
+}
+
+func TestDedupInterning(t *testing.T) {
+	s := New(DefaultOptions())
+	for i := 0; i < 10; i++ {
+		s.Append(mkRecord(1, "bash", sysmon.OpRead, "f.txt", i))
+	}
+	s.Flush()
+	if got := s.Dict().Count(sysmon.EntityProcess); got != 1 {
+		t.Errorf("deduped store has %d processes, want 1", got)
+	}
+	if got := s.Dict().Count(sysmon.EntityFile); got != 1 {
+		t.Errorf("deduped store has %d files, want 1", got)
+	}
+
+	plain := New(PlainOptions())
+	for i := 0; i < 10; i++ {
+		plain.Append(mkRecord(1, "bash", sysmon.OpRead, "f.txt", i))
+	}
+	plain.Flush()
+	if got := plain.Dict().Count(sysmon.EntityProcess); got != 10 {
+		t.Errorf("plain store has %d processes, want 10", got)
+	}
+}
+
+func TestPartitioningByAgentAndTime(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ChunkDuration = time.Hour
+	s := New(opts)
+	// two agents, events spread over 3 hours → 6 chunks
+	for agent := uint32(1); agent <= 2; agent++ {
+		for h := 0; h < 3; h++ {
+			s.Append(mkRecord(agent, "bash", sysmon.OpRead, "f.txt", h*60+5))
+		}
+	}
+	s.Flush()
+	if got := s.NumPartitions(); got != 6 {
+		t.Errorf("got %d partitions, want 6", got)
+	}
+
+	noPart := DefaultOptions()
+	noPart.Partitioning = false
+	s2 := New(noPart)
+	for agent := uint32(1); agent <= 2; agent++ {
+		for h := 0; h < 3; h++ {
+			s2.Append(mkRecord(agent, "bash", sysmon.OpRead, "f.txt", h*60+5))
+		}
+	}
+	s2.Flush()
+	if got := s2.NumPartitions(); got != 1 {
+		t.Errorf("unpartitioned store has %d chunks, want 1", got)
+	}
+}
+
+func TestScanFilters(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AppendAll([]Record{
+		mkRecord(1, "bash", sysmon.OpRead, "a.txt", 0),
+		mkRecord(1, "bash", sysmon.OpWrite, "a.txt", 10),
+		mkRecord(2, "vim", sysmon.OpRead, "b.txt", 20),
+		mkRecord(2, "vim", sysmon.OpConnect, "9.9.9.9", 30),
+	})
+	s.Flush()
+
+	count := func(f *EventFilter) int {
+		n := 0
+		s.Scan(f, func(*sysmon.Event) bool { n++; return true })
+		return n
+	}
+	if got := count(&EventFilter{}); got != 4 {
+		t.Errorf("unfiltered scan = %d", got)
+	}
+	if got := count(&EventFilter{Agents: []uint32{1}}); got != 2 {
+		t.Errorf("agent filter = %d", got)
+	}
+	if got := count(&EventFilter{Ops: []sysmon.Operation{sysmon.OpRead}}); got != 2 {
+		t.Errorf("op filter = %d", got)
+	}
+	if got := count(&EventFilter{ObjType: sysmon.EntityNetconn}); got != 1 {
+		t.Errorf("objtype filter = %d", got)
+	}
+	from := base.Add(15 * time.Minute).UnixNano()
+	if got := count(&EventFilter{From: from}); got != 2 {
+		t.Errorf("time filter = %d", got)
+	}
+	// entity-set filters
+	bashIDs := s.Dict().MatchEntities(sysmon.EntityProcess, "exe_name", like.Compile("bash"))
+	if got := count(&EventFilter{Subjects: bashIDs}); got != 2 {
+		t.Errorf("subject set filter = %d", got)
+	}
+	if got := count(&EventFilter{Subjects: NewIDSet()}); got != 0 {
+		t.Errorf("empty subject set = %d", got)
+	}
+}
+
+func TestEstimateNeverUndercounts(t *testing.T) {
+	s := New(DefaultOptions())
+	rng := rand.New(rand.NewSource(3))
+	exes := []string{"bash", "vim", "curl", "python"}
+	for i := 0; i < 500; i++ {
+		op := sysmon.OpRead
+		if rng.Intn(2) == 0 {
+			op = sysmon.OpWrite
+		}
+		s.Append(mkRecord(uint32(1+rng.Intn(3)), exes[rng.Intn(len(exes))], op, "f.txt", rng.Intn(300)))
+	}
+	s.Flush()
+	filters := []*EventFilter{
+		{},
+		{Agents: []uint32{2}},
+		{Ops: []sysmon.Operation{sysmon.OpRead}},
+		{Subjects: s.Dict().MatchEntities(sysmon.EntityProcess, "exe_name", like.Compile("bash"))},
+		{Agents: []uint32{1}, Ops: []sysmon.Operation{sysmon.OpWrite},
+			Subjects: s.Dict().MatchEntities(sysmon.EntityProcess, "exe_name", like.Compile("vim"))},
+	}
+	for i, f := range filters {
+		actual := 0
+		s.Scan(f, func(*sysmon.Event) bool { actual++; return true })
+		if est := s.EstimateMatches(f); est < actual {
+			t.Errorf("filter %d: estimate %d < actual %d", i, est, actual)
+		}
+	}
+}
+
+func TestScanParallelMatchesSequential(t *testing.T) {
+	s := New(DefaultOptions())
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		s.Append(mkRecord(uint32(1+rng.Intn(4)), "bash", sysmon.OpRead, "f.txt", rng.Intn(600)))
+	}
+	s.Flush()
+	f := &EventFilter{Ops: []sysmon.Operation{sysmon.OpRead}}
+	var seq []uint64
+	s.Scan(f, func(ev *sysmon.Event) bool { seq = append(seq, ev.ID); return true })
+	var mu sync.Mutex
+	var par []uint64
+	s.ScanParallel(f, func(ev *sysmon.Event) {
+		mu.Lock()
+		par = append(par, ev.ID)
+		mu.Unlock()
+	})
+	if len(seq) != len(par) {
+		t.Fatalf("sequential %d events, parallel %d", len(seq), len(par))
+	}
+	seen := map[uint64]bool{}
+	for _, id := range seq {
+		seen[id] = true
+	}
+	for _, id := range par {
+		if !seen[id] {
+			t.Fatalf("parallel scan produced unknown event %d", id)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AppendAll([]Record{
+		mkRecord(1, "bash", sysmon.OpRead, "a.txt", 0),
+		mkRecord(2, "vim", sysmon.OpConnect, "9.9.9.9", 30),
+	})
+	s.Flush()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// load into an optimized store and a plain store: contents must agree
+	for _, opts := range []Options{DefaultOptions(), PlainOptions()} {
+		s2 := New(opts)
+		if err := s2.Decode(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if s2.Len() != s.Len() {
+			t.Errorf("loaded %d events, want %d", s2.Len(), s.Len())
+		}
+		a := s.Collect(&EventFilter{})
+		b := s2.Collect(&EventFilter{})
+		if len(a) != len(b) {
+			t.Fatalf("collect mismatch: %d vs %d", len(a), len(b))
+		}
+		// compare attribute views (entity IDs may differ across options)
+		for i := range a {
+			av := s.Dict().Attr(sysmon.EntityProcess, a[i].Subject, "exe_name")
+			bv := s2.Dict().Attr(sysmon.EntityProcess, b[i].Subject, "exe_name")
+			if av != bv {
+				t.Fatalf("event %d subject %q vs %q", i, av, bv)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsNonEmptyStore(t *testing.T) {
+	s := New(DefaultOptions())
+	s.Append(mkRecord(1, "bash", sysmon.OpRead, "a.txt", 0))
+	s.Flush()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Decode(&buf); err == nil {
+		t.Fatal("Decode into non-empty store should fail")
+	}
+}
+
+func TestBatchCommitVisibility(t *testing.T) {
+	opts := DefaultOptions()
+	opts.BatchSize = 100
+	s := New(opts)
+	for i := 0; i < 10; i++ {
+		s.Append(mkRecord(1, "bash", sysmon.OpRead, "a.txt", i))
+	}
+	// below batch size: nothing committed yet
+	if s.Len() != 0 {
+		t.Errorf("uncommitted events visible: %d", s.Len())
+	}
+	s.Flush()
+	if s.Len() != 10 {
+		t.Errorf("after flush: %d events", s.Len())
+	}
+}
+
+func TestOutOfOrderAppendsStaySorted(t *testing.T) {
+	opts := DefaultOptions()
+	opts.BatchSize = 1
+	s := New(opts)
+	for _, m := range []int{30, 10, 50, 20, 40} {
+		s.Append(mkRecord(1, "bash", sysmon.OpRead, "a.txt", m))
+	}
+	s.Flush()
+	var last int64
+	s.Scan(&EventFilter{}, func(ev *sysmon.Event) bool {
+		if ev.StartTS < last {
+			t.Fatalf("scan out of order: %d after %d", ev.StartTS, last)
+		}
+		last = ev.StartTS
+		return true
+	})
+}
+
+// TestInterningIdempotent: interning the same entity twice returns the
+// same ID (property-based).
+func TestInterningIdempotent(t *testing.T) {
+	s := New(DefaultOptions())
+	f := func(pid uint32, exe, path, user string) bool {
+		p := sysmon.Process{PID: pid, ExeName: exe, Path: path, User: user}
+		return s.Dict().InternProcess(p) == s.Dict().InternProcess(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEveryEventInExactlyOneChunk: chunk sizes sum to the store size.
+func TestEveryEventInExactlyOneChunk(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(DefaultOptions())
+		n := 50 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			s.Append(mkRecord(uint32(1+rng.Intn(3)), "bash", sysmon.OpRead, "f.txt", rng.Intn(36*60)))
+		}
+		s.Flush()
+		total := 0
+		for _, p := range s.Partitions() {
+			total += p.Len()
+		}
+		return total == n && s.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AppendAll([]Record{
+		mkRecord(1, "bash", sysmon.OpRead, "a", 10),
+		mkRecord(1, "bash", sysmon.OpRead, "b", 5),
+		mkRecord(1, "bash", sysmon.OpRead, "c", 20),
+	})
+	s.Flush()
+	lo, hi := s.TimeRange()
+	if lo != base.Add(5*time.Minute).UnixNano() || hi != base.Add(20*time.Minute).UnixNano() {
+		t.Errorf("range = [%d, %d]", lo, hi)
+	}
+}
+
+func TestAgents(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AppendAll([]Record{
+		mkRecord(3, "bash", sysmon.OpRead, "a", 0),
+		mkRecord(1, "bash", sysmon.OpRead, "b", 0),
+		mkRecord(3, "bash", sysmon.OpRead, "c", 0),
+	})
+	s.Flush()
+	if got := s.Agents(); !reflect.DeepEqual(got, []uint32{1, 3}) {
+		t.Errorf("Agents() = %v", got)
+	}
+}
+
+func TestMatchEntitiesPatterns(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AppendAll([]Record{
+		mkRecord(1, "cmd.exe", sysmon.OpRead, "a", 0),
+		mkRecord(1, "powershell.exe", sysmon.OpRead, "b", 0),
+		mkRecord(1, "bash", sysmon.OpRead, "c", 0),
+	})
+	s.Flush()
+	d := s.Dict()
+	if got := d.MatchEntities(sysmon.EntityProcess, "exe_name", like.Compile("%.exe")).Len(); got != 2 {
+		t.Errorf("%%.exe matched %d", got)
+	}
+	if got := d.MatchEntities(sysmon.EntityProcess, "exe_name", like.Compile("CMD.EXE")).Len(); got != 1 {
+		t.Errorf("exact case-insensitive matched %d", got)
+	}
+	if got := d.MatchEntities(sysmon.EntityProcess, "bogus", like.Compile("x")).Len(); got != 0 {
+		t.Errorf("bogus attribute matched %d", got)
+	}
+}
+
+func TestIDSetOperations(t *testing.T) {
+	a := NewIDSet(1, 2, 3)
+	b := NewIDSet(2, 3, 4)
+	inter := a.Intersect(b)
+	if inter.Len() != 2 || !inter.Has(2) || !inter.Has(3) || inter.Has(1) {
+		t.Errorf("intersect = %v", inter.IDs())
+	}
+	var nilSet *IDSet
+	if got := nilSet.Intersect(a); got.Len() != 3 {
+		t.Error("nil ∩ a should be a")
+	}
+	if !nilSet.Has(99) {
+		t.Error("nil set contains everything")
+	}
+	if nilSet.Len() != -1 {
+		t.Error("nil set length should be -1 (unbounded)")
+	}
+	if !NewIDSet().Empty() || a.Empty() {
+		t.Error("Empty() misbehaves")
+	}
+}
+
+func TestStatsReflectContents(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AppendAll([]Record{
+		mkRecord(1, "bash", sysmon.OpRead, "a.txt", 0),
+		mkRecord(1, "vim", sysmon.OpConnect, "9.9.9.9", 1),
+	})
+	s.Flush()
+	st := s.Stats()
+	if st.Events != 2 || st.Processes != 2 || st.Files != 1 || st.Netconns != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ApproxBytes == 0 {
+		t.Error("ApproxBytes should be nonzero")
+	}
+}

@@ -1,0 +1,70 @@
+// Package eventstore implements the AIQL domain-specific data model and
+// storage for system monitoring data.
+//
+// The store exploits the strong spatial and temporal properties of the
+// data: every event occurs on one host (agent) at one time, so events are
+// organized into hypertable-style chunks keyed by (agent, time bucket).
+// Entities are deduplicated into a dictionary with attribute indexes, and
+// per-chunk posting lists map entities to the events that reference them.
+// These structures give the query engine both fast access paths and the
+// statistics it needs to estimate the pruning power of event patterns.
+//
+// Every optimization the paper describes (deduplication, attribute
+// indexes, time/space partitioning, batch commit) can be toggled through
+// Options so the benchmark harness can ablate each one.
+package eventstore
+
+import "time"
+
+// Options control which storage optimizations are active.
+type Options struct {
+	// Dedup enables entity deduplication (interning): identical entities
+	// observed by different events share one dictionary entry. Interning
+	// is also what gives entities identity across events — multievent
+	// queries joining on shared entity variables require it; disabling it
+	// is meant for storage/ingest ablations.
+	Dedup bool
+	// Indexes enables attribute indexes over the entity dictionary and
+	// per-chunk entity→event posting lists.
+	Indexes bool
+	// Partitioning enables hypertable-style chunking by (agent, time
+	// bucket). When disabled all events land in a single heap chunk.
+	Partitioning bool
+	// BatchCommit buffers appended events and commits them in batches,
+	// amortizing sort and index maintenance.
+	BatchCommit bool
+	// ChunkDuration is the time width of a hypertable chunk.
+	ChunkDuration time.Duration
+	// BatchSize is the number of buffered events per batch commit.
+	BatchSize int
+}
+
+// DefaultOptions returns the fully optimized configuration used by the
+// AIQL system (all optimizations on, 1-hour chunks, 4096-event batches).
+func DefaultOptions() Options {
+	return Options{
+		Dedup:         true,
+		Indexes:       true,
+		Partitioning:  true,
+		BatchCommit:   true,
+		ChunkDuration: time.Hour,
+		BatchSize:     4096,
+	}
+}
+
+// PlainOptions returns the unoptimized configuration: a single append-only
+// heap with no dedup, no indexes, no partitioning, and per-event commits.
+// This models the "w/o our optimized storage" baseline of the paper.
+func PlainOptions() Options {
+	return Options{ChunkDuration: time.Hour, BatchSize: 1}
+}
+
+func (o Options) normalized() Options {
+	if o.ChunkDuration <= 0 {
+		o.ChunkDuration = time.Hour
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
+	}
+	return o
+}

@@ -1,0 +1,266 @@
+package eventstore
+
+import (
+	"sort"
+
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// PartKey identifies a hypertable chunk: one agent over one time bucket.
+// With partitioning disabled all events live in the zero-key chunk.
+type PartKey struct {
+	AgentID uint32
+	Bucket  int64 // StartTS / ChunkDuration
+}
+
+// Partition is one hypertable chunk. Events are kept sorted by start
+// timestamp; with indexes enabled, posting lists map each entity to the
+// positions of the events that reference it, and an operation histogram
+// supports selectivity estimation.
+type Partition struct {
+	Key    PartKey
+	events []sysmon.Event
+	sorted bool
+
+	indexed    bool
+	postingSub map[sysmon.EntityID][]int32
+	postingObj map[sysmon.EntityID][]int32
+	opCount    [sysmon.NumOperations]int
+	minTS      int64
+	maxTS      int64
+}
+
+func newPartition(key PartKey, indexed bool) *Partition {
+	p := &Partition{Key: key, indexed: indexed, sorted: true}
+	if indexed {
+		p.postingSub = make(map[sysmon.EntityID][]int32)
+		p.postingObj = make(map[sysmon.EntityID][]int32)
+	}
+	return p
+}
+
+// Len returns the number of events in the chunk.
+func (p *Partition) Len() int { return len(p.events) }
+
+// TimeRange returns the minimum and maximum start timestamps in the chunk.
+func (p *Partition) TimeRange() (int64, int64) { return p.minTS, p.maxTS }
+
+// appendBatch adds events to the chunk, keeping sort order and indexes.
+// Events within a batch are sorted once; cross-batch disorder triggers a
+// full re-sort and re-index (rare: agents deliver data roughly in order).
+func (p *Partition) appendBatch(evs []sysmon.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	// agents deliver mostly in order; skip the sort when the batch
+	// already is
+	inOrder := true
+	for i := 1; i < len(evs); i++ {
+		if evs[i].StartTS < evs[i-1].StartTS {
+			inOrder = false
+			break
+		}
+	}
+	if !inOrder {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].StartTS < evs[j].StartTS })
+	}
+	needResort := len(p.events) > 0 && evs[0].StartTS < p.events[len(p.events)-1].StartTS
+	base := len(p.events)
+	p.events = append(p.events, evs...)
+	if len(p.events) > 0 {
+		if base == 0 || evs[0].StartTS < p.minTS {
+			p.minTS = p.events[0].StartTS
+		}
+		if last := evs[len(evs)-1].StartTS; base == 0 || last > p.maxTS {
+			p.maxTS = last
+		}
+		if base == 0 {
+			p.minTS = p.events[0].StartTS
+		}
+	}
+	if needResort {
+		sort.SliceStable(p.events, func(i, j int) bool { return p.events[i].StartTS < p.events[j].StartTS })
+		p.rebuildIndexes()
+		p.refreshBounds()
+		return
+	}
+	if p.indexed {
+		for i := base; i < len(p.events); i++ {
+			ev := &p.events[i]
+			p.postingSub[ev.Subject] = append(p.postingSub[ev.Subject], int32(i))
+			p.postingObj[ev.Object] = append(p.postingObj[ev.Object], int32(i))
+			p.opCount[ev.Op]++
+		}
+	}
+	p.refreshBounds()
+}
+
+func (p *Partition) refreshBounds() {
+	if len(p.events) == 0 {
+		p.minTS, p.maxTS = 0, 0
+		return
+	}
+	p.minTS = p.events[0].StartTS
+	p.maxTS = p.events[len(p.events)-1].StartTS
+}
+
+func (p *Partition) rebuildIndexes() {
+	if !p.indexed {
+		return
+	}
+	p.postingSub = make(map[sysmon.EntityID][]int32, len(p.postingSub))
+	p.postingObj = make(map[sysmon.EntityID][]int32, len(p.postingObj))
+	p.opCount = [sysmon.NumOperations]int{}
+	for i := range p.events {
+		ev := &p.events[i]
+		p.postingSub[ev.Subject] = append(p.postingSub[ev.Subject], int32(i))
+		p.postingObj[ev.Object] = append(p.postingObj[ev.Object], int32(i))
+		p.opCount[ev.Op]++
+	}
+}
+
+// overlaps reports whether the chunk's time range intersects [from, to).
+func (p *Partition) overlaps(from, to int64) bool {
+	if len(p.events) == 0 {
+		return false
+	}
+	if from != 0 && p.maxTS < from {
+		return false
+	}
+	if to != 0 && p.minTS >= to {
+		return false
+	}
+	return true
+}
+
+// scan calls fn for every event in the chunk that passes the filter, in
+// start-timestamp order. It returns false if fn aborted the scan.
+//
+// When indexes are available the scan picks the cheapest access path:
+// the shorter of the subject/object posting lists restricted by the
+// filter's entity sets, falling back to a (time-bounded) sequential scan.
+func (p *Partition) scan(f *EventFilter, ops *[sysmon.NumOperations]bool, agents map[uint32]struct{}, fn func(*sysmon.Event) bool) bool {
+	if p.indexed {
+		if list, ok := p.bestPostingList(f); ok {
+			for _, pos := range list {
+				ev := &p.events[pos]
+				if f.matches(ev, ops, agents) {
+					if !fn(ev) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+	}
+	lo, hi := p.timeSlice(f.From, f.To)
+	for i := lo; i < hi; i++ {
+		ev := &p.events[i]
+		if f.matches(ev, ops, agents) {
+			if !fn(ev) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bestPostingList merges the posting lists of the smaller bound entity set
+// (subject or object) when the filter constrains one to a small set.
+// The merged list preserves position order so scans stay time-ordered.
+func (p *Partition) bestPostingList(f *EventFilter) ([]int32, bool) {
+	const postingLimit = 512 // beyond this, sequential scan wins
+	subLen, objLen := f.Subjects.Len(), f.Objects.Len()
+	useSub := subLen >= 0 && subLen <= postingLimit
+	useObj := objLen >= 0 && objLen <= postingLimit
+	if useSub && useObj && objLen < subLen {
+		useSub = false
+	}
+	switch {
+	case useSub:
+		return p.mergePostings(p.postingSub, f.Subjects), true
+	case useObj:
+		return p.mergePostings(p.postingObj, f.Objects), true
+	}
+	return nil, false
+}
+
+func (p *Partition) mergePostings(postings map[sysmon.EntityID][]int32, set *IDSet) []int32 {
+	var out []int32
+	for _, id := range set.IDs() {
+		out = append(out, postings[id]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// estimate returns an upper bound on how many events in the chunk can
+// match the filter, using the op histogram and posting-list lengths.
+// Without indexes the estimate is the (time-sliced) chunk size.
+func (p *Partition) estimate(f *EventFilter) int {
+	lo, hi := p.timeSlice(f.From, f.To)
+	n := hi - lo
+	if n <= 0 {
+		return 0
+	}
+	if !p.indexed {
+		return n
+	}
+	if len(f.Ops) > 0 {
+		opN := 0
+		for _, op := range f.Ops {
+			if int(op) < sysmon.NumOperations {
+				opN += p.opCount[op]
+			}
+		}
+		if opN < n {
+			n = opN
+		}
+	}
+	if s := p.postingEstimate(p.postingSub, f.Subjects); s >= 0 && s < n {
+		n = s
+	}
+	if s := p.postingEstimate(p.postingObj, f.Objects); s >= 0 && s < n {
+		n = s
+	}
+	return n
+}
+
+func (p *Partition) postingEstimate(postings map[sysmon.EntityID][]int32, set *IDSet) int {
+	l := set.Len()
+	if l < 0 {
+		return -1
+	}
+	const estimateLimit = 4096 // cap the work spent estimating
+	if l > estimateLimit {
+		return -1
+	}
+	total := 0
+	for id := range set.m {
+		total += len(postings[id])
+	}
+	return total
+}
+
+// timeSlice returns the index range [lo, hi) of events whose start
+// timestamps fall in [from, to), using binary search over the sorted chunk.
+func (p *Partition) timeSlice(from, to int64) (int, int) {
+	if !p.sorted {
+		return 0, len(p.events)
+	}
+	lo, hi := 0, len(p.events)
+	if from != 0 {
+		lo = sort.Search(len(p.events), func(i int) bool { return p.events[i].StartTS >= from })
+	}
+	if to != 0 {
+		hi = sort.Search(len(p.events), func(i int) bool { return p.events[i].StartTS >= to })
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Events exposes the chunk's raw events (read-only) for bulk consumers
+// such as baseline-engine loaders.
+func (p *Partition) Events() []sysmon.Event { return p.events }

@@ -1,0 +1,49 @@
+package eventstore
+
+import (
+	"unsafe"
+
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// Stats summarizes a store's contents and footprint; the storage ablation
+// experiment (E5) reports these numbers with each optimization toggled.
+type Stats struct {
+	Events     int
+	Partitions int
+	Processes  int
+	Files      int
+	Netconns   int
+	// ApproxBytes is an estimate of in-memory footprint: event array plus
+	// entity tables plus string payloads (index overhead excluded).
+	ApproxBytes uint64
+}
+
+// Stats computes summary statistics for the store.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Events:     s.total,
+		Partitions: len(s.parts),
+		Processes:  len(s.dict.procs),
+		Files:      len(s.dict.files),
+		Netconns:   len(s.dict.conns),
+	}
+	st.ApproxBytes = uint64(s.total) * uint64(unsafe.Sizeof(sysmon.Event{}))
+	for i := range s.dict.procs {
+		p := &s.dict.procs[i]
+		st.ApproxBytes += uint64(unsafe.Sizeof(*p)) +
+			uint64(len(p.ExeName)+len(p.Path)+len(p.User)+len(p.CmdLine))
+	}
+	for i := range s.dict.files {
+		f := &s.dict.files[i]
+		st.ApproxBytes += uint64(unsafe.Sizeof(*f)) + uint64(len(f.Path)+len(f.Owner))
+	}
+	for i := range s.dict.conns {
+		c := &s.dict.conns[i]
+		st.ApproxBytes += uint64(unsafe.Sizeof(*c)) +
+			uint64(len(c.SrcIP)+len(c.DstIP)+len(c.Protocol))
+	}
+	return st
+}

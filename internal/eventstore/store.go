@@ -1,0 +1,392 @@
+package eventstore
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// Store is the AIQL data store: an entity dictionary plus hypertable
+// chunks of events. It is safe for concurrent readers; writers are
+// serialized internally.
+type Store struct {
+	mu   sync.RWMutex
+	opts Options
+	dict *Dictionary
+
+	parts map[PartKey]*Partition
+	order []PartKey // insertion-ordered keys for deterministic iteration
+
+	batch       []sysmon.Event
+	commits     uint64
+	nextEventID uint64
+	nextSeq     map[uint32]uint64
+	total       int
+	minTS       int64
+	maxTS       int64
+}
+
+// New creates a store with the given options.
+func New(opts Options) *Store {
+	opts = opts.normalized()
+	return &Store{
+		opts:    opts,
+		dict:    newDictionary(opts.Dedup, opts.Indexes),
+		parts:   make(map[PartKey]*Partition),
+		nextSeq: make(map[uint32]uint64),
+	}
+}
+
+// Options returns the store's configuration.
+func (s *Store) Options() Options { return s.opts }
+
+// Dict returns the entity dictionary.
+func (s *Store) Dict() *Dictionary { return s.dict }
+
+// Record is one raw monitoring record as produced by a collection agent:
+// the subject process and object entity are given by value, and the store
+// interns them according to its deduplication policy.
+type Record struct {
+	AgentID uint32
+	Subject sysmon.Process
+	Op      sysmon.Operation
+	ObjProc sysmon.Process // used when Op's object is a process
+	ObjFile sysmon.File    // used when Op's object is a file
+	ObjConn sysmon.Netconn // used when Op's object is a connection
+	ObjType sysmon.EntityType
+	StartTS int64
+	EndTS   int64
+	Amount  uint64
+}
+
+// Append ingests one raw record. With batch commit enabled the record is
+// buffered and committed when the batch fills; call Flush to force.
+func (s *Store) Append(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appendLocked(r)
+	if !s.opts.BatchCommit || len(s.batch) >= s.opts.BatchSize {
+		s.flushLocked()
+	}
+}
+
+// AppendAll ingests a slice of raw records under one lock acquisition.
+// Commit boundaries follow the batch-commit policy exactly as Append's
+// do: without batch commit every record commits individually.
+func (s *Store) AppendAll(rs []Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range rs {
+		s.appendLocked(rs[i])
+		if !s.opts.BatchCommit || len(s.batch) >= s.opts.BatchSize {
+			s.flushLocked()
+		}
+	}
+}
+
+func (s *Store) appendLocked(r Record) {
+	subj := s.dict.InternProcess(r.Subject)
+	var obj sysmon.EntityID
+	objType := r.ObjType
+	if objType == sysmon.EntityInvalid {
+		objType = r.Op.ObjectType()
+	}
+	switch objType {
+	case sysmon.EntityProcess:
+		obj = s.dict.InternProcess(r.ObjProc)
+	case sysmon.EntityFile:
+		obj = s.dict.InternFile(r.ObjFile)
+	case sysmon.EntityNetconn:
+		obj = s.dict.InternNetconn(r.ObjConn)
+	}
+	s.nextEventID++
+	s.nextSeq[r.AgentID]++
+	end := r.EndTS
+	if end < r.StartTS {
+		end = r.StartTS
+	}
+	s.batch = append(s.batch, sysmon.Event{
+		ID:      s.nextEventID,
+		AgentID: r.AgentID,
+		Subject: subj,
+		Op:      r.Op,
+		ObjType: objType,
+		Object:  obj,
+		StartTS: r.StartTS,
+		EndTS:   end,
+		Amount:  r.Amount,
+		Seq:     s.nextSeq[r.AgentID],
+	})
+}
+
+// Flush commits any buffered events.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+}
+
+func (s *Store) flushLocked() {
+	if len(s.batch) == 0 {
+		return
+	}
+	s.commits++
+	// group the batch by partition key, then append per chunk
+	groups := make(map[PartKey][]sysmon.Event)
+	var keys []PartKey
+	for _, ev := range s.batch {
+		key := s.partKey(ev.AgentID, ev.StartTS)
+		if _, ok := groups[key]; !ok {
+			keys = append(keys, key)
+		}
+		groups[key] = append(groups[key], ev)
+		if s.total == 0 || ev.StartTS < s.minTS {
+			s.minTS = ev.StartTS
+		}
+		if s.total == 0 || ev.StartTS > s.maxTS {
+			s.maxTS = ev.StartTS
+		}
+		s.total++
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].AgentID != keys[j].AgentID {
+			return keys[i].AgentID < keys[j].AgentID
+		}
+		return keys[i].Bucket < keys[j].Bucket
+	})
+	for _, key := range keys {
+		part := s.parts[key]
+		if part == nil {
+			part = newPartition(key, s.opts.Indexes)
+			s.parts[key] = part
+			s.order = append(s.order, key)
+		}
+		part.appendBatch(groups[key])
+	}
+	s.batch = s.batch[:0]
+}
+
+func (s *Store) partKey(agent uint32, ts int64) PartKey {
+	if !s.opts.Partitioning {
+		return PartKey{}
+	}
+	return PartKey{AgentID: agent, Bucket: ts / int64(s.opts.ChunkDuration)}
+}
+
+// Commits returns the number of commit boundaries so far — each would be
+// one durable transaction in a disk-backed deployment, which is what
+// batch commit amortizes.
+func (s *Store) Commits() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.commits
+}
+
+// Len returns the number of committed events.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.total
+}
+
+// TimeRange returns the committed events' [min, max] start timestamps.
+func (s *Store) TimeRange() (int64, int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.minTS, s.maxTS
+}
+
+// NumPartitions returns the number of hypertable chunks.
+func (s *Store) NumPartitions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.parts)
+}
+
+// selectParts returns the chunks that can contain events matching the
+// filter, using the spatial (agent) and temporal (bucket) dimensions.
+func (s *Store) selectParts(f *EventFilter) []*Partition {
+	agents := f.agentSet()
+	var out []*Partition
+	for _, key := range s.order {
+		p := s.parts[key]
+		if s.opts.Partitioning {
+			if agents != nil {
+				if _, ok := agents[key.AgentID]; !ok {
+					continue
+				}
+			}
+			if !p.overlaps(f.From, f.To) {
+				continue
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Scan calls fn for every committed event matching the filter. Within a
+// chunk events arrive in start-time order; across chunks the order follows
+// the deterministic chunk order. fn returning false stops the scan.
+func (s *Store) Scan(f *EventFilter, fn func(*sysmon.Event) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ops := f.opSet()
+	agents := f.agentSet()
+	for _, p := range s.selectParts(f) {
+		if !p.scan(f, ops, agents, fn) {
+			return
+		}
+	}
+}
+
+// Collect returns all events matching the filter.
+func (s *Store) Collect(f *EventFilter) []sysmon.Event {
+	var out []sysmon.Event
+	s.Scan(f, func(ev *sysmon.Event) bool {
+		out = append(out, *ev)
+		return true
+	})
+	return out
+}
+
+// ScanParallel fans the scan out across chunks using up to
+// runtime.GOMAXPROCS workers and calls fn concurrently (fn must be safe
+// for concurrent use). It is the engine's spatial/temporal sub-query
+// parallelism. Returns the number of chunks scanned.
+func (s *Store) ScanParallel(f *EventFilter, fn func(*sysmon.Event)) int {
+	s.mu.RLock()
+	parts := s.selectParts(f)
+	s.mu.RUnlock()
+	ops := f.opSet()
+	agents := f.agentSet()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if workers <= 1 {
+		for _, p := range parts {
+			p.scan(f, ops, agents, func(ev *sysmon.Event) bool { fn(ev); return true })
+		}
+		return len(parts)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan *Partition, len(parts))
+	for _, p := range parts {
+		ch <- p
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range ch {
+				p.scan(f, ops, agents, func(ev *sysmon.Event) bool { fn(ev); return true })
+			}
+		}()
+	}
+	wg.Wait()
+	return len(parts)
+}
+
+// ScanPartitions is the engine's spatial/temporal sub-query parallelism:
+// chunks matching the filter are scanned by a worker pool; each worker
+// collects the events passing both the filter and the keep predicate into
+// a per-chunk buffer and hands it to merge together with the number of
+// events visited. merge may be called concurrently; the caller
+// synchronizes. Returns the number of chunks scanned.
+func (s *Store) ScanPartitions(f *EventFilter, keep func(*sysmon.Event) bool, merge func(batch []sysmon.Event, visited int64)) int {
+	s.mu.RLock()
+	parts := s.selectParts(f)
+	s.mu.RUnlock()
+	ops := f.opSet()
+	agents := f.agentSet()
+	scanOne := func(p *Partition) {
+		var batch []sysmon.Event
+		var visited int64
+		p.scan(f, ops, agents, func(ev *sysmon.Event) bool {
+			visited++
+			if keep == nil || keep(ev) {
+				batch = append(batch, *ev)
+			}
+			return true
+		})
+		merge(batch, visited)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if workers <= 1 {
+		for _, p := range parts {
+			scanOne(p)
+		}
+		return len(parts)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan *Partition, len(parts))
+	for _, p := range parts {
+		ch <- p
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range ch {
+				scanOne(p)
+			}
+		}()
+	}
+	wg.Wait()
+	return len(parts)
+}
+
+// EstimateMatches returns an upper-bound estimate of the number of events
+// matching the filter — the optimizer's "pruning power" signal. Lower
+// estimates mean higher pruning power.
+func (s *Store) EstimateMatches(f *EventFilter) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, p := range s.selectParts(f) {
+		total += p.estimate(f)
+	}
+	return total
+}
+
+// Agents returns the distinct agent IDs present in the store, ascending.
+func (s *Store) Agents() []uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[uint32]struct{}{}
+	for _, key := range s.order {
+		if s.opts.Partitioning {
+			seen[key.AgentID] = struct{}{}
+		} else {
+			for _, ev := range s.parts[key].events {
+				seen[ev.AgentID] = struct{}{}
+			}
+		}
+	}
+	out := make([]uint32, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Partitions returns the store's chunks in deterministic order, for bulk
+// consumers (baseline loaders, snapshots).
+func (s *Store) Partitions() []*Partition {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Partition, 0, len(s.order))
+	for _, key := range s.order {
+		out = append(out, s.parts[key])
+	}
+	return out
+}

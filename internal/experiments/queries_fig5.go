@@ -1,0 +1,166 @@
+package experiments
+
+import "github.com/aiql/aiql/internal/datagen"
+
+// Fig5Queries returns the 26 investigation queries of Figure 5 (labels
+// c1-1 … c5-7), reconstructing the APT case study of the underlying
+// ATC'18 paper against the atc-case scenario. All queries are multievent
+// or dependency queries so every engine (AIQL, PostgreSQL stand-in, Neo4j
+// stand-in) can run them; each multi-pattern query chains adjacent
+// patterns through shared variables, the shape Cypher traversals execute.
+func Fig5Queries() []Query {
+	day := `(at "05/10/2018")`
+	return []Query{
+		// ---- c1: phishing delivery (workstation 6)
+		{Label: "c1-1", Kind: "multievent", Text: day + `
+agentid = 6
+proc p["%winword%"] read file f["%invoice%"] as evt
+return distinct p, f`},
+
+		// ---- c2: backdoor download and beaconing
+		{Label: "c2-1", Kind: "multievent", Text: day + `
+agentid = 6
+proc p["%powershell%"] connect ip i[dstip = "198.51.100.77"] as evt
+return distinct p, i`},
+		{Label: "c2-2", Kind: "multievent", Text: day + `
+agentid = 6
+proc p["%powershell%"] write file f["%.exe"] as evt
+return distinct p, f`},
+		{Label: "c2-3", Kind: "multievent", Text: day + `
+agentid = 6
+proc p1 start proc p2["%dropper%"] as evt
+return distinct p1, p2`},
+		{Label: "c2-4", Kind: "multievent", Text: day + `
+agentid = 6
+proc p["%dropper%"] write file f as evt
+return distinct p, f`},
+		{Label: "c2-5", Kind: "multievent", Text: day + `
+agentid = 6
+proc p1["%winword%"] start proc p2["%cmd.exe"] as evt1
+proc p2 start proc p3["%powershell%"] as evt2
+with evt1 before evt2
+return distinct p1, p2, p3`},
+		{Label: "c2-6", Kind: "multievent", Text: day + `
+agentid = 6
+proc p1["%powershell%"] write file f["%dropper%"] as evt1
+proc p1 start proc p2["%dropper%"] as evt2
+with evt1 before evt2
+return distinct p1, f, p2`},
+		{Label: "c2-7", Kind: "multievent", Text: day + `
+agentid = 6
+proc p["%backdoor%"] write ip i[dstip = "198.51.100.77"] as evt
+return distinct p, i`},
+		{Label: "c2-8", Kind: "multievent", Text: day + `
+agentid = 6
+proc p1["%winword%"] read file f["%invoice%"] as evt1
+proc p1 start proc p2["%cmd.exe"] as evt2
+proc p2 start proc p3["%powershell%"] as evt3
+proc p3 connect ip i[dstip = "198.51.100.77"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, f, p2, p3, i`},
+
+		// ---- c3: privilege escalation
+		{Label: "c3-1", Kind: "multievent", Text: day + `
+agentid = 6
+proc p1["%backdoor%"] start proc p2["%ms16%"] as evt
+return distinct p1, p2`},
+		{Label: "c3-2", Kind: "multievent", Text: day + `
+agentid = 6
+proc p1["%backdoor%"] start proc p2["%ms16%"] as evt1
+proc p2 start proc p3["%cmd.exe"] as evt2
+proc p3 read file f["%lsass.exe"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, p2, p3`},
+
+		// ---- c4: lateral movement to the file server (agent 4)
+		{Label: "c4-1", Kind: "multievent", Text: day + `
+agentid = 4
+proc p accept ip i[srcip = "10.0.0.6"] as evt
+return distinct p, i.src_ip`},
+		{Label: "c4-2", Kind: "multievent", Text: day + `
+agentid = 4
+proc p1["%services.exe"] start proc p2["%psexesvc%"] as evt
+return distinct p1, p2`},
+		{Label: "c4-3", Kind: "multievent", Text: day + `
+agentid = 4
+proc p1["%psexesvc%"] start proc p2["%cmd.exe"] as evt
+return distinct p1, p2`},
+		{Label: "c4-4", Kind: "multievent", Text: day + `
+agentid = 4
+proc p["%robocopy%"] read file f["%_design.cad"] as evt
+return distinct p, f`},
+		{Label: "c4-5", Kind: "multievent", Text: day + `
+agentid = 4
+proc p["%robocopy%"] write file f["%archive.rar"] as evt
+return distinct p, f`},
+		{Label: "c4-6", Kind: "multievent", Text: day + `
+agentid = 4
+proc p1["%services.exe"] start proc p2["%psexesvc%"] as evt1
+proc p2 start proc p3["%cmd.exe"] as evt2
+proc p3 start proc p4["%robocopy%"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, p2, p3, p4`},
+		{Label: "c4-7", Kind: "multievent", Text: day + `
+agentid = 4
+proc p["%robocopy%"] read file f1["%_design.cad"] as evt1
+proc p write file f2["%archive.rar"] as evt2
+with evt1 before evt2
+return distinct p, f1, f2`},
+		{Label: "c4-8", Kind: "dependency", Text: day + `
+forward: proc p1["%backdoor%", agentid = 6] ->[connect] proc p2["%services.exe", agentid = 4]
+->[start] proc p3["%psexesvc%"]
+->[start] proc p4["%cmd.exe"]
+return p1, p2, p3, p4`},
+
+		// ---- c5: exfiltration from the file server
+		{Label: "c5-1", Kind: "multievent", Text: day + `
+agentid = 4
+proc p["%ftp.exe"] read file f["%archive.rar"] as evt
+return distinct p, f`},
+		{Label: "c5-2", Kind: "multievent", Text: day + `
+agentid = 4
+proc p["%ftp.exe"] connect ip i[dstip = "198.51.100.77"] as evt
+return distinct p, i`},
+		{Label: "c5-3", Kind: "multievent", Text: day + `
+agentid = 4
+proc p["%ftp.exe"] write ip i[dstip = "198.51.100.77"] as evt
+with evt.amount > 1000000
+return distinct p, i`},
+		{Label: "c5-4", Kind: "multievent", Text: day + `
+agentid = 4
+proc p1 start proc p2["%ftp.exe"] as evt
+return distinct p1, p2`},
+		{Label: "c5-5", Kind: "multievent", Text: day + `
+agentid = 4
+proc p1["%cmd.exe"] start proc p2["%ftp.exe"] as evt1
+proc p2 read file f["%archive.rar"] as evt2
+with evt1 before evt2
+return distinct p1, p2, f`},
+		{Label: "c5-6", Kind: "multievent", Text: day + `
+agentid = 4
+proc p["%ftp.exe"] read file f["%archive.rar"] as evt1
+proc p connect ip i[dstip = "198.51.100.77"] as evt2
+proc p write ip i as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p, f, i`},
+		{Label: "c5-7", Kind: "multievent", Text: day + `
+agentid = 4
+proc p1["%robocopy%"] read file f1["%_design.cad"] as evt1
+proc p1 write file f2["%archive.rar"] as evt2
+proc p2["%ftp.exe"] read file f2 as evt3
+proc p2 connect ip i[dstip = "198.51.100.77"] as evt4
+proc p2 write ip i as evt5
+with evt1 before evt2, evt2 before evt3, evt3 before evt4, evt4 before evt5
+return distinct p1, f1, f2, p2, i`},
+	}
+}
+
+// Fig5Dataset generates the atc-case store configuration used by E3.
+func Fig5Dataset(events, hosts int, seed int64) datagen.Config {
+	return datagen.Config{
+		Seed:      seed,
+		Hosts:     hosts,
+		Events:    events,
+		Scenarios: []datagen.Scenario{datagen.ScenarioATCCase},
+	}
+}

@@ -1,0 +1,203 @@
+// Package graphdb implements an embedded property-graph database — the
+// stand-in for Neo4j in the paper's comparisons. Entities are nodes,
+// events are typed edges carrying properties, and queries are subgraph
+// patterns matched by backtracking traversal in the style of Cypher's
+// runtime: a start-node scan (label index plus exact-property lookup)
+// followed by edge-at-a-time expansion, with no join reordering and no
+// hash joins — the behavior the paper identifies as the reason graph
+// databases lag on multi-step attack behaviors.
+package graphdb
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PropValue is one property value: string or integer.
+type PropValue struct {
+	S     string
+	N     int64
+	IsNum bool
+}
+
+// StrProp and NumProp construct property values.
+func StrProp(s string) PropValue { return PropValue{S: s} }
+
+// NumProp returns a numeric property value.
+func NumProp(n int64) PropValue { return PropValue{N: n, IsNum: true} }
+
+// Text renders the property for result rows.
+func (p PropValue) Text() string {
+	if p.IsNum {
+		return strconv.FormatInt(p.N, 10)
+	}
+	return p.S
+}
+
+// Num returns the numeric value (parsing strings as needed).
+func (p PropValue) Num() float64 {
+	if p.IsNum {
+		return float64(p.N)
+	}
+	f, _ := strconv.ParseFloat(p.S, 64)
+	return f
+}
+
+// key returns a canonical hash key (case-insensitive for strings).
+func (p PropValue) key() string {
+	if p.IsNum {
+		return "n" + strconv.FormatInt(p.N, 10)
+	}
+	return "s" + strings.ToLower(p.S)
+}
+
+// NodeID and EdgeID are handles into the graph's stores.
+type NodeID int32
+
+// EdgeID is a handle to an edge.
+type EdgeID int32
+
+// propEntry is one record in a property chain. Properties are stored as
+// a chain searched linearly by key — the access pattern of Neo4j's
+// property store, where every read walks the record chain comparing key
+// tokens.
+type propEntry struct {
+	key string
+	val PropValue
+}
+
+// propChain is an ordered property list with linear-scan lookup.
+type propChain []propEntry
+
+// Prop reads one property by key.
+func (c propChain) Prop(name string) (PropValue, bool) {
+	for i := range c {
+		if c[i].key == name {
+			return c[i].val, true
+		}
+	}
+	return PropValue{}, false
+}
+
+// chainFromMap builds a deterministic chain (sorted keys) from a map.
+func chainFromMap(props map[string]PropValue) propChain {
+	keys := make([]string, 0, len(props))
+	for k := range props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	chain := make(propChain, 0, len(keys))
+	for _, k := range keys {
+		chain = append(chain, propEntry{key: k, val: props[k]})
+	}
+	return chain
+}
+
+// Node is one graph node.
+type Node struct {
+	ID    NodeID
+	Label string
+	props propChain
+	out   []EdgeID
+	in    []EdgeID
+}
+
+// Prop reads a node property (chain walk).
+func (n *Node) Prop(name string) (PropValue, bool) { return n.props.Prop(name) }
+
+// Edge is one directed, typed edge.
+type Edge struct {
+	ID    EdgeID
+	Type  string // operation name
+	From  NodeID
+	To    NodeID
+	props propChain
+}
+
+// Prop reads an edge property (chain walk).
+func (e *Edge) Prop(name string) (PropValue, bool) { return e.props.Prop(name) }
+
+// Graph is the property-graph store.
+type Graph struct {
+	nodes []Node
+	edges []Edge
+
+	labelIdx map[string][]NodeID
+	// exact property index per (label, prop): value key → node IDs; used
+	// for start-node selection like Neo4j schema indexes
+	propIdx map[string]map[string][]NodeID
+}
+
+// New creates an empty graph.
+func New() *Graph {
+	return &Graph{
+		labelIdx: map[string][]NodeID{},
+		propIdx:  map[string]map[string][]NodeID{},
+	}
+}
+
+// AddNode inserts a node and returns its ID.
+func (g *Graph) AddNode(label string, props map[string]PropValue) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Label: label, props: chainFromMap(props)})
+	g.labelIdx[label] = append(g.labelIdx[label], id)
+	return id
+}
+
+// AddEdge inserts a directed edge and returns its ID.
+func (g *Graph) AddEdge(from, to NodeID, typ string, props map[string]PropValue) EdgeID {
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{ID: id, Type: typ, From: from, To: to, props: chainFromMap(props)})
+	g.nodes[from].out = append(g.nodes[from].out, id)
+	g.nodes[to].in = append(g.nodes[to].in, id)
+	return id
+}
+
+// CreateIndex builds an exact-value index on (label, prop) for start-node
+// selection.
+func (g *Graph) CreateIndex(label, prop string) {
+	key := label + "\x00" + prop
+	idx := map[string][]NodeID{}
+	for _, id := range g.labelIdx[label] {
+		if v, ok := g.nodes[id].Prop(prop); ok {
+			idx[v.key()] = append(idx[v.key()], id)
+		}
+	}
+	g.propIdx[key] = idx
+}
+
+// Node returns a node by ID.
+func (g *Graph) Node(id NodeID) *Node { return &g.nodes[id] }
+
+// Edge returns an edge by ID.
+func (g *Graph) Edge(id EdgeID) *Edge { return &g.edges[id] }
+
+// NumNodes and NumEdges report store sizes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NodesByLabel returns the node IDs with the given label.
+func (g *Graph) NodesByLabel(label string) []NodeID { return g.labelIdx[label] }
+
+// lookupProp consults the exact-property index; ok is false when no index
+// exists for (label, prop).
+func (g *Graph) lookupProp(label, prop string, v PropValue) ([]NodeID, bool) {
+	idx, ok := g.propIdx[label+"\x00"+prop]
+	if !ok {
+		return nil, false
+	}
+	return idx[v.key()], true
+}
+
+// Labels returns the labels present, sorted (for diagnostics).
+func (g *Graph) Labels() []string {
+	out := make([]string, 0, len(g.labelIdx))
+	for l := range g.labelIdx {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

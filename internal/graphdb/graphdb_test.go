@@ -1,0 +1,222 @@
+package graphdb
+
+import (
+	"reflect"
+	"testing"
+)
+
+// tiny graph: two processes, one file, a netconn; p1 writes f, p2 reads
+// f, p2 connects out.
+func buildGraph(t *testing.T) (*Graph, NodeID, NodeID, NodeID, NodeID) {
+	t.Helper()
+	g := New()
+	p1 := g.AddNode("Process", map[string]PropValue{"exe_name": StrProp("cp"), "pid": NumProp(10)})
+	p2 := g.AddNode("Process", map[string]PropValue{"exe_name": StrProp("apache2"), "pid": NumProp(20)})
+	f := g.AddNode("File", map[string]PropValue{"name": StrProp("/var/www/payload.sh")})
+	c := g.AddNode("Netconn", map[string]PropValue{"dst_ip": StrProp("9.9.9.9"), "dst_port": NumProp(443)})
+	g.AddEdge(p1, f, "write", map[string]PropValue{"ord": NumProp(0), "start_ts": NumProp(100), "id": NumProp(1), "agentid": NumProp(1)})
+	g.AddEdge(p2, f, "read", map[string]PropValue{"ord": NumProp(1), "start_ts": NumProp(200), "id": NumProp(2), "agentid": NumProp(1)})
+	g.AddEdge(p2, c, "connect", map[string]PropValue{"ord": NumProp(2), "start_ts": NumProp(300), "id": NumProp(3), "agentid": NumProp(1)})
+	return g, p1, p2, f, c
+}
+
+func TestAddAndLookup(t *testing.T) {
+	g, p1, _, f, _ := buildGraph(t)
+	if g.NumNodes() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if v, ok := g.Node(p1).Prop("exe_name"); !ok || v.S != "cp" {
+		t.Errorf("prop lookup = %v, %v", v, ok)
+	}
+	if _, ok := g.Node(f).Prop("bogus"); ok {
+		t.Error("bogus prop found")
+	}
+	if got := g.Labels(); !reflect.DeepEqual(got, []string{"File", "Netconn", "Process"}) {
+		t.Errorf("labels = %v", got)
+	}
+	if got := len(g.NodesByLabel("Process")); got != 2 {
+		t.Errorf("process nodes = %d", got)
+	}
+}
+
+func TestMatchSingleEdge(t *testing.T) {
+	g, _, _, _, _ := buildGraph(t)
+	res, err := g.Match(&Pattern{
+		Nodes: []NodePattern{
+			{Var: "p", Label: "Process"},
+			{Var: "f", Label: "File", Preds: []PropPred{{Prop: "name", Op: CmpLike, Val: StrProp("%payload%")}}},
+		},
+		Edges: []EdgePattern{
+			{Alias: "e", FromVar: "p", ToVar: "f", Types: []string{"write"}},
+		},
+		Return: []ReturnItem{
+			{Var: "p", Prop: "exe_name", Label: "p"},
+			{Var: "f", Prop: "name", Label: "f"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"cp", "/var/www/payload.sh"}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestMatchChainWithTemporalRel(t *testing.T) {
+	g, _, _, _, _ := buildGraph(t)
+	pat := &Pattern{
+		Nodes: []NodePattern{
+			{Var: "p1", Label: "Process"},
+			{Var: "p2", Label: "Process"},
+			{Var: "f", Label: "File"},
+		},
+		Edges: []EdgePattern{
+			{Alias: "e1", FromVar: "p1", ToVar: "f", Types: []string{"write"}},
+			{Alias: "e2", FromVar: "p2", ToVar: "f", Types: []string{"read"}},
+		},
+		Rels: []EdgeRel{
+			{LeftEdge: "e1", LeftProp: "ord", Op: CmpLT, RightEdge: "e2", RightProp: "ord"},
+		},
+		Return: []ReturnItem{
+			{Var: "p1", Prop: "exe_name", Label: "writer"},
+			{Var: "p2", Prop: "exe_name", Label: "reader"},
+		},
+	}
+	res, err := g.Match(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"cp", "apache2"}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// reversed temporal relation eliminates the match
+	pat.Rels[0] = EdgeRel{LeftEdge: "e2", LeftProp: "ord", Op: CmpLT, RightEdge: "e1", RightProp: "ord"}
+	res, err = g.Match(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("reversed rel should not match, got %v", res.Rows)
+	}
+}
+
+func TestEdgeRelOffset(t *testing.T) {
+	g, _, _, _, _ := buildGraph(t)
+	pat := &Pattern{
+		Nodes: []NodePattern{
+			{Var: "p", Label: "Process"},
+			{Var: "f", Label: "File"},
+			{Var: "c", Label: "Netconn"},
+		},
+		Edges: []EdgePattern{
+			{Alias: "e1", FromVar: "p", ToVar: "f", Types: []string{"read"}},
+			{Alias: "e2", FromVar: "p", ToVar: "c", Types: []string{"connect"}},
+		},
+		// within 50: e2.start_ts <= e1.start_ts + 50 → 300 <= 250 fails
+		Rels: []EdgeRel{
+			{LeftEdge: "e2", LeftProp: "start_ts", Op: CmpLE, RightEdge: "e1", RightProp: "start_ts", Offset: 50},
+		},
+		Return: []ReturnItem{{Var: "p", Prop: "exe_name", Label: "p"}},
+	}
+	res, err := g.Match(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("offset bound should fail, got %v", res.Rows)
+	}
+	pat.Rels[0].Offset = 150 // 300 <= 350 passes
+	res, err = g.Match(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("offset bound should pass, got %v", res.Rows)
+	}
+}
+
+func TestNumericIndexStart(t *testing.T) {
+	g := New()
+	for i := 0; i < 100; i++ {
+		g.AddNode("Process", map[string]PropValue{"pid": NumProp(int64(i))})
+	}
+	target := g.AddNode("File", map[string]PropValue{"name": StrProp("x")})
+	g.AddEdge(42, target, "write", map[string]PropValue{"id": NumProp(1)})
+	g.CreateIndex("Process", "pid")
+	res, err := g.Match(&Pattern{
+		Nodes: []NodePattern{
+			{Var: "p", Label: "Process", Preds: []PropPred{{Prop: "pid", Op: CmpEQ, Val: NumProp(42)}}},
+			{Var: "f", Label: "File"},
+		},
+		Edges:  []EdgePattern{{Alias: "e", FromVar: "p", ToVar: "f", Types: []string{"write"}}},
+		Return: []ReturnItem{{Var: "p", Prop: "pid", Label: "pid"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "42" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestEdgeReturnAndDistinct(t *testing.T) {
+	g, p1, _, f, _ := buildGraph(t)
+	// duplicate edge to test distinct
+	g.AddEdge(p1, f, "write", map[string]PropValue{"ord": NumProp(3), "start_ts": NumProp(400), "id": NumProp(4), "agentid": NumProp(1)})
+	pat := &Pattern{
+		Nodes: []NodePattern{
+			{Var: "p", Label: "Process"},
+			{Var: "f", Label: "File"},
+		},
+		Edges:    []EdgePattern{{Alias: "e", FromVar: "p", ToVar: "f", Types: []string{"write"}}},
+		Return:   []ReturnItem{{Var: "p", Prop: "exe_name", Label: "p"}},
+		Distinct: true,
+	}
+	res, err := g.Match(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("distinct rows = %v", res.Rows)
+	}
+	pat.Distinct = false
+	pat.Return = []ReturnItem{{Var: "e", Prop: "id", IsEdge: true, Label: "event"}}
+	res, err = g.Match(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("edge id rows = %v", res.Rows)
+	}
+}
+
+func TestMatchRejectsUndeclaredVariable(t *testing.T) {
+	g, _, _, _, _ := buildGraph(t)
+	_, err := g.Match(&Pattern{
+		Nodes: []NodePattern{{Var: "p", Label: "Process"}},
+		Edges: []EdgePattern{{Alias: "e", FromVar: "p", ToVar: "ghost"}},
+	})
+	if err == nil {
+		t.Fatal("expected undeclared-variable error")
+	}
+}
+
+func TestCaseInsensitiveStringPreds(t *testing.T) {
+	g, _, _, _, _ := buildGraph(t)
+	res, err := g.Match(&Pattern{
+		Nodes: []NodePattern{
+			{Var: "p", Label: "Process", Preds: []PropPred{{Prop: "exe_name", Op: CmpEQ, Val: StrProp("APACHE2")}}},
+			{Var: "f", Label: "File"},
+		},
+		Edges:  []EdgePattern{{Alias: "e", FromVar: "p", ToVar: "f", Types: []string{"read"}}},
+		Return: []ReturnItem{{Var: "p", Prop: "exe_name", Label: "p"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("case-insensitive equality failed: %v", res.Rows)
+	}
+}

@@ -1,0 +1,448 @@
+package graphdb
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"github.com/aiql/aiql/internal/like"
+)
+
+// CmpOp is a predicate comparison operator.
+type CmpOp int
+
+// Comparison operators for property predicates.
+const (
+	CmpEQ CmpOp = iota
+	CmpNEQ
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpLike
+)
+
+// PropPred filters a node or edge by one property. String pattern and
+// equality predicates are evaluated with compiled regular expressions,
+// matching how the Cypher translation runs: Cypher has no LIKE and no
+// case-insensitive '=', so both become '=~' regex filters paying general
+// regex-engine cost per row (see the ToCypher output).
+type PropPred struct {
+	Prop string
+	Op   CmpOp
+	Val  PropValue
+	re   *regexp.Regexp
+}
+
+func (p *PropPred) regex() *regexp.Regexp {
+	if p.re == nil {
+		p.re = regexp.MustCompile(like.ToRegexp(p.Val.S))
+	}
+	return p.re
+}
+
+func (p *PropPred) eval(v PropValue, ok bool) bool {
+	if !ok {
+		return false
+	}
+	switch p.Op {
+	case CmpLike:
+		return p.regex().MatchString(v.Text())
+	case CmpEQ:
+		if p.Val.IsNum || v.IsNum {
+			return v.Num() == p.Val.Num()
+		}
+		return p.regex().MatchString(v.Text())
+	case CmpNEQ:
+		if p.Val.IsNum || v.IsNum {
+			return v.Num() != p.Val.Num()
+		}
+		return !p.regex().MatchString(v.Text())
+	case CmpLT:
+		return v.Num() < p.Val.Num()
+	case CmpLE:
+		return v.Num() <= p.Val.Num()
+	case CmpGT:
+		return v.Num() > p.Val.Num()
+	case CmpGE:
+		return v.Num() >= p.Val.Num()
+	}
+	return false
+}
+
+// NodePattern matches one pattern node.
+type NodePattern struct {
+	Var   string
+	Label string
+	Preds []PropPred
+}
+
+// EdgePattern matches one pattern edge between two pattern nodes.
+type EdgePattern struct {
+	Alias   string // edge variable (event alias)
+	FromVar string
+	ToVar   string
+	Types   []string // operation names; empty = any
+	Preds   []PropPred
+}
+
+// EdgeRel compares properties of two pattern edges, e.g. the temporal
+// relation e1.start_ts < e2.start_ts. Offset shifts the right side:
+// left.prop OP right.prop + Offset (used for `within` duration bounds).
+type EdgeRel struct {
+	LeftEdge  string
+	LeftProp  string
+	Op        CmpOp
+	RightEdge string
+	RightProp string
+	Offset    int64
+}
+
+// ReturnItem projects a node or edge property.
+type ReturnItem struct {
+	Var    string // node or edge variable
+	Prop   string
+	IsEdge bool
+	Label  string // output column label
+}
+
+// Pattern is a complete subgraph query.
+type Pattern struct {
+	Nodes    []NodePattern
+	Edges    []EdgePattern
+	Rels     []EdgeRel
+	Return   []ReturnItem
+	Distinct bool
+}
+
+// Result mirrors the other engines' result shape.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Match executes the pattern with the match-then-join model of 2018-era
+// Cypher runtimes, which the paper contrasts AIQL against ("Neo4j runs
+// generally slower than PostgreSQL since it lacks support for efficient
+// joins"): each relationship pattern is matched independently — via a
+// schema-index start when an exact equality predicate has one, else a
+// full relationship scan with per-row property filtering — and the match
+// sets are then nested-loop joined in syntactic order, enforcing shared
+// node variables and cross-edge predicates. No statistics, no join
+// reordering, no hash joins.
+func (g *Graph) Match(p *Pattern) (*Result, error) {
+	nodeByVar := map[string]*NodePattern{}
+	for i := range p.Nodes {
+		nodeByVar[p.Nodes[i].Var] = &p.Nodes[i]
+	}
+	for _, e := range p.Edges {
+		if nodeByVar[e.FromVar] == nil || nodeByVar[e.ToVar] == nil {
+			return nil, fmt.Errorf("graphdb: edge references undeclared node variable (%s)-->(%s)", e.FromVar, e.ToVar)
+		}
+	}
+	res := &Result{}
+	for _, r := range p.Return {
+		res.Columns = append(res.Columns, r.Label)
+	}
+
+	// phase 1: independent match sets per edge pattern
+	matchSets := make([][]EdgeID, len(p.Edges))
+	for i := range p.Edges {
+		matchSets[i] = g.matchEdgeSet(&p.Edges[i], nodeByVar)
+	}
+
+	// phase 2: nested-loop join in syntactic order
+	type binding struct {
+		nodes map[string]NodeID
+		edges map[string]EdgeID
+	}
+	acc := []binding{{nodes: map[string]NodeID{}, edges: map[string]EdgeID{}}}
+	for i := range p.Edges {
+		ep := &p.Edges[i]
+		var next []binding
+		for _, b := range acc {
+			for _, eid := range matchSets[i] {
+				edge := g.Edge(eid)
+				if nid, ok := b.nodes[ep.FromVar]; ok && nid != edge.From {
+					continue
+				}
+				if nid, ok := b.nodes[ep.ToVar]; ok && nid != edge.To {
+					continue
+				}
+				if !g.relsOK(p.Rels, b.edges, ep.Alias, eid) {
+					continue
+				}
+				nb := binding{
+					nodes: make(map[string]NodeID, len(b.nodes)+2),
+					edges: make(map[string]EdgeID, len(b.edges)+1),
+				}
+				for k, v := range b.nodes {
+					nb.nodes[k] = v
+				}
+				for k, v := range b.edges {
+					nb.edges[k] = v
+				}
+				nb.nodes[ep.FromVar] = edge.From
+				nb.nodes[ep.ToVar] = edge.To
+				nb.edges[ep.Alias] = eid
+				next = append(next, nb)
+			}
+		}
+		acc = next
+		if len(acc) == 0 {
+			break
+		}
+	}
+
+	// projection
+	for _, b := range acc {
+		row := make([]string, len(p.Return))
+		for i, r := range p.Return {
+			if r.IsEdge {
+				eid, ok := b.edges[r.Var]
+				if !ok {
+					return nil, fmt.Errorf("graphdb: unbound edge variable %q in return", r.Var)
+				}
+				v, _ := g.Edge(eid).Prop(r.Prop)
+				row[i] = v.Text()
+			} else {
+				nid, ok := b.nodes[r.Var]
+				if !ok {
+					return nil, fmt.Errorf("graphdb: unbound node variable %q in return", r.Var)
+				}
+				v, _ := g.Node(nid).Prop(r.Prop)
+				row[i] = v.Text()
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	sort.Slice(res.Rows, func(i, j int) bool {
+		a, b := res.Rows[i], res.Rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	if p.Distinct {
+		res.Rows = dedupSorted(res.Rows)
+	}
+	return res, nil
+}
+
+// pipelineRow is the boxed execution context flowing between pipeline
+// stages, allocated per emitted row as interpreted Cypher runtimes do.
+type pipelineRow struct {
+	edge *Edge
+	from *Node
+	to   *Node
+}
+
+// pipelineStage is one Filter operator in the interpreted pipeline.
+type pipelineStage interface {
+	pass(r *pipelineRow) bool
+}
+
+type typeStage struct{ types []string }
+
+func (s *typeStage) pass(r *pipelineRow) bool {
+	return len(s.types) == 0 || containsStr(s.types, r.edge.Type)
+}
+
+type edgePredStage struct{ pred *PropPred }
+
+func (s *edgePredStage) pass(r *pipelineRow) bool {
+	v, ok := r.edge.Prop(s.pred.Prop)
+	return s.pred.eval(v, ok)
+}
+
+type nodePredStage struct {
+	pred   *PropPred
+	label  string
+	onFrom bool
+}
+
+func (s *nodePredStage) pass(r *pipelineRow) bool {
+	n := r.to
+	if s.onFrom {
+		n = r.from
+	}
+	if n.Label != s.label {
+		return false
+	}
+	v, ok := n.Prop(s.pred.Prop)
+	return s.pred.eval(v, ok)
+}
+
+type labelStage struct {
+	label  string
+	onFrom bool
+}
+
+func (s *labelStage) pass(r *pipelineRow) bool {
+	if s.onFrom {
+		return r.from.Label == s.label
+	}
+	return r.to.Label == s.label
+}
+
+// buildPipeline compiles one relationship pattern into the Filter stages
+// that run after Expand: type filter, edge property filters, endpoint
+// label checks, and endpoint property filters.
+func buildPipeline(ep *EdgePattern, fromPat, toPat *NodePattern) []pipelineStage {
+	stages := []pipelineStage{&typeStage{types: ep.Types}}
+	for i := range ep.Preds {
+		stages = append(stages, &edgePredStage{pred: &ep.Preds[i]})
+	}
+	stages = append(stages, &labelStage{label: fromPat.Label, onFrom: true})
+	for i := range fromPat.Preds {
+		stages = append(stages, &nodePredStage{pred: &fromPat.Preds[i], label: fromPat.Label, onFrom: true})
+	}
+	stages = append(stages, &labelStage{label: toPat.Label})
+	for i := range toPat.Preds {
+		stages = append(stages, &nodePredStage{pred: &toPat.Preds[i], label: toPat.Label})
+	}
+	return stages
+}
+
+// matchEdgeSet enumerates the edges satisfying one relationship pattern
+// in isolation, running the interpreted Expand→Filter pipeline: every
+// visited relationship materializes a boxed row context that flows
+// through the stage chain (virtual dispatch per stage), the execution
+// model of 2018-era Cypher runtimes. When an endpoint has a numeric
+// equality predicate backed by a schema index the Expand starts from the
+// indexed nodes; otherwise it is NodeByLabelScan + ExpandAll.
+func (g *Graph) matchEdgeSet(ep *EdgePattern, nodeByVar map[string]*NodePattern) []EdgeID {
+	fromPat := nodeByVar[ep.FromVar]
+	toPat := nodeByVar[ep.ToVar]
+	stages := buildPipeline(ep, fromPat, toPat)
+
+	check := func(eid EdgeID) bool {
+		edge := g.Edge(eid)
+		r := &pipelineRow{edge: edge, from: g.Node(edge.From), to: g.Node(edge.To)}
+		for _, s := range stages {
+			if !s.pass(r) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// schema-index start: exact equality predicate on an indexed property
+	if ids, ok := g.indexStart(fromPat); ok {
+		var out []EdgeID
+		for _, nid := range ids {
+			for _, eid := range g.Node(nid).out {
+				if check(eid) {
+					out = append(out, eid)
+				}
+			}
+		}
+		return out
+	}
+	if ids, ok := g.indexStart(toPat); ok {
+		var out []EdgeID
+		for _, nid := range ids {
+			for _, eid := range g.Node(nid).in {
+				if check(eid) {
+					out = append(out, eid)
+				}
+			}
+		}
+		return out
+	}
+
+	// No applicable index: NodeByLabelScan + ExpandAll, the Cypher plan
+	// for unindexed starts — visit every candidate source node and walk
+	// its adjacency, touching relationship records in store order rather
+	// than sequentially.
+	var out []EdgeID
+	for _, nid := range g.labelIdx[fromPat.Label] {
+		for _, eid := range g.nodes[nid].out {
+			if check(eid) {
+				out = append(out, eid)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// indexStart returns the candidate nodes for a pattern via the schema
+// index, when an exact equality predicate has one. String equality in
+// this domain is case-insensitive (names from mixed OS fleets), which a
+// Neo4j schema index cannot serve — 3.x-era Neo4j has no functional
+// (toLower) indexes — so only numeric equality predicates are indexable;
+// string filters fall back to the label scan. (The relational baseline
+// keeps its lower()-style functional hash index: PostgreSQL supports
+// expression indexes.)
+func (g *Graph) indexStart(np *NodePattern) ([]NodeID, bool) {
+	for i := range np.Preds {
+		if np.Preds[i].Op != CmpEQ || !np.Preds[i].Val.IsNum {
+			continue
+		}
+		if ids, ok := g.lookupProp(np.Label, np.Preds[i].Prop, np.Preds[i].Val); ok {
+			return ids, true
+		}
+	}
+	return nil, false
+}
+
+// relsOK checks the cross-edge predicates that become decidable once the
+// new edge is bound.
+func (g *Graph) relsOK(rels []EdgeRel, bound map[string]EdgeID, alias string, eid EdgeID) bool {
+	for _, r := range rels {
+		var leftID, rightID EdgeID
+		var ok bool
+		switch {
+		case r.LeftEdge == alias:
+			leftID = eid
+			rightID, ok = bound[r.RightEdge]
+		case r.RightEdge == alias:
+			rightID = eid
+			leftID, ok = bound[r.LeftEdge]
+		default:
+			continue
+		}
+		if !ok {
+			continue
+		}
+		lv, lok := g.Edge(leftID).Prop(r.LeftProp)
+		rv, rok := g.Edge(rightID).Prop(r.RightProp)
+		if !lok || !rok {
+			return false
+		}
+		if r.Offset != 0 {
+			rv = NumProp(rv.N + r.Offset)
+		}
+		pred := PropPred{Prop: r.LeftProp, Op: r.Op, Val: rv}
+		if !pred.eval(lv, true) {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupSorted(rows [][]string) [][]string {
+	out := rows[:0]
+	var prev string
+	for i, r := range rows {
+		k := strings.Join(r, "\t")
+		if i == 0 || k != prev {
+			out = append(out, r)
+		}
+		prev = k
+	}
+	return out
+}
+
+func containsStr(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

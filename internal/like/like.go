@@ -1,0 +1,165 @@
+// Package like implements SQL-LIKE-style pattern matching as used by AIQL
+// attribute filters: '%' matches any (possibly empty) substring and '_'
+// matches exactly one byte. Matching is case-insensitive for ASCII, which
+// mirrors how security analysts filter executable and file names collected
+// from mixed Windows/Linux fleets.
+package like
+
+import "strings"
+
+// Pattern is a compiled LIKE pattern.
+type Pattern struct {
+	raw      string
+	segments []string // literal segments between '%' wildcards, lowercased
+	single   []int    // count of '_' immediately following each segment boundary (unused fast path when zero)
+	leading  bool     // pattern starts with '%'
+	trailing bool     // pattern ends with '%'
+	exact    bool     // no wildcards at all: exact match
+	hasUnder bool     // pattern contains '_'
+}
+
+// Compile parses a LIKE pattern. Compile never fails: every string is a
+// valid pattern; strings without wildcards require an exact match.
+func Compile(raw string) *Pattern {
+	p := &Pattern{raw: raw}
+	lower := strings.ToLower(raw)
+	p.hasUnder = strings.ContainsRune(lower, '_')
+	if !strings.ContainsRune(lower, '%') && !p.hasUnder {
+		p.exact = true
+		p.segments = []string{lower}
+		return p
+	}
+	p.leading = strings.HasPrefix(lower, "%")
+	p.trailing = strings.HasSuffix(lower, "%")
+	for _, seg := range strings.Split(lower, "%") {
+		if seg != "" {
+			p.segments = append(p.segments, seg)
+		}
+	}
+	return p
+}
+
+// Raw returns the original pattern text.
+func (p *Pattern) Raw() string { return p.raw }
+
+// Exact reports whether the pattern contains no wildcards.
+func (p *Pattern) Exact() bool { return p.exact }
+
+// ExactValue returns the literal (lowercased) value for exact patterns.
+func (p *Pattern) ExactValue() string {
+	if len(p.segments) == 0 {
+		return ""
+	}
+	return p.segments[0]
+}
+
+// Prefix returns the literal prefix the pattern demands, if any.
+// Useful for index range scans: "C:\Win%" has prefix "c:\win".
+func (p *Pattern) Prefix() string {
+	if p.exact {
+		return p.segments[0]
+	}
+	if p.leading || len(p.segments) == 0 {
+		return ""
+	}
+	// the first segment is a required prefix only if no '_' precedes it
+	first := strings.Split(strings.ToLower(p.raw), "%")[0]
+	if i := strings.IndexByte(first, '_'); i >= 0 {
+		return first[:i]
+	}
+	return first
+}
+
+// Match reports whether s matches the pattern (ASCII case-insensitive).
+func (p *Pattern) Match(s string) bool {
+	ls := strings.ToLower(s)
+	if p.hasUnder {
+		return matchGeneral(strings.ToLower(p.raw), ls)
+	}
+	if p.exact {
+		return ls == p.segments[0]
+	}
+	if len(p.segments) == 0 {
+		// pattern was all '%'
+		return true
+	}
+	rest := ls
+	for i, seg := range p.segments {
+		if i == 0 && !p.leading {
+			if !strings.HasPrefix(rest, seg) {
+				return false
+			}
+			rest = rest[len(seg):]
+			continue
+		}
+		if i == len(p.segments)-1 && !p.trailing {
+			return strings.HasSuffix(rest, seg) && len(rest) >= len(seg)
+		}
+		j := strings.Index(rest, seg)
+		if j < 0 {
+			return false
+		}
+		rest = rest[j+len(seg):]
+	}
+	return true
+}
+
+// matchGeneral is the full backtracking matcher handling both '%' and '_'.
+// pat and s must already be lowercased.
+func matchGeneral(pat, s string) bool {
+	// iterative two-pointer algorithm with single backtrack point,
+	// the classic wildcard matcher
+	var (
+		pi, si     int
+		starPi     = -1
+		starSi     int
+		plen, slen = len(pat), len(s)
+	)
+	for si < slen {
+		switch {
+		case pi < plen && (pat[pi] == '_' || pat[pi] == s[si]):
+			pi++
+			si++
+		case pi < plen && pat[pi] == '%':
+			starPi = pi
+			starSi = si
+			pi++
+		case starPi >= 0:
+			pi = starPi + 1
+			starSi++
+			si = starSi
+		default:
+			return false
+		}
+	}
+	for pi < plen && pat[pi] == '%' {
+		pi++
+	}
+	return pi == plen
+}
+
+// Match is a convenience for one-shot matching.
+func Match(pattern, s string) bool { return Compile(pattern).Match(s) }
+
+// ToRegexp converts a LIKE pattern into an equivalent (case-insensitive)
+// regular expression source string. Used by tests to cross-check the
+// matcher and by the Cypher translator ('=~' operator).
+func ToRegexp(pattern string) string {
+	var b strings.Builder
+	b.WriteString("(?i)^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			b.WriteString(".*")
+		case '_':
+			b.WriteString(".")
+		case '.', '+', '*', '?', '(', ')', '[', ']', '{', '}', '^', '$', '|', '\\':
+			b.WriteByte('\\')
+			b.WriteRune(r)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteString("$")
+	return b.String()
+}

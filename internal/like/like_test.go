@@ -1,0 +1,165 @@
+package like
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchBasics(t *testing.T) {
+	cases := []struct {
+		pattern string
+		input   string
+		want    bool
+	}{
+		{"%cmd.exe", `C:\Windows\System32\cmd.exe`, true},
+		{"%cmd.exe", "cmd.exe", true},
+		{"%cmd.exe", "cmd.exe.bak", false},
+		{"cmd.exe", "cmd.exe", true},
+		{"cmd.exe", "CMD.EXE", true}, // case-insensitive
+		{"cmd.exe", "xcmd.exe", false},
+		{"%backup1.dmp", `C:\data\backup1.dmp`, true},
+		{"%info_stealer%", "/var/www/info_stealer.sh", true},
+		{"/var/www/%", "/var/www/html/index.php", true},
+		{"/var/www/%", "/etc/passwd", false},
+		{"%", "", true},
+		{"%", "anything", true},
+		{"", "", true},
+		{"", "x", false},
+		{"a%b%c", "abc", true},
+		{"a%b%c", "aXXbYYc", true},
+		{"a%b%c", "acb", false},
+		{"a_c", "abc", true},
+		{"a_c", "ac", false},
+		{"a_c", "abbc", false},
+		{"_", "x", true},
+		{"_", "", false},
+		{"%.129", "203.0.113.129", true},
+		{"%.129", "203.0.113.128", false},
+		{"ab%", "ab", true},
+		{"ab%", "a", false},
+		{"%%", "x", true},
+		{"a%%b", "ab", true},
+	}
+	for _, c := range cases {
+		if got := Match(c.pattern, c.input); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.pattern, c.input, got, c.want)
+		}
+	}
+}
+
+func TestUnderscoreWithPercent(t *testing.T) {
+	cases := []struct {
+		pattern string
+		input   string
+		want    bool
+	}{
+		{"a_%", "ab", true},
+		{"a_%", "a", false},
+		{"a_%", "abcdef", true},
+		{"%_design.cad", `C:\Projects\eng\pcb_design.cad`, true},
+		{"_%_", "ab", true},
+		{"_%_", "a", false},
+	}
+	for _, c := range cases {
+		if got := Match(c.pattern, c.input); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.pattern, c.input, got, c.want)
+		}
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	cases := []struct {
+		pattern string
+		want    string
+	}{
+		{"abc", "abc"},
+		{"abc%", "abc"},
+		{"%abc", ""},
+		{"ab_c%", "ab"},
+		{"a%b", "a"},
+		{"%", ""},
+	}
+	for _, c := range cases {
+		if got := Compile(c.pattern).Prefix(); got != c.want {
+			t.Errorf("Prefix(%q) = %q, want %q", c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestExact(t *testing.T) {
+	if !Compile("plain").Exact() {
+		t.Error("plain string should be exact")
+	}
+	for _, p := range []string{"a%", "_a", "%"} {
+		if Compile(p).Exact() {
+			t.Errorf("%q should not be exact", p)
+		}
+	}
+	if got := Compile("MiXeD").ExactValue(); got != "mixed" {
+		t.Errorf("ExactValue = %q, want %q", got, "mixed")
+	}
+}
+
+// TestMatchAgainstRegexp cross-checks the matcher against the reference
+// regular-expression translation on random patterns and inputs.
+func TestMatchAgainstRegexp(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []rune("ab%_c")
+	inputs := []rune("abcx")
+	gen := func(letters []rune, n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteRune(letters[rng.Intn(len(letters))])
+		}
+		return b.String()
+	}
+	for i := 0; i < 3000; i++ {
+		pattern := gen(alphabet, rng.Intn(7))
+		input := gen(inputs, rng.Intn(9))
+		re := regexp.MustCompile(ToRegexp(pattern))
+		want := re.MatchString(input)
+		if got := Match(pattern, input); got != want {
+			t.Fatalf("Match(%q, %q) = %v, regexp says %v", pattern, input, got, want)
+		}
+	}
+}
+
+// TestExactMatchesSelf: any string without wildcards matches itself.
+func TestExactMatchesSelf(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "%_") {
+			return true
+		}
+		return Match(s, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPercentWrappedMatchesContaining: %s% matches any superstring of s.
+func TestPercentWrappedMatchesContaining(t *testing.T) {
+	f := func(prefix, s, suffix string) bool {
+		if strings.ContainsAny(s, "%_") {
+			return true
+		}
+		return Match("%"+s+"%", prefix+s+suffix)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToRegexpEscapesMeta(t *testing.T) {
+	// the dot in cmd.exe must not match "cmdxexe"
+	re := regexp.MustCompile(ToRegexp("%cmd.exe"))
+	if re.MatchString("cmdxexe") {
+		t.Error("unescaped '.' in regexp translation")
+	}
+	if !re.MatchString("CMD.EXE") {
+		t.Error("regexp translation should be case-insensitive")
+	}
+}

@@ -1,0 +1,18 @@
+// Package numfmt renders numeric cell values identically across the AIQL
+// engine and the baseline engines, so cross-engine result comparison can
+// use plain string equality.
+package numfmt
+
+import (
+	"math"
+	"strconv"
+)
+
+// Format renders f: integral values print without a decimal point, other
+// values use Go's shortest round-trip representation.
+func Format(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,42 @@
+package numfmt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFormat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1:       "1",
+		-3:      "-3",
+		42:      "42",
+		2.5:     "2.5",
+		-0.125:  "-0.125",
+		1e6:     "1000000",
+		1e15:    "1e+15", // beyond the integer-format cutoff
+		1234.75: "1234.75",
+	}
+	for in, want := range cases {
+		if got := Format(in); got != want {
+			t.Errorf("Format(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestIntegersFormatWithoutPoint: every small integer formats with no
+// decimal point.
+func TestIntegersFormatWithoutPoint(t *testing.T) {
+	f := func(n int32) bool {
+		s := Format(float64(n))
+		for _, r := range s {
+			if r == '.' || r == 'e' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

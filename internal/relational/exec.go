@@ -1,0 +1,814 @@
+package relational
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/aiql/aiql/internal/like"
+)
+
+// Rows is a query result.
+type Rows struct {
+	Columns []string
+	Data    [][]Value
+}
+
+// RenderStrings renders every cell as text (cross-engine comparable).
+func (r *Rows) RenderStrings() [][]string {
+	out := make([][]string, len(r.Data))
+	for i, row := range r.Data {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.Text()
+		}
+		out[i] = cells
+	}
+	return out
+}
+
+// Query parses and executes a SELECT statement.
+func (db *DB) Query(sql string) (*Rows, error) {
+	stmt, err := ParseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.execSelect(stmt)
+}
+
+// execSelect runs one (possibly derived) SELECT.
+func (db *DB) execSelect(stmt *SelectStmt) (*Rows, error) {
+	rs, err := db.execFrom(stmt)
+	if err != nil {
+		return nil, err
+	}
+	needAgg := len(stmt.GroupBy) > 0 || stmt.Having != nil
+	if !needAgg {
+		for _, it := range stmt.Items {
+			if !it.Star && hasAggregate(it.Expr) {
+				needAgg = true
+				break
+			}
+		}
+	}
+	var out *Rows
+	if needAgg {
+		out, err = db.execAggregate(stmt, rs)
+	} else {
+		out, err = db.execProject(stmt, rs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Distinct {
+		out.Data = distinctRows(out.Data)
+	}
+	if len(stmt.OrderBy) > 0 {
+		if err := orderRows(stmt, out); err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Limit >= 0 && len(out.Data) > stmt.Limit {
+		out.Data = out.Data[:stmt.Limit]
+	}
+	return out, nil
+}
+
+// execFrom materializes the FROM clause: base tables and derived tables
+// joined left-to-right in syntactic order (no join reordering).
+func (db *DB) execFrom(stmt *SelectStmt) (*rowset, error) {
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("sql: missing FROM clause")
+	}
+	whereConj := splitConjuncts(stmt.Where)
+	consumed := make([]bool, len(whereConj))
+
+	// column ownership for unqualified pushdown attribution
+	colOwner := map[string]string{}
+	colSeen := map[string]int{}
+	for _, fi := range stmt.From {
+		if fi.TableName != "" {
+			if t, ok := db.tables[fi.TableName]; ok {
+				for _, c := range t.Columns {
+					colSeen[c.Name]++
+					colOwner[c.Name] = fi.Alias
+				}
+			}
+		}
+	}
+	for name, n := range colSeen {
+		if n > 1 {
+			delete(colOwner, name)
+		}
+	}
+
+	var acc *rowset
+	accAliases := map[string]bool{}
+	for idx := range stmt.From {
+		fi := &stmt.From[idx]
+		if accAliases[fi.Alias] {
+			return nil, fmt.Errorf("sql: duplicate table alias %q", fi.Alias)
+		}
+		onConj := splitConjuncts(fi.On)
+
+		// single-alias pushdown: ON conjuncts always; WHERE conjuncts
+		// only for inner/cross joins (LEFT JOIN must preserve semantics)
+		var push []SQLExpr
+		takeWhere := fi.Join != JoinLeft
+		for ci, c := range whereConj {
+			if consumed[ci] || !takeWhere {
+				continue
+			}
+			quals := map[string]bool{}
+			exprQuals(c, colOwner, quals)
+			if len(quals) == 1 && quals[fi.Alias] {
+				push = append(push, c)
+				consumed[ci] = true
+			}
+		}
+		var onResidual []SQLExpr
+		for _, c := range onConj {
+			quals := map[string]bool{}
+			exprQuals(c, colOwner, quals)
+			if len(quals) == 1 && quals[fi.Alias] {
+				push = append(push, c)
+			} else {
+				onResidual = append(onResidual, c)
+			}
+		}
+
+		base, err := db.materializeFromItem(fi, push)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = base
+			accAliases[fi.Alias] = true
+			continue
+		}
+
+		// join-level conjuncts: ON residuals plus WHERE conjuncts whose
+		// qualifiers are covered by the accumulated aliases + this one
+		joinConj := onResidual
+		if fi.Join != JoinLeft {
+			for ci, c := range whereConj {
+				if consumed[ci] {
+					continue
+				}
+				quals := map[string]bool{}
+				exprQuals(c, colOwner, quals)
+				covered := true
+				usesNew := false
+				for q := range quals {
+					if q == fi.Alias {
+						usesNew = true
+						continue
+					}
+					if !accAliases[q] {
+						covered = false
+					}
+				}
+				if covered && usesNew {
+					joinConj = append(joinConj, c)
+					consumed[ci] = true
+				}
+			}
+		}
+		acc, err = joinRowsets(acc, base, fi.Join, joinConj)
+		if err != nil {
+			return nil, err
+		}
+		accAliases[fi.Alias] = true
+	}
+
+	// residual WHERE conjuncts
+	var residual []SQLExpr
+	for ci, c := range whereConj {
+		if !consumed[ci] {
+			residual = append(residual, c)
+		}
+	}
+	if len(residual) > 0 {
+		kept := acc.rows[:0:0]
+		for _, row := range acc.rows {
+			ok := true
+			for _, c := range residual {
+				v, err := evalSQL(c, acc.scope, row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Truthy() {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		acc = &rowset{scope: acc.scope, rows: kept}
+	}
+	return acc, nil
+}
+
+func (db *DB) materializeFromItem(fi *FromItem, push []SQLExpr) (*rowset, error) {
+	if fi.Sub != nil {
+		sub, err := db.execSelect(fi.Sub)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]scopeCol, len(sub.Columns))
+		for i, c := range sub.Columns {
+			cols[i] = scopeCol{qual: fi.Alias, name: strings.ToLower(c)}
+		}
+		rs := &rowset{scope: newScope(cols), rows: sub.Data}
+		// apply pushdown conjuncts post-materialization
+		if len(push) > 0 {
+			kept := rs.rows[:0:0]
+			for _, row := range rs.rows {
+				ok := true
+				for _, c := range push {
+					v, err := evalSQL(c, rs.scope, row)
+					if err != nil {
+						return nil, err
+					}
+					if !v.Truthy() {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					kept = append(kept, row)
+				}
+			}
+			rs.rows = kept
+		}
+		return rs, nil
+	}
+	t, ok := db.Table(fi.TableName)
+	if !ok {
+		return nil, fmt.Errorf("sql: no table %q", fi.TableName)
+	}
+	rs, _, err := db.scanTable(t, fi.Alias, push)
+	return rs, err
+}
+
+// joinRowsets combines the accumulated rowset with a new base. A hash
+// join runs when an equi-join conjunct links the two sides; otherwise a
+// nested loop evaluates all conjuncts pairwise. LEFT joins preserve
+// unmatched left rows with NULL padding.
+func joinRowsets(left, right *rowset, jt JoinType, conj []SQLExpr) (*rowset, error) {
+	merged := left.scope.merge(right.scope)
+	out := &rowset{scope: merged}
+
+	// find one equi-join pair; remaining conjuncts become residuals
+	var (
+		li, ri   int
+		haveKey  bool
+		residual []SQLExpr
+	)
+	for _, c := range conj {
+		if !haveKey {
+			if l, r, ok := eqJoinKey(c, left.scope, right.scope); ok {
+				li, ri, haveKey = l, r, true
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+
+	evalResidual := func(row []Value) (bool, error) {
+		for _, c := range residual {
+			v, err := evalSQL(c, merged, row)
+			if err != nil {
+				return false, err
+			}
+			if !v.Truthy() {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	nullPad := make([]Value, len(right.scope.cols))
+	for i := range nullPad {
+		nullPad[i] = Null
+	}
+
+	if haveKey {
+		// build on the right side, probe with left rows
+		build := make(map[string][]int, len(right.rows))
+		for i, row := range right.rows {
+			k := row[ri].Key()
+			build[k] = append(build[k], i)
+		}
+		for _, lrow := range left.rows {
+			matched := false
+			if !lrow[li].IsNull() {
+				for _, riIdx := range build[lrow[li].Key()] {
+					cand := append(append([]Value{}, lrow...), right.rows[riIdx]...)
+					ok, err := evalResidual(cand)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						out.rows = append(out.rows, cand)
+						matched = true
+					}
+				}
+			}
+			if !matched && jt == JoinLeft {
+				out.rows = append(out.rows, append(append([]Value{}, lrow...), nullPad...))
+			}
+		}
+		return out, nil
+	}
+
+	// nested loop
+	for _, lrow := range left.rows {
+		matched := false
+		for _, rrow := range right.rows {
+			cand := append(append([]Value{}, lrow...), rrow...)
+			ok, err := evalResidual(cand)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.rows = append(out.rows, cand)
+				matched = true
+			}
+		}
+		if !matched && jt == JoinLeft {
+			out.rows = append(out.rows, append(append([]Value{}, lrow...), nullPad...))
+		}
+	}
+	return out, nil
+}
+
+// execProject evaluates the select list without aggregation.
+func (db *DB) execProject(stmt *SelectStmt, rs *rowset) (*Rows, error) {
+	out := &Rows{}
+	var exprs []SQLExpr
+	for i, it := range stmt.Items {
+		if it.Star {
+			for _, c := range rs.scope.cols {
+				out.Columns = append(out.Columns, c.name)
+				exprs = append(exprs, &ColRef{Qual: c.qual, Name: c.name})
+			}
+			continue
+		}
+		out.Columns = append(out.Columns, outputName(it, i))
+		exprs = append(exprs, it.Expr)
+	}
+	for _, row := range rs.rows {
+		cells := make([]Value, len(exprs))
+		for i, e := range exprs {
+			v, err := evalSQL(e, rs.scope, row)
+			if err != nil {
+				return nil, err
+			}
+			cells[i] = v
+		}
+		out.Data = append(out.Data, cells)
+	}
+	return out, nil
+}
+
+// execAggregate groups rows, computes aggregates, and applies HAVING.
+func (db *DB) execAggregate(stmt *SelectStmt, rs *rowset) (*Rows, error) {
+	type group struct {
+		first []Value
+		rows  [][]Value
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range rs.rows {
+		var key strings.Builder
+		for _, g := range stmt.GroupBy {
+			v, err := evalSQL(g, rs.scope, row)
+			if err != nil {
+				return nil, err
+			}
+			key.WriteString(v.Key())
+			key.WriteByte(0)
+		}
+		k := key.String()
+		gr := groups[k]
+		if gr == nil {
+			gr = &group{first: row}
+			groups[k] = gr
+			order = append(order, k)
+		}
+		gr.rows = append(gr.rows, row)
+	}
+	// an aggregate over an empty input with no GROUP BY yields one row
+	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+
+	out := &Rows{}
+	for i, it := range stmt.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sql: SELECT * is not allowed with GROUP BY")
+		}
+		out.Columns = append(out.Columns, outputName(it, i))
+	}
+	for _, k := range order {
+		gr := groups[k]
+		if stmt.Having != nil {
+			v, err := evalAggExpr(stmt.Having, rs.scope, gr.first, gr.rows)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		cells := make([]Value, len(stmt.Items))
+		for i, it := range stmt.Items {
+			v, err := evalAggExpr(it.Expr, rs.scope, gr.first, gr.rows)
+			if err != nil {
+				return nil, err
+			}
+			cells[i] = v
+		}
+		out.Data = append(out.Data, cells)
+	}
+	return out, nil
+}
+
+func distinctRows(rows [][]Value) [][]Value {
+	seen := map[string]bool{}
+	out := rows[:0:0]
+	for _, row := range rows {
+		var key strings.Builder
+		for _, v := range row {
+			key.WriteString(v.Key())
+			key.WriteByte(0)
+		}
+		k := key.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// orderRows sorts the projected output. ORDER BY keys resolve against the
+// output columns (aliases or column names).
+func orderRows(stmt *SelectStmt, out *Rows) error {
+	type key struct {
+		idx  int
+		desc bool
+	}
+	var keys []key
+	for _, o := range stmt.OrderBy {
+		c, ok := o.Expr.(*ColRef)
+		if !ok {
+			return fmt.Errorf("sql: ORDER BY supports output column references, got %s", sqlExprString(o.Expr))
+		}
+		found := -1
+		for i, name := range out.Columns {
+			if strings.EqualFold(name, c.Name) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("sql: ORDER BY column %q is not in the select list", c.Name)
+		}
+		keys = append(keys, key{idx: found, desc: o.Desc})
+	}
+	sort.SliceStable(out.Data, func(i, j int) bool {
+		for _, k := range keys {
+			c := Compare(out.Data[i][k.idx], out.Data[j][k.idx])
+			if c != 0 {
+				if k.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// ------------------------------------------------------------ evaluation
+
+// evalSQL evaluates a scalar expression against one row.
+func evalSQL(e SQLExpr, sc *scope, row []Value) (Value, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.V, nil
+	case *ColRef:
+		i, err := sc.resolve(x)
+		if err != nil {
+			return Null, err
+		}
+		return row[i], nil
+	case *UnExpr:
+		v, err := evalSQL(x.X, sc, row)
+		if err != nil {
+			return Null, err
+		}
+		if x.Op == "NOT" {
+			if v.IsNull() {
+				return Null, nil
+			}
+			return Bool(!v.Truthy()), nil
+		}
+		if v.IsNull() {
+			return Null, nil
+		}
+		if v.Kind == KindInt {
+			return Int(-v.I), nil
+		}
+		return Float(-v.Num()), nil
+	case *IsNullExpr:
+		v, err := evalSQL(x.X, sc, row)
+		if err != nil {
+			return Null, err
+		}
+		return Bool(v.IsNull() != x.Not), nil
+	case *InExpr:
+		v, err := evalSQL(x.X, sc, row)
+		if err != nil {
+			return Null, err
+		}
+		found := false
+		for _, item := range x.List {
+			iv, err := evalSQL(item, sc, row)
+			if err != nil {
+				return Null, err
+			}
+			if Equal(v, iv) {
+				found = true
+				break
+			}
+		}
+		return Bool(found != x.Not), nil
+	case *BinExpr:
+		return evalBin(x, sc, row)
+	case *FuncCall:
+		return evalScalarFunc(x, sc, row)
+	default:
+		return Null, fmt.Errorf("sql: unsupported expression %s", sqlExprString(e))
+	}
+}
+
+func evalBin(x *BinExpr, sc *scope, row []Value) (Value, error) {
+	l, err := evalSQL(x.L, sc, row)
+	if err != nil {
+		return Null, err
+	}
+	// short-circuit logic with SQL three-valued simplification
+	switch x.Op {
+	case "AND":
+		if !l.IsNull() && !l.Truthy() {
+			return Bool(false), nil
+		}
+		r, err := evalSQL(x.R, sc, row)
+		if err != nil {
+			return Null, err
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return Bool(l.Truthy() && r.Truthy()), nil
+	case "OR":
+		if !l.IsNull() && l.Truthy() {
+			return Bool(true), nil
+		}
+		r, err := evalSQL(x.R, sc, row)
+		if err != nil {
+			return Null, err
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return Bool(l.Truthy() || r.Truthy()), nil
+	}
+	r, err := evalSQL(x.R, sc, row)
+	if err != nil {
+		return Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return Null, nil
+	}
+	switch x.Op {
+	case "+", "-", "*", "/":
+		if x.Op == "/" {
+			d := r.Num()
+			if d == 0 {
+				return Null, nil
+			}
+			return Float(l.Num() / d), nil
+		}
+		if l.Kind == KindInt && r.Kind == KindInt {
+			switch x.Op {
+			case "+":
+				return Int(l.I + r.I), nil
+			case "-":
+				return Int(l.I - r.I), nil
+			case "*":
+				return Int(l.I * r.I), nil
+			}
+		}
+		switch x.Op {
+		case "+":
+			return Float(l.Num() + r.Num()), nil
+		case "-":
+			return Float(l.Num() - r.Num()), nil
+		default:
+			return Float(l.Num() * r.Num()), nil
+		}
+	case "||":
+		return Str(l.Text() + r.Text()), nil
+	case "=":
+		return Bool(Compare(l, r) == 0), nil
+	case "<>":
+		return Bool(Compare(l, r) != 0), nil
+	case "<":
+		return Bool(Compare(l, r) < 0), nil
+	case "<=":
+		return Bool(Compare(l, r) <= 0), nil
+	case ">":
+		return Bool(Compare(l, r) > 0), nil
+	case ">=":
+		return Bool(Compare(l, r) >= 0), nil
+	case "LIKE":
+		// literal patterns compile once per query, as a prepared
+		// statement would
+		if x.likeCache == nil {
+			if _, isLit := x.R.(*Lit); isLit {
+				x.likeCache = like.Compile(r.Text())
+			}
+		}
+		if x.likeCache != nil {
+			return Bool(x.likeCache.Match(l.Text())), nil
+		}
+		return Bool(like.Match(r.Text(), l.Text())), nil
+	}
+	return Null, fmt.Errorf("sql: unsupported operator %q", x.Op)
+}
+
+func evalScalarFunc(x *FuncCall, sc *scope, row []Value) (Value, error) {
+	if sqlAggregates[x.Name] {
+		return Null, fmt.Errorf("sql: aggregate %s used outside GROUP BY context", x.Name)
+	}
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := evalSQL(a, sc, row)
+		if err != nil {
+			return Null, err
+		}
+		args[i] = v
+	}
+	switch x.Name {
+	case "COALESCE":
+		for _, v := range args {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return Null, nil
+	case "LOWER":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("sql: LOWER takes one argument")
+		}
+		return Str(strings.ToLower(args[0].Text())), nil
+	case "UPPER":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("sql: UPPER takes one argument")
+		}
+		return Str(strings.ToUpper(args[0].Text())), nil
+	case "ABS":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("sql: ABS takes one argument")
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		return Float(math.Abs(args[0].Num())), nil
+	case "FLOOR":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("sql: FLOOR takes one argument")
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		return Int(int64(math.Floor(args[0].Num()))), nil
+	}
+	return Null, fmt.Errorf("sql: unknown function %s", x.Name)
+}
+
+// evalAggExpr evaluates an expression in aggregate context: aggregate
+// calls compute over the group's rows, everything else evaluates against
+// the group's representative row.
+func evalAggExpr(e SQLExpr, sc *scope, first []Value, rows [][]Value) (Value, error) {
+	switch x := e.(type) {
+	case *FuncCall:
+		if !sqlAggregates[x.Name] {
+			// scalar function over aggregate arguments,
+			// e.g. COALESCE(SUM(amount), 0)
+			if hasAggregate(x) {
+				lits := make([]SQLExpr, len(x.Args))
+				for i, a := range x.Args {
+					v, err := evalAggExpr(a, sc, first, rows)
+					if err != nil {
+						return Null, err
+					}
+					lits[i] = &Lit{V: v}
+				}
+				return evalScalarFunc(&FuncCall{Name: x.Name, Args: lits}, sc, first)
+			}
+			break
+		}
+		if x.Star || len(x.Args) == 0 {
+			if x.Name != "COUNT" {
+				return Null, fmt.Errorf("sql: %s needs an argument", x.Name)
+			}
+			return Int(int64(len(rows))), nil
+		}
+		arg := x.Args[0]
+		var (
+			count int64
+			sum   float64
+			minV  Value
+			maxV  Value
+		)
+		for _, row := range rows {
+			v, err := evalSQL(arg, sc, row)
+			if err != nil {
+				return Null, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if count == 0 {
+				minV, maxV = v, v
+			} else {
+				if Compare(v, minV) < 0 {
+					minV = v
+				}
+				if Compare(v, maxV) > 0 {
+					maxV = v
+				}
+			}
+			count++
+			sum += v.Num()
+		}
+		switch x.Name {
+		case "COUNT":
+			return Int(count), nil
+		case "SUM":
+			if count == 0 {
+				return Null, nil
+			}
+			return Float(sum), nil
+		case "AVG":
+			if count == 0 {
+				return Null, nil
+			}
+			return Float(sum / float64(count)), nil
+		case "MIN":
+			if count == 0 {
+				return Null, nil
+			}
+			return minV, nil
+		case "MAX":
+			if count == 0 {
+				return Null, nil
+			}
+			return maxV, nil
+		}
+	case *BinExpr:
+		if hasAggregate(x) {
+			l, err := evalAggExpr(x.L, sc, first, rows)
+			if err != nil {
+				return Null, err
+			}
+			r, err := evalAggExpr(x.R, sc, first, rows)
+			if err != nil {
+				return Null, err
+			}
+			return evalBin(&BinExpr{Op: x.Op, L: &Lit{V: l}, R: &Lit{V: r}}, sc, first)
+		}
+	case *UnExpr:
+		if hasAggregate(x) {
+			v, err := evalAggExpr(x.X, sc, first, rows)
+			if err != nil {
+				return Null, err
+			}
+			return evalSQL(&UnExpr{Op: x.Op, X: &Lit{V: v}}, sc, first)
+		}
+	}
+	if first == nil {
+		return Null, nil
+	}
+	return evalSQL(e, sc, first)
+}

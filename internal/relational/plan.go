@@ -1,0 +1,387 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/aiql/aiql/internal/like"
+)
+
+// scopeCol identifies one column of an intermediate rowset.
+type scopeCol struct {
+	qual string
+	name string
+}
+
+// scope resolves column references against an intermediate rowset.
+// Resolutions are memoized per ColRef node, the equivalent of a real
+// engine compiling references to column offsets once per query.
+type scope struct {
+	cols   []scopeCol
+	byQual map[string]int
+	byName map[string][]int
+	memo   map[*ColRef]int
+}
+
+func newScope(cols []scopeCol) *scope {
+	s := &scope{
+		cols: cols, byQual: map[string]int{}, byName: map[string][]int{},
+		memo: map[*ColRef]int{},
+	}
+	for i, c := range cols {
+		s.byQual[c.qual+"."+c.name] = i
+		s.byName[c.name] = append(s.byName[c.name], i)
+	}
+	return s
+}
+
+func (s *scope) resolve(c *ColRef) (int, error) {
+	if i, ok := s.memo[c]; ok {
+		return i, nil
+	}
+	i, err := s.resolveSlow(c)
+	if err == nil {
+		s.memo[c] = i
+	}
+	return i, err
+}
+
+func (s *scope) resolveSlow(c *ColRef) (int, error) {
+	if c.Qual != "" {
+		if i, ok := s.byQual[c.Qual+"."+c.Name]; ok {
+			return i, nil
+		}
+		return -1, fmt.Errorf("sql: unknown column %s.%s", c.Qual, c.Name)
+	}
+	idxs := s.byName[c.Name]
+	switch len(idxs) {
+	case 1:
+		return idxs[0], nil
+	case 0:
+		return -1, fmt.Errorf("sql: unknown column %s", c.Name)
+	default:
+		return -1, fmt.Errorf("sql: ambiguous column %s", c.Name)
+	}
+}
+
+// has reports whether the scope can resolve the reference.
+func (s *scope) has(c *ColRef) bool {
+	_, err := s.resolve(c)
+	return err == nil
+}
+
+// merge concatenates two scopes.
+func (s *scope) merge(t *scope) *scope {
+	cols := append(append([]scopeCol{}, s.cols...), t.cols...)
+	return newScope(cols)
+}
+
+// rowset is an intermediate result: a scope plus rows.
+type rowset struct {
+	scope *scope
+	rows  [][]Value
+}
+
+// splitConjuncts flattens an AND tree.
+func splitConjuncts(e SQLExpr) []SQLExpr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []SQLExpr{e}
+}
+
+// exprQuals collects the qualifiers referenced by an expression.
+// Unqualified references resolve through colOwner (column → alias), built
+// from the FROM items in scope.
+func exprQuals(e SQLExpr, colOwner map[string]string, out map[string]bool) {
+	switch x := e.(type) {
+	case *ColRef:
+		q := x.Qual
+		if q == "" {
+			q = colOwner[x.Name]
+		}
+		if q != "" {
+			out[q] = true
+		} else {
+			out["?"] = true // unresolvable: never push down
+		}
+	case *BinExpr:
+		exprQuals(x.L, colOwner, out)
+		exprQuals(x.R, colOwner, out)
+	case *UnExpr:
+		exprQuals(x.X, colOwner, out)
+	case *IsNullExpr:
+		exprQuals(x.X, colOwner, out)
+	case *FuncCall:
+		for _, a := range x.Args {
+			exprQuals(a, colOwner, out)
+		}
+	case *InExpr:
+		exprQuals(x.X, colOwner, out)
+		for _, a := range x.List {
+			exprQuals(a, colOwner, out)
+		}
+	}
+}
+
+// eqJoinKey extracts `a.x = b.y` equi-join column pairs where one side
+// resolves in left scope and the other in right scope.
+func eqJoinKey(e SQLExpr, left, right *scope) (li, ri int, ok bool) {
+	b, isBin := e.(*BinExpr)
+	if !isBin || b.Op != "=" {
+		return 0, 0, false
+	}
+	lc, lok := b.L.(*ColRef)
+	rc, rok := b.R.(*ColRef)
+	if !lok || !rok {
+		return 0, 0, false
+	}
+	if left.has(lc) && right.has(rc) {
+		li, _ = left.resolve(lc)
+		ri, _ = right.resolve(rc)
+		return li, ri, true
+	}
+	if left.has(rc) && right.has(lc) {
+		li, _ = left.resolve(rc)
+		ri, _ = right.resolve(lc)
+		return li, ri, true
+	}
+	return 0, 0, false
+}
+
+// accessPath describes how a base-table scan will run, for EXPLAIN-style
+// introspection and tests.
+type accessPath struct {
+	kind   string // "seq", "hash", "range"
+	column string
+}
+
+// scanTable materializes a base table under pushdown conjuncts, picking
+// an index access path when the database is optimized. Returns the
+// surviving conjunct residuals already applied (all of them: the caller
+// must not re-apply).
+func (db *DB) scanTable(t *Table, alias string, conj []SQLExpr) (*rowset, accessPath, error) {
+	cols := make([]scopeCol, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = scopeCol{qual: alias, name: c.Name}
+	}
+	sc := newScope(cols)
+	rs := &rowset{scope: sc}
+
+	// compile residual predicate evaluation
+	matches := func(row []Value) (bool, error) {
+		for _, c := range conj {
+			v, err := evalSQL(c, sc, row)
+			if err != nil {
+				return false, err
+			}
+			if !v.Truthy() {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	path := accessPath{kind: "seq"}
+	if db.optimized {
+		// equality on a hash-indexed column?
+		if col, val, ok := findEqConjunct(conj, sc, t); ok {
+			path = accessPath{kind: "hash", column: col}
+			for _, ri := range t.lookupEq(col, val) {
+				row := t.rows[ri]
+				ok, err := matches(row)
+				if err != nil {
+					return nil, path, err
+				}
+				if ok {
+					rs.rows = append(rs.rows, row)
+				}
+			}
+			return rs, path, nil
+		}
+		// range bounds on an ordered-indexed column?
+		if col, lo, hi, ok := findRangeConjunct(conj, sc, t); ok {
+			path = accessPath{kind: "range", column: col}
+			var err error
+			t.scanRange(col, lo, hi, func(ri int) bool {
+				row := t.rows[ri]
+				var m bool
+				m, err = matches(row)
+				if err != nil {
+					return false
+				}
+				if m {
+					rs.rows = append(rs.rows, row)
+				}
+				return true
+			})
+			if err != nil {
+				return nil, path, err
+			}
+			return rs, path, nil
+		}
+	}
+	for _, row := range t.rows {
+		ok, err := matches(row)
+		if err != nil {
+			return nil, path, err
+		}
+		if ok {
+			rs.rows = append(rs.rows, row)
+		}
+	}
+	return rs, path, nil
+}
+
+// findEqConjunct locates a `col = literal` conjunct on a hash-indexed
+// column of t.
+func findEqConjunct(conj []SQLExpr, sc *scope, t *Table) (string, Value, bool) {
+	for _, c := range conj {
+		b, ok := c.(*BinExpr)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		col, lit, ok := colLit(b, sc)
+		if !ok {
+			continue
+		}
+		name := sc.cols[col].name
+		if t.HasIndex(name) {
+			return name, lit, true
+		}
+	}
+	return "", Null, false
+}
+
+// findRangeConjunct assembles lo/hi bounds from range conjuncts on one
+// ordered-indexed column.
+func findRangeConjunct(conj []SQLExpr, sc *scope, t *Table) (string, *Value, *Value, bool) {
+	type bound struct{ lo, hi *Value }
+	bounds := map[string]*bound{}
+	for _, c := range conj {
+		b, ok := c.(*BinExpr)
+		if !ok {
+			continue
+		}
+		switch b.Op {
+		case ">", ">=", "<", "<=":
+		case "LIKE":
+			// literal-prefix LIKE gives a range bound
+			col, lit, ok := colLit(b, sc)
+			if !ok || lit.Kind != KindString {
+				continue
+			}
+			name := sc.cols[col].name
+			if !t.HasIndex(name) {
+				continue
+			}
+			pat := like.Compile(lit.S)
+			prefix := pat.Prefix()
+			if prefix == "" {
+				continue
+			}
+			bd := bounds[name]
+			if bd == nil {
+				bd = &bound{}
+				bounds[name] = bd
+			}
+			lo := Str(prefix)
+			hi := Str(prefix + "\xff")
+			bd.lo, bd.hi = &lo, &hi
+			continue
+		default:
+			continue
+		}
+		col, lit, ok := colLit(b, sc)
+		if !ok {
+			continue
+		}
+		name := sc.cols[col].name
+		if !t.HasIndex(name) {
+			continue
+		}
+		bd := bounds[name]
+		if bd == nil {
+			bd = &bound{}
+			bounds[name] = bd
+		}
+		// normalize direction: colLit returns col-first orientation
+		switch b.Op {
+		case ">", ">=":
+			v := lit
+			bd.lo = &v
+		case "<", "<=":
+			v := lit
+			bd.hi = &v
+		}
+	}
+	for name, bd := range bounds {
+		if bd.lo != nil || bd.hi != nil {
+			return name, bd.lo, bd.hi, true
+		}
+	}
+	return "", nil, nil, false
+}
+
+// colLit matches `col op literal` or `literal op col`, returning the
+// column index and literal with col-first orientation. Flipped
+// comparisons adjust nothing here: callers only use it for = and for
+// assembling conservative range bounds, where the exact inclusivity is
+// re-checked by residual evaluation anyway.
+func colLit(b *BinExpr, sc *scope) (int, Value, bool) {
+	if c, ok := b.L.(*ColRef); ok {
+		if l, ok2 := b.R.(*Lit); ok2 && sc.has(c) {
+			i, _ := sc.resolve(c)
+			return i, l.V, true
+		}
+	}
+	if c, ok := b.R.(*ColRef); ok {
+		if l, ok2 := b.L.(*Lit); ok2 && sc.has(c) {
+			i, _ := sc.resolve(c)
+			return i, l.V, true
+		}
+	}
+	return 0, Null, false
+}
+
+// outputName returns the display name of a select item.
+func outputName(it SelectItem, pos int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if c, ok := it.Expr.(*ColRef); ok {
+		return c.Name
+	}
+	return fmt.Sprintf("col%d", pos+1)
+}
+
+// sqlExprString renders an expression for error messages.
+func sqlExprString(e SQLExpr) string {
+	switch x := e.(type) {
+	case *ColRef:
+		if x.Qual != "" {
+			return x.Qual + "." + x.Name
+		}
+		return x.Name
+	case *Lit:
+		return x.V.Text()
+	case *BinExpr:
+		return "(" + sqlExprString(x.L) + " " + x.Op + " " + sqlExprString(x.R) + ")"
+	case *UnExpr:
+		return x.Op + " " + sqlExprString(x.X)
+	case *FuncCall:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = sqlExprString(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,198 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Table is a heap of rows plus optional indexes.
+type Table struct {
+	Name    string
+	Columns []Column
+	colIdx  map[string]int
+	rows    [][]Value
+
+	hashIdx map[string]map[string][]int // column → value key → row positions
+	sortIdx map[string][]int            // column → row positions ordered by value
+}
+
+// DB is an embedded relational database.
+type DB struct {
+	mu        sync.RWMutex
+	tables    map[string]*Table
+	optimized bool // indexes permitted (the paper's "w/ optimized storage")
+}
+
+// Open creates an empty database. With optimized false the database
+// refuses to build indexes, modeling the plain-heap baseline.
+func Open(optimized bool) *DB {
+	return &DB{tables: make(map[string]*Table), optimized: optimized}
+}
+
+// Optimized reports whether the database allows indexes.
+func (db *DB) Optimized() bool { return db.optimized }
+
+// CreateTable registers a new table.
+func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	lname := strings.ToLower(name)
+	if _, exists := db.tables[lname]; exists {
+		return nil, fmt.Errorf("relational: table %q already exists", name)
+	}
+	t := &Table{Name: lname, Columns: cols, colIdx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if _, dup := t.colIdx[lc]; dup {
+			return nil, fmt.Errorf("relational: duplicate column %q in table %q", c.Name, name)
+		}
+		t.Columns[i].Name = lc
+		t.colIdx[lc] = i
+	}
+	db.tables[lname] = t
+	return t, nil
+}
+
+// Table returns a table by name.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// TableNames lists the tables, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert appends one row; values are coerced to the column types.
+// Indexes must be created after bulk loading (Insert invalidates none —
+// CreateIndex builds from current rows), mirroring bulk-load practice.
+func (t *Table) Insert(vals []Value) error {
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("relational: table %q has %d columns, got %d values", t.Name, len(t.Columns), len(vals))
+	}
+	row := make([]Value, len(vals))
+	for i, v := range vals {
+		cv, err := coerce(v, t.Columns[i].Type)
+		if err != nil {
+			return fmt.Errorf("column %q: %w", t.Columns[i].Name, err)
+		}
+		row[i] = cv
+	}
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// InsertAll bulk-appends rows.
+func (t *Table) InsertAll(rows [][]Value) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// ColumnIndex resolves a column name to its position.
+func (t *Table) ColumnIndex(name string) (int, bool) {
+	i, ok := t.colIdx[strings.ToLower(name)]
+	return i, ok
+}
+
+// CreateIndex builds a hash index and an ordered index on a column.
+// It fails on an unoptimized database (the plain-heap baseline).
+func (db *DB) CreateIndex(table, column string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.optimized {
+		return fmt.Errorf("relational: database opened without storage optimizations; indexes unavailable")
+	}
+	t, ok := db.tables[strings.ToLower(table)]
+	if !ok {
+		return fmt.Errorf("relational: no table %q", table)
+	}
+	ci, ok := t.ColumnIndex(column)
+	if !ok {
+		return fmt.Errorf("relational: no column %q in table %q", column, table)
+	}
+	col := t.Columns[ci].Name
+	if t.hashIdx == nil {
+		t.hashIdx = map[string]map[string][]int{}
+	}
+	if t.sortIdx == nil {
+		t.sortIdx = map[string][]int{}
+	}
+	h := make(map[string][]int, len(t.rows))
+	order := make([]int, len(t.rows))
+	for i, row := range t.rows {
+		k := row[ci].Key()
+		h[k] = append(h[k], i)
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return Compare(t.rows[order[a]][ci], t.rows[order[b]][ci]) < 0
+	})
+	t.hashIdx[col] = h
+	t.sortIdx[col] = order
+	return nil
+}
+
+// HasIndex reports whether the column has indexes.
+func (t *Table) HasIndex(column string) bool {
+	if t.hashIdx == nil {
+		return false
+	}
+	_, ok := t.hashIdx[strings.ToLower(column)]
+	return ok
+}
+
+// lookupEq returns the row positions whose column equals v, via the hash
+// index (must exist).
+func (t *Table) lookupEq(column string, v Value) []int {
+	return t.hashIdx[column][v.Key()]
+}
+
+// scanRange iterates rows whose column value is in [lo, hi] (either bound
+// may be nil = open) via the ordered index.
+func (t *Table) scanRange(column string, lo, hi *Value, fn func(rowIdx int) bool) {
+	order := t.sortIdx[column]
+	ci := t.colIdx[column]
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(order), func(i int) bool {
+			return Compare(t.rows[order[i]][ci], *lo) >= 0
+		})
+	}
+	for i := start; i < len(order); i++ {
+		row := t.rows[order[i]]
+		if hi != nil && Compare(row[ci], *hi) > 0 {
+			return
+		}
+		if !fn(order[i]) {
+			return
+		}
+	}
+}
+
+// Row returns the row at position i.
+func (t *Table) Row(i int) []Value { return t.rows[i] }

@@ -1,0 +1,145 @@
+package relational
+
+// SQL abstract syntax. Only SELECT statements exist: data loading is
+// programmatic (bulk ingest), as in the paper's pipeline where agents
+// write through a separate ingestion path.
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    SQLExpr
+	GroupBy  []SQLExpr
+	Having   SQLExpr
+	OrderBy  []OrderItem
+	Limit    int // -1 = no limit
+}
+
+// SelectItem is one projection.
+type SelectItem struct {
+	Expr  SQLExpr
+	Alias string
+	Star  bool // SELECT *
+}
+
+// JoinType distinguishes how a FROM item combines with what precedes it.
+type JoinType int
+
+// Join types. The first FROM item always uses JoinNone; comma-separated
+// tables use JoinCross (predicates in WHERE), JOIN ... ON uses JoinInner,
+// LEFT JOIN ... ON uses JoinLeft.
+const (
+	JoinNone JoinType = iota
+	JoinCross
+	JoinInner
+	JoinLeft
+)
+
+// FromItem is one table or derived table in the FROM clause.
+type FromItem struct {
+	TableName string
+	Sub       *SelectStmt // derived table when non-nil
+	Alias     string
+	Join      JoinType
+	On        SQLExpr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr SQLExpr
+	Desc bool
+}
+
+// SQLExpr is a SQL scalar expression.
+type SQLExpr interface{ isSQLExpr() }
+
+// ColRef references a column, optionally qualified: `e1.start_ts`.
+type ColRef struct {
+	Qual string // may be ""
+	Name string
+}
+
+// Lit is a literal value.
+type Lit struct{ V Value }
+
+// BinExpr applies a binary operator: arithmetic, comparison, AND/OR, LIKE.
+type BinExpr struct {
+	Op   string // uppercase: + - * / = <> < <= > >= AND OR LIKE
+	L, R SQLExpr
+
+	likeCache interface{ Match(string) bool } // compiled LIKE pattern (literal RHS)
+}
+
+// UnExpr applies NOT or unary minus.
+type UnExpr struct {
+	Op string // NOT or -
+	X  SQLExpr
+}
+
+// IsNullExpr tests `x IS [NOT] NULL`.
+type IsNullExpr struct {
+	X   SQLExpr
+	Not bool
+}
+
+// FuncCall is a function application; aggregates and scalar functions.
+type FuncCall struct {
+	Name string // uppercase
+	Args []SQLExpr
+	Star bool // COUNT(*)
+}
+
+// InExpr tests membership in a literal list.
+type InExpr struct {
+	X    SQLExpr
+	List []SQLExpr
+	Not  bool
+}
+
+func (*ColRef) isSQLExpr()     {}
+func (*Lit) isSQLExpr()        {}
+func (*BinExpr) isSQLExpr()    {}
+func (*UnExpr) isSQLExpr()     {}
+func (*IsNullExpr) isSQLExpr() {}
+func (*FuncCall) isSQLExpr()   {}
+func (*InExpr) isSQLExpr()     {}
+
+// sqlAggregates is the aggregate function set.
+var sqlAggregates = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// hasAggregate reports whether the expression contains an aggregate call.
+func hasAggregate(e SQLExpr) bool {
+	switch x := e.(type) {
+	case *FuncCall:
+		if sqlAggregates[x.Name] {
+			return true
+		}
+		for _, a := range x.Args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+		return false
+	case *BinExpr:
+		return hasAggregate(x.L) || hasAggregate(x.R)
+	case *UnExpr:
+		return hasAggregate(x.X)
+	case *IsNullExpr:
+		return hasAggregate(x.X)
+	case *InExpr:
+		if hasAggregate(x.X) {
+			return true
+		}
+		for _, a := range x.List {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

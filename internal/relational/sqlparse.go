@@ -1,0 +1,553 @@
+package relational
+
+import (
+	"fmt"
+)
+
+// sqlParser is a recursive-descent parser over the SQL token stream.
+type sqlParser struct {
+	toks []sqlToken
+	pos  int
+}
+
+// ParseSQL parses one SELECT statement.
+func ParseSQL(src string) (*SelectStmt, error) {
+	toks, err := sqlLex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != sqlEOF {
+		return nil, fmt.Errorf("sql: unexpected %q after statement (offset %d)", p.cur().text, p.cur().off)
+	}
+	return stmt, nil
+}
+
+func (p *sqlParser) cur() sqlToken { return p.toks[p.pos] }
+func (p *sqlParser) next() sqlToken {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *sqlParser) atKw(kw string) bool {
+	return p.cur().kind == sqlKeyword && p.cur().text == kw
+}
+
+func (p *sqlParser) eatKw(kw string) bool {
+	if p.atKw(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKw(kw string) error {
+	if !p.eatKw(kw) {
+		return fmt.Errorf("sql: expected %s, found %q (offset %d)", kw, p.cur().text, p.cur().off)
+	}
+	return nil
+}
+
+func (p *sqlParser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.eatKw("DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.cur().kind != sqlComma {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.parseFrom(stmt); err != nil {
+		return nil, err
+	}
+	if p.eatKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.eatKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if p.cur().kind != sqlComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.eatKw("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if p.eatKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.eatKw("DESC") {
+				item.Desc = true
+			} else {
+				p.eatKw("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if p.cur().kind != sqlComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.eatKw("LIMIT") {
+		t := p.cur()
+		if t.kind != sqlNumber {
+			return nil, fmt.Errorf("sql: LIMIT needs a number (offset %d)", t.off)
+		}
+		p.next()
+		stmt.Limit = int(t.num)
+	}
+	return stmt, nil
+}
+
+func (p *sqlParser) parseSelectItem() (SelectItem, error) {
+	if p.cur().kind == sqlStar {
+		p.next()
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.eatKw("AS") {
+		t := p.cur()
+		if t.kind != sqlIdent {
+			return item, fmt.Errorf("sql: expected alias after AS (offset %d)", t.off)
+		}
+		p.next()
+		item.Alias = t.text
+	} else if p.cur().kind == sqlIdent {
+		// bare alias: SELECT a.x foo
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *sqlParser) parseFrom(stmt *SelectStmt) error {
+	first, err := p.parseFromItem(JoinNone)
+	if err != nil {
+		return err
+	}
+	stmt.From = append(stmt.From, first)
+	for {
+		switch {
+		case p.cur().kind == sqlComma:
+			p.next()
+			it, err := p.parseFromItem(JoinCross)
+			if err != nil {
+				return err
+			}
+			stmt.From = append(stmt.From, it)
+		case p.atKw("JOIN") || p.atKw("INNER") || p.atKw("CROSS"):
+			cross := p.atKw("CROSS")
+			p.eatKw("INNER")
+			p.eatKw("CROSS")
+			if err := p.expectKw("JOIN"); err != nil {
+				return err
+			}
+			jt := JoinInner
+			if cross {
+				jt = JoinCross
+			}
+			it, err := p.parseFromItem(jt)
+			if err != nil {
+				return err
+			}
+			if !cross {
+				if err := p.expectKw("ON"); err != nil {
+					return err
+				}
+				on, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				it.On = on
+			}
+			stmt.From = append(stmt.From, it)
+		case p.atKw("LEFT"):
+			p.next()
+			p.eatKw("OUTER")
+			if err := p.expectKw("JOIN"); err != nil {
+				return err
+			}
+			it, err := p.parseFromItem(JoinLeft)
+			if err != nil {
+				return err
+			}
+			if err := p.expectKw("ON"); err != nil {
+				return err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			it.On = on
+			stmt.From = append(stmt.From, it)
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *sqlParser) parseFromItem(jt JoinType) (FromItem, error) {
+	it := FromItem{Join: jt}
+	switch {
+	case p.cur().kind == sqlLParen:
+		p.next()
+		sub, err := p.parseSelect()
+		if err != nil {
+			return it, err
+		}
+		if p.cur().kind != sqlRParen {
+			return it, fmt.Errorf("sql: expected ')' after derived table (offset %d)", p.cur().off)
+		}
+		p.next()
+		it.Sub = sub
+	case p.cur().kind == sqlIdent:
+		it.TableName = p.next().text
+	default:
+		return it, fmt.Errorf("sql: expected table name or subquery in FROM (offset %d)", p.cur().off)
+	}
+	p.eatKw("AS")
+	if p.cur().kind == sqlIdent {
+		it.Alias = p.next().text
+	} else if it.Sub != nil {
+		return it, fmt.Errorf("sql: derived table needs an alias (offset %d)", p.cur().off)
+	} else {
+		it.Alias = it.TableName
+	}
+	return it, nil
+}
+
+// ------------------------------------------------------------ expressions
+
+func (p *sqlParser) parseExpr() (SQLExpr, error) { return p.parseOr() }
+
+func (p *sqlParser) parseOr() (SQLExpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKw("OR") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseAnd() (SQLExpr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKw("AND") {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseNot() (SQLExpr, error) {
+	if p.atKw("NOT") {
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *sqlParser) parseCmp() (SQLExpr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	switch {
+	case t.kind == sqlOp && (t.text == "=" || t.text == "<>" || t.text == "!=" ||
+		t.text == "<" || t.text == "<=" || t.text == ">" || t.text == ">="):
+		p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		op := t.text
+		if op == "!=" {
+			op = "<>"
+		}
+		return &BinExpr{Op: op, L: l, R: r}, nil
+	case p.atKw("LIKE"):
+		p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: "LIKE", L: l, R: r}, nil
+	case p.atKw("NOT"):
+		// NOT LIKE / NOT IN
+		save := p.pos
+		p.next()
+		switch {
+		case p.atKw("LIKE"):
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &UnExpr{Op: "NOT", X: &BinExpr{Op: "LIKE", L: l, R: r}}, nil
+		case p.atKw("IN"):
+			p.next()
+			in, err := p.parseInList(l, true)
+			if err != nil {
+				return nil, err
+			}
+			return in, nil
+		default:
+			p.pos = save
+			return l, nil
+		}
+	case p.atKw("IS"):
+		p.next()
+		not := p.eatKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: l, Not: not}, nil
+	case p.atKw("IN"):
+		p.next()
+		return p.parseInList(l, false)
+	case p.atKw("BETWEEN"):
+		p.next()
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: "AND",
+			L: &BinExpr{Op: ">=", L: l, R: lo},
+			R: &BinExpr{Op: "<=", L: l, R: hi}}, nil
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseInList(x SQLExpr, not bool) (SQLExpr, error) {
+	if p.cur().kind != sqlLParen {
+		return nil, fmt.Errorf("sql: expected '(' after IN (offset %d)", p.cur().off)
+	}
+	p.next()
+	in := &InExpr{X: x, Not: not}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		in.List = append(in.List, e)
+		if p.cur().kind == sqlComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.cur().kind != sqlRParen {
+		return nil, fmt.Errorf("sql: expected ')' to close IN list (offset %d)", p.cur().off)
+	}
+	p.next()
+	return in, nil
+}
+
+func (p *sqlParser) parseAdd() (SQLExpr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == sqlOp && (p.cur().text == "+" || p.cur().text == "-" || p.cur().text == "||") {
+		op := p.next().text
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseMul() (SQLExpr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for (p.cur().kind == sqlOp && p.cur().text == "/") || p.cur().kind == sqlStar {
+		op := "*"
+		if p.cur().kind == sqlOp {
+			op = "/"
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseUnary() (SQLExpr, error) {
+	if p.cur().kind == sqlOp && p.cur().text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *sqlParser) parsePrimary() (SQLExpr, error) {
+	t := p.cur()
+	switch t.kind {
+	case sqlNumber:
+		p.next()
+		if t.num == float64(int64(t.num)) {
+			return &Lit{V: Int(int64(t.num))}, nil
+		}
+		return &Lit{V: Float(t.num)}, nil
+	case sqlString:
+		p.next()
+		return &Lit{V: Str(t.text)}, nil
+	case sqlKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return &Lit{V: Null}, nil
+		case "TRUE":
+			p.next()
+			return &Lit{V: Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Lit{V: Bool(false)}, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected keyword %s in expression (offset %d)", t.text, t.off)
+	case sqlLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != sqlRParen {
+			return nil, fmt.Errorf("sql: expected ')' (offset %d)", p.cur().off)
+		}
+		p.next()
+		return e, nil
+	case sqlIdent:
+		p.next()
+		name := t.text
+		// function call
+		if p.cur().kind == sqlLParen {
+			p.next()
+			fc := &FuncCall{Name: upper(name)}
+			if p.cur().kind == sqlStar {
+				p.next()
+				fc.Star = true
+			} else if p.cur().kind != sqlRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, a)
+					if p.cur().kind == sqlComma {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if p.cur().kind != sqlRParen {
+				return nil, fmt.Errorf("sql: expected ')' after arguments (offset %d)", p.cur().off)
+			}
+			p.next()
+			return fc, nil
+		}
+		// qualified column
+		if p.cur().kind == sqlOp && p.cur().text == "." {
+			p.next()
+			c := p.cur()
+			if c.kind != sqlIdent {
+				return nil, fmt.Errorf("sql: expected column after '.' (offset %d)", c.off)
+			}
+			p.next()
+			return &ColRef{Qual: name, Name: c.text}, nil
+		}
+		return &ColRef{Name: name}, nil
+	}
+	return nil, fmt.Errorf("sql: unexpected %q in expression (offset %d)", t.text, t.off)
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'a' && b[i] <= 'z' {
+			b[i] -= 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,267 @@
+// Package relational implements an embedded relational database engine
+// with a SQL subset — the stand-in for PostgreSQL in the paper's
+// comparisons. It provides tables with typed columns, hash and ordered
+// indexes, and a query pipeline (lexer, parser, planner, executor)
+// supporting SELECT with joins (inner and left), WHERE, GROUP BY, HAVING,
+// ORDER BY, LIMIT, DISTINCT, derived tables, LIKE, and the standard
+// aggregates.
+//
+// The planner is deliberately general-purpose: predicates are pushed down
+// and indexes are used for single-table access, but joins execute in the
+// syntactic order of the FROM clause with no semantic reordering — the
+// "default SQL engine scheduling" the paper contrasts AIQL against.
+package relational
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/aiql/aiql/internal/numfmt"
+)
+
+// Kind is a value's runtime type.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// Value is one SQL value.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// Null, Int, Float, Str, and Bool construct values.
+var Null = Value{Kind: KindNull}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Truthy reports whether the value counts as true in a WHERE context.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KindBool:
+		return v.B
+	case KindInt:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	case KindString:
+		return v.S != ""
+	default:
+		return false
+	}
+}
+
+// Num returns the value as float64 (0 for non-numeric).
+func (v Value) Num() float64 {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	case KindBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	case KindString:
+		f, _ := strconv.ParseFloat(v.S, 64)
+		return f
+	default:
+		return 0
+	}
+}
+
+// Text renders the value the way result tables display it. Numeric
+// rendering matches the AIQL engine so cross-engine comparisons can use
+// string equality.
+func (v Value) Text() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return numfmt.Format(v.F)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values: NULLs first, then numerically when both are
+// numeric, else by string. Returns -1, 0, or 1.
+func Compare(a, b Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if isNumeric(a) && isNumeric(b) {
+		x, y := a.Num(), b.Num()
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
+		}
+	}
+	// TEXT uses a citext-like case-insensitive collation, matching the
+	// AIQL engine's treatment of names collected from mixed OS fleets.
+	return foldCompare(a.Text(), b.Text())
+}
+
+// foldCompare is an allocation-free ASCII case-insensitive comparison.
+func foldCompare(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		ca, cb := foldByte(a[i]), foldByte(b[i])
+		if ca != cb {
+			if ca < cb {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+func foldByte(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}
+
+func isNumeric(v Value) bool {
+	return v.Kind == KindInt || v.Kind == KindFloat || v.Kind == KindBool
+}
+
+// Equal reports SQL equality (NULL equals nothing, not even NULL).
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Key returns a canonical string key for hashing (group by, hash join,
+// distinct). NULLs hash to a distinct sentinel so grouping treats them as
+// one group, matching common engine behavior.
+func (v Value) Key() string {
+	switch v.Kind {
+	case KindNull:
+		return "\x00N"
+	case KindInt:
+		return "i" + strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		if v.F == float64(int64(v.F)) {
+			return "i" + strconv.FormatInt(int64(v.F), 10)
+		}
+		return "f" + strconv.FormatFloat(v.F, 'b', -1, 64)
+	case KindString:
+		return "s" + strings.ToLower(v.S)
+	case KindBool:
+		if v.B {
+			return "i1"
+		}
+		return "i0"
+	default:
+		return "?"
+	}
+}
+
+// ColType declares a column's storage type.
+type ColType uint8
+
+// Column types.
+const (
+	TypeInt ColType = iota
+	TypeFloat
+	TypeText
+)
+
+// String returns the SQL name of the type.
+func (t ColType) String() string {
+	switch t {
+	case TypeInt:
+		return "BIGINT"
+	case TypeFloat:
+		return "DOUBLE PRECISION"
+	default:
+		return "TEXT"
+	}
+}
+
+// coerce validates that a value is storable under the column type.
+func coerce(v Value, t ColType) (Value, error) {
+	if v.IsNull() {
+		return v, nil
+	}
+	switch t {
+	case TypeInt:
+		switch v.Kind {
+		case KindInt:
+			return v, nil
+		case KindFloat:
+			return Int(int64(v.F)), nil
+		}
+	case TypeFloat:
+		switch v.Kind {
+		case KindFloat:
+			return v, nil
+		case KindInt:
+			return Float(float64(v.I)), nil
+		}
+	case TypeText:
+		if v.Kind == KindString {
+			return v, nil
+		}
+	}
+	return Null, fmt.Errorf("relational: cannot store %v into %s column", v, t)
+}

@@ -1,0 +1,199 @@
+// Package sysmon defines the domain-specific data model for system
+// monitoring data: system entities (processes, files, network connections)
+// and system events that record interactions among them.
+//
+// The model follows the SVO (subject, operation, object) representation of
+// the AIQL paper: subjects are processes, objects are processes, files, or
+// network connections, and each event carries the host (agent) it occurred
+// on and the time interval it spans, giving the data strong spatial and
+// temporal properties that the storage and query layers exploit.
+package sysmon
+
+import (
+	"fmt"
+	"time"
+)
+
+// EntityType identifies the kind of a system entity.
+type EntityType uint8
+
+// The three system entity kinds of the AIQL data model.
+const (
+	EntityInvalid EntityType = iota
+	EntityProcess
+	EntityFile
+	EntityNetconn
+)
+
+// String returns the AIQL surface-syntax name of the entity type.
+func (t EntityType) String() string {
+	switch t {
+	case EntityProcess:
+		return "proc"
+	case EntityFile:
+		return "file"
+	case EntityNetconn:
+		return "ip"
+	default:
+		return fmt.Sprintf("EntityType(%d)", uint8(t))
+	}
+}
+
+// ParseEntityType converts an AIQL entity keyword to an EntityType.
+func ParseEntityType(s string) (EntityType, bool) {
+	switch s {
+	case "proc", "process":
+		return EntityProcess, true
+	case "file":
+		return EntityFile, true
+	case "ip", "conn", "netconn":
+		return EntityNetconn, true
+	}
+	return EntityInvalid, false
+}
+
+// Operation identifies the interaction recorded by an event.
+type Operation uint16
+
+// Operations, grouped by the event family they belong to.
+const (
+	OpInvalid Operation = iota
+
+	// Process events: subject process acts on an object process.
+	OpStart
+	OpEnd
+
+	// File events: subject process acts on an object file.
+	OpRead
+	OpWrite
+	OpExecute
+	OpDelete
+	OpRename
+	OpChmod
+
+	// Network events: subject process acts on an object connection.
+	OpConnect
+	OpAccept
+	OpSend
+	OpRecv
+
+	numOperations // sentinel; keep last
+)
+
+// NumOperations is the count of defined operations (for table sizing).
+const NumOperations = int(numOperations)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpStart:   "start",
+	OpEnd:     "end",
+	OpRead:    "read",
+	OpWrite:   "write",
+	OpExecute: "execute",
+	OpDelete:  "delete",
+	OpRename:  "rename",
+	OpChmod:   "chmod",
+	OpConnect: "connect",
+	OpAccept:  "accept",
+	OpSend:    "send",
+	OpRecv:    "recv",
+}
+
+// String returns the AIQL surface-syntax name of the operation.
+func (o Operation) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Operation(%d)", uint16(o))
+}
+
+// ParseOperation converts an AIQL operation keyword to an Operation.
+func ParseOperation(s string) (Operation, bool) {
+	for op, name := range opNames {
+		if op != 0 && name == s {
+			return Operation(op), true
+		}
+	}
+	return OpInvalid, false
+}
+
+// ObjectType reports the entity type an operation's object must have.
+// OpRead/OpWrite are polymorphic between files and network connections in
+// the surface language; at the event level the object type disambiguates,
+// so ObjectType returns EntityInvalid for them.
+func (o Operation) ObjectType() EntityType {
+	switch o {
+	case OpStart, OpEnd:
+		return EntityProcess
+	case OpExecute, OpDelete, OpRename, OpChmod:
+		return EntityFile
+	case OpConnect, OpAccept, OpSend, OpRecv:
+		return EntityNetconn
+	default:
+		return EntityInvalid
+	}
+}
+
+// EntityID is a handle to a deduplicated entity within a Dictionary.
+// IDs are dense and start at 1; 0 means "no entity".
+type EntityID uint32
+
+// Process is a system entity originating from a software application.
+type Process struct {
+	PID     uint32
+	ExeName string // base executable name, e.g. "cmd.exe"
+	Path    string // full executable path, e.g. "C:\Windows\System32\cmd.exe"
+	User    string
+	CmdLine string
+}
+
+// File is a filesystem entity.
+type File struct {
+	Path  string // full path; the AIQL default attribute "name"
+	Owner string
+}
+
+// Netconn is a network connection entity.
+type Netconn struct {
+	SrcIP    string
+	SrcPort  uint16
+	DstIP    string
+	DstPort  uint16
+	Protocol string // "tcp" or "udp"
+}
+
+// Event is one system-monitoring record: subject process performs an
+// operation on an object entity, on a given host, over a time interval.
+type Event struct {
+	ID      uint64
+	AgentID uint32 // host the event was observed on
+	Subject EntityID
+	Op      Operation
+	ObjType EntityType
+	Object  EntityID
+	StartTS int64  // unix nanoseconds
+	EndTS   int64  // unix nanoseconds; >= StartTS
+	Amount  uint64 // bytes transferred, for data-moving operations
+	Seq     uint64 // per-agent monotone sequence number
+}
+
+// Family returns the event family ("process", "file", "network") implied by
+// the object type.
+func (e *Event) Family() string {
+	switch e.ObjType {
+	case EntityProcess:
+		return "process"
+	case EntityFile:
+		return "file"
+	case EntityNetconn:
+		return "network"
+	default:
+		return "unknown"
+	}
+}
+
+// Start returns the event start time as a time.Time.
+func (e *Event) Start() time.Time { return time.Unix(0, e.StartTS) }
+
+// End returns the event end time as a time.Time.
+func (e *Event) End() time.Time { return time.Unix(0, e.EndTS) }

@@ -1,0 +1,346 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/aiql/semantic"
+	"github.com/aiql/aiql/internal/engine"
+	"github.com/aiql/aiql/internal/graphdb"
+	"github.com/aiql/aiql/internal/like"
+)
+
+// ToGraphPattern compiles a multievent or dependency query into a graph
+// pattern executable by the graphdb matcher. Anomaly queries are not
+// expressible as subgraph patterns and are rejected (the paper's case
+// study compares investigation queries on Neo4j).
+func ToGraphPattern(q ast.Query) (*graphdb.Pattern, error) {
+	var mq *ast.MultieventQuery
+	switch x := q.(type) {
+	case *ast.MultieventQuery:
+		if _, err := semantic.Check(x); err != nil {
+			return nil, err
+		}
+		mq = x
+	case *ast.DependencyQuery:
+		if _, err := semantic.Check(x); err != nil {
+			return nil, err
+		}
+		rw, err := engine.RewriteDependency(x)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := semantic.Check(rw); err != nil {
+			return nil, err
+		}
+		mq = rw
+	case *ast.AnomalyQuery:
+		return nil, fmt.Errorf("translate: anomaly queries have no graph-pattern equivalent (sliding-window aggregation)")
+	default:
+		return nil, fmt.Errorf("translate: unsupported query type %T", q)
+	}
+	info, err := semantic.Check(mq)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &graphdb.Pattern{Distinct: mq.Distinct}
+	nodeSeen := map[string]bool{}
+	addNode := func(ref *ast.EntityRef) error {
+		if nodeSeen[ref.Name] {
+			return nil
+		}
+		nodeSeen[ref.Name] = true
+		np := graphdb.NodePattern{Var: ref.Name, Label: labelFor(ref.Type)}
+		for _, f := range ref.Filters {
+			pred, err := propPred(f)
+			if err != nil {
+				return err
+			}
+			np.Preds = append(np.Preds, pred)
+		}
+		p.Nodes = append(p.Nodes, np)
+		return nil
+	}
+	for i := range mq.Patterns {
+		pat := &mq.Patterns[i]
+		if err := addNode(&pat.Subject); err != nil {
+			return nil, err
+		}
+		if err := addNode(&pat.Object); err != nil {
+			return nil, err
+		}
+		ep := graphdb.EdgePattern{
+			Alias:   pat.Alias,
+			FromVar: pat.Subject.Name,
+			ToVar:   pat.Object.Name,
+			Types:   append([]string{}, pat.Ops...),
+		}
+		if w := mq.Head_.Window; w != nil {
+			if w.From != 0 {
+				ep.Preds = append(ep.Preds, graphdb.PropPred{Prop: "start_ts", Op: graphdb.CmpGE, Val: graphdb.NumProp(w.From)})
+			}
+			if w.To != 0 {
+				ep.Preds = append(ep.Preds, graphdb.PropPred{Prop: "start_ts", Op: graphdb.CmpLT, Val: graphdb.NumProp(w.To)})
+			}
+		}
+		for _, f := range mq.Head_.Globals {
+			pred, err := evtPropPred(f)
+			if err != nil {
+				return nil, err
+			}
+			ep.Preds = append(ep.Preds, pred)
+		}
+		for _, f := range pat.EvtFilters {
+			pred, err := evtPropPred(f)
+			if err != nil {
+				return nil, err
+			}
+			ep.Preds = append(ep.Preds, pred)
+		}
+		p.Edges = append(p.Edges, ep)
+	}
+	for _, w := range mq.With {
+		switch c := w.(type) {
+		case ast.TemporalRel:
+			l, r := c.Left, c.Right
+			if c.Op == "after" {
+				l, r = r, l
+			}
+			// edges carry "ord", the dense (start_ts, id) rank, so event
+			// order is one integer comparison
+			p.Rels = append(p.Rels, graphdb.EdgeRel{
+				LeftEdge: l, LeftProp: "ord", Op: graphdb.CmpLT,
+				RightEdge: r, RightProp: "ord",
+			})
+			if c.Within > 0 {
+				p.Rels = append(p.Rels, graphdb.EdgeRel{
+					LeftEdge: r, LeftProp: "start_ts", Op: graphdb.CmpLE,
+					RightEdge: l, RightProp: "start_ts", Offset: int64(c.Within),
+				})
+			}
+		case ast.EventCond:
+			pred, err := evtPropPred(ast.Filter{Attr: c.Attr, Op: c.Op, Val: c.Val})
+			if err != nil {
+				return nil, err
+			}
+			for i := range p.Edges {
+				if p.Edges[i].Alias == c.Event {
+					p.Edges[i].Preds = append(p.Edges[i].Preds, pred)
+				}
+			}
+		}
+	}
+	for i, it := range mq.Return {
+		ri, err := returnGraphItem(it, i, info)
+		if err != nil {
+			return nil, err
+		}
+		p.Return = append(p.Return, ri)
+	}
+	return p, nil
+}
+
+func propPred(f ast.Filter) (graphdb.PropPred, error) {
+	pred := graphdb.PropPred{Prop: f.Attr, Op: graphCmp(f.Op)}
+	if f.Val.IsNum {
+		pred.Val = graphdb.NumProp(int64(f.Val.Num))
+	} else {
+		pred.Val = graphdb.StrProp(f.Val.Str)
+	}
+	return pred, nil
+}
+
+func evtPropPred(f ast.Filter) (graphdb.PropPred, error) {
+	pred := graphdb.PropPred{Prop: eventColumn(f.Attr), Op: graphCmp(f.Op)}
+	if f.Val.IsNum {
+		pred.Val = graphdb.NumProp(int64(f.Val.Num))
+	} else {
+		pred.Val = graphdb.StrProp(f.Val.Str)
+	}
+	return pred, nil
+}
+
+func graphCmp(op ast.CmpOp) graphdb.CmpOp {
+	switch op {
+	case ast.CmpEQ:
+		return graphdb.CmpEQ
+	case ast.CmpNEQ:
+		return graphdb.CmpNEQ
+	case ast.CmpLT:
+		return graphdb.CmpLT
+	case ast.CmpLE:
+		return graphdb.CmpLE
+	case ast.CmpGT:
+		return graphdb.CmpGT
+	case ast.CmpGE:
+		return graphdb.CmpGE
+	default:
+		return graphdb.CmpLike
+	}
+}
+
+func returnGraphItem(it ast.ReturnItem, pos int, info *semantic.Info) (graphdb.ReturnItem, error) {
+	label := it.Alias
+	switch x := it.Expr.(type) {
+	case *ast.AttrExpr:
+		if label == "" {
+			label = ast.ExprString(x)
+		}
+		if _, ok := info.Vars[x.Var]; ok {
+			return graphdb.ReturnItem{Var: x.Var, Prop: x.Attr, Label: label}, nil
+		}
+		if _, ok := info.Events[x.Var]; ok {
+			return graphdb.ReturnItem{Var: x.Var, Prop: eventColumn(x.Attr), IsEdge: true, Label: label}, nil
+		}
+		return graphdb.ReturnItem{}, fmt.Errorf("translate: unknown variable %q", x.Var)
+	case *ast.VarExpr:
+		if label == "" {
+			label = x.Name
+		}
+		if _, ok := info.Events[x.Name]; ok {
+			return graphdb.ReturnItem{Var: x.Name, Prop: "id", IsEdge: true, Label: label}, nil
+		}
+		return graphdb.ReturnItem{}, fmt.Errorf("translate: unresolved variable %q", x.Name)
+	default:
+		return graphdb.ReturnItem{}, fmt.Errorf("translate: unsupported return expression %s", ast.ExprString(it.Expr))
+	}
+}
+
+// ToCypher renders a multievent or dependency query as Cypher text, used
+// by the conciseness experiment (E4). The text follows Neo4j conventions:
+// MATCH patterns, WHERE with '=~' regex filters for LIKE patterns, and a
+// RETURN clause.
+func ToCypher(q ast.Query) (string, error) {
+	var mq *ast.MultieventQuery
+	switch x := q.(type) {
+	case *ast.MultieventQuery:
+		if _, err := semantic.Check(x); err != nil {
+			return "", err
+		}
+		mq = x
+	case *ast.DependencyQuery:
+		if _, err := semantic.Check(x); err != nil {
+			return "", err
+		}
+		rw, err := engine.RewriteDependency(x)
+		if err != nil {
+			return "", err
+		}
+		if _, err := semantic.Check(rw); err != nil {
+			return "", err
+		}
+		mq = rw
+	default:
+		return "", fmt.Errorf("translate: Cypher translation supports multievent and dependency queries")
+	}
+	info, err := semantic.Check(mq)
+	if err != nil {
+		return "", err
+	}
+
+	var match []string
+	var where []string
+	nodeRendered := map[string]bool{}
+	renderNode := func(ref *ast.EntityRef) string {
+		if nodeRendered[ref.Name] {
+			return "(" + ref.Name + ")"
+		}
+		nodeRendered[ref.Name] = true
+		for _, f := range ref.Filters {
+			where = append(where, cypherFilter(ref.Name, f.Attr, f))
+		}
+		return "(" + ref.Name + ":" + labelFor(ref.Type) + ")"
+	}
+	for i := range mq.Patterns {
+		pat := &mq.Patterns[i]
+		ops := make([]string, len(pat.Ops))
+		for k, op := range pat.Ops {
+			ops[k] = strings.ToUpper(op)
+		}
+		subj := renderNode(&pat.Subject)
+		obj := renderNode(&pat.Object)
+		match = append(match, fmt.Sprintf("%s-[%s:%s]->%s", subj, pat.Alias, strings.Join(ops, "|"), obj))
+		if w := mq.Head_.Window; w != nil {
+			if w.From != 0 {
+				where = append(where, fmt.Sprintf("%s.start_ts >= %d", pat.Alias, w.From))
+			}
+			if w.To != 0 {
+				where = append(where, fmt.Sprintf("%s.start_ts < %d", pat.Alias, w.To))
+			}
+		}
+		for _, f := range mq.Head_.Globals {
+			where = append(where, cypherFilter(pat.Alias, eventColumn(f.Attr), f))
+		}
+		for _, f := range pat.EvtFilters {
+			where = append(where, cypherFilter(pat.Alias, eventColumn(f.Attr), f))
+		}
+	}
+	for _, w := range mq.With {
+		switch c := w.(type) {
+		case ast.TemporalRel:
+			l, r := c.Left, c.Right
+			if c.Op == "after" {
+				l, r = r, l
+			}
+			where = append(where, fmt.Sprintf(
+				"(%s.start_ts < %s.start_ts OR (%s.start_ts = %s.start_ts AND %s.id < %s.id))",
+				l, r, l, r, l, r))
+			if c.Within > 0 {
+				where = append(where, fmt.Sprintf("%s.start_ts - %s.start_ts <= %d", r, l, int64(c.Within)))
+			}
+		case ast.EventCond:
+			where = append(where, cypherFilter(c.Event, eventColumn(c.Attr), ast.Filter{Attr: c.Attr, Op: c.Op, Val: c.Val}))
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("MATCH ")
+	b.WriteString(strings.Join(match, ",\n      "))
+	if len(where) > 0 {
+		b.WriteString("\nWHERE ")
+		b.WriteString(strings.Join(where, "\n  AND "))
+	}
+	b.WriteString("\nRETURN ")
+	if mq.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range mq.Return {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch x := it.Expr.(type) {
+		case *ast.AttrExpr:
+			var prop string
+			if _, ok := info.Vars[x.Var]; ok {
+				prop = x.Attr
+			} else {
+				prop = eventColumn(x.Attr)
+			}
+			fmt.Fprintf(&b, "%s.%s", x.Var, prop)
+		case *ast.VarExpr:
+			fmt.Fprintf(&b, "%s.id", x.Name)
+		default:
+			b.WriteString(ast.ExprString(it.Expr))
+		}
+		if it.Alias != "" {
+			fmt.Fprintf(&b, " AS %s", it.Alias)
+		}
+	}
+	return b.String(), nil
+}
+
+// cypherFilter renders one property filter in Cypher syntax. LIKE
+// patterns become '=~' regex matches, the Neo4j idiom.
+func cypherFilter(varName, prop string, f ast.Filter) string {
+	if f.Op == ast.CmpLike && !f.Val.IsNum {
+		return fmt.Sprintf("%s.%s =~ '%s'", varName, prop, strings.ReplaceAll(like.ToRegexp(f.Val.Str), `'`, `\'`))
+	}
+	val := sqlValue(f.Val)
+	op := cmpSQL(f.Op)
+	if op == "LIKE" {
+		op = "="
+	}
+	return fmt.Sprintf("%s.%s %s %s", varName, prop, op, val)
+}

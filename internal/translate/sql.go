@@ -1,0 +1,516 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/aiql/semantic"
+	"github.com/aiql/aiql/internal/engine"
+	"github.com/aiql/aiql/internal/numfmt"
+)
+
+// ToSQL compiles an AIQL query to a semantically equivalent SQL statement
+// against the schema produced by LoadRelational. Dependency queries are
+// rewritten to multievent form first; anomaly queries translate to a
+// bucketed aggregate with lagged self-joins and require window == step
+// (tumbling windows) plus an explicit time window.
+func ToSQL(q ast.Query) (string, error) {
+	switch x := q.(type) {
+	case *ast.MultieventQuery:
+		info, err := semantic.Check(x)
+		if err != nil {
+			return "", err
+		}
+		return multieventSQL(x, info)
+	case *ast.DependencyQuery:
+		if _, err := semantic.Check(x); err != nil {
+			return "", err
+		}
+		mq, err := engine.RewriteDependency(x)
+		if err != nil {
+			return "", err
+		}
+		info, err := semantic.Check(mq)
+		if err != nil {
+			return "", err
+		}
+		return multieventSQL(mq, info)
+	case *ast.AnomalyQuery:
+		info, err := semantic.Check(x)
+		if err != nil {
+			return "", err
+		}
+		return anomalySQL(x, info)
+	default:
+		return "", fmt.Errorf("translate: unsupported query type %T", q)
+	}
+}
+
+func sqlQuote(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+func sqlValue(v ast.Value) string {
+	if v.IsNum {
+		return numfmt.Format(v.Num)
+	}
+	return sqlQuote(v.Str)
+}
+
+func cmpSQL(op ast.CmpOp) string {
+	switch op {
+	case ast.CmpEQ:
+		return "="
+	case ast.CmpNEQ:
+		return "<>"
+	case ast.CmpLT:
+		return "<"
+	case ast.CmpLE:
+		return "<="
+	case ast.CmpGT:
+		return ">"
+	case ast.CmpGE:
+		return ">="
+	case ast.CmpLike:
+		return "LIKE"
+	default:
+		return "="
+	}
+}
+
+// entityColumn maps a canonical AIQL attribute to its SQL column.
+func entityColumn(attr string) string { return attr }
+
+// eventColumn maps an AIQL event attribute to the events-table column.
+func eventColumn(attr string) string {
+	switch attr {
+	case "agent_id":
+		return "agentid"
+	case "optype", "op":
+		return "op"
+	case "starttime", "start_time":
+		return "start_ts"
+	case "endtime", "end_time":
+		return "end_ts"
+	default:
+		return attr
+	}
+}
+
+// ident lowercases an AIQL variable for use as a SQL alias.
+func ident(s string) string { return strings.ToLower(s) }
+
+func multieventSQL(q *ast.MultieventQuery, info *semantic.Info) (string, error) {
+	var (
+		from  strings.Builder
+		where []string
+	)
+	joined := map[string]bool{}
+
+	entityJoin := func(evAlias string, ref *ast.EntityRef, side string) string {
+		v := ident(ref.Name)
+		if joined[v] {
+			where = append(where, fmt.Sprintf("%s.%s = %s.id", evAlias, side, v))
+			return ""
+		}
+		joined[v] = true
+		return fmt.Sprintf("\nJOIN %s %s ON %s.%s = %s.id", tableFor(ref.Type), v, evAlias, side, v)
+	}
+
+	// per-pattern filters and joins
+	for i := range q.Patterns {
+		pat := &q.Patterns[i]
+		ev := ident(pat.Alias)
+		if i == 0 {
+			fmt.Fprintf(&from, "FROM events %s", ev)
+		} else {
+			var conds []string
+			if joined[ident(pat.Subject.Name)] {
+				conds = append(conds, fmt.Sprintf("%s.subject_id = %s.id", ev, ident(pat.Subject.Name)))
+			}
+			if joined[ident(pat.Object.Name)] {
+				conds = append(conds, fmt.Sprintf("%s.object_id = %s.id", ev, ident(pat.Object.Name)))
+			}
+			if len(conds) == 0 {
+				fmt.Fprintf(&from, "\nCROSS JOIN events %s", ev)
+			} else {
+				fmt.Fprintf(&from, "\nJOIN events %s ON %s", ev, strings.Join(conds, " AND "))
+			}
+		}
+		if j := entityJoin(ev, &pat.Subject, "subject_id"); j != "" {
+			from.WriteString(j)
+		}
+		if j := entityJoin(ev, &pat.Object, "object_id"); j != "" {
+			from.WriteString(j)
+		}
+
+		// operations and object type
+		if len(pat.Ops) == 1 {
+			where = append(where, fmt.Sprintf("%s.op = %s", ev, sqlQuote(pat.Ops[0])))
+		} else {
+			parts := make([]string, len(pat.Ops))
+			for k, op := range pat.Ops {
+				parts[k] = fmt.Sprintf("%s.op = %s", ev, sqlQuote(op))
+			}
+			where = append(where, "("+strings.Join(parts, " OR ")+")")
+		}
+		where = append(where, fmt.Sprintf("%s.object_type = %s", ev, sqlQuote(objectTypeName(pat.Object.Type))))
+
+		// global constraints apply to every event
+		if w := q.Head_.Window; w != nil {
+			if w.From != 0 {
+				where = append(where, fmt.Sprintf("%s.start_ts >= %d", ev, w.From))
+			}
+			if w.To != 0 {
+				where = append(where, fmt.Sprintf("%s.start_ts < %d", ev, w.To))
+			}
+		}
+		for _, f := range q.Head_.Globals {
+			where = append(where, fmt.Sprintf("%s.%s %s %s", ev, eventColumn(f.Attr), cmpSQL(f.Op), sqlValue(f.Val)))
+		}
+		for _, f := range pat.EvtFilters {
+			where = append(where, fmt.Sprintf("%s.%s %s %s", ev, eventColumn(f.Attr), cmpSQL(f.Op), sqlValue(f.Val)))
+		}
+	}
+
+	// entity attribute filters (first occurrence carries them)
+	emitted := map[string]bool{}
+	for i := range q.Patterns {
+		for _, ref := range []*ast.EntityRef{&q.Patterns[i].Subject, &q.Patterns[i].Object} {
+			v := ident(ref.Name)
+			if emitted[v] {
+				continue
+			}
+			emitted[v] = true
+			for _, f := range ref.Filters {
+				where = append(where, fmt.Sprintf("%s.%s %s %s", v, entityColumn(f.Attr), cmpSQL(f.Op), sqlValue(f.Val)))
+			}
+		}
+	}
+
+	// with clause
+	for _, w := range q.With {
+		switch c := w.(type) {
+		case ast.TemporalRel:
+			l, r := ident(c.Left), ident(c.Right)
+			if c.Op == "after" {
+				l, r = r, l
+			}
+			where = append(where, fmt.Sprintf(
+				"(%s.start_ts < %s.start_ts OR (%s.start_ts = %s.start_ts AND %s.id < %s.id))",
+				l, r, l, r, l, r))
+			if c.Within > 0 {
+				where = append(where, fmt.Sprintf("%s.start_ts - %s.start_ts <= %d", r, l, int64(c.Within)))
+			}
+		case ast.EventCond:
+			where = append(where, fmt.Sprintf("%s.%s %s %s",
+				ident(c.Event), eventColumn(c.Attr), cmpSQL(c.Op), sqlValue(c.Val)))
+		}
+	}
+
+	// select list
+	var sel strings.Builder
+	sel.WriteString("SELECT ")
+	if q.Distinct {
+		sel.WriteString("DISTINCT ")
+	}
+	for i, it := range q.Return {
+		if i > 0 {
+			sel.WriteString(", ")
+		}
+		col, err := returnColumnSQL(it.Expr, info)
+		if err != nil {
+			return "", err
+		}
+		sel.WriteString(col)
+		sel.WriteString(" AS ")
+		sel.WriteString(returnAliasSQL(it, i))
+	}
+
+	var b strings.Builder
+	b.WriteString(sel.String())
+	b.WriteString("\n")
+	b.WriteString(from.String())
+	if len(where) > 0 {
+		b.WriteString("\nWHERE ")
+		b.WriteString(strings.Join(where, "\n  AND "))
+	}
+	return b.String(), nil
+}
+
+func returnColumnSQL(e ast.Expr, info *semantic.Info) (string, error) {
+	switch x := e.(type) {
+	case *ast.AttrExpr:
+		if _, ok := info.Vars[x.Var]; ok {
+			return ident(x.Var) + "." + entityColumn(x.Attr), nil
+		}
+		if _, ok := info.Events[x.Var]; ok {
+			return ident(x.Var) + "." + eventColumn(x.Attr), nil
+		}
+		return "", fmt.Errorf("translate: unknown variable %q", x.Var)
+	case *ast.VarExpr:
+		if _, ok := info.Events[x.Name]; ok {
+			return ident(x.Name) + ".id", nil
+		}
+		return "", fmt.Errorf("translate: unresolved variable %q", x.Name)
+	case *ast.NumberLit:
+		return numfmt.Format(x.Val), nil
+	case *ast.StringLit:
+		return sqlQuote(x.Val), nil
+	default:
+		return "", fmt.Errorf("translate: unsupported return expression %s", ast.ExprString(e))
+	}
+}
+
+func returnAliasSQL(it ast.ReturnItem, pos int) string {
+	if it.Alias != "" {
+		return ident(it.Alias)
+	}
+	if a, ok := it.Expr.(*ast.AttrExpr); ok {
+		return ident(a.Var) + "_" + a.Attr
+	}
+	return fmt.Sprintf("col%d", pos+1)
+}
+
+// anomalySQL translates an anomaly query into bucketed-aggregate SQL:
+// an inner GROUP BY over FLOOR((start_ts - from)/step) buckets, LEFT
+// self-joins for each historical lag the having clause references, and a
+// COALESCE-guarded translation of the having expression.
+func anomalySQL(q *ast.AnomalyQuery, info *semantic.Info) (string, error) {
+	if q.Window != q.Step {
+		return "", fmt.Errorf("translate: SQL translation requires tumbling windows (window == step); AIQL evaluates overlapping windows natively")
+	}
+	w := q.Head_.Window
+	if w == nil || w.From == 0 || w.To == 0 {
+		return "", fmt.Errorf("translate: SQL translation of an anomaly query needs an explicit time window")
+	}
+	ev := ident(q.Pattern.Alias)
+	subj := ident(q.Pattern.Subject.Name)
+	obj := ident(q.Pattern.Object.Name)
+
+	// group expressions (default: non-aggregate return items)
+	var groupExprs []ast.Expr
+	if len(q.GroupBy) > 0 {
+		groupExprs = q.GroupBy
+	} else {
+		for _, it := range q.Return {
+			if _, isAgg := it.Expr.(*ast.CallExpr); !isAgg {
+				groupExprs = append(groupExprs, it.Expr)
+			}
+		}
+	}
+	groupCols := make([]string, len(groupExprs))
+	for i, g := range groupExprs {
+		col, err := returnColumnSQL(g, info)
+		if err != nil {
+			return "", err
+		}
+		groupCols[i] = col
+	}
+
+	// aggregates from the return clause
+	type aggDef struct {
+		alias string
+		sql   string
+	}
+	var aggs []aggDef
+	for _, it := range q.Return {
+		call, ok := it.Expr.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		alias := it.Alias
+		if alias == "" {
+			alias = call.Func
+		}
+		var argSQL string
+		if call.Func == "count" {
+			argSQL = "*"
+		} else {
+			col, err := returnColumnSQL(call.Arg, info)
+			if err != nil {
+				return "", err
+			}
+			argSQL = col
+		}
+		aggs = append(aggs, aggDef{alias: ident(alias), sql: strings.ToUpper(call.Func) + "(" + argSQL + ")"})
+	}
+
+	// inner bucketed aggregate
+	var inner strings.Builder
+	inner.WriteString("SELECT ")
+	for i, col := range groupCols {
+		fmt.Fprintf(&inner, "%s AS g%d, ", col, i)
+	}
+	fmt.Fprintf(&inner, "FLOOR((%s.start_ts - %d) / %d) AS win", ev, w.From, int64(q.Step))
+	for _, a := range aggs {
+		fmt.Fprintf(&inner, ", %s AS %s", a.sql, a.alias)
+	}
+	fmt.Fprintf(&inner, "\n  FROM events %s", ev)
+	fmt.Fprintf(&inner, "\n  JOIN %s %s ON %s.subject_id = %s.id", tableFor(q.Pattern.Subject.Type), subj, ev, subj)
+	if obj != subj {
+		fmt.Fprintf(&inner, "\n  JOIN %s %s ON %s.object_id = %s.id", tableFor(q.Pattern.Object.Type), obj, ev, obj)
+	}
+	var where []string
+	if len(q.Pattern.Ops) == 1 {
+		where = append(where, fmt.Sprintf("%s.op = %s", ev, sqlQuote(q.Pattern.Ops[0])))
+	} else {
+		parts := make([]string, len(q.Pattern.Ops))
+		for k, op := range q.Pattern.Ops {
+			parts[k] = fmt.Sprintf("%s.op = %s", ev, sqlQuote(op))
+		}
+		where = append(where, "("+strings.Join(parts, " OR ")+")")
+	}
+	where = append(where, fmt.Sprintf("%s.object_type = %s", ev, sqlQuote(objectTypeName(q.Pattern.Object.Type))))
+	where = append(where, fmt.Sprintf("%s.start_ts >= %d", ev, w.From))
+	where = append(where, fmt.Sprintf("%s.start_ts < %d", ev, w.To))
+	for _, f := range q.Head_.Globals {
+		where = append(where, fmt.Sprintf("%s.%s %s %s", ev, eventColumn(f.Attr), cmpSQL(f.Op), sqlValue(f.Val)))
+	}
+	for _, f := range q.Pattern.EvtFilters {
+		where = append(where, fmt.Sprintf("%s.%s %s %s", ev, eventColumn(f.Attr), cmpSQL(f.Op), sqlValue(f.Val)))
+	}
+	for _, ref := range []*ast.EntityRef{&q.Pattern.Subject, &q.Pattern.Object} {
+		for _, f := range ref.Filters {
+			where = append(where, fmt.Sprintf("%s.%s %s %s", ident(ref.Name), entityColumn(f.Attr), cmpSQL(f.Op), sqlValue(f.Val)))
+		}
+	}
+	inner.WriteString("\n  WHERE ")
+	inner.WriteString(strings.Join(where, " AND "))
+	inner.WriteString("\n  GROUP BY ")
+	for i, col := range groupCols {
+		if i > 0 {
+			inner.WriteString(", ")
+		}
+		inner.WriteString(col)
+	}
+	if len(groupCols) > 0 {
+		inner.WriteString(", ")
+	}
+	fmt.Fprintf(&inner, "FLOOR((%s.start_ts - %d) / %d)", ev, w.From, int64(q.Step))
+
+	// lags the having clause references
+	lags := map[int]bool{}
+	collectLags(q.Having, lags)
+	maxLag := 0
+	var lagList []int
+	for l := range lags {
+		lagList = append(lagList, l)
+		if l > maxLag {
+			maxLag = l
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("SELECT DISTINCT ")
+	gi, emitted := 0, 0
+	for _, it := range q.Return {
+		if emitted > 0 {
+			b.WriteString(", ")
+		}
+		emitted++
+		if call, ok := it.Expr.(*ast.CallExpr); ok {
+			alias := it.Alias
+			if alias == "" {
+				alias = call.Func
+			}
+			fmt.Fprintf(&b, "b0.%s AS %s", ident(alias), ident(alias))
+		} else {
+			fmt.Fprintf(&b, "b0.g%d AS %s", gi, returnAliasSQL(it, gi))
+			gi++
+		}
+	}
+	b.WriteString("\nFROM (")
+	b.WriteString(inner.String())
+	b.WriteString(") b0")
+	for _, l := range sortedInts(lagList) {
+		fmt.Fprintf(&b, "\nLEFT JOIN (%s) b%d ON b%d.win = b0.win - %d", inner.String(), l, l, l)
+		for i := range groupCols {
+			fmt.Fprintf(&b, " AND b%d.g%d = b0.g%d", l, i, i)
+		}
+	}
+	var outer []string
+	if maxLag > 0 {
+		outer = append(outer, fmt.Sprintf("b0.win >= %d", maxLag))
+	}
+	if q.Having != nil {
+		h, err := havingSQL(q.Having)
+		if err != nil {
+			return "", err
+		}
+		outer = append(outer, h)
+	}
+	if len(outer) > 0 {
+		b.WriteString("\nWHERE ")
+		b.WriteString(strings.Join(outer, " AND "))
+	}
+	return b.String(), nil
+}
+
+func collectLags(e ast.Expr, out map[int]bool) {
+	switch x := e.(type) {
+	case *ast.HistExpr:
+		if x.Lag > 0 {
+			out[x.Lag] = true
+		}
+	case *ast.BinaryExpr:
+		collectLags(x.L, out)
+		collectLags(x.R, out)
+	case *ast.UnaryExpr:
+		collectLags(x.X, out)
+	}
+}
+
+func sortedInts(xs []int) []int {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs
+}
+
+// havingSQL translates the having expression: aggregate aliases read from
+// b0, lagged aliases read from bN with COALESCE to 0 for missing buckets.
+func havingSQL(e ast.Expr) (string, error) {
+	switch x := e.(type) {
+	case *ast.NumberLit:
+		return numfmt.Format(x.Val), nil
+	case *ast.VarExpr:
+		return "b0." + ident(x.Name), nil
+	case *ast.HistExpr:
+		if x.Lag == 0 {
+			return "b0." + ident(x.Name), nil
+		}
+		return fmt.Sprintf("COALESCE(b%d.%s, 0)", x.Lag, ident(x.Name)), nil
+	case *ast.UnaryExpr:
+		sub, err := havingSQL(x.X)
+		if err != nil {
+			return "", err
+		}
+		if x.Op == "not" {
+			return "NOT (" + sub + ")", nil
+		}
+		return "-(" + sub + ")", nil
+	case *ast.BinaryExpr:
+		l, err := havingSQL(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := havingSQL(x.R)
+		if err != nil {
+			return "", err
+		}
+		op := strings.ToUpper(x.Op)
+		switch x.Op {
+		case "=":
+			op = "="
+		case "!=":
+			op = "<>"
+		}
+		return "(" + l + " " + op + " " + r + ")", nil
+	default:
+		return "", fmt.Errorf("translate: unsupported having expression %s", ast.ExprString(e))
+	}
+}

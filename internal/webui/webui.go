@@ -1,0 +1,245 @@
+// Package webui implements the AIQL web interface (paper §3, Figure 3):
+// an input box for entering queries, an execution status area showing
+// query time, and an interactive results table with sorting and
+// searching, plus a syntax-check endpoint used for query debugging.
+// It is a single-page application served by the standard library's HTTP
+// server — the reproduction of the Apache Tomcat UI.
+package webui
+
+import (
+	"encoding/json"
+	"html/template"
+	"log"
+	"net/http"
+	"time"
+
+	aiql "github.com/aiql/aiql"
+)
+
+// Server serves the web UI over one AIQL database.
+type Server struct {
+	db  *aiql.DB
+	mux *http.ServeMux
+}
+
+// New creates the UI server.
+func New(db *aiql.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/check", s.handleCheck)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+type queryRequest struct {
+	Query string `json:"query"`
+}
+
+type queryResponse struct {
+	Columns   []string   `json:"columns,omitempty"`
+	Rows      [][]string `json:"rows,omitempty"`
+	RowCount  int        `json:"row_count"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Scanned   int64      `json:"scanned_events"`
+	Order     []string   `json:"pattern_order,omitempty"`
+	Kind      string     `json:"kind,omitempty"`
+	Error     string     `json:"error,omitempty"`
+}
+
+const maxRowsReturned = 5000
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, queryResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	kind, _ := aiql.QueryKind(req.Query)
+	start := time.Now()
+	res, err := s.db.Query(req.Query)
+	if err != nil {
+		writeJSON(w, queryResponse{Error: err.Error(), Kind: kind})
+		return
+	}
+	rows := res.Rows
+	if len(rows) > maxRowsReturned {
+		rows = rows[:maxRowsReturned]
+	}
+	writeJSON(w, queryResponse{
+		Columns:   res.Columns,
+		Rows:      rows,
+		RowCount:  len(res.Rows),
+		ElapsedMS: float64(time.Since(start)) / 1e6,
+		Scanned:   res.Stats.ScannedEvents,
+		Order:     res.Stats.PatternOrder,
+		Kind:      kind,
+	})
+}
+
+type checkResponse struct {
+	OK    bool   `json:"ok"`
+	Kind  string `json:"kind,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, checkResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if err := aiql.Check(req.Query); err != nil {
+		writeJSON(w, checkResponse{Error: err.Error()})
+		return
+	}
+	kind, _ := aiql.QueryKind(req.Query)
+	writeJSON(w, checkResponse{OK: true, Kind: kind})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.db.Stats())
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := page.Execute(w, nil); err != nil {
+		log.Printf("webui: render: %v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("webui: encode: %v", err)
+	}
+}
+
+var page = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>AIQL — Attack Investigation Query Language</title>
+<style>
+ body { font-family: -apple-system, "Segoe UI", sans-serif; margin: 2rem; background: #f7f8fa; color: #1d2330; }
+ h1 { font-size: 1.4rem; }
+ textarea { width: 100%; height: 11rem; font-family: ui-monospace, Menlo, monospace; font-size: .9rem;
+            border: 1px solid #c5ccd8; border-radius: 6px; padding: .6rem; box-sizing: border-box; }
+ button { padding: .45rem 1.1rem; margin-right: .5rem; border: 0; border-radius: 6px;
+          background: #2456d6; color: #fff; font-size: .9rem; cursor: pointer; }
+ button.secondary { background: #5d6b85; }
+ #status { margin: .8rem 0; font-size: .9rem; color: #42506b; min-height: 1.2rem; }
+ #status.error { color: #b3261e; white-space: pre-wrap; font-family: ui-monospace, monospace; }
+ table { border-collapse: collapse; background: #fff; font-size: .85rem; }
+ th, td { border: 1px solid #dbe0ea; padding: .3rem .6rem; text-align: left; }
+ th { background: #eef1f6; cursor: pointer; user-select: none; }
+ input#filter { padding: .35rem .6rem; margin: .4rem 0; width: 22rem;
+                border: 1px solid #c5ccd8; border-radius: 6px; }
+ .hint { color: #6a7690; font-size: .8rem; }
+</style>
+</head>
+<body>
+<h1>AIQL — Attack Investigation Query Language</h1>
+<p class="hint">Multievent, dependency, and anomaly queries over system monitoring data.
+Example: <code>proc p1["%cmd.exe"] start proc p2 as evt1 return distinct p1, p2</code></p>
+<textarea id="q" spellcheck="false">(at "05/10/2018")
+agentid = 2
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip = "203.0.113.129"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, p2, p3, f1, p4, i1</textarea>
+<div style="margin-top:.6rem">
+ <button onclick="runQuery()">Execute</button>
+ <button class="secondary" onclick="checkQuery()">Check syntax</button>
+ <input id="filter" placeholder="search results…" oninput="renderTable()">
+</div>
+<div id="status"></div>
+<div id="results"></div>
+<script>
+let data = {columns: [], rows: []};
+let sortCol = -1, sortAsc = true;
+
+function setStatus(text, isError) {
+  const el = document.getElementById('status');
+  el.textContent = text;
+  el.className = isError ? 'error' : '';
+}
+
+async function post(path, body) {
+  const resp = await fetch(path, {method: 'POST', headers: {'Content-Type': 'application/json'},
+                                  body: JSON.stringify(body)});
+  return resp.json();
+}
+
+async function runQuery() {
+  setStatus('executing…');
+  const t0 = performance.now();
+  const out = await post('/api/query', {query: document.getElementById('q').value});
+  if (out.error) { setStatus(out.error, true); data = {columns: [], rows: []}; renderTable(); return; }
+  setStatus(out.row_count + ' rows — engine ' + out.elapsed_ms.toFixed(2) + ' ms (round trip ' +
+            (performance.now() - t0).toFixed(0) + ' ms), scanned ' + out.scanned_events +
+            ' events' + (out.pattern_order ? ', schedule: ' + out.pattern_order.join(' → ') : ''));
+  data = {columns: out.columns || [], rows: out.rows || []};
+  sortCol = -1;
+  renderTable();
+}
+
+async function checkQuery() {
+  const out = await post('/api/check', {query: document.getElementById('q').value});
+  if (out.ok) setStatus('syntax OK (' + out.kind + ' query)');
+  else setStatus(out.error, true);
+}
+
+function renderTable() {
+  const filter = document.getElementById('filter').value.toLowerCase();
+  let rows = data.rows;
+  if (filter) rows = rows.filter(r => r.some(c => c.toLowerCase().includes(filter)));
+  if (sortCol >= 0) {
+    rows = rows.slice().sort((a, b) => {
+      const x = a[sortCol], y = b[sortCol];
+      const nx = parseFloat(x), ny = parseFloat(y);
+      const cmp = (!isNaN(nx) && !isNaN(ny)) ? nx - ny : x.localeCompare(y);
+      return sortAsc ? cmp : -cmp;
+    });
+  }
+  let html = '<table><tr>';
+  data.columns.forEach((c, i) => {
+    const mark = i === sortCol ? (sortAsc ? ' ▲' : ' ▼') : '';
+    html += '<th onclick="sortBy(' + i + ')">' + esc(c) + mark + '</th>';
+  });
+  html += '</tr>';
+  rows.forEach(r => { html += '<tr>' + r.map(c => '<td>' + esc(c) + '</td>').join('') + '</tr>'; });
+  html += '</table>';
+  document.getElementById('results').innerHTML = data.columns.length ? html : '';
+}
+
+function sortBy(i) {
+  if (sortCol === i) sortAsc = !sortAsc; else { sortCol = i; sortAsc = true; }
+  renderTable();
+}
+
+function esc(s) {
+  return String(s).replace(/&/g, '&amp;').replace(/</g, '&lt;').replace(/>/g, '&gt;');
+}
+</script>
+</body>
+</html>`))

@@ -1,0 +1,127 @@
+package webui
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	aiql "github.com/aiql/aiql"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	db := aiql.Open()
+	base := time.Date(2018, 5, 10, 13, 0, 0, 0, time.UTC)
+	db.AppendAll([]aiql.Record{
+		{
+			AgentID: 7,
+			Subject: aiql.Process{PID: 1, ExeName: "cmd.exe", Path: `C:\cmd.exe`, User: "u"},
+			Op:      aiql.OpStart, ObjType: aiql.EntityProcess,
+			ObjProc: aiql.Process{PID: 2, ExeName: "osql.exe", Path: `C:\osql.exe`, User: "u"},
+			StartTS: base.UnixNano(),
+		},
+	})
+	db.Flush()
+	return New(db)
+}
+
+func postJSON(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func TestIndexServesPage(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "Attack Investigation Query Language") {
+		t.Error("page missing title")
+	}
+	// unknown path 404s
+	w2 := httptest.NewRecorder()
+	s.ServeHTTP(w2, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if w2.Code != http.StatusNotFound {
+		t.Errorf("unknown path status %d", w2.Code)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s := testServer(t)
+	w := postJSON(t, s, "/api/query", `{"query": "proc p start proc q as e return distinct p, q"}`)
+	var resp queryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("error: %s", resp.Error)
+	}
+	if resp.RowCount != 1 || len(resp.Rows) != 1 || resp.Rows[0][0] != "cmd.exe" {
+		t.Errorf("resp = %+v", resp)
+	}
+	if resp.Kind != "multievent" {
+		t.Errorf("kind = %q", resp.Kind)
+	}
+}
+
+func TestQueryEndpointReportsErrors(t *testing.T) {
+	s := testServer(t)
+	w := postJSON(t, s, "/api/query", `{"query": "proc p start"}`)
+	var resp queryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Error("expected a query error")
+	}
+	// GET is rejected
+	req := httptest.NewRequest(http.MethodGet, "/api/query", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", rec.Code)
+	}
+}
+
+func TestCheckEndpoint(t *testing.T) {
+	s := testServer(t)
+	w := postJSON(t, s, "/api/check", `{"query": "proc p start proc q as e return p"}`)
+	var resp checkResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Kind != "multievent" {
+		t.Errorf("resp = %+v", resp)
+	}
+	w = postJSON(t, s, "/api/check", `{"query": "proc p start file f as e return p"}`)
+	resp = checkResponse{}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "cannot target") {
+		t.Errorf("semantic error not surfaced: %+v", resp)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/api/stats", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	var stats aiql.Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != 1 || stats.Processes != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
