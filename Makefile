@@ -1,0 +1,31 @@
+# Tier-1 gate: what CI runs, runnable locally with `make check`.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench serve
+
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Cold-vs-warm result-cache comparison on the Fig4 50k-event dataset.
+bench:
+	$(GO) test ./internal/service/ -run XXX -bench 'BenchmarkColdQuery|BenchmarkWarmCache' -benchtime=5x
+
+# Web UI + JSON API on :8080 over the built-in demo dataset.
+serve:
+	$(GO) run ./cmd/aiqlserver

@@ -31,6 +31,7 @@
 package aiql
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -127,9 +128,19 @@ func (db *DB) TimeRange() (time.Time, time.Time) {
 	return time.Unix(0, lo), time.Unix(0, hi)
 }
 
-// Query parses, validates, and executes one AIQL query.
+// Query parses, validates, and executes one AIQL query without a
+// deadline. Use QueryContext to bound execution.
 func (db *DB) Query(src string) (*Result, error) {
-	return db.eng.Execute(src)
+	return db.eng.Execute(context.Background(), src)
+}
+
+// QueryContext parses, validates, and executes one AIQL query under ctx.
+// Cancellation or an expired deadline aborts partition scans mid-flight;
+// the returned error then wraps ctx.Err() and the Result (non-nil for
+// queries that began executing) carries the statistics accumulated up to
+// the abort.
+func (db *DB) QueryContext(ctx context.Context, src string) (*Result, error) {
+	return db.eng.Execute(ctx, src)
 }
 
 // Check parses and validates a query without executing it, returning the

@@ -16,6 +16,7 @@
 package aiql_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -117,7 +118,7 @@ func BenchmarkFig4AIQL(b *testing.B) {
 	for _, q := range experiments.Fig4Queries() {
 		b.Run(q.Label, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.Execute(q.Text); err != nil {
+				if _, err := eng.Execute(context.Background(), q.Text); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -149,7 +150,7 @@ func BenchmarkFig5AIQL(b *testing.B) {
 	for _, q := range experiments.Fig5Queries() {
 		b.Run(q.Label, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.Execute(q.Text); err != nil {
+				if _, err := eng.Execute(context.Background(), q.Text); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -265,7 +266,7 @@ func benchScheduling(b *testing.B, cfg engine.Config) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, q := range queries {
-			if _, err := eng.Execute(q.Text); err != nil {
+			if _, err := eng.Execute(context.Background(), q.Text); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,11 +1,17 @@
-// Command aiqlserver serves the AIQL web UI (paper §3, Figure 3): a
-// query input box, execution status area, and an interactive results
-// table with sorting and searching, plus syntax checking for query
-// debugging.
+// Command aiqlserver serves the AIQL web UI (paper §3, Figure 3) and the
+// versioned JSON query API. Both routes share one concurrent query
+// service: a bounded worker pool with admission control, per-query
+// deadlines, and an LRU result cache keyed on the store's commit counter.
 //
 // Usage:
 //
 //	aiqlserver -data data.aiql -addr :8080
+//
+// API:
+//
+//	POST /api/v1/query  {"query": "...", "limit": 100, "timeout_ms": 5000}
+//	POST /api/v1/check  {"query": "..."}
+//	GET  /api/v1/stats
 package main
 
 import (
@@ -14,8 +20,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"github.com/aiql/aiql/internal/experiments"
+	"github.com/aiql/aiql/internal/service"
 	"github.com/aiql/aiql/internal/webui"
 
 	aiql "github.com/aiql/aiql"
@@ -25,8 +33,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aiqlserver: ")
 	var (
-		data = flag.String("data", "", "dataset snapshot file (from aiqlgen); empty = built-in demo dataset")
-		addr = flag.String("addr", ":8080", "listen address")
+		data    = flag.String("data", "", "dataset snapshot file (from aiqlgen); empty = built-in demo dataset")
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "max concurrent query executions (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "admission queue depth beyond workers (0 = 4x workers)")
+		cache   = flag.Int("cache", 256, "result cache entries (negative disables)")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-query execution timeout")
 	)
 	flag.Parse()
 
@@ -41,9 +53,19 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	svc := service.New(db, service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/api/v1/", svc.Handler())
+	mux.Handle("/", webui.NewWithService(svc))
+
 	st := db.Stats()
-	log.Printf("serving %d events (%d chunks) on %s", st.Events, st.Partitions, *addr)
-	if err := http.ListenAndServe(*addr, webui.New(db)); err != nil {
+	log.Printf("serving %d events (%d chunks) on %s (UI at / — API at /api/v1/query)", st.Events, st.Partitions, *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,3 @@
+module github.com/aiql/aiql
+
+go 1.22

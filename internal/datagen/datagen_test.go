@@ -1,6 +1,7 @@
 package datagen
 
 import (
+	"context"
 	"testing"
 
 	"github.com/aiql/aiql/internal/eventstore"
@@ -58,7 +59,7 @@ func TestVolumeScales(t *testing.T) {
 func findEvent(t *testing.T, s *eventstore.Store, agent uint32, exe string, op sysmon.Operation, objContains string) bool {
 	t.Helper()
 	found := false
-	s.Scan(&eventstore.EventFilter{Agents: []uint32{agent}, Ops: []sysmon.Operation{op}}, func(ev *sysmon.Event) bool {
+	s.Scan(context.Background(), &eventstore.EventFilter{Agents: []uint32{agent}, Ops: []sysmon.Operation{op}}, func(ev *sysmon.Event) bool {
 		subj := s.Dict().Attr(sysmon.EntityProcess, ev.Subject, "exe_name")
 		if subj != exe {
 			return true

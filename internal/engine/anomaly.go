@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -84,7 +85,7 @@ func floorDiv(a, b int64) int64 {
 // into sliding windows by timestamp, compute the aggregates per window
 // and group, and enforce the having filter, which may access historical
 // window results (paper §2.3).
-func (e *Engine) execAnomaly(q *ast.AnomalyQuery, info *semantic.Info, res *Result) error {
+func (e *Engine) execAnomaly(ctx context.Context, q *ast.AnomalyQuery, info *semantic.Info, res *Result) error {
 	// reuse the multievent planner for the single pattern
 	mq := &ast.MultieventQuery{Head_: q.Head_, Patterns: []ast.EventPattern{q.Pattern}}
 	plan, err := e.buildPlan(mq)
@@ -92,8 +93,11 @@ func (e *Engine) execAnomaly(q *ast.AnomalyQuery, info *semantic.Info, res *Resu
 		return err
 	}
 	pp := plan.patterns[0]
-	events, scanned := e.scanPattern(&pp.filter, pp)
+	events, scanned := e.scanPattern(ctx, &pp.filter, pp)
 	res.Stats.ScannedEvents = scanned
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("engine: query aborted: %w", err)
+	}
 	res.Stats.PatternOrder = []string{pp.alias}
 	res.Columns = info.Columns
 
@@ -151,6 +155,13 @@ func (e *Engine) execAnomaly(q *ast.AnomalyQuery, info *semantic.Info, res *Resu
 	groups := map[string]*groupCell{}
 	var groupOrder []string
 	for i := range events {
+		// window aggregation over a huge match set must honor the
+		// deadline just as the scans do
+		if i%joinCheckInterval == joinCheckInterval-1 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("engine: query aborted: %w", err)
+			}
+		}
 		ev := &events[i]
 		if ev.StartTS < from || ev.StartTS >= to {
 			continue

@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -49,19 +50,26 @@ func NewWithConfig(store *eventstore.Store, cfg Config) *Engine {
 // Store returns the engine's event store.
 func (e *Engine) Store() *eventstore.Store { return e.store }
 
-// Execute parses, validates, and runs one AIQL query.
-func (e *Engine) Execute(src string) (*Result, error) {
+// Execute parses, validates, and runs one AIQL query. The context bounds
+// execution: cancellation or an expired deadline aborts partition scans
+// and binding joins mid-flight.
+func (e *Engine) Execute(ctx context.Context, src string) (*Result, error) {
 	q, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecuteQuery(q)
+	return e.ExecuteQuery(ctx, q)
 }
 
-// ExecuteQuery validates and runs a parsed query.
-func (e *Engine) ExecuteQuery(q ast.Query) (*Result, error) {
+// ExecuteQuery validates and runs a parsed query under ctx. When
+// execution is aborted by cancellation the returned error wraps ctx.Err()
+// and the returned Result still carries the execution statistics
+// accumulated up to the abort (scanned events, pattern order), so callers
+// can report how much work a timed-out query did.
+func (e *Engine) ExecuteQuery(ctx context.Context, q ast.Query) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
+	var execErr error
 	switch x := q.(type) {
 	case *ast.DependencyQuery:
 		if _, err := semantic.Check(x); err != nil {
@@ -79,9 +87,7 @@ func (e *Engine) ExecuteQuery(q ast.Query) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := e.execMultievent(mq, info, plan, res); err != nil {
-			return nil, err
-		}
+		execErr = e.execMultievent(ctx, mq, info, plan, res)
 	case *ast.MultieventQuery:
 		info, err := semantic.Check(x)
 		if err != nil {
@@ -91,21 +97,20 @@ func (e *Engine) ExecuteQuery(q ast.Query) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := e.execMultievent(x, info, plan, res); err != nil {
-			return nil, err
-		}
+		execErr = e.execMultievent(ctx, x, info, plan, res)
 	case *ast.AnomalyQuery:
 		info, err := semantic.Check(x)
 		if err != nil {
 			return nil, err
 		}
-		if err := e.execAnomaly(x, info, res); err != nil {
-			return nil, err
-		}
+		execErr = e.execAnomaly(ctx, x, info, res)
 	default:
 		return nil, fmt.Errorf("engine: unsupported query type %T", q)
 	}
 	res.Stats.Elapsed = time.Since(start)
+	if execErr != nil {
+		return res, execErr
+	}
 	return res, nil
 }
 

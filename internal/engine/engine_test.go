@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -62,7 +63,7 @@ return distinct p1, p2, p3, f1, p4, i1
 func TestMultieventQuery1(t *testing.T) {
 	s := buildAttackStore(t, eventstore.DefaultOptions())
 	e := New(s)
-	res, err := e.Execute(query1)
+	res, err := e.Execute(context.Background(), query1)
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -84,7 +85,7 @@ func TestMultieventTemporalFilterExcludesDecoy(t *testing.T) {
 	s := buildAttackStore(t, eventstore.DefaultOptions())
 	e := New(s)
 	// without temporal constraints, both readers of backup1.dmp match
-	res, err := e.Execute(`
+	res, err := e.Execute(context.Background(), `
 agentid = 7
 proc w["%sqlservr.exe"] write file f["%backup1.dmp"] as evt1
 proc r read file f as evt2
@@ -96,7 +97,7 @@ return distinct r`)
 		t.Fatalf("unconstrained: got %d rows, want 2\n%s", len(res.Rows), res.Table())
 	}
 	// with evt1 before evt2 only sbblv.exe remains
-	res, err = e.Execute(`
+	res, err = e.Execute(context.Background(), `
 agentid = 7
 proc w["%sqlservr.exe"] write file f["%backup1.dmp"] as evt1
 proc r read file f as evt2
@@ -114,7 +115,7 @@ func TestSchedulingMatchesWithAndWithoutReordering(t *testing.T) {
 	s := buildAttackStore(t, eventstore.DefaultOptions())
 	for _, cfg := range []Config{{}, {DisableReordering: true}, {DisableParallel: true}, {DisableReordering: true, DisableParallel: true}} {
 		e := NewWithConfig(s, cfg)
-		res, err := e.Execute(query1)
+		res, err := e.Execute(context.Background(), query1)
 		if err != nil {
 			t.Fatalf("cfg %+v: %v", cfg, err)
 		}
@@ -142,7 +143,7 @@ func TestDependencyForwardCrossHost(t *testing.T) {
 	s.AppendAll(recs)
 	s.Flush()
 	e := New(s)
-	res, err := e.Execute(`
+	res, err := e.Execute(context.Background(), `
 forward: proc p1["%cp%", agentid = 1] ->[write] file f1["%info_stealer%"]
 <-[read] proc p2["%apache%"]
 ->[connect] proc p3[agentid = 2]
@@ -183,7 +184,7 @@ func TestAnomalyMovingAverage(t *testing.T) {
 	s.AppendAll(recs)
 	s.Flush()
 	e := New(s)
-	res, err := e.Execute(`
+	res, err := e.Execute(context.Background(), `
 (from "05/10/2018 09:00:00" to "05/10/2018 09:15:00")
 agentid = 7
 window = 1 min, step = 1 min
@@ -231,7 +232,7 @@ func TestExplainOrdersBySelectivity(t *testing.T) {
 func TestEmptyResultOnContradiction(t *testing.T) {
 	s := buildAttackStore(t, eventstore.DefaultOptions())
 	e := New(s)
-	res, err := e.Execute(`
+	res, err := e.Execute(context.Background(), `
 agentid = 999
 proc p1["%cmd.exe"] start proc p2 as evt1
 return p1, p2`)
@@ -255,7 +256,7 @@ func TestSyntaxErrorsSurface(t *testing.T) {
 		`proc p1 start proc p2 return p1.bogus`, // unknown attribute
 		`window = 10 min, step = 20 min proc p write ip i as evt return count(evt)`, // step > window
 	} {
-		if _, err := e.Execute(src); err == nil {
+		if _, err := e.Execute(context.Background(), src); err == nil {
 			t.Errorf("query %q: expected error, got none", strings.TrimSpace(src))
 		}
 	}

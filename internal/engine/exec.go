@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -47,13 +48,18 @@ func newSlots(plan *queryPlan) *slots {
 }
 
 // execMultievent runs the scheduled plan with progressive binding joins.
-func (e *Engine) execMultievent(q *ast.MultieventQuery, info *semantic.Info, plan *queryPlan, res *Result) error {
+// Cancelling ctx aborts the current pattern scan and returns the
+// cancellation error; res keeps the statistics accumulated so far.
+func (e *Engine) execMultievent(ctx context.Context, q *ast.MultieventQuery, info *semantic.Info, plan *queryPlan, res *Result) error {
 	sl := newSlots(plan)
 	var bindings []binding
 	boundVars := map[string]bool{}
 	boundEvts := map[string]bool{}
 
 	for step, pp := range plan.patterns {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("engine: query aborted: %w", err)
+		}
 		res.Stats.PatternOrder = append(res.Stats.PatternOrder, pp.alias)
 		filter := pp.filter // copy; we will narrow it
 
@@ -64,8 +70,11 @@ func (e *Engine) execMultievent(q *ast.MultieventQuery, info *semantic.Info, pla
 			narrowByTemporal(&filter, plan.rels, sl, pp.alias, bindings, boundEvts)
 		}
 
-		events, scanned := e.scanPattern(&filter, pp)
+		events, scanned := e.scanPattern(ctx, &filter, pp)
 		res.Stats.ScannedEvents += scanned
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("engine: query aborted: %w", err)
+		}
 		if step == 0 {
 			res.Stats.Partitions = e.store.NumPartitions()
 			bindings = make([]binding, 0, len(events))
@@ -81,7 +90,7 @@ func (e *Engine) execMultievent(q *ast.MultieventQuery, info *semantic.Info, pla
 			}
 		} else {
 			var err error
-			bindings, err = joinStep(bindings, events, sl, pp, plan.rels, boundVars, boundEvts)
+			bindings, err = joinStep(ctx, bindings, events, sl, pp, plan.rels, boundVars, boundEvts)
 			if err != nil {
 				return err
 			}
@@ -98,19 +107,27 @@ func (e *Engine) execMultievent(q *ast.MultieventQuery, info *semantic.Info, pla
 		}
 	}
 
-	return e.project(q, info, sl, bindings, res)
+	return e.project(ctx, q, info, sl, bindings, res)
 }
+
+// joinCheckInterval is how many join probes or projected rows pass
+// between context checks: joins and projection dominate execution on
+// low-selectivity queries, so they must observe deadlines just as the
+// scans do.
+const joinCheckInterval = 8192
 
 // scanPattern collects the events matching a pattern plan's filter and
 // per-event predicates, using parallel partition scans unless disabled.
-func (e *Engine) scanPattern(filter *eventstore.EventFilter, pp *patternPlan) ([]sysmon.Event, int64) {
+// A cancelled ctx aborts the scan early; the returned scanned count then
+// reflects only the events actually visited (the caller checks ctx.Err()).
+func (e *Engine) scanPattern(ctx context.Context, filter *eventstore.EventFilter, pp *patternPlan) ([]sysmon.Event, int64) {
 	var (
 		mu      sync.Mutex
 		events  []sysmon.Event
 		scanned int64
 	)
 	if e.cfg.DisableParallel {
-		e.store.Scan(filter, func(ev *sysmon.Event) bool {
+		e.store.Scan(ctx, filter, func(ev *sysmon.Event) bool {
 			scanned++
 			if evtPredsOK(pp.evtPreds, ev) {
 				events = append(events, *ev)
@@ -119,7 +136,7 @@ func (e *Engine) scanPattern(filter *eventstore.EventFilter, pp *patternPlan) ([
 		})
 		return events, scanned
 	}
-	e.store.ScanPartitions(filter,
+	e.store.ScanPartitions(ctx, filter,
 		func(ev *sysmon.Event) bool { return evtPredsOK(pp.evtPreds, ev) },
 		func(batch []sysmon.Event, visited int64) {
 			mu.Lock()
@@ -226,7 +243,7 @@ func before(a, b *sysmon.Event) bool {
 // joinStep extends the current bindings with the events matched for one
 // pattern, hash-joining on the shared entity variables and enforcing the
 // temporal relations that connect the new alias to bound aliases.
-func joinStep(bindings []binding, events []sysmon.Event, sl *slots, pp *patternPlan, rels []ast.TemporalRel, boundVars, boundEvts map[string]bool) ([]binding, error) {
+func joinStep(ctx context.Context, bindings []binding, events []sysmon.Event, sl *slots, pp *patternPlan, rels []ast.TemporalRel, boundVars, boundEvts map[string]bool) ([]binding, error) {
 	subjSlot, objSlot := sl.vars[pp.subjVar], sl.vars[pp.objVar]
 	evtSlot := sl.evts[pp.alias]
 	subjShared := boundVars[pp.subjVar]
@@ -271,9 +288,17 @@ func joinStep(bindings []binding, events []sysmon.Event, sl *slots, pp *patternP
 	}
 
 	var out []binding
+	probes := 0
 	for i := range events {
 		ev := &events[i]
-		for _, bi := range index[evKey(ev)] {
+		matches := index[evKey(ev)]
+		if probes += len(matches) + 1; probes >= joinCheckInterval {
+			probes = 0
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("engine: query aborted: %w", err)
+			}
+		}
+		for _, bi := range matches {
 			b := &bindings[bi]
 			// a same-variable subject+object (rare self-loop) needs both
 			// endpoints checked even though only one was hashed
@@ -333,10 +358,15 @@ func temporalOK(checks []tcheck, b *binding, ev *sysmon.Event) bool {
 }
 
 // project evaluates the return clause over the completed bindings.
-func (e *Engine) project(q *ast.MultieventQuery, info *semantic.Info, sl *slots, bindings []binding, res *Result) error {
+func (e *Engine) project(ctx context.Context, q *ast.MultieventQuery, info *semantic.Info, sl *slots, bindings []binding, res *Result) error {
 	res.Columns = info.Columns
 	seen := map[string]struct{}{}
 	for i := range bindings {
+		if i%joinCheckInterval == joinCheckInterval-1 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("engine: query aborted: %w", err)
+			}
+		}
 		row := make([]string, len(q.Return))
 		for j := range q.Return {
 			cell, err := e.projectExpr(q.Return[j].Expr, info, sl, &bindings[i])

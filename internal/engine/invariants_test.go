@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestResultInvariantUnderScheduling(t *testing.T) {
 	for qi, src := range invarianceQueries {
 		var want [][]string
 		for ci, cfg := range configs {
-			res, err := NewWithConfig(store, cfg).Execute(src)
+			res, err := NewWithConfig(store, cfg).Execute(context.Background(), src)
 			if err != nil {
 				t.Fatalf("query %d cfg %+v: %v", qi, cfg, err)
 			}
@@ -100,7 +101,7 @@ func TestResultInvariantUnderStorageOptions(t *testing.T) {
 			s := eventstore.New(opts)
 			s.AppendAll(recs)
 			s.Flush()
-			res, err := New(s).Execute(src)
+			res, err := New(s).Execute(context.Background(), src)
 			if err != nil {
 				t.Fatalf("query %d variant %d: %v", qi, vi, err)
 			}
@@ -120,13 +121,13 @@ func TestResultInvariantUnderStorageOptions(t *testing.T) {
 func TestDependencyDirectionSymmetry(t *testing.T) {
 	store := buildScenarioStore(t)
 	eng := New(store)
-	fwd, err := eng.Execute(`(at "05/10/2018")
+	fwd, err := eng.Execute(context.Background(), `(at "05/10/2018")
 forward: proc p1["%cp%", agentid = 1] ->[write] file f1["%info_stealer%"] <-[read] proc p2["%apache%"]
 return distinct p1, f1, p2`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bwd, err := eng.Execute(`(at "05/10/2018")
+	bwd, err := eng.Execute(context.Background(), `(at "05/10/2018")
 backward: proc p2["%apache%", agentid = 1] ->[read] file f1["%info_stealer%"] <-[write] proc p1["%cp%"]
 return distinct p1, f1, p2`)
 	if err != nil {
@@ -145,7 +146,7 @@ return distinct p1, f1, p2`)
 func TestWithinBoundPrunes(t *testing.T) {
 	store := buildScenarioStore(t)
 	eng := New(store)
-	loose, err := eng.Execute(`(at "05/10/2018")
+	loose, err := eng.Execute(context.Background(), `(at "05/10/2018")
 agentid = 2
 proc p3 write file f["%backup1.dmp"] as e1
 proc p4["%sbblv%"] read file f as e2
@@ -154,7 +155,7 @@ return distinct p4`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tight, err := eng.Execute(`(at "05/10/2018")
+	tight, err := eng.Execute(context.Background(), `(at "05/10/2018")
 agentid = 2
 proc p3 write file f["%backup1.dmp"] as e1
 proc p4["%sbblv%"] read file f as e2
@@ -177,14 +178,14 @@ return distinct p4`)
 func TestDistinctCollapsesDuplicates(t *testing.T) {
 	store := buildScenarioStore(t)
 	eng := New(store)
-	plain, err := eng.Execute(`(at "05/10/2018")
+	plain, err := eng.Execute(context.Background(), `(at "05/10/2018")
 agentid = 2
 proc p["%sbblv%"] write ip i as e
 return p, i`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dedup, err := eng.Execute(`(at "05/10/2018")
+	dedup, err := eng.Execute(context.Background(), `(at "05/10/2018")
 agentid = 2
 proc p["%sbblv%"] write ip i as e
 return distinct p, i`)

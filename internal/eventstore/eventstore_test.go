@@ -2,6 +2,7 @@ package eventstore
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -101,7 +102,7 @@ func TestScanFilters(t *testing.T) {
 
 	count := func(f *EventFilter) int {
 		n := 0
-		s.Scan(f, func(*sysmon.Event) bool { n++; return true })
+		s.Scan(context.Background(), f, func(*sysmon.Event) bool { n++; return true })
 		return n
 	}
 	if got := count(&EventFilter{}); got != 4 {
@@ -152,7 +153,7 @@ func TestEstimateNeverUndercounts(t *testing.T) {
 	}
 	for i, f := range filters {
 		actual := 0
-		s.Scan(f, func(*sysmon.Event) bool { actual++; return true })
+		s.Scan(context.Background(), f, func(*sysmon.Event) bool { actual++; return true })
 		if est := s.EstimateMatches(f); est < actual {
 			t.Errorf("filter %d: estimate %d < actual %d", i, est, actual)
 		}
@@ -168,10 +169,10 @@ func TestScanParallelMatchesSequential(t *testing.T) {
 	s.Flush()
 	f := &EventFilter{Ops: []sysmon.Operation{sysmon.OpRead}}
 	var seq []uint64
-	s.Scan(f, func(ev *sysmon.Event) bool { seq = append(seq, ev.ID); return true })
+	s.Scan(context.Background(), f, func(ev *sysmon.Event) bool { seq = append(seq, ev.ID); return true })
 	var mu sync.Mutex
 	var par []uint64
-	s.ScanParallel(f, func(ev *sysmon.Event) {
+	s.ScanParallel(context.Background(), f, func(ev *sysmon.Event) {
 		mu.Lock()
 		par = append(par, ev.ID)
 		mu.Unlock()
@@ -265,7 +266,7 @@ func TestOutOfOrderAppendsStaySorted(t *testing.T) {
 	}
 	s.Flush()
 	var last int64
-	s.Scan(&EventFilter{}, func(ev *sysmon.Event) bool {
+	s.Scan(context.Background(), &EventFilter{}, func(ev *sysmon.Event) bool {
 		if ev.StartTS < last {
 			t.Fatalf("scan out of order: %d after %d", ev.StartTS, last)
 		}

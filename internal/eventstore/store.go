@@ -1,12 +1,20 @@
 package eventstore
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/aiql/aiql/internal/sysmon"
 )
+
+// scanCheckInterval is how many visited events a scan processes between
+// context-cancellation checks. Checking ctx.Err() takes a mutex, so the
+// check is amortized over a block of events; partition boundaries are
+// always checked.
+const scanCheckInterval = 2048
 
 // Store is the AIQL data store: an entity dictionary plus hypertable
 // chunks of events. It is safe for concurrent readers; writers are
@@ -230,22 +238,46 @@ func (s *Store) selectParts(f *EventFilter) []*Partition {
 // Scan calls fn for every committed event matching the filter. Within a
 // chunk events arrive in start-time order; across chunks the order follows
 // the deterministic chunk order. fn returning false stops the scan.
-func (s *Store) Scan(f *EventFilter, fn func(*sysmon.Event) bool) {
+//
+// The scan honors ctx: it checks for cancellation before starting, at
+// every chunk boundary, and every scanCheckInterval visited events, and
+// returns ctx.Err() when the scan was aborted by cancellation.
+func (s *Store) Scan(ctx context.Context, f *EventFilter, fn func(*sysmon.Event) bool) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	ops := f.opSet()
 	agents := f.agentSet()
+	visited := 0
+	cancelled := false
 	for _, p := range s.selectParts(f) {
-		if !p.scan(f, ops, agents, fn) {
-			return
+		ok := p.scan(f, ops, agents, func(ev *sysmon.Event) bool {
+			visited++
+			if visited%scanCheckInterval == 0 && ctx.Err() != nil {
+				cancelled = true
+				return false
+			}
+			return fn(ev)
+		})
+		if cancelled {
+			return ctx.Err()
+		}
+		if !ok {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // Collect returns all events matching the filter.
 func (s *Store) Collect(f *EventFilter) []sysmon.Event {
 	var out []sysmon.Event
-	s.Scan(f, func(ev *sysmon.Event) bool {
+	s.Scan(context.Background(), f, func(ev *sysmon.Event) bool {
 		out = append(out, *ev)
 		return true
 	})
@@ -255,22 +287,44 @@ func (s *Store) Collect(f *EventFilter) []sysmon.Event {
 // ScanParallel fans the scan out across chunks using up to
 // runtime.GOMAXPROCS workers and calls fn concurrently (fn must be safe
 // for concurrent use). It is the engine's spatial/temporal sub-query
-// parallelism. Returns the number of chunks scanned.
-func (s *Store) ScanParallel(f *EventFilter, fn func(*sysmon.Event)) int {
+// parallelism. Returns the number of chunks whose scan started — fewer
+// than the matching chunks when ctx is cancelled early: workers stop
+// picking up chunks and bail out of in-flight chunk scans at the next
+// check interval.
+func (s *Store) ScanParallel(ctx context.Context, f *EventFilter, fn func(*sysmon.Event)) int {
 	s.mu.RLock()
 	parts := s.selectParts(f)
 	s.mu.RUnlock()
+	if ctx.Err() != nil {
+		return 0
+	}
 	ops := f.opSet()
 	agents := f.agentSet()
+	var scanned atomic.Int64
+	scanOne := func(p *Partition) {
+		scanned.Add(1)
+		visited := 0
+		p.scan(f, ops, agents, func(ev *sysmon.Event) bool {
+			visited++
+			if visited%scanCheckInterval == 0 && ctx.Err() != nil {
+				return false
+			}
+			fn(ev)
+			return true
+		})
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(parts) {
 		workers = len(parts)
 	}
 	if workers <= 1 {
 		for _, p := range parts {
-			p.scan(f, ops, agents, func(ev *sysmon.Event) bool { fn(ev); return true })
+			if ctx.Err() != nil {
+				break
+			}
+			scanOne(p)
 		}
-		return len(parts)
+		return int(scanned.Load())
 	}
 	var wg sync.WaitGroup
 	ch := make(chan *Partition, len(parts))
@@ -283,12 +337,15 @@ func (s *Store) ScanParallel(f *EventFilter, fn func(*sysmon.Event)) int {
 		go func() {
 			defer wg.Done()
 			for p := range ch {
-				p.scan(f, ops, agents, func(ev *sysmon.Event) bool { fn(ev); return true })
+				if ctx.Err() != nil {
+					return
+				}
+				scanOne(p)
 			}
 		}()
 	}
 	wg.Wait()
-	return len(parts)
+	return int(scanned.Load())
 }
 
 // ScanPartitions is the engine's spatial/temporal sub-query parallelism:
@@ -296,18 +353,32 @@ func (s *Store) ScanParallel(f *EventFilter, fn func(*sysmon.Event)) int {
 // collects the events passing both the filter and the keep predicate into
 // a per-chunk buffer and hands it to merge together with the number of
 // events visited. merge may be called concurrently; the caller
-// synchronizes. Returns the number of chunks scanned.
-func (s *Store) ScanPartitions(f *EventFilter, keep func(*sysmon.Event) bool, merge func(batch []sysmon.Event, visited int64)) int {
+// synchronizes. Returns the number of chunks whose scan started.
+//
+// Cancelling ctx aborts the scan early: unstarted chunks are skipped
+// (and excluded from the returned count) and in-flight chunk scans bail
+// out at the next check interval. Partial chunk batches are still handed
+// to merge so visited-event accounting stays truthful; the caller
+// detects cancellation via ctx.Err().
+func (s *Store) ScanPartitions(ctx context.Context, f *EventFilter, keep func(*sysmon.Event) bool, merge func(batch []sysmon.Event, visited int64)) int {
 	s.mu.RLock()
 	parts := s.selectParts(f)
 	s.mu.RUnlock()
+	if ctx.Err() != nil {
+		return 0
+	}
 	ops := f.opSet()
 	agents := f.agentSet()
+	var scanned atomic.Int64
 	scanOne := func(p *Partition) {
+		scanned.Add(1)
 		var batch []sysmon.Event
 		var visited int64
 		p.scan(f, ops, agents, func(ev *sysmon.Event) bool {
 			visited++
+			if visited%scanCheckInterval == 0 && ctx.Err() != nil {
+				return false
+			}
 			if keep == nil || keep(ev) {
 				batch = append(batch, *ev)
 			}
@@ -321,9 +392,12 @@ func (s *Store) ScanPartitions(f *EventFilter, keep func(*sysmon.Event) bool, me
 	}
 	if workers <= 1 {
 		for _, p := range parts {
+			if ctx.Err() != nil {
+				break
+			}
 			scanOne(p)
 		}
-		return len(parts)
+		return int(scanned.Load())
 	}
 	var wg sync.WaitGroup
 	ch := make(chan *Partition, len(parts))
@@ -336,12 +410,15 @@ func (s *Store) ScanPartitions(f *EventFilter, keep func(*sysmon.Event) bool, me
 		go func() {
 			defer wg.Done()
 			for p := range ch {
+				if ctx.Err() != nil {
+					return
+				}
 				scanOne(p)
 			}
 		}()
 	}
 	wg.Wait()
-	return len(parts)
+	return int(scanned.Load())
 }
 
 // EstimateMatches returns an upper-bound estimate of the number of events

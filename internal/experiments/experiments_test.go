@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"github.com/aiql/aiql/internal/datagen"
@@ -56,7 +57,7 @@ func TestFig5QueriesFindAttackAndAgree(t *testing.T) {
 func TestAnomalyQueryIsolatesExfiltrationProcesses(t *testing.T) {
 	store := BuildStore(Fig4Dataset(testEvents, testHosts, testSeed))
 	eng := engine.New(store)
-	res, err := eng.Execute(Fig4Queries()[14].Text) // a5-1
+	res, err := eng.Execute(context.Background(), Fig4Queries()[14].Text) // a5-1
 	if err != nil {
 		t.Fatalf("a5-1: %v", err)
 	}

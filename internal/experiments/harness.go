@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -118,7 +119,7 @@ func runComparison(store *eventstore.Store, queries []Query, opt RunOptions, rdb
 		var aiqlRows []string
 		for r := 0; r < opt.repeat(); r++ {
 			start := time.Now()
-			res, err := eng.Execute(q.Text)
+			res, err := eng.Execute(context.Background(), q.Text)
 			if err != nil {
 				return nil, fmt.Errorf("%s (AIQL): %w", q.Label, err)
 			}
@@ -298,7 +299,7 @@ func RunStorageAblation(cfg datagen.Config) ([]StorageResult, error) {
 		var best time.Duration
 		for r := 0; r < 3; r++ { // best of three: query times are µs–ms scale
 			qStart := time.Now()
-			if _, err := eng.Execute(repQuery); err != nil {
+			if _, err := eng.Execute(context.Background(), repQuery); err != nil {
 				return nil, fmt.Errorf("storage ablation %s: %w", v.Name, err)
 			}
 			if el := time.Since(qStart); r == 0 || el < best {
@@ -354,7 +355,7 @@ func RunSchedulingAblation(store *eventstore.Store) ([]SchedulingResult, error) 
 		res := SchedulingResult{Name: v.Name, PerQuery: map[string]time.Duration{}}
 		for _, q := range queries {
 			start := time.Now()
-			if _, err := eng.Execute(q.Text); err != nil {
+			if _, err := eng.Execute(context.Background(), q.Text); err != nil {
 				return nil, fmt.Errorf("scheduling ablation %s/%s: %w", v.Name, q.Label, err)
 			}
 			el := time.Since(start)

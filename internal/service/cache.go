@@ -1,0 +1,132 @@
+package service
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"github.com/aiql/aiql/internal/engine"
+)
+
+// cacheKey identifies one query result: the normalized query text plus
+// the store's commit counter at execution time. Because every append
+// commit bumps the counter, entries computed over an older store version
+// become unreachable (and age out of the LRU) the moment new data lands —
+// invalidation by key, not by scanning.
+type cacheKey struct {
+	query   string
+	commits uint64
+}
+
+// cacheEntry is one cached execution outcome. The Result is shared by
+// every client that hits the entry and must be treated as read-only;
+// response shaping (limit truncation) copies, never mutates.
+type cacheEntry struct {
+	key    cacheKey
+	result *engine.Result
+	kind   string
+}
+
+// resultCache is a mutex-guarded LRU over executed query results.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[cacheKey]*list.Element
+	order   *list.List // front = most recently used
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil // caching disabled
+	}
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[cacheKey]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+func (c *resultCache) get(key cacheKey) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+func (c *resultCache) put(entry *cacheEntry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[entry.key]; ok {
+		c.order.MoveToFront(el)
+		el.Value = entry
+		return
+	}
+	c.entries[entry.key] = c.order.PushFront(entry)
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// normalizeQuery canonicalizes query text for cache keying: outside
+// string literals, whitespace runs collapse to one space and surrounding
+// whitespace is trimmed, so reformatting a query (line breaks,
+// indentation) still hits the cache. Literal contents are preserved
+// byte-for-byte — AIQL strings may contain significant whitespace, and
+// collapsing it would alias distinct queries to one key. Quoting follows
+// the lexer: double or single quotes with backslash escapes.
+func normalizeQuery(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	var quote byte   // the active quote character, 0 outside literals
+	pending := false // a collapsed whitespace run awaits emission
+	escaped := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if quote != 0 {
+			b.WriteByte(c)
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\':
+				escaped = true
+			case c == quote:
+				quote = 0
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			pending = b.Len() > 0
+			continue
+		}
+		if pending {
+			b.WriteByte(' ')
+			pending = false
+		}
+		if c == '"' || c == '\'' {
+			quote = c
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}

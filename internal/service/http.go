@@ -1,0 +1,152 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"time"
+
+	aiql "github.com/aiql/aiql"
+)
+
+// QueryRequest is the wire form of one query submission.
+type QueryRequest struct {
+	// Query is the AIQL query text.
+	Query string `json:"query"`
+	// Limit caps returned rows; 0 means the service maximum.
+	Limit int `json:"limit,omitempty"`
+	// TimeoutMS bounds execution in milliseconds; 0 means the service
+	// default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// QueryResult is the wire form of one query outcome.
+type QueryResult struct {
+	Columns       []string   `json:"columns"`
+	Rows          [][]string `json:"rows"`
+	TotalRows     int        `json:"total_rows"`
+	DurationMS    float64    `json:"duration_ms"`
+	Cached        bool       `json:"cached"`
+	Kind          string     `json:"kind,omitempty"`
+	ScannedEvents int64      `json:"scanned_events"`
+	PatternOrder  []string   `json:"pattern_order,omitempty"`
+}
+
+// ErrorResponse is the wire form of any failure.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxRequestBody caps request bodies: queries are human-written text, so
+// anything beyond this is abuse, and the cap keeps oversized bodies from
+// buffering into memory before admission control can reject the query.
+const maxRequestBody = 1 << 20
+
+// CheckRequest and CheckResponse are the wire forms of syntax checking.
+type CheckRequest struct {
+	Query string `json:"query"`
+}
+
+// CheckResponse reports validation outcome without executing.
+type CheckResponse struct {
+	OK    bool   `json:"ok"`
+	Kind  string `json:"kind,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// Handler returns the versioned JSON API:
+//
+//	POST /api/v1/query  QueryRequest  → QueryResult | ErrorResponse
+//	POST /api/v1/check  CheckRequest  → CheckResponse
+//	GET  /api/v1/stats                → Stats
+//
+// Failures map to status codes: 400 for malformed JSON and query
+// parse/validation/execution errors, 504 for deadline-exceeded, 503 for
+// admission rejections (with Retry-After), 405 for wrong methods.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/query", s.handleQuery)
+	mux.HandleFunc("/api/v1/check", s.handleCheck)
+	mux.HandleFunc("/api/v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	resp, err := s.Do(r.Context(), Request{
+		Query:   req.Query,
+		Limit:   req.Limit,
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	if err != nil {
+		writeJSON(w, statusFor(err), ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResult{
+		Columns:       resp.Columns,
+		Rows:          resp.Rows,
+		TotalRows:     resp.TotalRows,
+		DurationMS:    float64(resp.Duration) / float64(time.Millisecond),
+		Cached:        resp.Cached,
+		Kind:          resp.Kind,
+		ScannedEvents: resp.Stats.ScannedEvents,
+		PatternOrder:  resp.Stats.PatternOrder,
+	})
+}
+
+func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
+		return
+	}
+	var req CheckRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if err := aiql.Check(req.Query); err != nil {
+		writeJSON(w, http.StatusOK, CheckResponse{Error: err.Error()})
+		return
+	}
+	kind, _ := aiql.QueryKind(req.Query)
+	writeJSON(w, http.StatusOK, CheckResponse{OK: true, Kind: kind})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// statusFor maps service errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("service: encode: %v", err)
+	}
+}

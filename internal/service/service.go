@@ -1,0 +1,282 @@
+// Package service is the concurrent query service layer: it wraps an
+// AIQL database so many simultaneous clients share one execution path
+// with admission control, per-query deadlines, and result caching.
+//
+// Attack investigation is interactive (paper §1): analysts iterate on
+// queries, so the same query text recurs against an unchanged store —
+// the LRU result cache serves those repeats from memory, keyed on the
+// normalized query text plus the store's commit counter so any append
+// invalidates by construction. Under overload a bounded worker pool plus
+// a bounded admission queue sheds load explicitly (ErrOverloaded)
+// instead of letting unbounded goroutine fan-out thrash the partition
+// scanners, and every execution runs under a context deadline so a
+// runaway query cannot pin a worker forever.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	aiql "github.com/aiql/aiql"
+	"github.com/aiql/aiql/internal/engine"
+)
+
+// ErrOverloaded reports that the service shed the query: every worker is
+// busy and the admission queue is full (or the query timed out waiting in
+// it). Clients should back off and retry.
+var ErrOverloaded = errors.New("service: overloaded, try again later")
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// Workers caps concurrent query executions. Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth caps queries waiting for a worker beyond Workers.
+	// Default: 4×Workers.
+	QueueDepth int
+	// QueueWait bounds how long an admitted query may wait for a worker
+	// before being shed with ErrOverloaded. Default: 2s.
+	QueueWait time.Duration
+	// DefaultTimeout bounds execution when the request names none.
+	// Default: 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested timeouts. Default: 2m.
+	MaxTimeout time.Duration
+	// CacheEntries is the LRU result-cache capacity. Negative disables
+	// caching. Default: 256.
+	CacheEntries int
+	// MaxRows caps rows returned to any client (the full row count is
+	// still reported). Default: 5000.
+	MaxRows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 5000
+	}
+	return c
+}
+
+// Request is one query submission.
+type Request struct {
+	// Query is the AIQL query text.
+	Query string
+	// Limit caps returned rows; 0 means the service maximum. The limit
+	// shapes the response only — TotalRows always reports the full count.
+	Limit int
+	// Timeout bounds execution; 0 means the service default. Values
+	// above the service maximum are clamped.
+	Timeout time.Duration
+}
+
+// Response is one query outcome.
+type Response struct {
+	Columns   []string
+	Rows      [][]string // possibly limit-truncated; do not mutate (shared with the cache)
+	TotalRows int
+	Duration  time.Duration // service-observed latency, including queue wait
+	Cached    bool
+	Kind      string // query family: multievent, dependency, anomaly
+	Stats     engine.ExecStats
+}
+
+// Stats are the service's monotonic counters plus instantaneous gauges.
+type Stats struct {
+	Queries      uint64 `json:"queries"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	Rejected     uint64 `json:"rejected"`
+	Timeouts     uint64 `json:"timeouts"`
+	Canceled     uint64 `json:"canceled"`
+	Errors       uint64 `json:"errors"`
+	Active       int64  `json:"active"`
+	Queued       int64  `json:"queued"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+// Service executes queries for many concurrent clients over one database.
+type Service struct {
+	db    *aiql.DB
+	cfg   Config
+	sem   chan struct{} // worker slots
+	cache *resultCache
+
+	queries     atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	rejected    atomic.Uint64
+	timeouts    atomic.Uint64
+	canceled    atomic.Uint64
+	errors      atomic.Uint64
+	active      atomic.Int64
+	queued      atomic.Int64
+}
+
+// New creates a service over db.
+func New(db *aiql.DB, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		db:    db,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Workers),
+		cache: newResultCache(cfg.CacheEntries),
+	}
+}
+
+// DB returns the wrapped database.
+func (s *Service) DB() *aiql.DB { return s.db }
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Queries:      s.queries.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		CacheMisses:  s.cacheMisses.Load(),
+		Rejected:     s.rejected.Load(),
+		Timeouts:     s.timeouts.Load(),
+		Canceled:     s.canceled.Load(),
+		Errors:       s.errors.Load(),
+		Active:       s.active.Load(),
+		Queued:       s.queued.Load(),
+		CacheEntries: s.cache.len(),
+	}
+}
+
+// Do executes one query request: cache lookup, admission, bounded
+// execution, cache fill. It is safe for arbitrary concurrent use.
+func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	s.queries.Add(1)
+
+	norm := normalizeQuery(req.Query)
+	// The commit counter is read before execution; the entry is only
+	// stored if the counter is unchanged afterwards, so a cached result
+	// always reflects exactly the store version its key names.
+	commits := s.db.Store().Commits()
+	key := cacheKey{query: norm, commits: commits}
+	if entry, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		return s.shape(entry, req, start, true), nil
+	}
+	if s.cache != nil {
+		s.cacheMisses.Add(1)
+	}
+
+	if err := s.admit(ctx); err != nil {
+		return nil, err
+	}
+	defer func() { <-s.sem }()
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	} else if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	execCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	kind, _ := aiql.QueryKind(req.Query)
+	res, err := s.db.QueryContext(execCtx, req.Query)
+	if err != nil {
+		if ctxErr := execCtx.Err(); ctxErr != nil {
+			// a deadline expiry is a timeout; a cancelled parent means
+			// the client went away — count them apart so stats don't
+			// suggest tuning timeouts against disconnects
+			if errors.Is(ctxErr, context.Canceled) {
+				s.canceled.Add(1)
+			} else {
+				s.timeouts.Add(1)
+			}
+			return nil, fmt.Errorf("service: query aborted after %s: %w", time.Since(start).Round(time.Millisecond), ctxErr)
+		}
+		s.errors.Add(1)
+		return nil, err
+	}
+
+	entry := &cacheEntry{key: key, result: res, kind: kind}
+	if s.db.Store().Commits() == commits {
+		s.cache.put(entry)
+	}
+	return s.shape(entry, req, start, false), nil
+}
+
+// admit acquires a worker slot, queueing up to cfg.QueueDepth waiters for
+// at most cfg.QueueWait.
+func (s *Service) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	// all workers busy: join the bounded queue
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.rejected.Add(1)
+		return ErrOverloaded
+	}
+	defer s.queued.Add(-1)
+	wait := time.NewTimer(s.cfg.QueueWait)
+	defer wait.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		// the client's own deadline or disconnect ended the wait —
+		// the service did not shed it, so it is not a rejection
+		if errors.Is(ctx.Err(), context.Canceled) {
+			s.canceled.Add(1)
+		} else {
+			s.timeouts.Add(1)
+		}
+		return fmt.Errorf("service: cancelled while queued: %w", ctx.Err())
+	case <-wait.C:
+		s.rejected.Add(1)
+		return ErrOverloaded
+	}
+}
+
+// shape builds the per-request response view over a (possibly shared)
+// cache entry, applying the row limit without mutating the entry.
+func (s *Service) shape(entry *cacheEntry, req Request, start time.Time, cached bool) *Response {
+	limit := req.Limit
+	if limit <= 0 || limit > s.cfg.MaxRows {
+		limit = s.cfg.MaxRows
+	}
+	rows := entry.result.Rows
+	if len(rows) > limit {
+		rows = rows[:limit]
+	}
+	return &Response{
+		Columns:   entry.result.Columns,
+		Rows:      rows,
+		TotalRows: len(entry.result.Rows),
+		Duration:  time.Since(start),
+		Cached:    cached,
+		Kind:      entry.kind,
+		Stats:     entry.result.Stats,
+	}
+}

@@ -1,6 +1,7 @@
 package translate
 
 import (
+	"context"
 	"reflect"
 	"sort"
 	"strings"
@@ -150,7 +151,7 @@ func TestCrossEngineEquivalence(t *testing.T) {
 
 	for _, tc := range crossQueries {
 		t.Run(tc.name, func(t *testing.T) {
-			res, err := eng.Execute(tc.src)
+			res, err := eng.Execute(context.Background(), tc.src)
 			if err != nil {
 				t.Fatalf("AIQL execute: %v", err)
 			}

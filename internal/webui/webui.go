@@ -11,20 +11,29 @@ import (
 	"html/template"
 	"log"
 	"net/http"
-	"time"
 
 	aiql "github.com/aiql/aiql"
+	"github.com/aiql/aiql/internal/service"
 )
 
-// Server serves the web UI over one AIQL database.
+// Server serves the web UI over one AIQL database. Query execution is
+// routed through the concurrent service layer, so the UI shares the
+// admission control, deadlines, result cache, and statistics of the
+// versioned JSON API.
 type Server struct {
-	db  *aiql.DB
+	svc *service.Service
 	mux *http.ServeMux
 }
 
-// New creates the UI server.
+// New creates the UI server with a default-configured service layer.
 func New(db *aiql.DB) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
+	return NewWithService(service.New(db, service.Config{}))
+}
+
+// NewWithService creates the UI server over an existing service layer,
+// sharing its worker pool and result cache with other API consumers.
+func NewWithService(svc *service.Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
 	s.mux.HandleFunc("/api/check", s.handleCheck)
@@ -36,6 +45,9 @@ func New(db *aiql.DB) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
+
+// maxRequestBody caps request bodies; queries are human-written text.
+const maxRequestBody = 1 << 20
 
 type queryRequest struct {
 	Query string `json:"query"`
@@ -49,10 +61,9 @@ type queryResponse struct {
 	Scanned   int64      `json:"scanned_events"`
 	Order     []string   `json:"pattern_order,omitempty"`
 	Kind      string     `json:"kind,omitempty"`
+	Cached    bool       `json:"cached"`
 	Error     string     `json:"error,omitempty"`
 }
-
-const maxRowsReturned = 5000
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -60,29 +71,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
 		writeJSON(w, queryResponse{Error: "bad request: " + err.Error()})
 		return
 	}
-	kind, _ := aiql.QueryKind(req.Query)
-	start := time.Now()
-	res, err := s.db.Query(req.Query)
+	resp, err := s.svc.Do(r.Context(), service.Request{Query: req.Query})
 	if err != nil {
+		kind, _ := aiql.QueryKind(req.Query)
 		writeJSON(w, queryResponse{Error: err.Error(), Kind: kind})
 		return
 	}
-	rows := res.Rows
-	if len(rows) > maxRowsReturned {
-		rows = rows[:maxRowsReturned]
-	}
 	writeJSON(w, queryResponse{
-		Columns:   res.Columns,
-		Rows:      rows,
-		RowCount:  len(res.Rows),
-		ElapsedMS: float64(time.Since(start)) / 1e6,
-		Scanned:   res.Stats.ScannedEvents,
-		Order:     res.Stats.PatternOrder,
-		Kind:      kind,
+		Columns:   resp.Columns,
+		Rows:      resp.Rows,
+		RowCount:  resp.TotalRows,
+		ElapsedMS: float64(resp.Duration) / 1e6,
+		Scanned:   resp.Stats.ScannedEvents,
+		Order:     resp.Stats.PatternOrder,
+		Kind:      resp.Kind,
+		Cached:    resp.Cached,
 	})
 }
 
@@ -98,7 +105,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
 		writeJSON(w, checkResponse{Error: "bad request: " + err.Error()})
 		return
 	}
@@ -111,7 +118,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.db.Stats())
+	writeJSON(w, struct {
+		aiql.Stats
+		Service service.Stats `json:"service"`
+	}{s.svc.DB().Stats(), s.svc.Stats()})
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -196,7 +206,8 @@ async function runQuery() {
   const out = await post('/api/query', {query: document.getElementById('q').value});
   if (out.error) { setStatus(out.error, true); data = {columns: [], rows: []}; renderTable(); return; }
   setStatus(out.row_count + ' rows — engine ' + out.elapsed_ms.toFixed(2) + ' ms (round trip ' +
-            (performance.now() - t0).toFixed(0) + ' ms), scanned ' + out.scanned_events +
+            (performance.now() - t0).toFixed(0) + ' ms)' + (out.cached ? ' [cached]' : '') +
+            ', scanned ' + out.scanned_events +
             ' events' + (out.pattern_order ? ', schedule: ' + out.pattern_order.join(' → ') : ''));
   data = {columns: out.columns || [], rows: out.rows || []};
   sortCol = -1;

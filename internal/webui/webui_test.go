@@ -73,6 +73,46 @@ func TestQueryEndpoint(t *testing.T) {
 	}
 }
 
+// TestQueryEndpointSharesServiceCache verifies the UI is wired through
+// the service layer: a repeated query is served from the shared result
+// cache and says so.
+func TestQueryEndpointSharesServiceCache(t *testing.T) {
+	s := testServer(t)
+	body := `{"query": "proc p start proc q as e return distinct p, q"}`
+	var first, second queryResponse
+	if err := json.Unmarshal(postJSON(t, s, "/api/query", body).Body.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(postJSON(t, s, "/api/query", body).Body.Bytes(), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first execution reported cached")
+	}
+	if !second.Cached {
+		t.Error("repeat query on an unchanged store was not served from the service cache")
+	}
+	if second.RowCount != first.RowCount {
+		t.Errorf("cached row count %d != %d", second.RowCount, first.RowCount)
+	}
+	// the shared service reports both executions in its stats
+	var stats struct {
+		Service struct {
+			Queries   uint64 `json:"queries"`
+			CacheHits uint64 `json:"cache_hits"`
+		} `json:"service"`
+	}
+	req := httptest.NewRequest(http.MethodGet, "/api/stats", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Service.Queries != 2 || stats.Service.CacheHits != 1 {
+		t.Errorf("service stats = %+v, want 2 queries / 1 hit", stats.Service)
+	}
+}
+
 func TestQueryEndpointReportsErrors(t *testing.T) {
 	s := testServer(t)
 	w := postJSON(t, s, "/api/query", `{"query": "proc p start"}`)
