@@ -22,9 +22,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Cold-vs-warm result-cache comparison on the Fig4 50k-event dataset.
+# Streaming/caching benchmarks on the Fig4 50k-event dataset: cold vs.
+# warm cache, full drain vs. LIMIT-50 early termination. Emits
+# BENCH_streaming.json for the CI perf-trajectory artifact.
 bench:
-	$(GO) test ./internal/service/ -run XXX -bench 'BenchmarkColdQuery|BenchmarkWarmCache' -benchtime=5x
+	$(GO) test ./internal/service/ -run XXX \
+		-bench 'BenchmarkColdQuery|BenchmarkWarmCache|BenchmarkFullDrain|BenchmarkLimit50EarlyTermination' \
+		-benchtime=5x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
+	@cat bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_streaming.json < bench.out
+	@rm -f bench.out
 
 # Web UI + JSON API on :8080 over the built-in demo dataset.
 serve:

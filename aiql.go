@@ -65,6 +65,10 @@ type (
 	StorageOptions = eventstore.Options
 	// EngineConfig toggles the query engine optimizations.
 	EngineConfig = engine.Config
+	// Cursor is a pull-based iterator over a query's projected rows.
+	Cursor = engine.Cursor
+	// CursorOptions shape a streaming execution (limit pushdown).
+	CursorOptions = engine.CursorOptions
 )
 
 // Operations (re-exported).
@@ -141,6 +145,19 @@ func (db *DB) Query(src string) (*Result, error) {
 // the abort.
 func (db *DB) QueryContext(ctx context.Context, src string) (*Result, error) {
 	return db.eng.Execute(ctx, src)
+}
+
+// QueryCursor starts one AIQL query and returns a cursor that yields
+// projected rows on demand: results stream with bounded memory instead
+// of being materialized, and closing the cursor aborts the remaining
+// scan work. With CursorOptions.Limit > 0 the engine pushes the limit
+// into the final pattern scan, terminating early once the rows have
+// been produced; streamed rows arrive in production order (no global
+// sort). Parse, semantic, and planning errors are returned immediately;
+// execution errors surface through Cursor.Err. The cursor must be
+// closed.
+func (db *DB) QueryCursor(ctx context.Context, src string, opts CursorOptions) (*Cursor, error) {
+	return db.eng.ExecuteCursor(ctx, src, opts)
 }
 
 // Check parses and validates a query without executing it, returning the

@@ -1,7 +1,10 @@
 // Command aiqlserver serves the AIQL web UI (paper §3, Figure 3) and the
 // versioned JSON query API. Both routes share one concurrent query
-// service: a bounded worker pool with admission control, per-query
-// deadlines, and an LRU result cache keyed on the store's commit counter.
+// service: a bounded worker pool with admission control and per-client
+// fairness, per-query deadlines, singleflight collapsing of identical
+// in-flight queries, and a byte-bounded LRU result cache keyed on the
+// store's commit counter. Large results page through cursor tokens or
+// stream as NDJSON straight from the engine's cursor pipeline.
 //
 // Usage:
 //
@@ -9,8 +12,9 @@
 //
 // API:
 //
-//	POST /api/v1/query  {"query": "...", "limit": 100, "timeout_ms": 5000}
-//	POST /api/v1/check  {"query": "..."}
+//	POST /api/v1/query         {"query": "...", "limit": 100, "cursor": "...", "timeout_ms": 5000}
+//	POST /api/v1/query/stream  {"query": "...", "limit": 100, "timeout_ms": 5000}  (NDJSON)
+//	POST /api/v1/check         {"query": "..."}
 //	GET  /api/v1/stats
 package main
 
@@ -33,12 +37,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aiqlserver: ")
 	var (
-		data    = flag.String("data", "", "dataset snapshot file (from aiqlgen); empty = built-in demo dataset")
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "max concurrent query executions (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "admission queue depth beyond workers (0 = 4x workers)")
-		cache   = flag.Int("cache", 256, "result cache entries (negative disables)")
-		timeout = flag.Duration("timeout", 30*time.Second, "default per-query execution timeout")
+		data       = flag.String("data", "", "dataset snapshot file (from aiqlgen); empty = built-in demo dataset")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "max concurrent query executions (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "admission queue depth beyond workers (0 = 4x workers)")
+		cache      = flag.Int("cache", 256, "result cache entries (negative disables)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "result cache byte budget (0 = 64 MiB, negative = unbounded)")
+		perClient  = flag.Int("client-inflight", 0, "max concurrent executions per client (0 = half the workers, negative disables)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query execution timeout")
 	)
 	flag.Parse()
 
@@ -57,6 +63,8 @@ func main() {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
+		MaxCacheBytes:  *cacheBytes,
+		ClientInflight: *perClient,
 		DefaultTimeout: *timeout,
 	})
 	mux := http.NewServeMux()

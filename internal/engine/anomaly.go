@@ -81,11 +81,16 @@ func floorDiv(a, b int64) int64 {
 	return q
 }
 
-// execAnomaly evaluates an anomaly query: partition the matched events
+// runAnomaly evaluates an anomaly query: partition the matched events
 // into sliding windows by timestamp, compute the aggregates per window
 // and group, and enforce the having filter, which may access historical
-// window results (paper §2.3).
-func (e *Engine) execAnomaly(ctx context.Context, q *ast.AnomalyQuery, info *semantic.Info, res *Result) error {
+// window results (paper §2.3). Aggregation is inherently total — every
+// matching event contributes before any window can be judged — but the
+// result windows stream: each surviving (group, window) row is emitted
+// as it is evaluated (groups in sorted order, windows ascending), so
+// downstream consumers see first rows before the emission loop finishes
+// and a satisfied limit stops the loop early.
+func (e *Engine) runAnomaly(ctx context.Context, q *ast.AnomalyQuery, info *semantic.Info, stats *ExecStats, emit emitFunc) error {
 	// reuse the multievent planner for the single pattern
 	mq := &ast.MultieventQuery{Head_: q.Head_, Patterns: []ast.EventPattern{q.Pattern}}
 	plan, err := e.buildPlan(mq)
@@ -94,12 +99,11 @@ func (e *Engine) execAnomaly(ctx context.Context, q *ast.AnomalyQuery, info *sem
 	}
 	pp := plan.patterns[0]
 	events, scanned := e.scanPattern(ctx, &pp.filter, pp)
-	res.Stats.ScannedEvents = scanned
+	stats.ScannedEvents = scanned
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("engine: query aborted: %w", err)
 	}
-	res.Stats.PatternOrder = []string{pp.alias}
-	res.Columns = info.Columns
+	stats.PatternOrder = []string{pp.alias}
 
 	// window extent: explicit time window, else the data's extent
 	from, to := plan.window.From, plan.window.To
@@ -217,6 +221,7 @@ func (e *Engine) execAnomaly(ctx context.Context, q *ast.AnomalyQuery, info *sem
 	if q.Having != nil {
 		firstWin = maxLag(q.Having)
 	}
+	seen := map[string]struct{}{} // identical rows recur across windows
 	for _, gk := range groupOrder {
 		cell := groups[gk]
 		for k := firstWin; k < numWin; k++ {
@@ -251,11 +256,16 @@ func (e *Engine) execAnomaly(ctx context.Context, q *ast.AnomalyQuery, info *sem
 					ki++
 				}
 			}
-			res.Rows = append(res.Rows, row)
+			key := strings.Join(row, "\t")
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			if !emit(row) {
+				return nil
+			}
 		}
 	}
-	res.SortRows()
-	res.Rows = dedupRows(res.Rows) // identical rows recur across windows
 	return nil
 }
 
@@ -275,19 +285,6 @@ func maxLag(e ast.Expr) int {
 	default:
 		return 0
 	}
-}
-
-func dedupRows(rows [][]string) [][]string {
-	out := rows[:0]
-	var prev string
-	for i, r := range rows {
-		k := strings.Join(r, "\t")
-		if i == 0 || k != prev {
-			out = append(out, r)
-		}
-		prev = k
-	}
-	return out
 }
 
 // eventExprKey renders the group key for an event.

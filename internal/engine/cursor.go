@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/aiql/parser"
+	"github.com/aiql/aiql/internal/aiql/semantic"
+)
+
+// CursorOptions shape a streaming execution.
+type CursorOptions struct {
+	// Limit > 0 enables limit pushdown: the cursor yields at most Limit
+	// rows, and the final pattern scan runs sequentially and terminates
+	// as soon as they have been produced, so a small-limit query over a
+	// huge store does not pay for a full scan. Rows arrive in production
+	// order — there is no global sort under pushdown.
+	Limit int
+}
+
+// halt is a one-shot broadcast used to abort in-flight scans: Close on
+// the cursor (or an internal execution error in a parallel worker)
+// triggers it, and every cancellation checkpoint observes it through
+// haltCtx below.
+type halt struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func newHalt() *halt { return &halt{ch: make(chan struct{})} }
+
+func (h *halt) trigger() { h.once.Do(func() { close(h.ch) }) }
+
+func (h *halt) triggered() bool {
+	select {
+	case <-h.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// haltCtx layers the halt signal over the caller's context: Err reports
+// cancellation when either the halt has been triggered or the parent
+// context is done, so the existing ctx.Err() checkpoints in the scan,
+// join, and projection loops double as early-termination points without
+// wrapping the caller's context in a derived one (derived contexts
+// would hide custom Err implementations used by the cancellation
+// tests).
+type haltCtx struct {
+	context.Context
+	h *halt
+}
+
+func (c *haltCtx) Err() error {
+	select {
+	case <-c.h.ch:
+		return context.Canceled
+	default:
+	}
+	return c.Context.Err()
+}
+
+// Cursor is a pull-based iterator over a query's projected rows. The
+// producer executes the query plan on demand: rows are handed over one
+// at a time, intermediate results past the prefix joins are never
+// materialized, and closing the cursor aborts the remaining scan work.
+//
+// Usage follows database/sql:
+//
+//	cur, err := eng.ExecuteCursor(ctx, src, CursorOptions{Limit: 50})
+//	...
+//	defer cur.Close()
+//	for cur.Next() {
+//	    row := cur.Row()
+//	    ...
+//	}
+//	err = cur.Err()
+//
+// Rows stream in production order. Stats are complete once Next has
+// returned false or Close has returned. A Cursor must be closed;
+// abandoning one mid-stream leaks its producer goroutine until the
+// parent context is cancelled.
+type Cursor struct {
+	cols []string
+	rows chan []string
+	h    *halt
+	done chan struct{}
+
+	cur []string
+
+	mu    sync.Mutex
+	err   error
+	stats ExecStats
+}
+
+// Columns returns the result header. It is available immediately, before
+// any row has been produced.
+func (c *Cursor) Columns() []string { return c.cols }
+
+// Next blocks until the next row is available and reports whether one
+// was produced. After it returns false, Err distinguishes exhaustion
+// from failure.
+func (c *Cursor) Next() bool {
+	row, ok := <-c.rows
+	if !ok {
+		return false
+	}
+	c.cur = row
+	return true
+}
+
+// Row returns the row made current by the last successful Next. The
+// slice is owned by the caller.
+func (c *Cursor) Row() []string { return c.cur }
+
+// Err returns the execution error, if any, once the stream has ended.
+func (c *Cursor) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Stats returns the execution statistics. They are complete (and
+// stable) once Next has returned false or Close has returned; a
+// mid-stream call returns the zero value.
+func (c *Cursor) Stats() ExecStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close aborts the remaining execution and releases the producer. It
+// blocks until in-flight scan work has observed the abort, so the
+// engine's statistics are final when it returns. Closing an exhausted
+// or already-closed cursor is a no-op.
+func (c *Cursor) Close() error {
+	c.h.trigger()
+	// Drain any row the producer is blocked on handing over, then wait
+	// for it to exit.
+	for {
+		select {
+		case _, ok := <-c.rows:
+			if !ok {
+				<-c.done
+				return nil
+			}
+		case <-c.done:
+			return nil
+		}
+	}
+}
+
+// ExecuteCursor parses, validates, and starts one AIQL query, returning
+// a cursor over its rows. Parse, semantic, and planning errors are
+// returned immediately; execution errors surface through Cursor.Err.
+func (e *Engine) ExecuteCursor(ctx context.Context, src string, opts CursorOptions) (*Cursor, error) {
+	q, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteQueryCursor(ctx, q, opts)
+}
+
+// ExecuteQueryCursor validates and starts a parsed query under ctx,
+// returning a cursor over its rows.
+func (e *Engine) ExecuteQueryCursor(ctx context.Context, q ast.Query, opts CursorOptions) (*Cursor, error) {
+	type compiled struct {
+		run  func(cctx context.Context, stats *ExecStats, emit emitFunc) error
+		cols []string
+	}
+	var cp compiled
+	switch x := q.(type) {
+	case *ast.DependencyQuery:
+		if _, err := semantic.Check(x); err != nil {
+			return nil, err
+		}
+		mq, err := RewriteDependency(x)
+		if err != nil {
+			return nil, err
+		}
+		info, err := semantic.Check(mq)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := e.buildPlan(mq)
+		if err != nil {
+			return nil, err
+		}
+		cp.cols = info.Columns
+		cp.run = func(cctx context.Context, stats *ExecStats, emit emitFunc) error {
+			return e.runMultievent(cctx, mq, info, plan, stats, emit, opts.Limit)
+		}
+	case *ast.MultieventQuery:
+		info, err := semantic.Check(x)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := e.buildPlan(x)
+		if err != nil {
+			return nil, err
+		}
+		cp.cols = info.Columns
+		cp.run = func(cctx context.Context, stats *ExecStats, emit emitFunc) error {
+			return e.runMultievent(cctx, x, info, plan, stats, emit, opts.Limit)
+		}
+	case *ast.AnomalyQuery:
+		info, err := semantic.Check(x)
+		if err != nil {
+			return nil, err
+		}
+		cp.cols = info.Columns
+		cp.run = func(cctx context.Context, stats *ExecStats, emit emitFunc) error {
+			return e.runAnomaly(cctx, x, info, stats, emit)
+		}
+	default:
+		return nil, fmt.Errorf("engine: unsupported query type %T", q)
+	}
+
+	// The row channel is buffered so a fast producer is not forced into a
+	// goroutine handoff per row on full drains; the buffer stays small so
+	// memory remains bounded and backpressure still reaches the scan.
+	c := &Cursor{
+		cols: cp.cols,
+		rows: make(chan []string, 256),
+		h:    newHalt(),
+		done: make(chan struct{}),
+	}
+	start := time.Now()
+	cctx := &haltCtx{Context: ctx, h: c.h}
+	go func() {
+		defer close(c.done)
+		sent := 0
+		var stats ExecStats
+		emit := func(row []string) bool {
+			select {
+			case c.rows <- row:
+			case <-c.h.ch:
+				return false
+			case <-ctx.Done():
+				return false
+			}
+			sent++
+			return opts.Limit <= 0 || sent < opts.Limit
+		}
+		runErr := cp.run(cctx, &stats, emit)
+		// Classify the outcome. A real execution error always wins; a
+		// cancellation that traces to the parent context is reported as
+		// an abort; a cancellation caused solely by Close is a clean
+		// early stop, not an error.
+		isCtx := runErr != nil && (errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded))
+		switch {
+		case runErr != nil && !isCtx:
+			// keep it
+		case ctx.Err() != nil:
+			if perr := ctx.Err(); runErr == nil || !errors.Is(runErr, perr) {
+				runErr = fmt.Errorf("engine: query aborted: %w", perr)
+			}
+		case isCtx && c.h.triggered():
+			runErr = nil
+		}
+		stats.Elapsed = time.Since(start)
+		c.mu.Lock()
+		c.err = runErr
+		c.stats = stats
+		c.mu.Unlock()
+		close(c.rows)
+	}()
+	return c, nil
+}

@@ -12,7 +12,6 @@ package engine
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"github.com/aiql/aiql/internal/aiql/ast"
@@ -61,56 +60,32 @@ func (e *Engine) Execute(ctx context.Context, src string) (*Result, error) {
 	return e.ExecuteQuery(ctx, q)
 }
 
-// ExecuteQuery validates and runs a parsed query under ctx. When
-// execution is aborted by cancellation the returned error wraps ctx.Err()
-// and the returned Result still carries the execution statistics
-// accumulated up to the abort (scanned events, pattern order), so callers
-// can report how much work a timed-out query did.
+// ExecuteQuery validates and runs a parsed query under ctx. It is a
+// materializing wrapper over the streaming cursor pipeline: the cursor
+// is drained to completion and the rows are put into the engine's
+// canonical sorted order, so callers see exactly the pre-streaming
+// behavior. When execution is aborted by cancellation the returned error
+// wraps ctx.Err() and the returned Result still carries the execution
+// statistics accumulated up to the abort (scanned events, pattern
+// order), so callers can report how much work a timed-out query did.
 func (e *Engine) ExecuteQuery(ctx context.Context, q ast.Query) (*Result, error) {
 	start := time.Now()
-	res := &Result{}
-	var execErr error
-	switch x := q.(type) {
-	case *ast.DependencyQuery:
-		if _, err := semantic.Check(x); err != nil {
-			return nil, err
-		}
-		mq, err := RewriteDependency(x)
-		if err != nil {
-			return nil, err
-		}
-		info, err := semantic.Check(mq)
-		if err != nil {
-			return nil, err
-		}
-		plan, err := e.buildPlan(mq)
-		if err != nil {
-			return nil, err
-		}
-		execErr = e.execMultievent(ctx, mq, info, plan, res)
-	case *ast.MultieventQuery:
-		info, err := semantic.Check(x)
-		if err != nil {
-			return nil, err
-		}
-		plan, err := e.buildPlan(x)
-		if err != nil {
-			return nil, err
-		}
-		execErr = e.execMultievent(ctx, x, info, plan, res)
-	case *ast.AnomalyQuery:
-		info, err := semantic.Check(x)
-		if err != nil {
-			return nil, err
-		}
-		execErr = e.execAnomaly(ctx, x, info, res)
-	default:
-		return nil, fmt.Errorf("engine: unsupported query type %T", q)
+	cur, err := e.ExecuteQueryCursor(ctx, q, CursorOptions{})
+	if err != nil {
+		return nil, err
 	}
+	res := &Result{Columns: cur.Columns()}
+	for cur.Next() {
+		res.Rows = append(res.Rows, cur.Row())
+	}
+	execErr := cur.Err()
+	cur.Close()
+	res.Stats = cur.Stats()
 	res.Stats.Elapsed = time.Since(start)
 	if execErr != nil {
 		return res, execErr
 	}
+	res.SortRows()
 	return res, nil
 }
 

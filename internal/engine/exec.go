@@ -18,6 +18,11 @@ import (
 // from exhausting memory.
 const maxBindings = 4 << 20
 
+// emitFunc receives one projected row from a streaming execution. It
+// returns false when downstream demand is satisfied (the limit was
+// reached or the cursor was closed); the producer then stops scanning.
+type emitFunc func(row []string) bool
+
 // binding is one partial match: entity variable assignments plus the
 // events matched so far, stored in plan-assigned slots.
 type binding struct {
@@ -47,20 +52,30 @@ func newSlots(plan *queryPlan) *slots {
 	return s
 }
 
-// execMultievent runs the scheduled plan with progressive binding joins.
-// Cancelling ctx aborts the current pattern scan and returns the
-// cancellation error; res keeps the statistics accumulated so far.
-func (e *Engine) execMultievent(ctx context.Context, q *ast.MultieventQuery, info *semantic.Info, plan *queryPlan, res *Result) error {
+// runMultievent executes the scheduled plan as a streaming pipeline: the
+// prefix patterns are scanned and hash-joined into materialized bindings
+// exactly as before, but the final pattern is never collected — each
+// matching event is joined against the prefix bindings, projected, and
+// emitted immediately. With a limit hint the final scan runs
+// sequentially and short-circuits as soon as emit declines more rows, so
+// a LIMIT-k query terminates after k full matches instead of draining
+// the store.
+//
+// Cancelling ctx aborts the current scan and returns the cancellation
+// error; stats keeps the statistics accumulated so far.
+func (e *Engine) runMultievent(ctx context.Context, q *ast.MultieventQuery, info *semantic.Info, plan *queryPlan, stats *ExecStats, emit emitFunc, limitHint int) error {
 	sl := newSlots(plan)
 	var bindings []binding
 	boundVars := map[string]bool{}
 	boundEvts := map[string]bool{}
+	last := len(plan.patterns) - 1
 
-	for step, pp := range plan.patterns {
+	for step := 0; step < last; step++ {
+		pp := plan.patterns[step]
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("engine: query aborted: %w", err)
 		}
-		res.Stats.PatternOrder = append(res.Stats.PatternOrder, pp.alias)
+		stats.PatternOrder = append(stats.PatternOrder, pp.alias)
 		filter := pp.filter // copy; we will narrow it
 
 		subjBound := boundVars[pp.subjVar]
@@ -71,12 +86,12 @@ func (e *Engine) execMultievent(ctx context.Context, q *ast.MultieventQuery, inf
 		}
 
 		events, scanned := e.scanPattern(ctx, &filter, pp)
-		res.Stats.ScannedEvents += scanned
+		stats.ScannedEvents += scanned
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("engine: query aborted: %w", err)
 		}
 		if step == 0 {
-			res.Stats.Partitions = e.store.NumPartitions()
+			stats.Partitions = e.store.NumPartitions()
 			bindings = make([]binding, 0, len(events))
 			for i := range events {
 				b := binding{
@@ -98,16 +113,146 @@ func (e *Engine) execMultievent(ctx context.Context, q *ast.MultieventQuery, inf
 		boundVars[pp.subjVar] = true
 		boundVars[pp.objVar] = true
 		boundEvts[pp.alias] = true
-		res.Stats.Bindings += len(bindings)
+		stats.Bindings += len(bindings)
 		if len(bindings) == 0 {
-			break // no match can complete
+			return nil // no match can complete
 		}
 		if len(bindings) > maxBindings {
 			return fmt.Errorf("engine: intermediate result exceeds %d bindings; add more selective constraints", maxBindings)
 		}
 	}
 
-	return e.project(ctx, q, info, sl, bindings, res)
+	// Final pattern: streamed, never materialized.
+	pp := plan.patterns[last]
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("engine: query aborted: %w", err)
+	}
+	stats.PatternOrder = append(stats.PatternOrder, pp.alias)
+	filter := pp.filter
+	if last > 0 {
+		narrowByBindings(&filter, sl, pp, bindings, boundVars[pp.subjVar], boundVars[pp.objVar])
+		narrowByTemporal(&filter, plan.rels, sl, pp.alias, bindings, boundEvts)
+	} else {
+		stats.Partitions = e.store.NumPartitions()
+	}
+	j := newJoiner(bindings, sl, pp, plan.rels, boundVars, boundEvts, last == 0)
+	proj := newProjector(e, q, info, sl)
+	return e.streamFinal(ctx, &filter, pp, j, proj, stats, emit, limitHint)
+}
+
+// streamFinal scans the final pattern and pushes each full match through
+// join → projection → emit without collecting events or bindings. With a
+// limit hint (or parallelism disabled) the scan is sequential, so the
+// number of events visited before the limit is satisfied is
+// deterministic; otherwise partitions are scanned in parallel and their
+// batches are joined and emitted as they arrive, which delivers first
+// rows while later partitions are still being scanned.
+func (e *Engine) streamFinal(ctx context.Context, filter *eventstore.EventFilter, pp *patternPlan, j *joiner, proj *projector, stats *ExecStats, emit emitFunc, limitHint int) error {
+	var (
+		ferr     error
+		produced int
+	)
+	// handle joins and projects one event; it returns false when the
+	// stream must stop (error recorded in ferr, or demand satisfied).
+	handle := func(ev *sysmon.Event) bool {
+		cont := true
+		j.join(ev, func(nb *binding) bool {
+			produced++
+			stats.Bindings++
+			if produced > maxBindings {
+				ferr = fmt.Errorf("engine: intermediate result exceeds %d bindings; add more selective constraints", maxBindings)
+				cont = false
+				return false
+			}
+			row, keep, err := proj.row(nb)
+			if err != nil {
+				ferr = err
+				cont = false
+				return false
+			}
+			if !keep {
+				return true
+			}
+			if !emit(row) {
+				cont = false
+				return false
+			}
+			return true
+		})
+		return cont
+	}
+
+	if e.cfg.DisableParallel || limitHint > 0 {
+		// Deterministic chunk-by-chunk scan. Collection runs under only
+		// the chunk lock; the join → project → emit work happens in the
+		// merge callback with no locks held, so a consumer that stalls
+		// mid-stream cannot block writers or other queries.
+		var visited int64
+		scanErr := e.store.ScanChunked(ctx, filter,
+			func(ev *sysmon.Event) bool { return evtPredsOK(pp.evtPreds, ev) },
+			func(batch []sysmon.Event, v int64) bool {
+				visited += v
+				for i := range batch {
+					if !handle(&batch[i]) {
+						return false
+					}
+				}
+				return true
+			})
+		stats.ScannedEvents += visited
+		if ferr != nil {
+			return ferr
+		}
+		if scanErr != nil {
+			return fmt.Errorf("engine: query aborted: %w", scanErr)
+		}
+		return nil
+	}
+
+	// Parallel streaming: chunk scans run concurrently; completed batches
+	// are joined and emitted under the merge mutex while other chunks are
+	// still scanning. An execution error triggers the cursor's halt (when
+	// running under one) so in-flight chunk scans abort promptly.
+	abort := func() {}
+	if hc, ok := ctx.(*haltCtx); ok {
+		abort = hc.h.trigger
+	}
+	var (
+		mu      sync.Mutex
+		visited int64
+		stopped bool
+	)
+	e.store.ScanPartitions(ctx, filter,
+		func(ev *sysmon.Event) bool { return evtPredsOK(pp.evtPreds, ev) },
+		func(batch []sysmon.Event, v int64) {
+			mu.Lock()
+			defer mu.Unlock()
+			visited += v
+			if stopped {
+				return
+			}
+			for i := range batch {
+				if i%joinCheckInterval == joinCheckInterval-1 && ctx.Err() != nil {
+					stopped = true
+					return
+				}
+				if !handle(&batch[i]) {
+					stopped = true
+					if ferr != nil {
+						abort()
+					}
+					return
+				}
+			}
+		})
+	stats.ScannedEvents += visited
+	if ferr != nil {
+		return ferr
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("engine: query aborted: %w", err)
+	}
+	return nil
 }
 
 // joinCheckInterval is how many join probes or projected rows pass
@@ -240,88 +385,154 @@ func before(a, b *sysmon.Event) bool {
 	return a.ID < b.ID
 }
 
-// joinStep extends the current bindings with the events matched for one
-// pattern, hash-joining on the shared entity variables and enforcing the
-// temporal relations that connect the new alias to bound aliases.
-func joinStep(ctx context.Context, bindings []binding, events []sysmon.Event, sl *slots, pp *patternPlan, rels []ast.TemporalRel, boundVars, boundEvts map[string]bool) ([]binding, error) {
-	subjSlot, objSlot := sl.vars[pp.subjVar], sl.vars[pp.objVar]
-	evtSlot := sl.evts[pp.alias]
-	subjShared := boundVars[pp.subjVar]
-	objShared := boundVars[pp.objVar] && pp.objVar != pp.subjVar
+// joiner extends bindings with the events of one pattern: it hash-joins
+// on the shared entity variables and enforces the temporal relations
+// connecting the new alias to bound aliases. The same joiner backs both
+// the materializing prefix steps (joinStep) and the streamed final step.
+type joiner struct {
+	first bool // the pattern is the only one: events bind directly
 
-	// temporal checks applicable at this step
-	var checks []tcheck
+	subjSlot, objSlot, evtSlot int
+	nVars, nEvts               int
+	subjShared                 bool
+	objShared                  bool
+	objBound                   bool
+	checks                     []tcheck
+
+	bindings []binding
+	index    map[uint64][]int
+}
+
+func newJoiner(bindings []binding, sl *slots, pp *patternPlan, rels []ast.TemporalRel, boundVars, boundEvts map[string]bool, first bool) *joiner {
+	j := &joiner{
+		first:    first,
+		subjSlot: sl.vars[pp.subjVar],
+		objSlot:  sl.vars[pp.objVar],
+		evtSlot:  sl.evts[pp.alias],
+		nVars:    len(sl.vars),
+		nEvts:    len(sl.evts),
+		bindings: bindings,
+	}
+	if first {
+		return j
+	}
+	j.subjShared = boundVars[pp.subjVar]
+	j.objShared = boundVars[pp.objVar] && pp.objVar != pp.subjVar
+	j.objBound = boundVars[pp.objVar]
+
 	for _, rel := range rels {
 		switch {
 		case rel.Left == pp.alias && boundEvts[rel.Right]:
-			checks = append(checks, tcheck{otherSlot: sl.evts[rel.Right], newIsLeft: true, op: rel.Op, within: int64(rel.Within)})
+			j.checks = append(j.checks, tcheck{otherSlot: sl.evts[rel.Right], newIsLeft: true, op: rel.Op, within: int64(rel.Within)})
 		case rel.Right == pp.alias && boundEvts[rel.Left]:
-			checks = append(checks, tcheck{otherSlot: sl.evts[rel.Left], newIsLeft: false, op: rel.Op, within: int64(rel.Within)})
+			j.checks = append(j.checks, tcheck{otherSlot: sl.evts[rel.Left], newIsLeft: false, op: rel.Op, within: int64(rel.Within)})
 		}
 	}
 
-	key := func(b *binding) uint64 {
-		var k uint64
-		if subjShared {
-			k = uint64(b.ents[subjSlot])
-		}
-		if objShared {
-			k = k<<32 | uint64(b.ents[objSlot])
-		}
-		return k
-	}
-	evKey := func(ev *sysmon.Event) uint64 {
-		var k uint64
-		if subjShared {
-			k = uint64(ev.Subject)
-		}
-		if objShared {
-			k = k<<32 | uint64(ev.Object)
-		}
-		return k
-	}
-
-	index := make(map[uint64][]int, len(bindings))
+	j.index = make(map[uint64][]int, len(bindings))
 	for i := range bindings {
-		k := key(&bindings[i])
-		index[k] = append(index[k], i)
+		k := j.key(&bindings[i])
+		j.index[k] = append(j.index[k], i)
 	}
+	return j
+}
 
+func (j *joiner) key(b *binding) uint64 {
+	var k uint64
+	if j.subjShared {
+		k = uint64(b.ents[j.subjSlot])
+	}
+	if j.objShared {
+		k = k<<32 | uint64(b.ents[j.objSlot])
+	}
+	return k
+}
+
+func (j *joiner) evKey(ev *sysmon.Event) uint64 {
+	var k uint64
+	if j.subjShared {
+		k = uint64(ev.Subject)
+	}
+	if j.objShared {
+		k = k<<32 | uint64(ev.Object)
+	}
+	return k
+}
+
+// probeCost approximates the work of joining one event, for the caller's
+// amortized context checks.
+func (j *joiner) probeCost(ev *sysmon.Event) int {
+	if j.first {
+		return 1
+	}
+	return len(j.index[j.evKey(ev)]) + 1
+}
+
+// join yields every new binding the event produces against the indexed
+// prefix bindings. yield returning false stops the iteration.
+func (j *joiner) join(ev *sysmon.Event, yield func(*binding) bool) {
+	if j.first {
+		nb := binding{
+			ents: make([]sysmon.EntityID, j.nVars),
+			evts: make([]sysmon.Event, j.nEvts),
+		}
+		nb.ents[j.subjSlot] = ev.Subject
+		nb.ents[j.objSlot] = ev.Object
+		nb.evts[j.evtSlot] = *ev
+		yield(&nb)
+		return
+	}
+	for _, bi := range j.index[j.evKey(ev)] {
+		b := &j.bindings[bi]
+		// a same-variable subject+object (rare self-loop) needs both
+		// endpoints checked even though only one was hashed
+		if j.subjShared && b.ents[j.subjSlot] != ev.Subject {
+			continue
+		}
+		if j.objBound && b.ents[j.objSlot] != ev.Object {
+			continue
+		}
+		if !temporalOK(j.checks, b, ev) {
+			continue
+		}
+		nb := binding{
+			ents: append([]sysmon.EntityID{}, b.ents...),
+			evts: append([]sysmon.Event{}, b.evts...),
+		}
+		nb.ents[j.subjSlot] = ev.Subject
+		nb.ents[j.objSlot] = ev.Object
+		nb.evts[j.evtSlot] = *ev
+		if !yield(&nb) {
+			return
+		}
+	}
+}
+
+// joinStep extends the current bindings with the events matched for one
+// prefix pattern, materializing the joined bindings for the next step.
+func joinStep(ctx context.Context, bindings []binding, events []sysmon.Event, sl *slots, pp *patternPlan, rels []ast.TemporalRel, boundVars, boundEvts map[string]bool) ([]binding, error) {
+	j := newJoiner(bindings, sl, pp, rels, boundVars, boundEvts, false)
 	var out []binding
+	var jerr error
 	probes := 0
 	for i := range events {
 		ev := &events[i]
-		matches := index[evKey(ev)]
-		if probes += len(matches) + 1; probes >= joinCheckInterval {
+		if probes += j.probeCost(ev); probes >= joinCheckInterval {
 			probes = 0
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("engine: query aborted: %w", err)
 			}
 		}
-		for _, bi := range matches {
-			b := &bindings[bi]
-			// a same-variable subject+object (rare self-loop) needs both
-			// endpoints checked even though only one was hashed
-			if subjShared && b.ents[subjSlot] != ev.Subject {
-				continue
-			}
-			if boundVars[pp.objVar] && b.ents[objSlot] != ev.Object {
-				continue
-			}
-			if !temporalOK(checks, b, ev) {
-				continue
-			}
-			nb := binding{
-				ents: append([]sysmon.EntityID{}, b.ents...),
-				evts: append([]sysmon.Event{}, b.evts...),
-			}
-			nb.ents[subjSlot] = ev.Subject
-			nb.ents[objSlot] = ev.Object
-			nb.evts[evtSlot] = *ev
-			out = append(out, nb)
+		j.join(ev, func(nb *binding) bool {
+			out = append(out, *nb)
 			if len(out) > maxBindings {
-				return nil, fmt.Errorf("engine: intermediate result exceeds %d bindings; add more selective constraints", maxBindings)
+				jerr = fmt.Errorf("engine: intermediate result exceeds %d bindings; add more selective constraints", maxBindings)
+				return false
 			}
+			return true
+		})
+		if jerr != nil {
+			return nil, jerr
 		}
 	}
 	return out, nil
@@ -357,35 +568,43 @@ func temporalOK(checks []tcheck, b *binding, ev *sysmon.Event) bool {
 	return true
 }
 
-// project evaluates the return clause over the completed bindings.
-func (e *Engine) project(ctx context.Context, q *ast.MultieventQuery, info *semantic.Info, sl *slots, bindings []binding, res *Result) error {
-	res.Columns = info.Columns
-	seen := map[string]struct{}{}
-	for i := range bindings {
-		if i%joinCheckInterval == joinCheckInterval-1 {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("engine: query aborted: %w", err)
-			}
-		}
-		row := make([]string, len(q.Return))
-		for j := range q.Return {
-			cell, err := e.projectExpr(q.Return[j].Expr, info, sl, &bindings[i])
-			if err != nil {
-				return err
-			}
-			row[j] = cell
-		}
-		if q.Distinct {
-			k := strings.Join(row, "\t")
-			if _, dup := seen[k]; dup {
-				continue
-			}
-			seen[k] = struct{}{}
-		}
-		res.Rows = append(res.Rows, row)
+// projector renders the return clause for one binding at a time,
+// carrying the distinct-dedup state across the stream.
+type projector struct {
+	e    *Engine
+	q    *ast.MultieventQuery
+	info *semantic.Info
+	sl   *slots
+	seen map[string]struct{} // non-nil iff the query is distinct
+}
+
+func newProjector(e *Engine, q *ast.MultieventQuery, info *semantic.Info, sl *slots) *projector {
+	p := &projector{e: e, q: q, info: info, sl: sl}
+	if q.Distinct {
+		p.seen = map[string]struct{}{}
 	}
-	res.SortRows()
-	return nil
+	return p
+}
+
+// row renders one binding. keep is false when the row is a distinct
+// duplicate and must be dropped.
+func (p *projector) row(b *binding) (row []string, keep bool, err error) {
+	row = make([]string, len(p.q.Return))
+	for j := range p.q.Return {
+		cell, err := p.e.projectExpr(p.q.Return[j].Expr, p.info, p.sl, b)
+		if err != nil {
+			return nil, false, err
+		}
+		row[j] = cell
+	}
+	if p.seen != nil {
+		k := strings.Join(row, "\t")
+		if _, dup := p.seen[k]; dup {
+			return nil, false, nil
+		}
+		p.seen[k] = struct{}{}
+	}
+	return row, true, nil
 }
 
 // projectExpr renders one return expression for a binding.

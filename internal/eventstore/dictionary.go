@@ -3,6 +3,7 @@ package eventstore
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/aiql/aiql/internal/like"
 	"github.com/aiql/aiql/internal/sysmon"
@@ -12,7 +13,15 @@ import (
 // structurally identical entities are interned to a single ID; with
 // attribute indexes enabled, exact-value hash indexes and sorted-value
 // lists support fast lookup and prefix range scans.
+//
+// Interning always runs under the Store's write lock, but the streaming
+// execution pipeline projects rows (reading Attr) while partitions are
+// being scanned outside the store lock, concurrently with writers. The
+// dictionary's own RWMutex makes those reads safe; entries are
+// immutable once interned, so readers only need the lock to snapshot
+// the table headers.
 type Dictionary struct {
+	mu      sync.RWMutex
 	dedup   bool
 	indexed bool
 
@@ -47,6 +56,8 @@ func newDictionary(dedup, indexed bool) *Dictionary {
 
 // InternProcess returns the ID for p, creating (and indexing) it if new.
 func (d *Dictionary) InternProcess(p sysmon.Process) sysmon.EntityID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.dedup {
 		if id, ok := d.procIntern[p]; ok {
 			return id
@@ -67,6 +78,8 @@ func (d *Dictionary) InternProcess(p sysmon.Process) sysmon.EntityID {
 
 // InternFile returns the ID for f, creating (and indexing) it if new.
 func (d *Dictionary) InternFile(f sysmon.File) sysmon.EntityID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.dedup {
 		if id, ok := d.fileIntern[f]; ok {
 			return id
@@ -87,6 +100,8 @@ func (d *Dictionary) InternFile(f sysmon.File) sysmon.EntityID {
 
 // InternNetconn returns the ID for n, creating (and indexing) it if new.
 func (d *Dictionary) InternNetconn(n sysmon.Netconn) sysmon.EntityID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.dedup {
 		if id, ok := d.connIntern[n]; ok {
 			return id
@@ -117,6 +132,8 @@ func addIdx(idx map[string]map[string][]sysmon.EntityID, attr, val string, id sy
 
 // Process returns the process entity for id, or nil if out of range.
 func (d *Dictionary) Process(id sysmon.EntityID) *sysmon.Process {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id == 0 || int(id) > len(d.procs) {
 		return nil
 	}
@@ -125,6 +142,8 @@ func (d *Dictionary) Process(id sysmon.EntityID) *sysmon.Process {
 
 // File returns the file entity for id, or nil if out of range.
 func (d *Dictionary) File(id sysmon.EntityID) *sysmon.File {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id == 0 || int(id) > len(d.files) {
 		return nil
 	}
@@ -133,6 +152,8 @@ func (d *Dictionary) File(id sysmon.EntityID) *sysmon.File {
 
 // Netconn returns the connection entity for id, or nil if out of range.
 func (d *Dictionary) Netconn(id sysmon.EntityID) *sysmon.Netconn {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id == 0 || int(id) > len(d.conns) {
 		return nil
 	}
@@ -160,6 +181,8 @@ func (d *Dictionary) Attr(t sysmon.EntityType, id sysmon.EntityID, attr string) 
 
 // Count returns the number of entities of type t.
 func (d *Dictionary) Count(t sysmon.EntityType) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	switch t {
 	case sysmon.EntityProcess:
 		return len(d.procs)
@@ -177,6 +200,8 @@ func (d *Dictionary) Count(t sysmon.EntityType) int {
 // the hash index; wildcard patterns scan the (deduplicated, hence small)
 // dictionary. Without indexes every lookup scans the dictionary.
 func (d *Dictionary) MatchEntities(t sysmon.EntityType, attr string, pat *like.Pattern) *IDSet {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	attr, ok := sysmon.CanonicalAttr(t, attr)
 	if !ok {
 		return NewIDSet()

@@ -2,6 +2,7 @@ package eventstore
 
 import (
 	"sort"
+	"sync"
 
 	"github.com/aiql/aiql/internal/sysmon"
 )
@@ -17,7 +18,16 @@ type PartKey struct {
 // timestamp; with indexes enabled, posting lists map each entity to the
 // positions of the events that reference it, and an operation histogram
 // supports selectivity estimation.
+//
+// Locking: mutation always happens under the Store's write lock, and
+// most readers hold the Store's read lock, but the parallel scan paths
+// (ScanParallel, ScanPartitions) release the store lock before touching
+// chunks so the streaming execution pipeline can emit rows while a
+// writer commits to other chunks. The chunk's own RWMutex protects
+// those unlocked readers; it is taken only at the entry points
+// (appendBatch, scan, Events), never nested.
 type Partition struct {
+	mu     sync.RWMutex
 	Key    PartKey
 	events []sysmon.Event
 	sorted bool
@@ -52,6 +62,8 @@ func (p *Partition) appendBatch(evs []sysmon.Event) {
 	if len(evs) == 0 {
 		return
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	// agents deliver mostly in order; skip the sort when the batch
 	// already is
 	inOrder := true
@@ -140,6 +152,8 @@ func (p *Partition) overlaps(from, to int64) bool {
 // the shorter of the subject/object posting lists restricted by the
 // filter's entity sets, falling back to a (time-bounded) sequential scan.
 func (p *Partition) scan(f *EventFilter, ops *[sysmon.NumOperations]bool, agents map[uint32]struct{}, fn func(*sysmon.Event) bool) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.indexed {
 		if list, ok := p.bestPostingList(f); ok {
 			for _, pos := range list {
@@ -263,4 +277,8 @@ func (p *Partition) timeSlice(from, to int64) (int, int) {
 
 // Events exposes the chunk's raw events (read-only) for bulk consumers
 // such as baseline-engine loaders.
-func (p *Partition) Events() []sysmon.Event { return p.events }
+func (p *Partition) Events() []sysmon.Event {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.events
+}

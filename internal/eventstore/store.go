@@ -274,6 +274,54 @@ func (s *Store) Scan(ctx context.Context, f *EventFilter, fn func(*sysmon.Event)
 	return nil
 }
 
+// ScanChunked scans the matching chunks one at a time in deterministic
+// chunk order: each chunk's events passing the filter and the keep
+// predicate are collected into a batch under only that chunk's read
+// lock, then handed to merge with no locks held. It is the streaming
+// pipeline's sequential scan: merge may block arbitrarily long (a
+// consumer draining rows to a slow client) without stalling writers or
+// other readers, unlike Scan, which holds the store read lock across
+// its callbacks. merge returning false stops the scan; batches are
+// bounded by chunk size, and visited counts the events examined for
+// the batch. Returns ctx.Err() when the scan was aborted by
+// cancellation.
+func (s *Store) ScanChunked(ctx context.Context, f *EventFilter, keep func(*sysmon.Event) bool, merge func(batch []sysmon.Event, visited int64) bool) error {
+	s.mu.RLock()
+	parts := s.selectParts(f)
+	s.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ops := f.opSet()
+	agents := f.agentSet()
+	for _, p := range parts {
+		var batch []sysmon.Event
+		var visited int64
+		cancelled := false
+		p.scan(f, ops, agents, func(ev *sysmon.Event) bool {
+			visited++
+			if visited%scanCheckInterval == 0 && ctx.Err() != nil {
+				cancelled = true
+				return false
+			}
+			if keep == nil || keep(ev) {
+				batch = append(batch, *ev)
+			}
+			return true
+		})
+		if !merge(batch, visited) {
+			return nil
+		}
+		if cancelled {
+			return ctx.Err()
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Collect returns all events matching the filter.
 func (s *Store) Collect(f *EventFilter) []sysmon.Event {
 	var out []sysmon.Event

@@ -20,29 +20,58 @@ type cacheKey struct {
 
 // cacheEntry is one cached execution outcome. The Result is shared by
 // every client that hits the entry and must be treated as read-only;
-// response shaping (limit truncation) copies, never mutates.
+// response shaping (limit truncation, pagination) slices, never mutates.
 type cacheEntry struct {
 	key    cacheKey
 	result *engine.Result
 	kind   string
+	bytes  int64 // approximate memory footprint, fixed at creation
 }
 
-// resultCache is a mutex-guarded LRU over executed query results.
+// approxResultBytes estimates the resident size of a result: the string
+// bytes of every cell and column plus slice/header overhead. It is the
+// unit the cache's byte budget is accounted in.
+func approxResultBytes(res *engine.Result) int64 {
+	const (
+		stringOverhead = 16 // string header
+		rowOverhead    = 24 // slice header per row
+	)
+	var n int64
+	for _, c := range res.Columns {
+		n += int64(len(c)) + stringOverhead
+	}
+	for _, row := range res.Rows {
+		n += rowOverhead
+		for _, cell := range row {
+			n += int64(len(cell)) + stringOverhead
+		}
+	}
+	return n
+}
+
+// resultCache is a mutex-guarded LRU over executed query results,
+// bounded both by entry count and by the approximate memory footprint of
+// the cached rows. Whichever bound is exceeded first drives eviction, so
+// one enormous result cannot pin the budget the way it could under a
+// pure entry-count policy.
 type resultCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[cacheKey]*list.Element
-	order   *list.List // front = most recently used
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	bytes    int64
+	entries  map[cacheKey]*list.Element
+	order    *list.List // front = most recently used
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, maxBytes int64) *resultCache {
 	if capacity <= 0 {
 		return nil // caching disabled
 	}
 	return &resultCache{
-		cap:     capacity,
-		entries: make(map[cacheKey]*list.Element, capacity),
-		order:   list.New(),
+		cap:      capacity,
+		maxBytes: maxBytes,
+		entries:  make(map[cacheKey]*list.Element, capacity),
+		order:    list.New(),
 	}
 }
 
@@ -64,18 +93,30 @@ func (c *resultCache) put(entry *cacheEntry) {
 	if c == nil {
 		return
 	}
+	if entry.bytes == 0 {
+		entry.bytes = approxResultBytes(entry.result)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[entry.key]; ok {
-		c.order.MoveToFront(el)
-		el.Value = entry
+	// an entry larger than the whole budget would evict everything and
+	// still not fit; don't admit it
+	if c.maxBytes > 0 && entry.bytes > c.maxBytes {
 		return
 	}
-	c.entries[entry.key] = c.order.PushFront(entry)
-	for c.order.Len() > c.cap {
+	if el, ok := c.entries[entry.key]; ok {
+		c.order.MoveToFront(el)
+		c.bytes += entry.bytes - el.Value.(*cacheEntry).bytes
+		el.Value = entry
+	} else {
+		c.entries[entry.key] = c.order.PushFront(entry)
+		c.bytes += entry.bytes
+	}
+	for c.order.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		old := oldest.Value.(*cacheEntry)
+		c.bytes -= old.bytes
+		delete(c.entries, old.key)
 	}
 }
 
@@ -86,6 +127,15 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+func (c *resultCache) sizeBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // normalizeQuery canonicalizes query text for cache keying: outside

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"log"
+	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	aiql "github.com/aiql/aiql"
@@ -15,8 +17,11 @@ import (
 type QueryRequest struct {
 	// Query is the AIQL query text.
 	Query string `json:"query"`
-	// Limit caps returned rows; 0 means the service maximum.
+	// Limit caps returned rows per page; 0 means the service maximum.
 	Limit int `json:"limit,omitempty"`
+	// Cursor resumes pagination with a token from a previous response's
+	// next_cursor.
+	Cursor string `json:"cursor,omitempty"`
 	// TimeoutMS bounds execution in milliseconds; 0 means the service
 	// default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -27,11 +32,28 @@ type QueryResult struct {
 	Columns       []string   `json:"columns"`
 	Rows          [][]string `json:"rows"`
 	TotalRows     int        `json:"total_rows"`
+	Offset        int        `json:"offset"`
+	NextCursor    string     `json:"next_cursor,omitempty"`
 	DurationMS    float64    `json:"duration_ms"`
 	Cached        bool       `json:"cached"`
 	Kind          string     `json:"kind,omitempty"`
 	ScannedEvents int64      `json:"scanned_events"`
 	PatternOrder  []string   `json:"pattern_order,omitempty"`
+}
+
+// StreamHeader is the first NDJSON line of a streaming response.
+type StreamHeader struct {
+	Columns []string `json:"columns"`
+	Cached  bool     `json:"cached,omitempty"`
+}
+
+// StreamTrailer is the last NDJSON line of a streaming response.
+type StreamTrailer struct {
+	Done          bool    `json:"done"`
+	Rows          int     `json:"rows"`
+	DurationMS    float64 `json:"duration_ms"`
+	ScannedEvents int64   `json:"scanned_events"`
+	Error         string  `json:"error,omitempty"`
 }
 
 // ErrorResponse is the wire form of any failure.
@@ -56,36 +78,74 @@ type CheckResponse struct {
 	Error string `json:"error,omitempty"`
 }
 
+// clientKeyHeader lets API clients identify themselves for fairness
+// accounting; without it the remote address is the client key.
+const clientKeyHeader = "X-Client-Id"
+
+// clientKey derives the per-client fairness key for a request.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get(clientKeyHeader); k != "" {
+		return k
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
 // Handler returns the versioned JSON API:
 //
-//	POST /api/v1/query  QueryRequest  → QueryResult | ErrorResponse
-//	POST /api/v1/check  CheckRequest  → CheckResponse
-//	GET  /api/v1/stats                → Stats
+//	POST /api/v1/query         QueryRequest → QueryResult | ErrorResponse
+//	POST /api/v1/query/stream  QueryRequest → NDJSON stream
+//	POST /api/v1/check         CheckRequest → CheckResponse
+//	GET  /api/v1/stats                      → Stats
 //
-// Failures map to status codes: 400 for malformed JSON and query
-// parse/validation/execution errors, 504 for deadline-exceeded, 503 for
-// admission rejections (with Retry-After), 405 for wrong methods.
+// The buffered endpoint pages large results: pass `limit` as the page
+// size and follow `next_cursor` until it is empty; every page of one
+// cursor chain is served from the same store snapshot. The stream
+// endpoint emits NDJSON — a StreamHeader line, one JSON array per row
+// as the engine produces it, and a StreamTrailer line — flushing as
+// rows arrive, and aborts the scan when the client disconnects.
+//
+// Failures map to status codes: 400 for malformed JSON, malformed
+// cursors, and query parse/validation/execution errors, 410 for expired
+// cursors, 429 for per-client throttling (with Retry-After), 504 for
+// deadline-exceeded, 503 for admission rejections (with Retry-After),
+// 405 for wrong methods.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/query", s.handleQuery)
+	mux.HandleFunc("/api/v1/query/stream", s.handleQueryStream)
 	mux.HandleFunc("/api/v1/check", s.handleCheck)
 	mux.HandleFunc("/api/v1/stats", s.handleStats)
 	return mux
 }
 
-func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+// decodeQuery parses the request body shared by the buffered and
+// streaming endpoints, reporting (ok=false) after writing the error.
+func decodeQuery(w http.ResponseWriter, r *http.Request) (QueryRequest, bool) {
+	var req QueryRequest
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
-		return
+		return req, false
 	}
-	var req QueryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error()})
+		return req, false
+	}
+	return req, true
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeQuery(w, r)
+	if !ok {
 		return
 	}
 	resp, err := s.Do(r.Context(), Request{
 		Query:   req.Query,
 		Limit:   req.Limit,
+		Cursor:  req.Cursor,
+		Client:  clientKey(r),
 		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 	})
 	if err != nil {
@@ -96,12 +156,78 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Columns:       resp.Columns,
 		Rows:          resp.Rows,
 		TotalRows:     resp.TotalRows,
+		Offset:        resp.Offset,
+		NextCursor:    resp.NextCursor,
 		DurationMS:    float64(resp.Duration) / float64(time.Millisecond),
 		Cached:        resp.Cached,
 		Kind:          resp.Kind,
 		ScannedEvents: resp.Stats.ScannedEvents,
 		PatternOrder:  resp.Stats.PatternOrder,
 	})
+}
+
+// handleQueryStream serves one query as NDJSON, flushing rows as the
+// engine produces them. The response is 200 once streaming starts;
+// failures before the first byte use normal error statuses, failures
+// mid-stream surface in the trailer.
+func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	var (
+		enc     = json.NewEncoder(w)
+		flush   func()
+		started bool
+	)
+	if f, ok := w.(http.Flusher); ok {
+		flush = f.Flush
+	} else {
+		flush = func() {}
+	}
+	resp, err := s.DoStream(r.Context(), Request{
+		Query:   req.Query,
+		Limit:   req.Limit,
+		Client:  clientKey(r),
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+	},
+		func(cols []string, cached bool) error {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			started = true
+			if err := enc.Encode(StreamHeader{Columns: cols, Cached: cached}); err != nil {
+				return err
+			}
+			flush()
+			return nil
+		},
+		func(row []string) error {
+			if err := enc.Encode(row); err != nil {
+				return err
+			}
+			flush()
+			return nil
+		})
+	if err != nil {
+		if !started {
+			writeJSON(w, statusFor(err), ErrorResponse{Error: err.Error()})
+			return
+		}
+		// the stream is already 200 + partial rows: the trailer is the
+		// only place left to report the failure
+		if encErr := enc.Encode(StreamTrailer{Error: err.Error()}); encErr == nil {
+			flush()
+		}
+		return
+	}
+	if encErr := enc.Encode(StreamTrailer{
+		Done:          true,
+		Rows:          resp.TotalRows,
+		DurationMS:    float64(resp.Duration) / float64(time.Millisecond),
+		ScannedEvents: resp.Stats.ScannedEvents,
+	}); encErr == nil {
+		flush()
+	}
 }
 
 func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -135,6 +261,10 @@ func statusFor(err error) int {
 		return 499 // client closed request (nginx convention)
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrClientThrottled):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrCursorExpired):
+		return http.StatusGone
 	default:
 		return http.StatusBadRequest
 	}
@@ -142,8 +272,8 @@ func statusFor(err error) int {
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
-	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(1))
 	}
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {

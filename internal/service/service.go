@@ -6,11 +6,17 @@
 // queries, so the same query text recurs against an unchanged store —
 // the LRU result cache serves those repeats from memory, keyed on the
 // normalized query text plus the store's commit counter so any append
-// invalidates by construction. Under overload a bounded worker pool plus
-// a bounded admission queue sheds load explicitly (ErrOverloaded)
-// instead of letting unbounded goroutine fan-out thrash the partition
-// scanners, and every execution runs under a context deadline so a
-// runaway query cannot pin a worker forever.
+// invalidates by construction. Identical queries that miss concurrently
+// are collapsed into one engine execution (singleflight), and cursor
+// tokens page through a cached result's generation without re-executing.
+// Under overload a bounded worker pool plus a bounded admission queue
+// sheds load explicitly (ErrOverloaded) instead of letting unbounded
+// goroutine fan-out thrash the partition scanners; a per-client
+// in-flight cap (ErrClientThrottled) keeps one noisy client from
+// monopolizing the pool; and every execution runs under a context
+// deadline so a runaway query cannot pin a worker forever. Large
+// results can alternatively stream row-by-row (DoStream) straight from
+// the engine's cursor pipeline with bounded memory.
 package service
 
 import (
@@ -18,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -29,6 +36,11 @@ import (
 // busy and the admission queue is full (or the query timed out waiting in
 // it). Clients should back off and retry.
 var ErrOverloaded = errors.New("service: overloaded, try again later")
+
+// ErrClientThrottled reports that one client has reached its share of
+// concurrent executions; other clients' queries are still admitted. The
+// client should back off and retry.
+var ErrClientThrottled = errors.New("service: client exceeded its concurrent query share, try again later")
 
 // Config sizes the service. Zero values select the documented defaults.
 type Config struct {
@@ -45,11 +57,22 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps client-requested timeouts. Default: 2m.
 	MaxTimeout time.Duration
-	// CacheEntries is the LRU result-cache capacity. Negative disables
-	// caching. Default: 256.
+	// CacheEntries is the LRU result-cache entry capacity. Negative
+	// disables caching. Default: 256.
 	CacheEntries int
-	// MaxRows caps rows returned to any client (the full row count is
-	// still reported). Default: 5000.
+	// MaxCacheBytes bounds the approximate memory footprint of cached
+	// rows; the LRU evicts past whichever of the entry and byte bounds
+	// is hit first. Negative removes the byte bound. Default: 64 MiB.
+	MaxCacheBytes int64
+	// ClientInflight caps concurrent executions per client key
+	// (Request.Client); requests beyond the cap are rejected with
+	// ErrClientThrottled so one noisy client cannot monopolize the
+	// worker pool. Requests with an empty client key are exempt.
+	// Negative disables the cap. Default: half the workers (at least 1).
+	ClientInflight int
+	// MaxRows caps rows returned per buffered response (the full row
+	// count is still reported; pagination reaches the rest). Streams
+	// are bounded only by their own limit. Default: 5000.
 	MaxRows int
 }
 
@@ -72,6 +95,15 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
 	}
+	if c.MaxCacheBytes == 0 {
+		c.MaxCacheBytes = 64 << 20
+	}
+	if c.ClientInflight == 0 {
+		c.ClientInflight = (c.Workers + 1) / 2
+		if c.ClientInflight < 1 {
+			c.ClientInflight = 1
+		}
+	}
 	if c.MaxRows <= 0 {
 		c.MaxRows = 5000
 	}
@@ -82,9 +114,17 @@ func (c Config) withDefaults() Config {
 type Request struct {
 	// Query is the AIQL query text.
 	Query string
-	// Limit caps returned rows; 0 means the service maximum. The limit
-	// shapes the response only — TotalRows always reports the full count.
+	// Limit caps returned rows (the page size under pagination); 0 means
+	// the service maximum. The limit shapes the response only —
+	// TotalRows always reports the full count.
 	Limit int
+	// Cursor resumes pagination: an opaque token from a previous
+	// response's NextCursor. The page is served from the same store
+	// generation the first page was computed over.
+	Cursor string
+	// Client identifies the caller for per-client fairness accounting
+	// (an API key header, a remote address). Empty skips the accounting.
+	Client string
 	// Timeout bounds execution; 0 means the service default. Values
 	// above the service maximum are clamped.
 	Timeout time.Duration
@@ -93,26 +133,45 @@ type Request struct {
 // Response is one query outcome.
 type Response struct {
 	Columns   []string
-	Rows      [][]string // possibly limit-truncated; do not mutate (shared with the cache)
+	Rows      [][]string // one page; do not mutate (shared with the cache)
 	TotalRows int
-	Duration  time.Duration // service-observed latency, including queue wait
-	Cached    bool
-	Kind      string // query family: multievent, dependency, anomaly
-	Stats     engine.ExecStats
+	// Offset is the index of the first returned row within the full
+	// result.
+	Offset int
+	// NextCursor pages to the rows after this response; empty when the
+	// result is exhausted.
+	NextCursor string
+	Duration   time.Duration // service-observed latency, including queue wait
+	Cached     bool
+	Kind       string // query family: multievent, dependency, anomaly
+	Stats      engine.ExecStats
 }
 
 // Stats are the service's monotonic counters plus instantaneous gauges.
 type Stats struct {
 	Queries      uint64 `json:"queries"`
+	Executions   uint64 `json:"executions"` // engine executions actually started
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
+	Coalesced    uint64 `json:"coalesced"` // misses served by an identical in-flight execution
 	Rejected     uint64 `json:"rejected"`
+	Throttled    uint64 `json:"throttled"` // per-client fairness rejections
 	Timeouts     uint64 `json:"timeouts"`
 	Canceled     uint64 `json:"canceled"`
 	Errors       uint64 `json:"errors"`
+	RowsStreamed uint64 `json:"rows_streamed"` // rows delivered through DoStream
 	Active       int64  `json:"active"`
 	Queued       int64  `json:"queued"`
 	CacheEntries int    `json:"cache_entries"`
+	CacheBytes   int64  `json:"cache_bytes"`
+}
+
+// flight is one in-flight execution that identical concurrent requests
+// latch onto instead of executing again.
+type flight struct {
+	done  chan struct{}
+	entry *cacheEntry
+	err   error
 }
 
 // Service executes queries for many concurrent clients over one database.
@@ -122,25 +181,37 @@ type Service struct {
 	sem   chan struct{} // worker slots
 	cache *resultCache
 
-	queries     atomic.Uint64
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
-	rejected    atomic.Uint64
-	timeouts    atomic.Uint64
-	canceled    atomic.Uint64
-	errors      atomic.Uint64
-	active      atomic.Int64
-	queued      atomic.Int64
+	flightMu sync.Mutex
+	flights  map[cacheKey]*flight
+
+	clientMu sync.Mutex
+	clients  map[string]int // in-flight executions per client key
+
+	queries      atomic.Uint64
+	executions   atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	coalesced    atomic.Uint64
+	rejected     atomic.Uint64
+	throttled    atomic.Uint64
+	timeouts     atomic.Uint64
+	canceled     atomic.Uint64
+	errors       atomic.Uint64
+	rowsStreamed atomic.Uint64
+	active       atomic.Int64
+	queued       atomic.Int64
 }
 
 // New creates a service over db.
 func New(db *aiql.DB, cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		db:    db,
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.Workers),
-		cache: newResultCache(cfg.CacheEntries),
+		db:      db,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.Workers),
+		cache:   newResultCache(cfg.CacheEntries, cfg.MaxCacheBytes),
+		flights: map[cacheKey]*flight{},
+		clients: map[string]int{},
 	}
 }
 
@@ -151,38 +222,150 @@ func (s *Service) DB() *aiql.DB { return s.db }
 func (s *Service) Stats() Stats {
 	return Stats{
 		Queries:      s.queries.Load(),
+		Executions:   s.executions.Load(),
 		CacheHits:    s.cacheHits.Load(),
 		CacheMisses:  s.cacheMisses.Load(),
+		Coalesced:    s.coalesced.Load(),
 		Rejected:     s.rejected.Load(),
+		Throttled:    s.throttled.Load(),
 		Timeouts:     s.timeouts.Load(),
 		Canceled:     s.canceled.Load(),
 		Errors:       s.errors.Load(),
+		RowsStreamed: s.rowsStreamed.Load(),
 		Active:       s.active.Load(),
 		Queued:       s.queued.Load(),
 		CacheEntries: s.cache.len(),
+		CacheBytes:   s.cache.sizeBytes(),
 	}
 }
 
-// Do executes one query request: cache lookup, admission, bounded
-// execution, cache fill. It is safe for arbitrary concurrent use.
+// Do executes one query request: cursor resolution, cache lookup,
+// per-client fairness, singleflight collapsing, admission, bounded
+// execution, cache fill, page shaping. It is safe for arbitrary
+// concurrent use.
 func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 	start := time.Now()
 	s.queries.Add(1)
 
 	norm := normalizeQuery(req.Query)
+	offset := 0
+
 	// The commit counter is read before execution; the entry is only
 	// stored if the counter is unchanged afterwards, so a cached result
 	// always reflects exactly the store version its key names.
 	commits := s.db.Store().Commits()
+	if req.Cursor != "" {
+		qhash, tokCommits, tokOffset, err := decodeCursorToken(req.Cursor)
+		if err != nil {
+			return nil, err
+		}
+		if qhash != hashQuery(norm) {
+			return nil, fmt.Errorf("%w: token belongs to a different query", ErrBadCursor)
+		}
+		offset = tokOffset
+		// Pages are pinned to the generation named by the token: as long
+		// as its entry is cached, every page of the chain is a slice of
+		// one consistent snapshot, regardless of concurrent appends.
+		if entry, ok := s.cache.get(cacheKey{query: norm, commits: tokCommits}); ok {
+			s.cacheHits.Add(1)
+			return s.shape(entry, req, start, true, offset), nil
+		}
+		if tokCommits != commits {
+			// the snapshot is both evicted and superseded — recomputing
+			// would silently page across generations
+			return nil, ErrCursorExpired
+		}
+		// evicted but not superseded: re-execute at the same generation
+	}
 	key := cacheKey{query: norm, commits: commits}
 	if entry, ok := s.cache.get(key); ok {
 		s.cacheHits.Add(1)
-		return s.shape(entry, req, start, true), nil
+		return s.shape(entry, req, start, true, offset), nil
 	}
 	if s.cache != nil {
 		s.cacheMisses.Add(1)
 	}
 
+	if err := s.acquireClient(req.Client); err != nil {
+		return nil, err
+	}
+	defer s.releaseClient(req.Client)
+
+	var (
+		entry     *cacheEntry
+		coalesced bool
+		err       error
+	)
+	for attempt := 0; ; attempt++ {
+		entry, coalesced, err = s.executeShared(ctx, req, key)
+		// A follower inherits the leader's outcome. If the leader died of
+		// its own context (client disconnect, shorter deadline) while this
+		// request's context is still live, the failure says nothing about
+		// this request — retry; the flight is gone, so a retry elects a
+		// new leader (possibly this request) executing under its own
+		// deadline.
+		if err != nil && coalesced && ctx.Err() == nil && attempt < 3 &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		break
+	}
+	if err != nil {
+		return nil, err
+	}
+	// A cursor chain must never mix store generations. The execute path
+	// is only reached for a chain when the snapshot was evicted while the
+	// store still matched the token; if an append landed during
+	// re-execution the result may reflect the newer generation, so the
+	// chain expires rather than serving it.
+	if req.Cursor != "" && s.db.Store().Commits() != key.commits {
+		return nil, ErrCursorExpired
+	}
+	return s.shape(entry, req, start, coalesced, offset), nil
+}
+
+// executeShared runs one execution per distinct cache key at a time:
+// the first request becomes the leader and executes; identical
+// concurrent requests wait for the leader's entry instead of executing
+// again (singleflight). The reported bool is true for followers.
+func (s *Service) executeShared(ctx context.Context, req Request, key cacheKey) (*cacheEntry, bool, error) {
+	s.flightMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.flightMu.Unlock()
+		s.coalesced.Add(1)
+		select {
+		case <-f.done:
+			return f.entry, true, f.err
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.Canceled) {
+				s.canceled.Add(1)
+			} else {
+				s.timeouts.Add(1)
+			}
+			return nil, true, fmt.Errorf("service: cancelled while awaiting identical in-flight query: %w", ctx.Err())
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.flightMu.Unlock()
+
+	f.entry, f.err = s.execute(ctx, req, key)
+	// Order matters for the at-most-one-execution guarantee: the entry
+	// is cached before the flight is removed, so a request arriving
+	// after the flight is gone finds the cache filled.
+	if f.err == nil && s.db.Store().Commits() == key.commits {
+		s.cache.put(f.entry)
+	}
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+	close(f.done)
+	return f.entry, false, f.err
+}
+
+// execute admits and runs one query under its deadline.
+func (s *Service) execute(ctx context.Context, req Request, key cacheKey) (*cacheEntry, error) {
+	start := time.Now()
 	if err := s.admit(ctx); err != nil {
 		return nil, err
 	}
@@ -190,15 +373,10 @@ func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 	s.active.Add(1)
 	defer s.active.Add(-1)
 
-	timeout := req.Timeout
-	if timeout <= 0 {
-		timeout = s.cfg.DefaultTimeout
-	} else if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	execCtx, cancel := context.WithTimeout(ctx, timeout)
+	execCtx, cancel := context.WithTimeout(ctx, s.timeout(req))
 	defer cancel()
 
+	s.executions.Add(1)
 	kind, _ := aiql.QueryKind(req.Query)
 	res, err := s.db.QueryContext(execCtx, req.Query)
 	if err != nil {
@@ -216,12 +394,43 @@ func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 		s.errors.Add(1)
 		return nil, err
 	}
+	return &cacheEntry{key: key, result: res, kind: kind, bytes: approxResultBytes(res)}, nil
+}
 
-	entry := &cacheEntry{key: key, result: res, kind: kind}
-	if s.db.Store().Commits() == commits {
-		s.cache.put(entry)
+func (s *Service) timeout(req Request) time.Duration {
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	} else if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
 	}
-	return s.shape(entry, req, start, false), nil
+	return timeout
+}
+
+// acquireClient reserves one of the client's concurrent execution slots.
+func (s *Service) acquireClient(client string) error {
+	if client == "" || s.cfg.ClientInflight < 0 {
+		return nil
+	}
+	s.clientMu.Lock()
+	defer s.clientMu.Unlock()
+	if s.clients[client] >= s.cfg.ClientInflight {
+		s.throttled.Add(1)
+		return ErrClientThrottled
+	}
+	s.clients[client]++
+	return nil
+}
+
+func (s *Service) releaseClient(client string) {
+	if client == "" || s.cfg.ClientInflight < 0 {
+		return
+	}
+	s.clientMu.Lock()
+	defer s.clientMu.Unlock()
+	if s.clients[client]--; s.clients[client] <= 0 {
+		delete(s.clients, client)
+	}
 }
 
 // admit acquires a worker slot, queueing up to cfg.QueueDepth waiters for
@@ -260,23 +469,147 @@ func (s *Service) admit(ctx context.Context) error {
 }
 
 // shape builds the per-request response view over a (possibly shared)
-// cache entry, applying the row limit without mutating the entry.
-func (s *Service) shape(entry *cacheEntry, req Request, start time.Time, cached bool) *Response {
+// cache entry, slicing the requested page without mutating the entry.
+func (s *Service) shape(entry *cacheEntry, req Request, start time.Time, cached bool, offset int) *Response {
 	limit := req.Limit
 	if limit <= 0 || limit > s.cfg.MaxRows {
 		limit = s.cfg.MaxRows
 	}
 	rows := entry.result.Rows
-	if len(rows) > limit {
-		rows = rows[:limit]
+	total := len(rows)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	next := ""
+	if end < total {
+		next = encodeCursorToken(hashQuery(entry.key.query), entry.key.commits, end)
 	}
 	return &Response{
-		Columns:   entry.result.Columns,
-		Rows:      rows,
-		TotalRows: len(entry.result.Rows),
-		Duration:  time.Since(start),
-		Cached:    cached,
-		Kind:      entry.kind,
-		Stats:     entry.result.Stats,
+		Columns:    entry.result.Columns,
+		Rows:       rows[offset:end],
+		TotalRows:  total,
+		Offset:     offset,
+		NextCursor: next,
+		Duration:   time.Since(start),
+		Cached:     cached,
+		Kind:       entry.kind,
+		Stats:      entry.result.Stats,
 	}
+}
+
+// DoStream executes one query as a row stream: header receives the
+// column header (with a flag for cache service) before any row, then
+// row receives each projected row as the engine produces it — first
+// rows arrive while later partitions are still being scanned. A
+// positive limit is pushed down into the engine, so a small-limit
+// stream terminates the scan early instead of draining the store; a
+// zero limit streams the entire result with parallel partition scans —
+// memory stays bounded either way, so MaxRows does not apply to
+// streams. Cancelling ctx (a client disconnect) aborts the scan
+// mid-flight, as does an error from either callback. Streamed rows
+// arrive in production order and are not cached or coalesced —
+// interactive repeats belong on Do. The returned Response reports the
+// rows actually streamed in TotalRows.
+func (s *Service) DoStream(ctx context.Context, req Request, header func(cols []string, cached bool) error, row func([]string) error) (*Response, error) {
+	start := time.Now()
+	s.queries.Add(1)
+
+	limit := req.Limit
+	if limit < 0 {
+		limit = 0
+	}
+
+	norm := normalizeQuery(req.Query)
+	commits := s.db.Store().Commits()
+	if entry, ok := s.cache.get(cacheKey{query: norm, commits: commits}); ok {
+		s.cacheHits.Add(1)
+		if err := header(entry.result.Columns, true); err != nil {
+			s.canceled.Add(1) // a sink failure means the client went away
+			return nil, err
+		}
+		rows := entry.result.Rows
+		if limit > 0 && len(rows) > limit {
+			rows = rows[:limit]
+		}
+		for _, r := range rows {
+			if err := row(r); err != nil {
+				s.canceled.Add(1)
+				return nil, err
+			}
+			s.rowsStreamed.Add(1)
+		}
+		return &Response{
+			Columns:   entry.result.Columns,
+			Rows:      nil,
+			TotalRows: len(rows),
+			Duration:  time.Since(start),
+			Cached:    true,
+			Kind:      entry.kind,
+			Stats:     entry.result.Stats,
+		}, nil
+	}
+	if s.cache != nil {
+		s.cacheMisses.Add(1)
+	}
+
+	if err := s.acquireClient(req.Client); err != nil {
+		return nil, err
+	}
+	defer s.releaseClient(req.Client)
+	if err := s.admit(ctx); err != nil {
+		return nil, err
+	}
+	defer func() { <-s.sem }()
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	execCtx, cancel := context.WithTimeout(ctx, s.timeout(req))
+	defer cancel()
+
+	s.executions.Add(1)
+	kind, _ := aiql.QueryKind(req.Query)
+	cur, err := s.db.QueryCursor(execCtx, req.Query, aiql.CursorOptions{Limit: limit})
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	defer cur.Close()
+
+	if err := header(cur.Columns(), false); err != nil {
+		s.canceled.Add(1) // a sink failure means the client went away
+		return nil, err
+	}
+	streamed := 0
+	for cur.Next() {
+		if err := row(cur.Row()); err != nil {
+			s.canceled.Add(1)
+			return nil, err
+		}
+		streamed++
+		s.rowsStreamed.Add(1)
+	}
+	if err := cur.Err(); err != nil {
+		if ctxErr := execCtx.Err(); ctxErr != nil {
+			if errors.Is(ctxErr, context.Canceled) {
+				s.canceled.Add(1)
+			} else {
+				s.timeouts.Add(1)
+			}
+			return nil, fmt.Errorf("service: stream aborted after %s: %w", time.Since(start).Round(time.Millisecond), ctxErr)
+		}
+		s.errors.Add(1)
+		return nil, err
+	}
+	cur.Close()
+	return &Response{
+		Columns:   cur.Columns(),
+		TotalRows: streamed,
+		Duration:  time.Since(start),
+		Kind:      kind,
+		Stats:     cur.Stats(),
+	}, nil
 }

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// Cursor tokens implement stateless pagination over cached results. A
+// token pins three things: which query it belongs to (a hash of the
+// normalized text, so a token cannot be replayed against a different
+// query), which store generation the result was computed over (the
+// commit counter, so every page of one cursor chain is served from the
+// same snapshot even while writers append), and the row offset of the
+// next page.
+//
+// The service holds no per-cursor state: as long as the generation's
+// entry is in the result cache — and each page access refreshes its LRU
+// position — pages are O(1) slices of the cached rows. If the entry has
+// been evicted and the store has since moved on, the snapshot is gone
+// and the token is reported expired (ErrCursorExpired) rather than
+// silently re-resolved against newer data, which would mix generations.
+
+// ErrBadCursor reports a malformed cursor token or one that does not
+// belong to the submitted query.
+var ErrBadCursor = errors.New("service: malformed cursor")
+
+// ErrCursorExpired reports that the snapshot a cursor token pins has
+// been evicted and superseded; the client must re-issue the query to
+// start a new cursor.
+var ErrCursorExpired = errors.New("service: cursor expired, re-issue the query")
+
+// hashQuery fingerprints a normalized query for token binding.
+func hashQuery(norm string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(norm))
+	return h.Sum64()
+}
+
+// encodeCursorToken packs (query hash, store generation, next offset)
+// into an opaque URL-safe token.
+func encodeCursorToken(qhash, commits uint64, offset int) string {
+	raw := fmt.Sprintf("v1:%x:%d:%d", qhash, commits, offset)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// decodeCursorToken unpacks a token produced by encodeCursorToken.
+func decodeCursorToken(tok string) (qhash, commits uint64, offset int, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: %v", ErrBadCursor, err)
+	}
+	parts := strings.Split(string(raw), ":")
+	if len(parts) != 4 || parts[0] != "v1" {
+		return 0, 0, 0, ErrBadCursor
+	}
+	if qhash, err = strconv.ParseUint(parts[1], 16, 64); err != nil {
+		return 0, 0, 0, ErrBadCursor
+	}
+	if commits, err = strconv.ParseUint(parts[2], 10, 64); err != nil {
+		return 0, 0, 0, ErrBadCursor
+	}
+	off, err := strconv.ParseInt(parts[3], 10, 64)
+	if err != nil || off < 0 {
+		return 0, 0, 0, ErrBadCursor
+	}
+	return qhash, commits, int(off), nil
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"html/template"
 	"log"
+	"net"
 	"net/http"
 
 	aiql "github.com/aiql/aiql"
@@ -50,20 +51,29 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 const maxRequestBody = 1 << 20
 
 type queryRequest struct {
-	Query string `json:"query"`
+	Query  string `json:"query"`
+	Limit  int    `json:"limit,omitempty"`
+	Cursor string `json:"cursor,omitempty"`
 }
 
 type queryResponse struct {
-	Columns   []string   `json:"columns,omitempty"`
-	Rows      [][]string `json:"rows,omitempty"`
-	RowCount  int        `json:"row_count"`
-	ElapsedMS float64    `json:"elapsed_ms"`
-	Scanned   int64      `json:"scanned_events"`
-	Order     []string   `json:"pattern_order,omitempty"`
-	Kind      string     `json:"kind,omitempty"`
-	Cached    bool       `json:"cached"`
-	Error     string     `json:"error,omitempty"`
+	Columns    []string   `json:"columns,omitempty"`
+	Rows       [][]string `json:"rows,omitempty"`
+	RowCount   int        `json:"row_count"`
+	Offset     int        `json:"offset"`
+	NextCursor string     `json:"next_cursor,omitempty"`
+	ElapsedMS  float64    `json:"elapsed_ms"`
+	Scanned    int64      `json:"scanned_events"`
+	Order      []string   `json:"pattern_order,omitempty"`
+	Kind       string     `json:"kind,omitempty"`
+	Cached     bool       `json:"cached"`
+	Error      string     `json:"error,omitempty"`
 }
+
+// uiPageSize is how many rows the UI fetches per round trip; the
+// browser pages through large results with cursor tokens instead of
+// receiving one giant response.
+const uiPageSize = 500
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -75,21 +85,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, queryResponse{Error: "bad request: " + err.Error()})
 		return
 	}
-	resp, err := s.svc.Do(r.Context(), service.Request{Query: req.Query})
+	limit := req.Limit
+	if limit <= 0 {
+		limit = uiPageSize
+	}
+	client := r.RemoteAddr
+	if host, _, err := net.SplitHostPort(client); err == nil {
+		client = host
+	}
+	resp, err := s.svc.Do(r.Context(), service.Request{
+		Query:  req.Query,
+		Limit:  limit,
+		Cursor: req.Cursor,
+		Client: "webui:" + client,
+	})
 	if err != nil {
 		kind, _ := aiql.QueryKind(req.Query)
 		writeJSON(w, queryResponse{Error: err.Error(), Kind: kind})
 		return
 	}
 	writeJSON(w, queryResponse{
-		Columns:   resp.Columns,
-		Rows:      resp.Rows,
-		RowCount:  resp.TotalRows,
-		ElapsedMS: float64(resp.Duration) / 1e6,
-		Scanned:   resp.Stats.ScannedEvents,
-		Order:     resp.Stats.PatternOrder,
-		Kind:      resp.Kind,
-		Cached:    resp.Cached,
+		Columns:    resp.Columns,
+		Rows:       resp.Rows,
+		RowCount:   resp.TotalRows,
+		Offset:     resp.Offset,
+		NextCursor: resp.NextCursor,
+		ElapsedMS:  float64(resp.Duration) / 1e6,
+		Scanned:    resp.Stats.ScannedEvents,
+		Order:      resp.Stats.PatternOrder,
+		Kind:       resp.Kind,
+		Cached:     resp.Cached,
 	})
 }
 
@@ -203,14 +228,31 @@ async function post(path, body) {
 async function runQuery() {
   setStatus('executing…');
   const t0 = performance.now();
-  const out = await post('/api/query', {query: document.getElementById('q').value});
+  const query = document.getElementById('q').value;
+  // paginated fetch: first page executes (or hits the cache), follow-up
+  // pages walk the cursor chain over the same store snapshot
+  let out = await post('/api/query', {query});
   if (out.error) { setStatus(out.error, true); data = {columns: [], rows: []}; renderTable(); return; }
-  setStatus(out.row_count + ' rows — engine ' + out.elapsed_ms.toFixed(2) + ' ms (round trip ' +
-            (performance.now() - t0).toFixed(0) + ' ms)' + (out.cached ? ' [cached]' : '') +
-            ', scanned ' + out.scanned_events +
-            ' events' + (out.pattern_order ? ', schedule: ' + out.pattern_order.join(' → ') : ''));
   data = {columns: out.columns || [], rows: out.rows || []};
   sortCol = -1;
+  const first = out;
+  const maxRows = 5000; // keep huge results from swamping the browser
+  let pages = 1;
+  while (out.next_cursor && data.rows.length < maxRows) {
+    setStatus('fetched ' + data.rows.length + ' of ' + first.row_count + ' rows…');
+    out = await post('/api/query', {query, cursor: out.next_cursor});
+    if (out.error) { setStatus(out.error, true); break; }
+    data.rows = data.rows.concat(out.rows || []);
+    pages++;
+  }
+  const shown = data.rows.length < first.row_count ?
+      'showing first ' + data.rows.length + ' of ' + first.row_count + ' rows' :
+      first.row_count + ' rows';
+  setStatus(shown + ' (' + pages + (pages > 1 ? ' pages' : ' page') +
+            ') — engine ' + first.elapsed_ms.toFixed(2) + ' ms (round trip ' +
+            (performance.now() - t0).toFixed(0) + ' ms)' + (first.cached ? ' [cached]' : '') +
+            ', scanned ' + first.scanned_events +
+            ' events' + (first.pattern_order ? ', schedule: ' + first.pattern_order.join(' → ') : ''));
   renderTable();
 }
 
