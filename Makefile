@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench serve
+.PHONY: check fmt vet build test race bench bench-streaming bench-segments serve
 
 check: fmt vet build race
 
@@ -25,12 +25,26 @@ race:
 # Streaming/caching benchmarks on the Fig4 50k-event dataset: cold vs.
 # warm cache, full drain vs. LIMIT-50 early termination. Emits
 # BENCH_streaming.json for the CI perf-trajectory artifact.
-bench:
+bench: bench-streaming bench-segments
+
+bench-streaming:
 	$(GO) test ./internal/service/ -run XXX \
 		-bench 'BenchmarkColdQuery|BenchmarkWarmCache|BenchmarkFullDrain|BenchmarkLimit50EarlyTermination' \
 		-benchtime=5x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
 	@cat bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_streaming.json < bench.out
+	@rm -f bench.out
+
+# Segment-granular reuse benchmarks on the Fig4 50k-event dataset:
+# cold re-execution vs. full result-cache hit vs. partial reuse after an
+# append (sealed segments served from the scan cache, only the fresh
+# tail re-scanned; target >= 10x vs cold). Emits BENCH_segments.json.
+bench-segments:
+	$(GO) test ./internal/service/ -run XXX \
+		-bench 'BenchmarkSegmentsCold|BenchmarkSegmentsFullCacheHit|BenchmarkSegmentsPartialReuseAfterAppend' \
+		-benchtime=20x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
+	@cat bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_segments.json < bench.out
 	@rm -f bench.out
 
 # Web UI + JSON API on :8080 over the built-in demo dataset.

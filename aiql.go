@@ -208,6 +208,35 @@ func (db *DB) Explain(src string) (string, error) {
 	return out, nil
 }
 
+// ExplainPlan returns the engine's scheduled pattern order with
+// pruning-power estimates as structured entries, for API consumers.
+func (db *DB) ExplainPlan(src string) ([]engine.ExplainEntry, error) {
+	return db.eng.Explain(src)
+}
+
+// EnableSegmentScanCache installs the engine's segment scan cache with
+// the given byte budget (non-positive removes it): per-pattern filtered
+// scan results over sealed segments are cached by (filter fingerprint,
+// segment id) and reused verbatim across executions, so an append only
+// re-scans the unsealed tail and fresh segments. Disabled by default so
+// benchmarks and ablations measure raw scans unless they opt in; the
+// server enables it for every dataset it serves.
+func (db *DB) EnableSegmentScanCache(maxBytes int64) {
+	db.eng.SetScanCache(maxBytes)
+}
+
+// ScanCacheStats reports the segment scan cache's counters; zero values
+// when the cache is disabled.
+func (db *DB) ScanCacheStats() engine.ScanCacheStats {
+	return db.eng.ScanCacheStats()
+}
+
+// SegmentStats reports the store's LSM layout: sealed segments versus
+// active memtables.
+func (db *DB) SegmentStats() eventstore.SegmentStats {
+	return db.store.SegmentStats()
+}
+
 // Save writes a snapshot of the database to w.
 func (db *DB) Save(w io.Writer) error { return db.store.Encode(w) }
 

@@ -1,21 +1,25 @@
 // Command aiqlserver serves the AIQL web UI (paper §3, Figure 3) and the
-// versioned JSON query API. Both routes share one concurrent query
-// service: a bounded worker pool with admission control and per-client
-// fairness, per-query deadlines, singleflight collapsing of identical
-// in-flight queries, and a byte-bounded LRU result cache keyed on the
-// store's commit counter. Large results page through cursor tokens or
-// stream as NDJSON straight from the engine's cursor pipeline.
+// versioned JSON query API over a catalog of datasets. Every dataset
+// owns its own store (LSM-style memtable + sealed segments), engine,
+// segment scan cache, and service layer (bounded worker pool with
+// admission control and per-client fairness, per-query deadlines,
+// singleflight collapsing, byte-bounded result cache), so one process
+// serves many independent investigations concurrently. Datasets
+// hot-swap atomically without failing in-flight queries.
 //
 // Usage:
 //
 //	aiqlserver -data data.aiql -addr :8080
+//	aiqlserver -datasets "prod=prod.aiql,staging=staging.aiql" -default prod
 //
 // API:
 //
-//	POST /api/v1/query         {"query": "...", "limit": 100, "cursor": "...", "timeout_ms": 5000}
-//	POST /api/v1/query/stream  {"query": "...", "limit": 100, "timeout_ms": 5000}  (NDJSON)
-//	POST /api/v1/check         {"query": "..."}
-//	GET  /api/v1/stats
+//	POST /api/v1/query                 {"query": "...", "dataset": "...", "limit": 100, "cursor": "...", "timeout_ms": 5000, "explain": false}
+//	POST /api/v1/query/stream          {"query": "...", "dataset": "...", "limit": 100, "timeout_ms": 5000}  (NDJSON)
+//	POST /api/v1/check                 {"query": "..."}
+//	GET  /api/v1/stats?dataset=name
+//	GET  /api/v1/datasets
+//	POST /api/v1/datasets/{name}/load  {"path": "optional.aiql"}
 package main
 
 import (
@@ -24,8 +28,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
+	"github.com/aiql/aiql/internal/catalog"
 	"github.com/aiql/aiql/internal/experiments"
 	"github.com/aiql/aiql/internal/service"
 	"github.com/aiql/aiql/internal/webui"
@@ -37,42 +43,77 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aiqlserver: ")
 	var (
-		data       = flag.String("data", "", "dataset snapshot file (from aiqlgen); empty = built-in demo dataset")
+		data       = flag.String("data", "", "dataset snapshot file served as dataset \"default\"; empty = built-in demo dataset (unless -datasets is given)")
+		datasets   = flag.String("datasets", "", "comma-separated name=path dataset list, e.g. \"prod=prod.aiql,staging=staging.aiql\"")
+		defName    = flag.String("default", "", "default dataset name (default: first registered)")
 		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "max concurrent query executions (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "max concurrent query executions per dataset (0 = GOMAXPROCS)")
 		queue      = flag.Int("queue", 0, "admission queue depth beyond workers (0 = 4x workers)")
-		cache      = flag.Int("cache", 256, "result cache entries (negative disables)")
-		cacheBytes = flag.Int64("cache-bytes", 0, "result cache byte budget (0 = 64 MiB, negative = unbounded)")
+		cache      = flag.Int("cache", 256, "result cache entries per dataset (negative disables)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "result cache byte budget per dataset (0 = 64 MiB, negative = unbounded)")
+		scanCache  = flag.Int64("scan-cache-bytes", 0, "segment scan cache byte budget per dataset (0 = 64 MiB, negative disables)")
 		perClient  = flag.Int("client-inflight", 0, "max concurrent executions per client (0 = half the workers, negative disables)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query execution timeout")
 	)
 	flag.Parse()
 
-	var db *aiql.DB
-	if *data == "" {
-		fmt.Fprintln(os.Stderr, "no -data given; generating the built-in demo dataset (50k events, demo-apt scenario)")
-		db = aiql.FromStore(experiments.BuildStore(experiments.Fig4Dataset(50000, 10, 42)))
-	} else {
-		var err error
-		db, err = aiql.LoadFile(*data)
-		if err != nil {
+	cat := catalog.New(catalog.Config{
+		Service: service.Config{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			CacheEntries:   *cache,
+			MaxCacheBytes:  *cacheBytes,
+			ClientInflight: *perClient,
+			DefaultTimeout: *timeout,
+		},
+		ScanCacheBytes: *scanCache,
+	})
+
+	if *datasets != "" {
+		for _, pair := range strings.Split(*datasets, ",") {
+			name, path, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || name == "" || path == "" {
+				log.Fatalf("bad -datasets entry %q, want name=path", pair)
+			}
+			if _, err := cat.AddFile(name, path); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *data != "" {
+		if _, err := cat.AddFile("default", *data); err != nil {
 			log.Fatal(err)
 		}
 	}
-	svc := service.New(db, service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cache,
-		MaxCacheBytes:  *cacheBytes,
-		ClientInflight: *perClient,
-		DefaultTimeout: *timeout,
-	})
-	mux := http.NewServeMux()
-	mux.Handle("/api/v1/", svc.Handler())
-	mux.Handle("/", webui.NewWithService(svc))
+	if len(cat.Names()) == 0 {
+		fmt.Fprintln(os.Stderr, "no -data or -datasets given; generating the built-in demo dataset (50k events, demo-apt scenario)")
+		db := aiql.FromStore(experiments.BuildStore(experiments.Fig4Dataset(50000, 10, 42)))
+		db.Flush() // seal the generated data so segment reuse applies immediately
+		if _, err := cat.AddDB("demo", db); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *defName != "" {
+		if err := cat.SetDefault(*defName); err != nil {
+			log.Fatal(err)
+		}
+	}
 
-	st := db.Stats()
-	log.Printf("serving %d events (%d chunks) on %s (UI at / — API at /api/v1/query)", st.Events, st.Partitions, *addr)
+	mux := http.NewServeMux()
+	mux.Handle("/api/v1/", cat.Handler())
+	mux.Handle("/", webui.NewWithProvider(cat))
+
+	for _, name := range cat.Names() {
+		d, err := cat.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := d.Service().DatasetStats(name)
+		log.Printf("dataset %q: %d events, %d chunks, %d sealed segments%s",
+			name, st.Store.Events, st.Store.Partitions, st.Store.Segments,
+			map[bool]string{true: " (default)"}[name == cat.DefaultName()])
+	}
+	log.Printf("serving %d dataset(s) on %s (UI at / — API at /api/v1/query)", len(cat.Names()), *addr)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,243 @@
+// Package catalog maps dataset names to independent AIQL databases so
+// one server process serves many investigations concurrently. Every
+// dataset owns its own store, engine, segment scan cache, and service
+// layer (worker pool, result cache, statistics) — noisy traffic against
+// one investigation never evicts another's caches or skews its
+// counters.
+//
+// Datasets hot-swap atomically: loading a snapshot builds a completely
+// new store + service off to the side and then swaps the catalog entry
+// under the lock. In-flight queries keep the service (and therefore the
+// store snapshot) they started with and finish normally; only new
+// requests resolve to the swapped-in dataset.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	aiql "github.com/aiql/aiql"
+	"github.com/aiql/aiql/internal/service"
+)
+
+// DefaultScanCacheBytes is the per-dataset segment scan cache budget
+// when the catalog config leaves it zero.
+const DefaultScanCacheBytes = 64 << 20
+
+// Config shapes every dataset the catalog creates.
+type Config struct {
+	// Service sizes each dataset's service layer (workers, result
+	// cache, timeouts). Zero values select the service defaults.
+	Service service.Config
+	// ScanCacheBytes budgets each dataset's segment scan cache; 0
+	// selects DefaultScanCacheBytes, negative disables the cache.
+	ScanCacheBytes int64
+}
+
+// Dataset is one named database with its service layer.
+type Dataset struct {
+	name string
+	path string // snapshot file backing the dataset; empty for in-memory
+	svc  *service.Service
+}
+
+// Name returns the dataset's catalog name.
+func (d *Dataset) Name() string { return d.name }
+
+// Path returns the snapshot file backing the dataset, if any.
+func (d *Dataset) Path() string { return d.path }
+
+// Service returns the dataset's service layer.
+func (d *Dataset) Service() *service.Service { return d.svc }
+
+// Catalog is a concurrency-safe registry of named datasets with atomic
+// hot-swap. It implements service.Resolver.
+type Catalog struct {
+	cfg Config
+
+	mu          sync.RWMutex
+	sets        map[string]*Dataset
+	order       []string // registration order
+	defaultName string
+}
+
+// New creates an empty catalog.
+func New(cfg Config) *Catalog {
+	if cfg.ScanCacheBytes == 0 {
+		cfg.ScanCacheBytes = DefaultScanCacheBytes
+	}
+	return &Catalog{cfg: cfg, sets: make(map[string]*Dataset)}
+}
+
+// newDataset wraps a database in a fresh service layer with the
+// catalog's configuration.
+func (c *Catalog) newDataset(name, path string, db *aiql.DB) *Dataset {
+	if c.cfg.ScanCacheBytes > 0 {
+		db.EnableSegmentScanCache(c.cfg.ScanCacheBytes)
+	}
+	return &Dataset{name: name, path: path, svc: service.New(db, c.cfg.Service)}
+}
+
+// AddDB registers an in-memory database under name. The first dataset
+// registered becomes the default.
+func (c *Catalog) AddDB(name string, db *aiql.DB) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: dataset name must not be empty")
+	}
+	d := c.newDataset(name, "", db)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sets[name]; ok {
+		return nil, fmt.Errorf("catalog: dataset %q already registered", name)
+	}
+	c.install(d)
+	return d, nil
+}
+
+// AddFile loads a snapshot file and registers it under name. The first
+// dataset registered becomes the default.
+func (c *Catalog) AddFile(name, path string) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: dataset name must not be empty")
+	}
+	db, err := aiql.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
+	}
+	d := c.newDataset(name, path, db)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sets[name]; ok {
+		return nil, fmt.Errorf("catalog: dataset %q already registered", name)
+	}
+	c.install(d)
+	return d, nil
+}
+
+// install registers d; the caller holds the lock.
+func (c *Catalog) install(d *Dataset) {
+	if _, ok := c.sets[d.name]; !ok {
+		c.order = append(c.order, d.name)
+	}
+	c.sets[d.name] = d
+	if c.defaultName == "" {
+		c.defaultName = d.name
+	}
+}
+
+// SetDefault names the dataset the empty request selects.
+func (c *Catalog) SetDefault(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sets[name]; !ok {
+		return fmt.Errorf("%w: %q", service.ErrUnknownDataset, name)
+	}
+	c.defaultName = name
+	return nil
+}
+
+// DefaultName returns the default dataset's name.
+func (c *Catalog) DefaultName() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.defaultName
+}
+
+// Resolve implements service.Resolver: the empty name selects the
+// default dataset. The returned service stays valid (and keeps serving
+// its in-flight queries) even if the dataset is hot-swapped afterwards.
+func (c *Catalog) Resolve(dataset string) (*service.Service, error) {
+	d, err := c.Get(dataset)
+	if err != nil {
+		return nil, err
+	}
+	return d.svc, nil
+}
+
+// Get returns the dataset registered under name ("" = default).
+func (c *Catalog) Get(name string) (*Dataset, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if name == "" {
+		name = c.defaultName
+	}
+	d, ok := c.sets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", service.ErrUnknownDataset, name)
+	}
+	return d, nil
+}
+
+// Names returns the registered dataset names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	sort.Strings(out)
+	return out
+}
+
+// Load hot-swaps (or registers) the dataset name from a snapshot file:
+// a brand-new store, engine, scan cache, and service are built from
+// path with no catalog lock held, then the entry is swapped atomically.
+// In-flight queries on the old dataset finish on the snapshot they
+// started with; new requests see the loaded data. An empty path reloads
+// the dataset's backing file.
+//
+// Outstanding pagination cursors are deliberately not carried over: a
+// cursor names a result generation of the replaced store, and serving
+// its remaining pages would hand out rows from a dataset the operator
+// just swapped away. Such requests answer 410 Gone (the cursor-expired
+// contract) and the client re-issues the query against the new data.
+func (c *Catalog) Load(name, path string) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: dataset name must not be empty")
+	}
+	if path == "" {
+		c.mu.RLock()
+		d, registered := c.sets[name]
+		if registered {
+			path = d.path
+		}
+		c.mu.RUnlock()
+		if !registered {
+			return nil, fmt.Errorf("%w: %q (a path is required to register a new dataset)", service.ErrUnknownDataset, name)
+		}
+		if path == "" {
+			return nil, fmt.Errorf("catalog: dataset %q has no backing snapshot; a path is required", name)
+		}
+	}
+	db, err := aiql.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
+	}
+	d := c.newDataset(name, path, db)
+	c.mu.Lock()
+	c.install(d)
+	c.mu.Unlock()
+	return d, nil
+}
+
+// Stats returns every dataset's statistics blob, in sorted name order,
+// with the default dataset marked.
+func (c *Catalog) Stats() []service.DatasetStats {
+	c.mu.RLock()
+	names := make([]string, len(c.order))
+	copy(names, c.order)
+	def := c.defaultName
+	sets := make([]*Dataset, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		sets = append(sets, c.sets[n])
+	}
+	c.mu.RUnlock()
+	out := make([]service.DatasetStats, 0, len(sets))
+	for _, d := range sets {
+		st := d.svc.DatasetStats(d.name)
+		st.Default = d.name == def
+		out = append(out, st)
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/aiql/aiql/internal/aiql/ast"
 	"github.com/aiql/aiql/internal/aiql/semantic"
+	"github.com/aiql/aiql/internal/eventstore"
 	"github.com/aiql/aiql/internal/numfmt"
 	"github.com/aiql/aiql/internal/sysmon"
 )
@@ -90,16 +91,15 @@ func floorDiv(a, b int64) int64 {
 // as it is evaluated (groups in sorted order, windows ascending), so
 // downstream consumers see first rows before the emission loop finishes
 // and a satisfied limit stops the loop early.
-func (e *Engine) runAnomaly(ctx context.Context, q *ast.AnomalyQuery, info *semantic.Info, stats *ExecStats, emit emitFunc) error {
+func (e *Engine) runAnomaly(ctx context.Context, snap *eventstore.Snapshot, q *ast.AnomalyQuery, info *semantic.Info, stats *ExecStats, emit emitFunc) error {
 	// reuse the multievent planner for the single pattern
 	mq := &ast.MultieventQuery{Head_: q.Head_, Patterns: []ast.EventPattern{q.Pattern}}
-	plan, err := e.buildPlan(mq)
+	plan, err := e.buildPlan(snap, mq)
 	if err != nil {
 		return err
 	}
 	pp := plan.patterns[0]
-	events, scanned := e.scanPattern(ctx, &pp.filter, pp)
-	stats.ScannedEvents = scanned
+	events := e.scanPattern(ctx, snap, &pp.filter, pp, stats)
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("engine: query aborted: %w", err)
 	}
@@ -108,7 +108,7 @@ func (e *Engine) runAnomaly(ctx context.Context, q *ast.AnomalyQuery, info *sema
 	// window extent: explicit time window, else the data's extent
 	from, to := plan.window.From, plan.window.To
 	if from == 0 || to == 0 {
-		minTS, maxTS := e.store.TimeRange()
+		minTS, maxTS := snap.TimeRange()
 		if from == 0 {
 			from = minTS
 		}

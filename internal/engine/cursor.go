@@ -174,6 +174,11 @@ func (e *Engine) ExecuteQueryCursor(ctx context.Context, q ast.Query, opts Curso
 		cols []string
 	}
 	var cp compiled
+	// The whole execution — planning estimates included — runs against
+	// one lock-free snapshot, so concurrent appends and seals never move
+	// data under the query and a cursor iterated across a store mutation
+	// still sees the segment set that existed when execution began.
+	snap := e.store.Snapshot()
 	switch x := q.(type) {
 	case *ast.DependencyQuery:
 		if _, err := semantic.Check(x); err != nil {
@@ -187,26 +192,26 @@ func (e *Engine) ExecuteQueryCursor(ctx context.Context, q ast.Query, opts Curso
 		if err != nil {
 			return nil, err
 		}
-		plan, err := e.buildPlan(mq)
+		plan, err := e.buildPlan(snap, mq)
 		if err != nil {
 			return nil, err
 		}
 		cp.cols = info.Columns
 		cp.run = func(cctx context.Context, stats *ExecStats, emit emitFunc) error {
-			return e.runMultievent(cctx, mq, info, plan, stats, emit, opts.Limit)
+			return e.runMultievent(cctx, snap, mq, info, plan, stats, emit, opts.Limit)
 		}
 	case *ast.MultieventQuery:
 		info, err := semantic.Check(x)
 		if err != nil {
 			return nil, err
 		}
-		plan, err := e.buildPlan(x)
+		plan, err := e.buildPlan(snap, x)
 		if err != nil {
 			return nil, err
 		}
 		cp.cols = info.Columns
 		cp.run = func(cctx context.Context, stats *ExecStats, emit emitFunc) error {
-			return e.runMultievent(cctx, x, info, plan, stats, emit, opts.Limit)
+			return e.runMultievent(cctx, snap, x, info, plan, stats, emit, opts.Limit)
 		}
 	case *ast.AnomalyQuery:
 		info, err := semantic.Check(x)
@@ -215,7 +220,7 @@ func (e *Engine) ExecuteQueryCursor(ctx context.Context, q ast.Query, opts Curso
 		}
 		cp.cols = info.Columns
 		cp.run = func(cctx context.Context, stats *ExecStats, emit emitFunc) error {
-			return e.runAnomaly(cctx, x, info, stats, emit)
+			return e.runAnomaly(cctx, snap, x, info, stats, emit)
 		}
 	default:
 		return nil, fmt.Errorf("engine: unsupported query type %T", q)

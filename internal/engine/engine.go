@@ -12,6 +12,7 @@ package engine
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
 	"github.com/aiql/aiql/internal/aiql/ast"
@@ -28,12 +29,22 @@ type Config struct {
 	DisableReordering bool
 	// DisableParallel scans partitions sequentially.
 	DisableParallel bool
+	// ScanCacheBytes, when positive, enables the segment scan cache with
+	// the given byte budget: per-pattern filtered scan results over
+	// sealed segments are cached by (filter fingerprint, segment id) and
+	// reused across executions, so an append only re-scans the unsealed
+	// tail and fresh segments. Zero disables the cache — the default, so
+	// ablation benchmarks and tests measure raw scans unless they opt in.
+	ScanCacheBytes int64
 }
 
-// Engine executes AIQL queries against an event store.
+// Engine executes AIQL queries against an event store. Every execution
+// pins one lock-free store snapshot and runs against it end to end, so
+// concurrent appends and seals never move data under a running query.
 type Engine struct {
-	store *eventstore.Store
-	cfg   Config
+	store  *eventstore.Store
+	cfg    Config
+	scache atomic.Pointer[scanCache]
 }
 
 // New creates an engine over store with the fully optimized configuration.
@@ -43,11 +54,28 @@ func New(store *eventstore.Store) *Engine {
 
 // NewWithConfig creates an engine with explicit optimization toggles.
 func NewWithConfig(store *eventstore.Store, cfg Config) *Engine {
-	return &Engine{store: store, cfg: cfg}
+	e := &Engine{store: store, cfg: cfg}
+	if cfg.ScanCacheBytes > 0 {
+		e.scache.Store(newScanCache(cfg.ScanCacheBytes))
+	}
+	return e
 }
 
 // Store returns the engine's event store.
 func (e *Engine) Store() *eventstore.Store { return e.store }
+
+// SetScanCache installs (or, with a non-positive budget, removes) the
+// segment scan cache. Safe for concurrent use; in-flight executions keep
+// the cache instance they started with.
+func (e *Engine) SetScanCache(maxBytes int64) {
+	e.scache.Store(newScanCache(maxBytes))
+}
+
+// ScanCacheStats reports the segment scan cache's counters; zero values
+// when the cache is disabled.
+func (e *Engine) ScanCacheStats() ScanCacheStats {
+	return e.scache.Load().stats()
+}
 
 // Execute parses, validates, and runs one AIQL query. The context bounds
 // execution: cancellation or an expired deadline aborts partition scans
@@ -126,7 +154,7 @@ func (e *Engine) Explain(src string) ([]ExplainEntry, error) {
 		}
 		mq = &ast.MultieventQuery{Head_: x.Head_, Patterns: []ast.EventPattern{x.Pattern}}
 	}
-	plan, err := e.buildPlan(mq)
+	plan, err := e.buildPlanEstimates(e.store.Snapshot(), mq, true)
 	if err != nil {
 		return nil, err
 	}

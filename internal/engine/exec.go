@@ -63,7 +63,7 @@ func newSlots(plan *queryPlan) *slots {
 //
 // Cancelling ctx aborts the current scan and returns the cancellation
 // error; stats keeps the statistics accumulated so far.
-func (e *Engine) runMultievent(ctx context.Context, q *ast.MultieventQuery, info *semantic.Info, plan *queryPlan, stats *ExecStats, emit emitFunc, limitHint int) error {
+func (e *Engine) runMultievent(ctx context.Context, snap *eventstore.Snapshot, q *ast.MultieventQuery, info *semantic.Info, plan *queryPlan, stats *ExecStats, emit emitFunc, limitHint int) error {
 	sl := newSlots(plan)
 	var bindings []binding
 	boundVars := map[string]bool{}
@@ -85,13 +85,12 @@ func (e *Engine) runMultievent(ctx context.Context, q *ast.MultieventQuery, info
 			narrowByTemporal(&filter, plan.rels, sl, pp.alias, bindings, boundEvts)
 		}
 
-		events, scanned := e.scanPattern(ctx, &filter, pp)
-		stats.ScannedEvents += scanned
+		events := e.scanPattern(ctx, snap, &filter, pp, stats)
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("engine: query aborted: %w", err)
 		}
 		if step == 0 {
-			stats.Partitions = e.store.NumPartitions()
+			stats.Partitions = snap.NumPartitions()
 			bindings = make([]binding, 0, len(events))
 			for i := range events {
 				b := binding{
@@ -133,21 +132,22 @@ func (e *Engine) runMultievent(ctx context.Context, q *ast.MultieventQuery, info
 		narrowByBindings(&filter, sl, pp, bindings, boundVars[pp.subjVar], boundVars[pp.objVar])
 		narrowByTemporal(&filter, plan.rels, sl, pp.alias, bindings, boundEvts)
 	} else {
-		stats.Partitions = e.store.NumPartitions()
+		stats.Partitions = snap.NumPartitions()
 	}
 	j := newJoiner(bindings, sl, pp, plan.rels, boundVars, boundEvts, last == 0)
 	proj := newProjector(e, q, info, sl)
-	return e.streamFinal(ctx, &filter, pp, j, proj, stats, emit, limitHint)
+	return e.streamFinal(ctx, snap, &filter, pp, j, proj, stats, emit, limitHint)
 }
 
 // streamFinal scans the final pattern and pushes each full match through
 // join → projection → emit without collecting events or bindings. With a
 // limit hint (or parallelism disabled) the scan is sequential, so the
 // number of events visited before the limit is satisfied is
-// deterministic; otherwise partitions are scanned in parallel and their
-// batches are joined and emitted as they arrive, which delivers first
-// rows while later partitions are still being scanned.
-func (e *Engine) streamFinal(ctx context.Context, filter *eventstore.EventFilter, pp *patternPlan, j *joiner, proj *projector, stats *ExecStats, emit emitFunc, limitHint int) error {
+// deterministic; otherwise scan units are processed in parallel and
+// their batches are joined and emitted as they arrive, which delivers
+// first rows while later units are still being scanned. Sealed-segment
+// batches come from the scan cache when it holds them.
+func (e *Engine) streamFinal(ctx context.Context, snap *eventstore.Snapshot, filter *eventstore.EventFilter, pp *patternPlan, j *joiner, proj *projector, stats *ExecStats, emit emitFunc, limitHint int) error {
 	var (
 		ferr     error
 		produced int
@@ -182,70 +182,91 @@ func (e *Engine) streamFinal(ctx context.Context, filter *eventstore.EventFilter
 		return cont
 	}
 
+	cache := e.scache.Load()
+	var fp scanFP
+	if cache != nil {
+		fp = scanFingerprint(filter, pp.evtPreds)
+	}
+	units := snap.Units(filter)
+
 	if e.cfg.DisableParallel || limitHint > 0 {
-		// Deterministic chunk-by-chunk scan. Collection runs under only
-		// the chunk lock; the join → project → emit work happens in the
-		// merge callback with no locks held, so a consumer that stalls
-		// mid-stream cannot block writers or other queries.
-		var visited int64
-		scanErr := e.store.ScanChunked(ctx, filter,
-			func(ev *sysmon.Event) bool { return evtPredsOK(pp.evtPreds, ev) },
-			func(batch []sysmon.Event, v int64) bool {
-				visited += v
-				for i := range batch {
-					if !handle(&batch[i]) {
-						return false
+		// Deterministic unit-by-unit scan. Collection touches only the
+		// snapshot's immutable data; the join → project → emit work
+		// happens with no locks held, so a consumer that stalls
+		// mid-stream cannot block writers or other queries. Cache
+		// lookups stay per-unit here: a satisfied limit stops the walk,
+		// and prefetching lookups for units never consumed would skew
+		// the reuse counters.
+		for i := range units {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("engine: query aborted: %w", err)
+			}
+			batch, visited, complete, hit := e.unitBatch(ctx, cache, &units[i], filter, fp, pp.evtPreds, true)
+			stats.ScannedEvents += visited
+			countReuse(stats, cache, &units[i], hit)
+			for k := range batch {
+				if !handle(&batch[k]) {
+					if ferr != nil {
+						return ferr
 					}
+					return nil
 				}
-				return true
-			})
-		stats.ScannedEvents += visited
-		if ferr != nil {
-			return ferr
+			}
+			if !complete {
+				return fmt.Errorf("engine: query aborted: %w", ctx.Err())
+			}
 		}
-		if scanErr != nil {
-			return fmt.Errorf("engine: query aborted: %w", scanErr)
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("engine: query aborted: %w", err)
 		}
 		return nil
 	}
 
-	// Parallel streaming: chunk scans run concurrently; completed batches
-	// are joined and emitted under the merge mutex while other chunks are
+	// Parallel streaming: unit scans run concurrently; completed batches
+	// are joined and emitted under the merge mutex while other units are
 	// still scanning. An execution error triggers the cursor's halt (when
-	// running under one) so in-flight chunk scans abort promptly.
+	// running under one) so in-flight unit scans abort promptly.
 	abort := func() {}
 	if hc, ok := ctx.(*haltCtx); ok {
 		abort = hc.h.trigger
 	}
 	var (
 		mu      sync.Mutex
-		visited int64
 		stopped bool
 	)
-	e.store.ScanPartitions(ctx, filter,
-		func(ev *sysmon.Event) bool { return evtPredsOK(pp.evtPreds, ev) },
-		func(batch []sysmon.Event, v int64) {
-			mu.Lock()
-			defer mu.Unlock()
-			visited += v
-			if stopped {
+	cached := cache.getAll(fp, units)
+	eventstore.ForEachUnit(ctx, units, func(i int, u *eventstore.ScanUnit) {
+		var (
+			batch   []sysmon.Event
+			visited int64
+			hit     bool
+		)
+		if cached != nil && cached[i] != nil {
+			batch, hit = cached[i], true
+		} else {
+			batch, visited, _, hit = e.unitBatch(ctx, cache, u, filter, fp, pp.evtPreds, false)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		stats.ScannedEvents += visited
+		countReuse(stats, cache, u, hit)
+		if stopped {
+			return
+		}
+		for i := range batch {
+			if i%joinCheckInterval == joinCheckInterval-1 && ctx.Err() != nil {
+				stopped = true
 				return
 			}
-			for i := range batch {
-				if i%joinCheckInterval == joinCheckInterval-1 && ctx.Err() != nil {
-					stopped = true
-					return
+			if !handle(&batch[i]) {
+				stopped = true
+				if ferr != nil {
+					abort()
 				}
-				if !handle(&batch[i]) {
-					stopped = true
-					if ferr != nil {
-						abort()
-					}
-					return
-				}
+				return
 			}
-		})
-	stats.ScannedEvents += visited
+		}
+	})
 	if ferr != nil {
 		return ferr
 	}
@@ -261,38 +282,119 @@ func (e *Engine) streamFinal(ctx context.Context, filter *eventstore.EventFilter
 // scans do.
 const joinCheckInterval = 8192
 
-// scanPattern collects the events matching a pattern plan's filter and
-// per-event predicates, using parallel partition scans unless disabled.
-// A cancelled ctx aborts the scan early; the returned scanned count then
-// reflects only the events actually visited (the caller checks ctx.Err()).
-func (e *Engine) scanPattern(ctx context.Context, filter *eventstore.EventFilter, pp *patternPlan) ([]sysmon.Event, int64) {
-	var (
-		mu      sync.Mutex
-		events  []sysmon.Event
-		scanned int64
-	)
-	if e.cfg.DisableParallel {
-		e.store.Scan(ctx, filter, func(ev *sysmon.Event) bool {
-			scanned++
-			if evtPredsOK(pp.evtPreds, ev) {
-				events = append(events, *ev)
-			}
-			return true
-		})
-		return events, scanned
+// unitCheckInterval is how many visited events a unit scan processes
+// between context-cancellation checks.
+const unitCheckInterval = 2048
+
+// unitBatch returns one scan unit's events passing the filter and the
+// per-event predicates. Sealed units consult the segment scan cache:
+// a hit returns the cached batch with zero events visited; a miss scans
+// the unit and, if the scan ran to completion, caches the batch for
+// reuse by every later execution with the same fingerprint. complete is
+// false when ctx aborted the scan mid-unit (the partial batch is never
+// cached); hit reports whether the batch came from the cache.
+func (e *Engine) unitBatch(ctx context.Context, cache *scanCache, u *eventstore.ScanUnit, filter *eventstore.EventFilter, fp scanFP, preds []evtPred, tryGet bool) (batch []sysmon.Event, visited int64, complete, hit bool) {
+	cacheable := cache != nil && u.Sealed()
+	if cacheable && tryGet {
+		if b, ok := cache.get(fp, u.SegmentID()); ok {
+			return b, 0, true, true
+		}
 	}
-	e.store.ScanPartitions(ctx, filter,
-		func(ev *sysmon.Event) bool { return evtPredsOK(pp.evtPreds, ev) },
-		func(batch []sysmon.Event, visited int64) {
-			mu.Lock()
+	complete = true
+	u.Scan(filter, func(ev *sysmon.Event) bool {
+		visited++
+		if visited%unitCheckInterval == 0 && ctx.Err() != nil {
+			complete = false
+			return false
+		}
+		if evtPredsOK(preds, ev) {
+			batch = append(batch, *ev)
+		}
+		return true
+	})
+	if complete && cacheable {
+		cache.put(fp, u.SegmentID(), batch)
+	}
+	return batch, visited, complete, false
+}
+
+// countReuse updates the per-execution segment-reuse counters for one
+// sealed-unit batch outcome.
+func countReuse(stats *ExecStats, cache *scanCache, u *eventstore.ScanUnit, hit bool) {
+	if cache == nil || !u.Sealed() {
+		return
+	}
+	if hit {
+		stats.SegmentHits++
+	} else {
+		stats.SegmentMisses++
+	}
+}
+
+// scanPattern collects the events matching a pattern plan's filter and
+// per-event predicates over the snapshot, using parallel unit scans
+// unless disabled, reusing cached sealed-segment batches when the scan
+// cache holds them. A cancelled ctx aborts the scan early; the scanned
+// count then reflects only the events actually visited (the caller
+// checks ctx.Err()).
+func (e *Engine) scanPattern(ctx context.Context, snap *eventstore.Snapshot, filter *eventstore.EventFilter, pp *patternPlan, stats *ExecStats) []sysmon.Event {
+	cache := e.scache.Load()
+	var fp scanFP
+	if cache != nil {
+		fp = scanFingerprint(filter, pp.evtPreds)
+	}
+	units := snap.Units(filter)
+	cached := cache.getAll(fp, units)
+	var events []sysmon.Event
+
+	if e.cfg.DisableParallel {
+		for i := range units {
+			if ctx.Err() != nil {
+				break
+			}
+			var (
+				batch    []sysmon.Event
+				visited  int64
+				complete = true
+				hit      bool
+			)
+			if cached != nil && cached[i] != nil {
+				batch, hit = cached[i], true
+			} else {
+				batch, visited, complete, hit = e.unitBatch(ctx, cache, &units[i], filter, fp, pp.evtPreds, false)
+			}
 			events = append(events, batch...)
-			scanned += visited
-			mu.Unlock()
-		})
-	// canonical order: parallel partition scans return events in
+			stats.ScannedEvents += visited
+			countReuse(stats, cache, &units[i], hit)
+			if !complete {
+				break
+			}
+		}
+		return events
+	}
+
+	var mu sync.Mutex
+	eventstore.ForEachUnit(ctx, units, func(i int, u *eventstore.ScanUnit) {
+		var (
+			batch   []sysmon.Event
+			visited int64
+			hit     bool
+		)
+		if cached != nil && cached[i] != nil {
+			batch, hit = cached[i], true
+		} else {
+			batch, visited, _, hit = e.unitBatch(ctx, cache, u, filter, fp, pp.evtPreds, false)
+		}
+		mu.Lock()
+		events = append(events, batch...)
+		stats.ScannedEvents += visited
+		countReuse(stats, cache, u, hit)
+		mu.Unlock()
+	})
+	// canonical order: parallel unit scans return events in
 	// nondeterministic interleaving
 	sort.Slice(events, func(i, j int) bool { return events[i].ID < events[j].ID })
-	return events, scanned
+	return events
 }
 
 func evtPredsOK(preds []evtPred, ev *sysmon.Event) bool {

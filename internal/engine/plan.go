@@ -197,11 +197,19 @@ func matchNumeric(dict *eventstore.Dictionary, t sysmon.EntityType, attr string,
 }
 
 // buildPlan compiles every pattern of a multievent query into a pattern
-// plan and schedules them. Scheduling follows the paper's two insights:
-// patterns with higher pruning power (lower match estimates) run first,
-// and each scan is confined to the spatial/temporal partitions implied by
-// the global constraints.
-func (e *Engine) buildPlan(q *ast.MultieventQuery) (*queryPlan, error) {
+// plan and schedules them against one store snapshot. Scheduling follows
+// the paper's two insights: patterns with higher pruning power (lower
+// match estimates) run first, and each scan is confined to the
+// spatial/temporal partitions implied by the global constraints.
+// Estimates are only computed when something consumes them — the
+// scheduler (two or more patterns with reordering on) or an explain —
+// so single-pattern queries skip the per-unit estimation walk entirely.
+func (e *Engine) buildPlan(snap *eventstore.Snapshot, q *ast.MultieventQuery) (*queryPlan, error) {
+	needEstimates := len(q.Patterns) > 1 && !e.cfg.DisableReordering
+	return e.buildPlanEstimates(snap, q, needEstimates)
+}
+
+func (e *Engine) buildPlanEstimates(snap *eventstore.Snapshot, q *ast.MultieventQuery, needEstimates bool) (*queryPlan, error) {
 	plan := &queryPlan{}
 	if q.Head_.Window != nil {
 		plan.window = *q.Head_.Window
@@ -267,7 +275,9 @@ func (e *Engine) buildPlan(q *ast.MultieventQuery) (*queryPlan, error) {
 			}
 			pp.evtPreds = append(pp.evtPreds, compileEvtPred(f))
 		}
-		pp.estimate = e.store.EstimateMatches(&pp.filter)
+		if needEstimates {
+			pp.estimate = snap.EstimateMatches(&pp.filter)
+		}
 		plan.patterns = append(plan.patterns, pp)
 	}
 	e.schedule(plan)

@@ -20,10 +20,12 @@ type Result struct {
 // ExecStats describes how a query executed.
 type ExecStats struct {
 	Elapsed       time.Duration
-	ScannedEvents int64    // events touched by pattern scans
+	ScannedEvents int64    // events touched by pattern scans (cache hits scan nothing)
 	Bindings      int      // partial bindings materialized
 	PatternOrder  []string // event aliases in scheduled execution order
-	Partitions    int      // hypertable chunks visited by the first scan
+	Partitions    int      // hypertable chunks in the snapshot queried
+	SegmentHits   int      // sealed-segment scans served from the scan cache
+	SegmentMisses int      // sealed-segment scans that had to run
 }
 
 // Len returns the number of result rows.

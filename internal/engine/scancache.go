@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/aiql/aiql/internal/eventstore"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// The segment scan cache is what turns the store's immutable segments
+// into reusable work: a pattern scan's filtered output over one sealed
+// segment is a pure function of (filter, predicates, segment), so it is
+// cached under (filter fingerprint, segment id) and served verbatim on
+// the next execution. An append only creates new segments and memtable
+// events — it never rewrites a sealed segment — so a re-run after an
+// append re-scans just the unsealed tail and the fresh segments while
+// every sealed-segment result is reused. This is the segment-granular
+// replacement for invalidating whole query results on every commit.
+//
+// Entries are only written for scans that ran to completion (a
+// cancelled mid-unit scan yields a partial batch that must not be
+// served later), and segments are immutable for their lifetime, so
+// entries never go stale; they only age out of the byte-bounded LRU.
+
+// scanFP fingerprints one pattern scan: every field of the (narrowed)
+// event filter plus the compiled per-event predicates. 128 bits keeps
+// accidental collisions out of reach for cache-sized key populations.
+type scanFP [16]byte
+
+// scanFingerprint hashes the filter and predicates into a scanFP. The
+// inputs are built deterministically by the planner (agent and op lists
+// in query order, entity sets hashed in sorted-ID order), so equal scans
+// always produce equal fingerprints.
+func scanFingerprint(f *eventstore.EventFilter, preds []evtPred) scanFP {
+	h := fnv.New128a()
+	var b [8]byte
+	wr := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	ws := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	wr(uint64(f.From))
+	wr(uint64(f.To))
+	wr(uint64(f.ObjType))
+	wr(f.MinAmount)
+	wr(uint64(len(f.Agents)))
+	for _, a := range f.Agents {
+		wr(uint64(a))
+	}
+	wr(uint64(len(f.Ops)))
+	for _, op := range f.Ops {
+		wr(uint64(op))
+	}
+	writeSet := func(set *eventstore.IDSet) {
+		if set == nil {
+			wr(^uint64(0))
+			return
+		}
+		ids := set.IDs()
+		wr(uint64(len(ids)))
+		for _, id := range ids {
+			wr(uint64(id))
+		}
+	}
+	writeSet(f.Subjects)
+	writeSet(f.Objects)
+	wr(uint64(len(preds)))
+	for i := range preds {
+		p := &preds[i]
+		ws(p.attr)
+		wr(uint64(p.op))
+		wr(math.Float64bits(p.num))
+		ws(p.str)
+	}
+	var fp scanFP
+	copy(fp[:], h.Sum(nil))
+	return fp
+}
+
+// ScanCacheStats are the segment scan cache's counters and gauges.
+type ScanCacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+}
+
+type scanCacheKey struct {
+	fp  scanFP
+	seg uint64
+}
+
+type scanCacheEntry struct {
+	key    scanCacheKey
+	events []sysmon.Event // filtered batch; shared, read-only
+	bytes  int64
+	used   bool // second-chance bit; set on hit, cleared by the evictor
+}
+
+// scanCache is a byte-bounded cache over per-segment filtered scan
+// results with CLOCK (second-chance) eviction: a hit only sets the
+// entry's used bit — no list surgery — so the fully warm path, which
+// touches hundreds of entries per query, stays cheap; the evictor
+// recycles entries whose bit has not been set since its last pass.
+// Hit/miss counters are monotonic across the engine's lifetime.
+type scanCache struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[scanCacheKey]*list.Element
+	order    *list.List // front = most recently used
+}
+
+func newScanCache(maxBytes int64) *scanCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &scanCache{
+		maxBytes: maxBytes,
+		entries:  make(map[scanCacheKey]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// entryBytes approximates an entry's resident size: the event array
+// plus fixed bookkeeping overhead (so empty batches — the common case
+// for selective filters — still cost something and cannot grow the map
+// unboundedly for free).
+func entryBytes(events []sysmon.Event) int64 {
+	const overhead = 96
+	return int64(len(events))*int64(unsafe.Sizeof(sysmon.Event{})) + overhead
+}
+
+func (c *scanCache) get(fp scanFP, seg uint64) ([]sysmon.Event, bool) {
+	if c == nil {
+		return nil, false
+	}
+	key := scanCacheKey{fp: fp, seg: seg}
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	entry := el.Value.(*scanCacheEntry)
+	entry.used = true
+	events := entry.events
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return events, true
+}
+
+// getAll looks up every sealed unit's batch under one lock acquisition
+// — the warm path touches hundreds of segments, so per-unit locking
+// would dominate a fully cached scan. out[i] is nil when unit i is a
+// memtable tail or has no cached batch (cached empty batches are
+// normalized to a non-nil sentinel by put). Hit/miss counters update
+// for sealed units only.
+func (c *scanCache) getAll(fp scanFP, units []eventstore.ScanUnit) [][]sysmon.Event {
+	if c == nil {
+		return nil
+	}
+	out := make([][]sysmon.Event, len(units))
+	var hits, misses uint64
+	c.mu.Lock()
+	for i := range units {
+		if !units[i].Sealed() {
+			continue
+		}
+		if el, ok := c.entries[scanCacheKey{fp: fp, seg: units[i].SegmentID()}]; ok {
+			entry := el.Value.(*scanCacheEntry)
+			entry.used = true
+			out[i] = entry.events
+			hits++
+		} else {
+			misses++
+		}
+	}
+	c.mu.Unlock()
+	c.hits.Add(hits)
+	c.misses.Add(misses)
+	return out
+}
+
+// emptyBatch is the shared non-nil value cached for scans that matched
+// nothing, so getAll can use nil for "not cached".
+var emptyBatch = make([]sysmon.Event, 0)
+
+func (c *scanCache) put(fp scanFP, seg uint64, events []sysmon.Event) {
+	if c == nil {
+		return
+	}
+	if events == nil {
+		events = emptyBatch
+	}
+	entry := &scanCacheEntry{
+		key:    scanCacheKey{fp: fp, seg: seg},
+		events: events,
+		bytes:  entryBytes(events),
+	}
+	if entry.bytes > c.maxBytes {
+		return // would evict everything and still not fit
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[entry.key]; ok {
+		c.bytes += entry.bytes - el.Value.(*scanCacheEntry).bytes
+		entry.used = true
+		el.Value = entry
+	} else {
+		c.entries[entry.key] = c.order.PushFront(entry)
+		c.bytes += entry.bytes
+	}
+	// CLOCK sweep: recycle from the back; recently used entries get a
+	// second chance at the front with their bit cleared. Each pass over
+	// a used entry clears its bit, so the loop terminates.
+	for c.bytes > c.maxBytes {
+		oldest := c.order.Back()
+		old := oldest.Value.(*scanCacheEntry)
+		if old.used {
+			old.used = false
+			c.order.MoveToFront(oldest)
+			continue
+		}
+		c.order.Remove(oldest)
+		c.bytes -= old.bytes
+		delete(c.entries, old.key)
+	}
+}
+
+func (c *scanCache) stats() ScanCacheStats {
+	if c == nil {
+		return ScanCacheStats{}
+	}
+	c.mu.Lock()
+	entries, bytes := c.order.Len(), c.bytes
+	c.mu.Unlock()
+	return ScanCacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: entries,
+		Bytes:   bytes,
+	}
+}

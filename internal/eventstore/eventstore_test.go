@@ -393,3 +393,158 @@ func TestStatsReflectContents(t *testing.T) {
 		t.Error("ApproxBytes should be nonzero")
 	}
 }
+
+// TestSealThresholdCreatesSegments: a memtable reaching SegmentEvents at
+// a commit boundary is sealed; smaller tails stay in the memtable.
+func TestSealThresholdCreatesSegments(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Partitioning = false
+	opts.BatchSize = 10
+	opts.SegmentEvents = 25
+	s := New(opts)
+	for i := 0; i < 107; i++ {
+		s.Append(mkRecord(1, "bash", sysmon.OpRead, "f.txt", i))
+	}
+	// commits at 10,20,...,100 events; seals when the memtable crosses 25
+	if got := s.NumSegments(); got == 0 {
+		t.Fatalf("threshold sealing produced no segments")
+	}
+	st := s.SegmentStats()
+	if st.SealedEvents+st.MemtableEvents != s.Len() {
+		t.Errorf("sealed %d + memtable %d != committed %d", st.SealedEvents, st.MemtableEvents, s.Len())
+	}
+	before := s.Commits()
+	s.Flush() // commits the 7-event batch tail, then seals everything
+	if got := s.SegmentStats().MemtableEvents; got != 0 {
+		t.Errorf("flush left %d memtable events", got)
+	}
+	if s.Len() != 107 {
+		t.Errorf("store has %d events, want 107", s.Len())
+	}
+	if got := s.Commits(); got != before+1 {
+		t.Errorf("flush with a buffered batch bumped commits %d → %d, want one commit", before, got)
+	}
+	// sealing with no new data must not bump the commit counter
+	s.Flush()
+	if got := s.Commits(); got != before+1 {
+		t.Errorf("pure seal bumped commits to %d", got)
+	}
+}
+
+// TestSnapshotFrozenDuringAppendAndSeal: a snapshot taken before
+// concurrent appends and seals keeps returning exactly the event set it
+// pinned (run under -race to validate the lock-free read paths).
+func TestSnapshotFrozenDuringAppendAndSeal(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SegmentEvents = 64 // force frequent seals
+	opts.BatchSize = 16
+	s := New(opts)
+	for i := 0; i < 500; i++ {
+		s.Append(mkRecord(uint32(1+i%3), "bash", sysmon.OpRead, "f.txt", i%240))
+	}
+	s.Flush()
+	snap := s.Snapshot()
+	want := snap.Len()
+	if want != 500 {
+		t.Fatalf("snapshot pinned %d events, want 500", want)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 0; round < 20; round++ {
+			recs := make([]Record, 0, 40)
+			for i := 0; i < 40; i++ {
+				recs = append(recs, mkRecord(uint32(1+i%3), "vim", sysmon.OpWrite, "g.txt", (round*40+i)%240))
+			}
+			s.AppendAll(recs)
+			s.Flush() // seal between reads
+		}
+	}()
+
+	for i := 0; i < 50; i++ {
+		got := 0
+		snap.Scan(context.Background(), &EventFilter{}, func(*sysmon.Event) bool { got++; return true })
+		if got != want {
+			t.Fatalf("iteration %d: snapshot scan saw %d events, want %d", i, got, want)
+		}
+	}
+	<-done
+	if s.Len() != 500+20*40 {
+		t.Errorf("store grew to %d events, want %d", s.Len(), 500+20*40)
+	}
+	if got := 0; true {
+		snap.Scan(context.Background(), &EventFilter{}, func(*sysmon.Event) bool { got++; return true })
+		if got != want {
+			t.Errorf("post-append snapshot scan saw %d events, want %d", got, want)
+		}
+	}
+}
+
+// TestScanDuringIndexBuild: scans racing a seal's out-of-lock index
+// build must fall back to the sequential path and stay correct.
+func TestScanDuringIndexBuild(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SegmentEvents = 128
+	s := New(opts)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			s.Append(mkRecord(1, "bash", sysmon.OpRead, "f.txt", i%600))
+			if i%256 == 255 {
+				s.Flush()
+			}
+		}
+		s.Flush()
+	}()
+	for i := 0; i < 200; i++ {
+		f := &EventFilter{Subjects: s.Dict().MatchEntities(sysmon.EntityProcess, "exe_name", like.Compile("bash"))}
+		n := 0
+		s.Scan(context.Background(), f, func(*sysmon.Event) bool { n++; return true })
+	}
+	wg.Wait()
+	if got := len(s.Collect(&EventFilter{})); got != 2000 {
+		t.Errorf("collected %d events, want 2000", got)
+	}
+}
+
+// TestUnitsDeterministicOrder: Units returns segments oldest-first per
+// chunk with the memtable tail last, and every committed event appears
+// in exactly one unit.
+func TestUnitsDeterministicOrder(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SegmentEvents = 8
+	opts.BatchSize = 4
+	s := New(opts)
+	for i := 0; i < 50; i++ {
+		s.Append(mkRecord(1, "bash", sysmon.OpRead, "f.txt", i))
+	}
+	s.Flush()
+	for i := 0; i < 3; i++ { // unsealed tail
+		s.Append(mkRecord(1, "bash", sysmon.OpRead, "g.txt", 50+i))
+	}
+	snap := s.Snapshot()
+	units := snap.Units(&EventFilter{})
+	total := 0
+	lastSealed := true
+	var lastID uint64
+	for _, u := range units {
+		total += u.Len()
+		if u.Sealed() {
+			if !lastSealed {
+				t.Fatal("sealed unit after memtable tail within a chunk ordering")
+			}
+			if u.SegmentID() <= lastID {
+				t.Fatalf("segment ids not ascending: %d after %d", u.SegmentID(), lastID)
+			}
+			lastID = u.SegmentID()
+		} else {
+			lastSealed = false
+		}
+	}
+	if total != snap.Len() {
+		t.Errorf("units cover %d events, snapshot has %d", total, snap.Len())
+	}
+}

@@ -37,6 +37,12 @@ type Options struct {
 	ChunkDuration time.Duration
 	// BatchSize is the number of buffered events per batch commit.
 	BatchSize int
+	// SegmentEvents is the seal threshold: a chunk's memtable reaching
+	// this many events at a commit boundary is sealed into an immutable
+	// segment. Flush additionally seals every non-empty memtable
+	// regardless of size. Smaller segments seal (and become cacheable)
+	// sooner; larger ones amortize per-segment overhead.
+	SegmentEvents int
 }
 
 // DefaultOptions returns the fully optimized configuration used by the
@@ -49,6 +55,7 @@ func DefaultOptions() Options {
 		BatchCommit:   true,
 		ChunkDuration: time.Hour,
 		BatchSize:     4096,
+		SegmentEvents: 8192,
 	}
 }
 
@@ -65,6 +72,9 @@ func (o Options) normalized() Options {
 	}
 	if o.BatchSize <= 0 {
 		o.BatchSize = 1
+	}
+	if o.SegmentEvents <= 0 {
+		o.SegmentEvents = 8192
 	}
 	return o
 }

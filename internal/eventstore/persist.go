@@ -1,0 +1,143 @@
+package eventstore
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// diskSnapshot is the on-disk representation of a store: the entity
+// tables plus the flat event log. Chunking, segments, and indexes are
+// rebuilt on load, so a snapshot written by an optimized store can be
+// loaded into a plain one and vice versa.
+type diskSnapshot struct {
+	Version int
+	Procs   []sysmon.Process
+	Files   []sysmon.File
+	Conns   []sysmon.Netconn
+	Events  []sysmon.Event
+}
+
+const snapshotVersion = 1
+
+// Encode serializes the store (gob-encoded) to w.
+func (s *Store) Encode(w io.Writer) error {
+	snap := diskSnapshot{Version: snapshotVersion}
+	s.mu.RLock()
+	snap.Procs = s.dict.procs
+	snap.Files = s.dict.files
+	snap.Conns = s.dict.conns
+	for _, key := range s.order {
+		p := s.parts[key]
+		for _, g := range p.segs {
+			snap.Events = append(snap.Events, g.events...)
+		}
+		snap.Events = append(snap.Events, p.mem.events...)
+	}
+	s.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Decode loads a snapshot written by Encode into an empty store,
+// rebuilding chunks, segments, and indexes according to the store's own
+// options. The loaded data is fully sealed, so a freshly loaded dataset
+// is immediately eligible for segment-granular result reuse.
+func (s *Store) Decode(r io.Reader) error {
+	var snap diskSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("eventstore: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("eventstore: unsupported snapshot version %d", snap.Version)
+	}
+	s.mu.Lock()
+	if s.total != 0 || len(s.batch) != 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("eventstore: Decode requires an empty store")
+	}
+	// Entity IDs in the snapshot are positions in the original tables;
+	// re-intern to honor this store's dedup/index options while keeping a
+	// translation map so the event endpoints stay correct.
+	procMap := make([]sysmon.EntityID, len(snap.Procs)+1)
+	for i, p := range snap.Procs {
+		procMap[i+1] = s.dict.InternProcess(p)
+	}
+	fileMap := make([]sysmon.EntityID, len(snap.Files)+1)
+	for i, f := range snap.Files {
+		fileMap[i+1] = s.dict.InternFile(f)
+	}
+	connMap := make([]sysmon.EntityID, len(snap.Conns)+1)
+	for i, c := range snap.Conns {
+		connMap[i+1] = s.dict.InternNetconn(c)
+	}
+	var sealed []*Segment
+	for _, ev := range snap.Events {
+		if int(ev.Subject) < len(procMap) {
+			ev.Subject = procMap[ev.Subject]
+		}
+		switch ev.ObjType {
+		case sysmon.EntityProcess:
+			if int(ev.Object) < len(procMap) {
+				ev.Object = procMap[ev.Object]
+			}
+		case sysmon.EntityFile:
+			if int(ev.Object) < len(fileMap) {
+				ev.Object = fileMap[ev.Object]
+			}
+		case sysmon.EntityNetconn:
+			if int(ev.Object) < len(connMap) {
+				ev.Object = connMap[ev.Object]
+			}
+		}
+		if ev.ID > s.nextEventID {
+			s.nextEventID = ev.ID
+		}
+		if ev.Seq > s.nextSeq[ev.AgentID] {
+			s.nextSeq[ev.AgentID] = ev.Seq
+		}
+		s.batch = append(s.batch, ev)
+		if len(s.batch) >= 65536 {
+			sealed = append(sealed, s.commitLocked()...)
+		}
+	}
+	sealed = append(sealed, s.commitLocked()...)
+	sealed = append(sealed, s.sealAllLocked()...)
+	s.mu.Unlock()
+	indexSegments(sealed)
+	return nil
+}
+
+// SaveFile writes the store snapshot to path.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("eventstore: %w", err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	if err := s.Encode(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("eventstore: flush snapshot: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads a snapshot from path into a new store with opts.
+func LoadFile(path string, opts Options) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("eventstore: %w", err)
+	}
+	defer f.Close()
+	s := New(opts)
+	if err := s.Decode(bufio.NewReader(f)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

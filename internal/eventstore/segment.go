@@ -1,0 +1,229 @@
+package eventstore
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// Segment is one sealed, immutable run of events for a hypertable chunk:
+// the unit of the store's LSM-style layout. A segment's events are sorted
+// by start timestamp and never change after sealing, so readers touch it
+// without any lock, and per-segment scan results can be cached by
+// (filter, segment id) and reused verbatim across appends.
+//
+// Posting indexes (entity → event positions, operation histogram) are
+// built once, outside the store's write lock, after the segment becomes
+// visible: a seal never stalls concurrent appends or queries on index
+// maintenance. Until the build finishes, scans fall back to the
+// (time-bounded) sequential path; the ready flag publishes the indexes
+// with release/acquire semantics.
+type Segment struct {
+	id     uint64
+	key    PartKey
+	events []sysmon.Event // sorted by StartTS; immutable after seal
+	minTS  int64
+	maxTS  int64
+
+	indexed    bool // whether posting indexes are wanted at all
+	buildOnce  sync.Once
+	ready      atomic.Bool
+	postingSub map[sysmon.EntityID][]int32
+	postingObj map[sysmon.EntityID][]int32
+	opCount    [sysmon.NumOperations]int
+}
+
+// newSegment seals a sorted event run into an immutable segment. The
+// caller must not retain write access to events.
+func newSegment(id uint64, key PartKey, events []sysmon.Event, indexed bool) *Segment {
+	g := &Segment{id: id, key: key, events: events, indexed: indexed}
+	if len(events) > 0 {
+		g.minTS = events[0].StartTS
+		g.maxTS = events[len(events)-1].StartTS
+	}
+	return g
+}
+
+// ID returns the segment's store-wide unique, monotonically assigned id.
+func (g *Segment) ID() uint64 { return g.id }
+
+// Key returns the hypertable chunk the segment belongs to.
+func (g *Segment) Key() PartKey { return g.key }
+
+// Len returns the number of events in the segment.
+func (g *Segment) Len() int { return len(g.events) }
+
+// TimeRange returns the minimum and maximum start timestamps.
+func (g *Segment) TimeRange() (int64, int64) { return g.minTS, g.maxTS }
+
+// Events exposes the segment's raw events. The slice is immutable and
+// must not be modified.
+func (g *Segment) Events() []sysmon.Event { return g.events }
+
+// ApproxBytes estimates the segment's resident event-array footprint
+// (posting indexes excluded).
+func (g *Segment) ApproxBytes() uint64 {
+	return uint64(len(g.events)) * uint64(unsafe.Sizeof(sysmon.Event{}))
+}
+
+// buildIndexes constructs the posting lists and operation histogram.
+// It is idempotent and safe to call concurrently; the store calls it
+// after sealing, with no locks held.
+func (g *Segment) buildIndexes() {
+	if !g.indexed {
+		return
+	}
+	g.buildOnce.Do(func() {
+		g.postingSub = make(map[sysmon.EntityID][]int32)
+		g.postingObj = make(map[sysmon.EntityID][]int32)
+		for i := range g.events {
+			ev := &g.events[i]
+			g.postingSub[ev.Subject] = append(g.postingSub[ev.Subject], int32(i))
+			g.postingObj[ev.Object] = append(g.postingObj[ev.Object], int32(i))
+			g.opCount[ev.Op]++
+		}
+		g.ready.Store(true)
+	})
+}
+
+// overlaps reports whether the segment's time range intersects [from, to).
+func (g *Segment) overlaps(from, to int64) bool {
+	if len(g.events) == 0 {
+		return false
+	}
+	if from != 0 && g.maxTS < from {
+		return false
+	}
+	if to != 0 && g.minTS >= to {
+		return false
+	}
+	return true
+}
+
+// scan calls fn for every event passing the filter, in start-timestamp
+// order. It returns false if fn aborted the scan.
+//
+// With indexes built, the scan picks the cheapest access path: the
+// shorter of the subject/object posting lists restricted by the filter's
+// entity sets, falling back to a (time-bounded) sequential scan.
+func (g *Segment) scan(f *EventFilter, ops *[sysmon.NumOperations]bool, agents map[uint32]struct{}, fn func(*sysmon.Event) bool) bool {
+	if g.indexed && g.ready.Load() {
+		if list, ok := g.bestPostingList(f); ok {
+			for _, pos := range list {
+				ev := &g.events[pos]
+				if f.matches(ev, ops, agents) {
+					if !fn(ev) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+	}
+	lo, hi := timeSlice(g.events, f.From, f.To)
+	for i := lo; i < hi; i++ {
+		ev := &g.events[i]
+		if f.matches(ev, ops, agents) {
+			if !fn(ev) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bestPostingList merges the posting lists of the smaller bound entity
+// set (subject or object) when the filter constrains one to a small set.
+// The merged list preserves position order so scans stay time-ordered.
+func (g *Segment) bestPostingList(f *EventFilter) ([]int32, bool) {
+	const postingLimit = 512 // beyond this, sequential scan wins
+	subLen, objLen := f.Subjects.Len(), f.Objects.Len()
+	useSub := subLen >= 0 && subLen <= postingLimit
+	useObj := objLen >= 0 && objLen <= postingLimit
+	if useSub && useObj && objLen < subLen {
+		useSub = false
+	}
+	switch {
+	case useSub:
+		return mergePostings(g.postingSub, f.Subjects), true
+	case useObj:
+		return mergePostings(g.postingObj, f.Objects), true
+	}
+	return nil, false
+}
+
+func mergePostings(postings map[sysmon.EntityID][]int32, set *IDSet) []int32 {
+	var out []int32
+	for _, id := range set.IDs() {
+		out = append(out, postings[id]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// estimate returns an upper bound on how many events in the segment can
+// match the filter, using the op histogram and posting-list lengths when
+// the indexes are built, else the (time-sliced) segment size.
+func (g *Segment) estimate(f *EventFilter) int {
+	lo, hi := timeSlice(g.events, f.From, f.To)
+	n := hi - lo
+	if n <= 0 {
+		return 0
+	}
+	if !g.indexed || !g.ready.Load() {
+		return n
+	}
+	if len(f.Ops) > 0 {
+		opN := 0
+		for _, op := range f.Ops {
+			if int(op) < sysmon.NumOperations {
+				opN += g.opCount[op]
+			}
+		}
+		if opN < n {
+			n = opN
+		}
+	}
+	if s := postingEstimate(g.postingSub, f.Subjects); s >= 0 && s < n {
+		n = s
+	}
+	if s := postingEstimate(g.postingObj, f.Objects); s >= 0 && s < n {
+		n = s
+	}
+	return n
+}
+
+func postingEstimate(postings map[sysmon.EntityID][]int32, set *IDSet) int {
+	l := set.Len()
+	if l < 0 {
+		return -1
+	}
+	const estimateLimit = 4096 // cap the work spent estimating
+	if l > estimateLimit {
+		return -1
+	}
+	total := 0
+	for id := range set.m {
+		total += len(postings[id])
+	}
+	return total
+}
+
+// timeSlice returns the index range [lo, hi) of events whose start
+// timestamps fall in [from, to), using binary search over a sorted run.
+func timeSlice(events []sysmon.Event, from, to int64) (int, int) {
+	lo, hi := 0, len(events)
+	if from != 0 {
+		lo = sort.Search(len(events), func(i int) bool { return events[i].StartTS >= from })
+	}
+	if to != 0 {
+		hi = sort.Search(len(events), func(i int) bool { return events[i].StartTS >= to })
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}

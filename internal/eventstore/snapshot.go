@@ -1,135 +1,431 @@
 package eventstore
 
 import (
-	"bufio"
-	"encoding/gob"
-	"fmt"
-	"io"
-	"os"
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/aiql/aiql/internal/sysmon"
 )
 
-// snapshot is the on-disk representation of a store: the entity tables
-// plus the flat event log. Chunking and indexes are rebuilt on load, so a
-// snapshot written by an optimized store can be loaded into a plain one
-// and vice versa.
-type snapshot struct {
-	Version int
-	Procs   []sysmon.Process
-	Files   []sysmon.File
-	Conns   []sysmon.Netconn
-	Events  []sysmon.Event
+// Snapshot is an immutable, epoch-pinned view of a store: for every
+// hypertable chunk, the sealed segment chain plus a frozen view of the
+// active memtable, captured at one commit boundary. Acquiring a snapshot
+// takes the store lock only long enough to copy slice headers; every
+// scan then runs entirely lock-free — concurrent appends, commits, and
+// seals never move data under a reader, and a reader draining a slow
+// client never stalls a writer.
+//
+// Queries execute against one snapshot end to end, so a cursor iterated
+// while the store absorbs new data still sees exactly the segment set
+// that existed when execution began.
+type Snapshot struct {
+	opts    Options
+	dict    *Dictionary
+	commits uint64
+	total   int
+	minTS   int64
+	maxTS   int64
+	parts   []snapPart
 }
 
-const snapshotVersion = 1
+// snapPart is one chunk's view: sealed segments plus the unsealed tail.
+type snapPart struct {
+	key  PartKey
+	segs []*Segment
+	mem  MemView
+}
 
-// Encode serializes the store (gob-encoded) to w.
-func (s *Store) Encode(w io.Writer) error {
+// Snapshot captures the store's current committed state. Snapshots are
+// immutable and shared: repeated calls between commits return the same
+// instance, so a read-mostly store pays the capture cost once per
+// commit, not once per query.
+func (s *Store) Snapshot() *Snapshot {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	snap := snapshot{
-		Version: snapshotVersion,
-		Procs:   s.dict.procs,
-		Files:   s.dict.files,
-		Conns:   s.dict.conns,
+	if sn := s.snap; sn != nil {
+		s.mu.RUnlock()
+		return sn
 	}
-	for _, key := range s.order {
-		snap.Events = append(snap.Events, s.parts[key].events...)
-	}
-	return gob.NewEncoder(w).Encode(&snap)
-}
-
-// Decode loads a snapshot written by Encode into an empty store,
-// rebuilding chunks and indexes according to the store's own options.
-func (s *Store) Decode(r io.Reader) error {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("eventstore: decode snapshot: %w", err)
-	}
-	if snap.Version != snapshotVersion {
-		return fmt.Errorf("eventstore: unsupported snapshot version %d", snap.Version)
-	}
+	s.mu.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.total != 0 || len(s.batch) != 0 {
-		return fmt.Errorf("eventstore: Decode requires an empty store")
+	if s.snap == nil {
+		s.snap = s.buildSnapshotLocked()
 	}
-	// Entity IDs in the snapshot are positions in the original tables;
-	// re-intern to honor this store's dedup/index options while keeping a
-	// translation map so the event endpoints stay correct.
-	procMap := make([]sysmon.EntityID, len(snap.Procs)+1)
-	for i, p := range snap.Procs {
-		procMap[i+1] = s.dict.InternProcess(p)
+	return s.snap
+}
+
+// buildSnapshotLocked materializes the current view; the caller holds
+// the write lock.
+func (s *Store) buildSnapshotLocked() *Snapshot {
+	sn := &Snapshot{
+		opts:    s.opts,
+		dict:    s.dict,
+		commits: s.commits,
+		total:   s.total,
+		minTS:   s.minTS,
+		maxTS:   s.maxTS,
+		parts:   make([]snapPart, 0, len(s.order)),
 	}
-	fileMap := make([]sysmon.EntityID, len(snap.Files)+1)
-	for i, f := range snap.Files {
-		fileMap[i+1] = s.dict.InternFile(f)
+	for _, key := range s.order {
+		p := s.parts[key]
+		// The seg slice header is shared, not copied: segment chains are
+		// append-only (no compaction rewrites elements in place), so the
+		// snapshot's [0:len) window stays immutable even while sealers
+		// append past it.
+		sn.parts = append(sn.parts, snapPart{key: key, segs: p.segs, mem: p.mem.view()})
 	}
-	connMap := make([]sysmon.EntityID, len(snap.Conns)+1)
-	for i, c := range snap.Conns {
-		connMap[i+1] = s.dict.InternNetconn(c)
+	return sn
+}
+
+// Dict returns the entity dictionary. The dictionary is append-only and
+// shared with the live store: IDs referenced by snapshot events stay
+// valid forever.
+func (sn *Snapshot) Dict() *Dictionary { return sn.dict }
+
+// Commits returns the store's commit counter at capture time.
+func (sn *Snapshot) Commits() uint64 { return sn.commits }
+
+// Len returns the number of committed events in the snapshot.
+func (sn *Snapshot) Len() int { return sn.total }
+
+// TimeRange returns the snapshot's [min, max] start timestamps.
+func (sn *Snapshot) TimeRange() (int64, int64) { return sn.minTS, sn.maxTS }
+
+// NumPartitions returns the number of hypertable chunks.
+func (sn *Snapshot) NumPartitions() int { return len(sn.parts) }
+
+// NumSegments returns the number of sealed segments.
+func (sn *Snapshot) NumSegments() int {
+	n := 0
+	for i := range sn.parts {
+		n += len(sn.parts[i].segs)
 	}
-	for _, ev := range snap.Events {
-		if int(ev.Subject) < len(procMap) {
-			ev.Subject = procMap[ev.Subject]
-		}
-		switch ev.ObjType {
-		case sysmon.EntityProcess:
-			if int(ev.Object) < len(procMap) {
-				ev.Object = procMap[ev.Object]
+	return n
+}
+
+// ScanUnit is one independently scannable piece of a snapshot: a sealed
+// segment or a chunk's unsealed memtable tail. Sealed units have a
+// stable identity (the segment id), which is what makes their scan
+// results safely cacheable and reusable across appends.
+type ScanUnit struct {
+	key PartKey
+	seg *Segment // exactly one of seg/mem is set
+	mem *MemView
+}
+
+// Sealed reports whether the unit is an immutable sealed segment.
+func (u *ScanUnit) Sealed() bool { return u.seg != nil }
+
+// SegmentID returns the sealed segment's id; 0 for memtable tails.
+func (u *ScanUnit) SegmentID() uint64 {
+	if u.seg == nil {
+		return 0
+	}
+	return u.seg.id
+}
+
+// Key returns the hypertable chunk the unit belongs to.
+func (u *ScanUnit) Key() PartKey { return u.key }
+
+// Len returns the number of events in the unit.
+func (u *ScanUnit) Len() int {
+	if u.seg != nil {
+		return u.seg.Len()
+	}
+	return u.mem.Len()
+}
+
+// Scan calls fn for every event in the unit passing the filter, in
+// start-timestamp order, and reports whether the unit was scanned to
+// completion (fn never returned false).
+func (u *ScanUnit) Scan(f *EventFilter, fn func(*sysmon.Event) bool) bool {
+	ops := f.opSet()
+	agents := f.agentSet()
+	if u.seg != nil {
+		return u.seg.scan(f, ops, agents, fn)
+	}
+	return u.mem.scan(f, ops, agents, fn)
+}
+
+// Estimate returns an upper bound on the unit's events matching f.
+func (u *ScanUnit) Estimate(f *EventFilter) int {
+	if u.seg != nil {
+		return u.seg.estimate(f)
+	}
+	return u.mem.estimate(f)
+}
+
+// Units returns the scan units that can contain events matching the
+// filter, pruned along the spatial (agent) and temporal (time range)
+// dimensions, in deterministic order: chunks in insertion order, each
+// chunk's segments oldest first, its memtable tail last.
+func (sn *Snapshot) Units(f *EventFilter) []ScanUnit {
+	agents := f.agentSet()
+	out := make([]ScanUnit, 0, len(sn.parts))
+	for i := range sn.parts {
+		p := &sn.parts[i]
+		if sn.opts.Partitioning && agents != nil {
+			if _, ok := agents[p.key.AgentID]; !ok {
+				continue
 			}
-		case sysmon.EntityFile:
-			if int(ev.Object) < len(fileMap) {
-				ev.Object = fileMap[ev.Object]
-			}
-		case sysmon.EntityNetconn:
-			if int(ev.Object) < len(connMap) {
-				ev.Object = connMap[ev.Object]
+		}
+		for _, g := range p.segs {
+			if g.overlaps(f.From, f.To) {
+				out = append(out, ScanUnit{key: p.key, seg: g})
 			}
 		}
-		if ev.ID > s.nextEventID {
-			s.nextEventID = ev.ID
-		}
-		if ev.Seq > s.nextSeq[ev.AgentID] {
-			s.nextSeq[ev.AgentID] = ev.Seq
-		}
-		s.batch = append(s.batch, ev)
-		if len(s.batch) >= 65536 {
-			s.flushLocked()
+		if p.mem.overlaps(f.From, f.To) {
+			out = append(out, ScanUnit{key: p.key, mem: &sn.parts[i].mem})
 		}
 	}
-	s.flushLocked()
+	return out
+}
+
+// Scan calls fn for every event matching the filter. Within a scan unit
+// events arrive in start-time order; across units the order follows the
+// deterministic unit order. fn returning false stops the scan.
+//
+// The scan honors ctx: it checks for cancellation before starting, at
+// every unit boundary, and every scanCheckInterval visited events, and
+// returns ctx.Err() when the scan was aborted by cancellation.
+func (sn *Snapshot) Scan(ctx context.Context, f *EventFilter, fn func(*sysmon.Event) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ops := f.opSet()
+	agents := f.agentSet()
+	visited := 0
+	cancelled := false
+	for _, u := range sn.Units(f) {
+		scanFn := func(ev *sysmon.Event) bool {
+			visited++
+			if visited%scanCheckInterval == 0 && ctx.Err() != nil {
+				cancelled = true
+				return false
+			}
+			return fn(ev)
+		}
+		var ok bool
+		if u.seg != nil {
+			ok = u.seg.scan(f, ops, agents, scanFn)
+		} else {
+			ok = u.mem.scan(f, ops, agents, scanFn)
+		}
+		if cancelled {
+			return ctx.Err()
+		}
+		if !ok {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// SaveFile writes the store snapshot to path.
-func (s *Store) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("eventstore: %w", err)
-	}
-	defer f.Close()
-	bw := bufio.NewWriter(f)
-	if err := s.Encode(bw); err != nil {
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("eventstore: flush snapshot: %w", err)
-	}
-	return f.Close()
+// Collect returns all events matching the filter.
+func (sn *Snapshot) Collect(f *EventFilter) []sysmon.Event {
+	var out []sysmon.Event
+	sn.Scan(context.Background(), f, func(ev *sysmon.Event) bool {
+		out = append(out, *ev)
+		return true
+	})
+	return out
 }
 
-// LoadFile reads a snapshot from path into a new store with opts.
-func LoadFile(path string, opts Options) (*Store, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("eventstore: %w", err)
+// ScanChunked scans the matching units one at a time in deterministic
+// order: each unit's events passing the filter and the keep predicate
+// are collected into a batch, then handed to merge. The snapshot holds
+// no locks, so merge may block arbitrarily long (a consumer draining
+// rows to a slow client) without stalling writers or other readers.
+// merge returning false stops the scan; batches are bounded by unit
+// size, and visited counts the events examined for the batch. Returns
+// ctx.Err() when the scan was aborted by cancellation.
+func (sn *Snapshot) ScanChunked(ctx context.Context, f *EventFilter, keep func(*sysmon.Event) bool, merge func(batch []sysmon.Event, visited int64) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
-	defer f.Close()
-	s := New(opts)
-	if err := s.Decode(bufio.NewReader(f)); err != nil {
-		return nil, err
+	ops := f.opSet()
+	agents := f.agentSet()
+	for _, u := range sn.Units(f) {
+		batch, visited, complete := collectUnit(ctx, &u, f, ops, agents, keep)
+		if !merge(batch, visited) {
+			return nil
+		}
+		if !complete {
+			return ctx.Err()
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
-	return s, nil
+	return nil
+}
+
+// collectUnit gathers one unit's events passing filter and keep into a
+// batch, amortizing cancellation checks; complete is false when the
+// scan was aborted by ctx.
+func collectUnit(ctx context.Context, u *ScanUnit, f *EventFilter, ops *[sysmon.NumOperations]bool, agents map[uint32]struct{}, keep func(*sysmon.Event) bool) (batch []sysmon.Event, visited int64, complete bool) {
+	complete = true
+	scanFn := func(ev *sysmon.Event) bool {
+		visited++
+		if visited%scanCheckInterval == 0 && ctx.Err() != nil {
+			complete = false
+			return false
+		}
+		if keep == nil || keep(ev) {
+			batch = append(batch, *ev)
+		}
+		return true
+	}
+	if u.seg != nil {
+		u.seg.scan(f, ops, agents, scanFn)
+	} else {
+		u.mem.scan(f, ops, agents, scanFn)
+	}
+	return batch, visited, complete
+}
+
+// ScanPartitions fans the scan out across units using up to
+// runtime.GOMAXPROCS workers: each worker collects a unit's events
+// passing both the filter and the keep predicate into a batch and hands
+// it to merge together with the number of events visited. merge may be
+// called concurrently; the caller synchronizes. Returns the number of
+// units whose scan started.
+//
+// Cancelling ctx aborts the scan early: unstarted units are skipped
+// (and excluded from the returned count) and in-flight unit scans bail
+// out at the next check interval. Partial batches are still handed to
+// merge so visited-event accounting stays truthful; the caller detects
+// cancellation via ctx.Err().
+func (sn *Snapshot) ScanPartitions(ctx context.Context, f *EventFilter, keep func(*sysmon.Event) bool, merge func(batch []sysmon.Event, visited int64)) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	units := sn.Units(f)
+	ops := f.opSet()
+	agents := f.agentSet()
+	var scanned atomic.Int64
+	scanOne := func(u *ScanUnit) {
+		scanned.Add(1)
+		batch, visited, _ := collectUnit(ctx, u, f, ops, agents, keep)
+		merge(batch, visited)
+	}
+	ForEachUnit(ctx, units, func(_ int, u *ScanUnit) { scanOne(u) })
+	return int(scanned.Load())
+}
+
+// ForEachUnit runs fn over the units with up to GOMAXPROCS workers,
+// skipping unstarted units once ctx is cancelled. fn receives each
+// unit's index and must be safe for concurrent use; with a single
+// worker the calls are sequential and in order.
+func ForEachUnit(ctx context.Context, units []ScanUnit, fn func(int, *ScanUnit)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for i := range units {
+			if ctx.Err() != nil {
+				break
+			}
+			fn(i, &units[i])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int, len(units))
+	for i := range units {
+		ch <- i
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				if ctx.Err() != nil {
+					return
+				}
+				fn(i, &units[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ScanParallel fans the scan out across units and calls fn concurrently
+// (fn must be safe for concurrent use). Returns the number of units
+// whose scan started — fewer than the matching units when ctx is
+// cancelled early.
+func (sn *Snapshot) ScanParallel(ctx context.Context, f *EventFilter, fn func(*sysmon.Event)) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	units := sn.Units(f)
+	ops := f.opSet()
+	agents := f.agentSet()
+	var scanned atomic.Int64
+	scanOne := func(u *ScanUnit) {
+		scanned.Add(1)
+		visited := 0
+		scanFn := func(ev *sysmon.Event) bool {
+			visited++
+			if visited%scanCheckInterval == 0 && ctx.Err() != nil {
+				return false
+			}
+			fn(ev)
+			return true
+		}
+		if u.seg != nil {
+			u.seg.scan(f, ops, agents, scanFn)
+		} else {
+			u.mem.scan(f, ops, agents, scanFn)
+		}
+	}
+	ForEachUnit(ctx, units, func(_ int, u *ScanUnit) { scanOne(u) })
+	return int(scanned.Load())
+}
+
+// EstimateMatches returns an upper-bound estimate of the number of
+// events matching the filter — the optimizer's "pruning power" signal.
+// Lower estimates mean higher pruning power.
+func (sn *Snapshot) EstimateMatches(f *EventFilter) int {
+	total := 0
+	for _, u := range sn.Units(f) {
+		total += u.Estimate(f)
+	}
+	return total
+}
+
+// Agents returns the distinct agent IDs present in the snapshot,
+// ascending.
+func (sn *Snapshot) Agents() []uint32 {
+	seen := map[uint32]struct{}{}
+	for i := range sn.parts {
+		p := &sn.parts[i]
+		if sn.opts.Partitioning {
+			seen[p.key.AgentID] = struct{}{}
+			continue
+		}
+		for _, g := range p.segs {
+			for j := range g.events {
+				seen[g.events[j].AgentID] = struct{}{}
+			}
+		}
+		evs := p.mem.Events()
+		for j := range evs {
+			seen[evs[j].AgentID] = struct{}{}
+		}
+	}
+	out := make([]uint32, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

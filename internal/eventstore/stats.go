@@ -19,6 +19,36 @@ type Stats struct {
 	ApproxBytes uint64
 }
 
+// SegmentStats describes the store's LSM layout: how much committed
+// data sits in sealed (immutable, cache-reusable) segments versus
+// active memtables.
+type SegmentStats struct {
+	Partitions     int    `json:"partitions"`
+	Segments       int    `json:"segments"`
+	SealedEvents   int    `json:"sealed_events"`
+	SealedBytes    uint64 `json:"sealed_bytes"`
+	MemtableEvents int    `json:"memtable_events"`
+	MemtableBytes  uint64 `json:"memtable_bytes"`
+}
+
+// SegmentStats computes the store's segment-layout statistics.
+func (s *Store) SegmentStats() SegmentStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := SegmentStats{Partitions: len(s.parts)}
+	for _, key := range s.order {
+		p := s.parts[key]
+		st.Segments += len(p.segs)
+		for _, g := range p.segs {
+			st.SealedEvents += g.Len()
+			st.SealedBytes += g.ApproxBytes()
+		}
+		st.MemtableEvents += len(p.mem.events)
+		st.MemtableBytes += uint64(len(p.mem.events)) * uint64(unsafe.Sizeof(sysmon.Event{}))
+	}
+	return st
+}
+
 // Stats computes summary statistics for the store.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()

@@ -2,38 +2,59 @@ package eventstore
 
 import (
 	"context"
-	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"github.com/aiql/aiql/internal/sysmon"
 )
 
 // scanCheckInterval is how many visited events a scan processes between
 // context-cancellation checks. Checking ctx.Err() takes a mutex, so the
-// check is amortized over a block of events; partition boundaries are
-// always checked.
+// check is amortized over a block of events; unit boundaries are always
+// checked.
 const scanCheckInterval = 2048
 
+// PartKey identifies a hypertable chunk: one agent over one time bucket.
+// With partitioning disabled all events live in the zero-key chunk.
+type PartKey struct {
+	AgentID uint32
+	Bucket  int64 // StartTS / ChunkDuration
+}
+
+// partState is one hypertable chunk's LSM state: the active memtable
+// receiving committed events plus the chain of sealed immutable
+// segments, oldest first.
+type partState struct {
+	key  PartKey
+	mem  memtable
+	segs []*Segment
+}
+
 // Store is the AIQL data store: an entity dictionary plus hypertable
-// chunks of events. It is safe for concurrent readers; writers are
-// serialized internally.
+// chunks of events in an LSM-style layout — per chunk, an active
+// in-memory memtable and a chain of sealed, immutable segments. Readers
+// obtain a lock-free Snapshot; the store's lock only serializes writers
+// and snapshot capture. It is safe for concurrent readers and writers.
 type Store struct {
 	mu   sync.RWMutex
 	opts Options
 	dict *Dictionary
 
-	parts map[PartKey]*Partition
+	parts map[PartKey]*partState
 	order []PartKey // insertion-ordered keys for deterministic iteration
 
 	batch       []sysmon.Event
 	commits     uint64
+	nextSegID   uint64
 	nextEventID uint64
 	nextSeq     map[uint32]uint64
 	total       int
 	minTS       int64
 	maxTS       int64
+
+	// snap memoizes the current Snapshot between mutations; commits and
+	// seals clear it. Guarded by mu.
+	snap *Snapshot
 }
 
 // New creates a store with the given options.
@@ -42,7 +63,7 @@ func New(opts Options) *Store {
 	return &Store{
 		opts:    opts,
 		dict:    newDictionary(opts.Dedup, opts.Indexes),
-		parts:   make(map[PartKey]*Partition),
+		parts:   make(map[PartKey]*partState),
 		nextSeq: make(map[uint32]uint64),
 	}
 }
@@ -73,11 +94,13 @@ type Record struct {
 // buffered and committed when the batch fills; call Flush to force.
 func (s *Store) Append(r Record) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.appendLocked(r)
+	var sealed []*Segment
 	if !s.opts.BatchCommit || len(s.batch) >= s.opts.BatchSize {
-		s.flushLocked()
+		sealed = s.commitLocked()
 	}
+	s.mu.Unlock()
+	indexSegments(sealed)
 }
 
 // AppendAll ingests a slice of raw records under one lock acquisition.
@@ -85,13 +108,15 @@ func (s *Store) Append(r Record) {
 // do: without batch commit every record commits individually.
 func (s *Store) AppendAll(rs []Record) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var sealed []*Segment
 	for i := range rs {
 		s.appendLocked(rs[i])
 		if !s.opts.BatchCommit || len(s.batch) >= s.opts.BatchSize {
-			s.flushLocked()
+			sealed = append(sealed, s.commitLocked()...)
 		}
 	}
+	s.mu.Unlock()
+	indexSegments(sealed)
 }
 
 func (s *Store) appendLocked(r Record) {
@@ -129,18 +154,30 @@ func (s *Store) appendLocked(r Record) {
 	})
 }
 
-// Flush commits any buffered events.
+// Flush commits any buffered events and seals every non-empty memtable
+// into an immutable segment, so the whole store becomes reusable sealed
+// state. Sealing moves no data and bumps no commit counter — results
+// (and result-cache entries) computed before a seal stay valid — and
+// segment index builds run after the store lock is released, so a seal
+// never stalls concurrent appends or queries.
 func (s *Store) Flush() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.flushLocked()
+	sealed := s.commitLocked()
+	sealed = append(sealed, s.sealAllLocked()...)
+	s.mu.Unlock()
+	indexSegments(sealed)
 }
 
-func (s *Store) flushLocked() {
+// commitLocked makes the buffered batch visible: events are grouped by
+// partition key and appended to each chunk's memtable; memtables that
+// reach the seal threshold are sealed. Returns the segments sealed, for
+// index building outside the lock.
+func (s *Store) commitLocked() []*Segment {
 	if len(s.batch) == 0 {
-		return
+		return nil
 	}
 	s.commits++
+	s.snap = nil
 	// group the batch by partition key, then append per chunk
 	groups := make(map[PartKey][]sysmon.Event)
 	var keys []PartKey
@@ -164,16 +201,67 @@ func (s *Store) flushLocked() {
 		}
 		return keys[i].Bucket < keys[j].Bucket
 	})
+	var sealed []*Segment
 	for _, key := range keys {
-		part := s.parts[key]
-		if part == nil {
-			part = newPartition(key, s.opts.Indexes)
-			s.parts[key] = part
+		p := s.parts[key]
+		if p == nil {
+			p = &partState{key: key}
+			s.parts[key] = p
 			s.order = append(s.order, key)
 		}
-		part.appendBatch(groups[key])
+		evs := groups[key]
+		// within a batch events may interleave; sort once before merging
+		inOrder := true
+		for i := 1; i < len(evs); i++ {
+			if evs[i].StartTS < evs[i-1].StartTS {
+				inOrder = false
+				break
+			}
+		}
+		if !inOrder {
+			sort.SliceStable(evs, func(i, j int) bool { return evs[i].StartTS < evs[j].StartTS })
+		}
+		p.mem.appendBatch(evs)
+		if len(p.mem.events) >= s.opts.SegmentEvents {
+			sealed = append(sealed, s.sealPartLocked(p))
+		}
 	}
 	s.batch = s.batch[:0]
+	return sealed
+}
+
+// sealAllLocked seals every non-empty memtable.
+func (s *Store) sealAllLocked() []*Segment {
+	var sealed []*Segment
+	for _, key := range s.order {
+		p := s.parts[key]
+		if len(p.mem.events) > 0 {
+			sealed = append(sealed, s.sealPartLocked(p))
+		}
+	}
+	return sealed
+}
+
+// sealPartLocked turns the chunk's memtable into an immutable segment
+// and installs a fresh memtable. The segment is scannable immediately
+// (its events are already sorted); posting indexes are built later,
+// outside the store lock.
+func (s *Store) sealPartLocked(p *partState) *Segment {
+	s.nextSegID++
+	s.snap = nil
+	g := newSegment(s.nextSegID, p.key, p.mem.events, s.opts.Indexes)
+	p.segs = append(p.segs, g)
+	p.mem = memtable{}
+	return g
+}
+
+// indexSegments builds posting indexes for freshly sealed segments.
+// Callers invoke it with no locks held: this is the seal-time index
+// work that must not stall concurrent appends or queries.
+func indexSegments(segs []*Segment) {
+	for _, g := range segs {
+		g.buildIndexes()
+	}
 }
 
 func (s *Store) partKey(agent uint32, ts int64) PartKey {
@@ -185,7 +273,8 @@ func (s *Store) partKey(agent uint32, ts int64) PartKey {
 
 // Commits returns the number of commit boundaries so far — each would be
 // one durable transaction in a disk-backed deployment, which is what
-// batch commit amortizes.
+// batch commit amortizes. Sealing does not bump the counter: it moves no
+// data, so results computed before a seal remain valid.
 func (s *Store) Commits() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -213,305 +302,85 @@ func (s *Store) NumPartitions() int {
 	return len(s.parts)
 }
 
-// selectParts returns the chunks that can contain events matching the
-// filter, using the spatial (agent) and temporal (bucket) dimensions.
-func (s *Store) selectParts(f *EventFilter) []*Partition {
-	agents := f.agentSet()
-	var out []*Partition
-	for _, key := range s.order {
-		p := s.parts[key]
-		if s.opts.Partitioning {
-			if agents != nil {
-				if _, ok := agents[key.AgentID]; !ok {
-					continue
-				}
-			}
-			if !p.overlaps(f.From, f.To) {
-				continue
-			}
-		}
-		out = append(out, p)
-	}
-	return out
-}
-
-// Scan calls fn for every committed event matching the filter. Within a
-// chunk events arrive in start-time order; across chunks the order follows
-// the deterministic chunk order. fn returning false stops the scan.
-//
-// The scan honors ctx: it checks for cancellation before starting, at
-// every chunk boundary, and every scanCheckInterval visited events, and
-// returns ctx.Err() when the scan was aborted by cancellation.
-func (s *Store) Scan(ctx context.Context, f *EventFilter, fn func(*sysmon.Event) bool) error {
+// NumSegments returns the number of sealed segments.
+func (s *Store) NumSegments() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if err := ctx.Err(); err != nil {
-		return err
+	n := 0
+	for _, key := range s.order {
+		n += len(s.parts[key].segs)
 	}
-	ops := f.opSet()
-	agents := f.agentSet()
-	visited := 0
-	cancelled := false
-	for _, p := range s.selectParts(f) {
-		ok := p.scan(f, ops, agents, func(ev *sysmon.Event) bool {
-			visited++
-			if visited%scanCheckInterval == 0 && ctx.Err() != nil {
-				cancelled = true
-				return false
-			}
-			return fn(ev)
-		})
-		if cancelled {
-			return ctx.Err()
-		}
-		if !ok {
-			return nil
-		}
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return n
 }
 
-// ScanChunked scans the matching chunks one at a time in deterministic
-// chunk order: each chunk's events passing the filter and the keep
-// predicate are collected into a batch under only that chunk's read
-// lock, then handed to merge with no locks held. It is the streaming
-// pipeline's sequential scan: merge may block arbitrarily long (a
-// consumer draining rows to a slow client) without stalling writers or
-// other readers, unlike Scan, which holds the store read lock across
-// its callbacks. merge returning false stops the scan; batches are
-// bounded by chunk size, and visited counts the events examined for
-// the batch. Returns ctx.Err() when the scan was aborted by
-// cancellation.
+// Scan calls fn for every committed event matching the filter over a
+// fresh snapshot; see Snapshot.Scan.
+func (s *Store) Scan(ctx context.Context, f *EventFilter, fn func(*sysmon.Event) bool) error {
+	return s.Snapshot().Scan(ctx, f, fn)
+}
+
+// ScanChunked scans the matching units one at a time over a fresh
+// snapshot; see Snapshot.ScanChunked.
 func (s *Store) ScanChunked(ctx context.Context, f *EventFilter, keep func(*sysmon.Event) bool, merge func(batch []sysmon.Event, visited int64) bool) error {
-	s.mu.RLock()
-	parts := s.selectParts(f)
-	s.mu.RUnlock()
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	ops := f.opSet()
-	agents := f.agentSet()
-	for _, p := range parts {
-		var batch []sysmon.Event
-		var visited int64
-		cancelled := false
-		p.scan(f, ops, agents, func(ev *sysmon.Event) bool {
-			visited++
-			if visited%scanCheckInterval == 0 && ctx.Err() != nil {
-				cancelled = true
-				return false
-			}
-			if keep == nil || keep(ev) {
-				batch = append(batch, *ev)
-			}
-			return true
-		})
-		if !merge(batch, visited) {
-			return nil
-		}
-		if cancelled {
-			return ctx.Err()
-		}
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.Snapshot().ScanChunked(ctx, f, keep, merge)
 }
 
 // Collect returns all events matching the filter.
 func (s *Store) Collect(f *EventFilter) []sysmon.Event {
-	var out []sysmon.Event
-	s.Scan(context.Background(), f, func(ev *sysmon.Event) bool {
-		out = append(out, *ev)
-		return true
-	})
-	return out
+	return s.Snapshot().Collect(f)
 }
 
-// ScanParallel fans the scan out across chunks using up to
-// runtime.GOMAXPROCS workers and calls fn concurrently (fn must be safe
-// for concurrent use). It is the engine's spatial/temporal sub-query
-// parallelism. Returns the number of chunks whose scan started — fewer
-// than the matching chunks when ctx is cancelled early: workers stop
-// picking up chunks and bail out of in-flight chunk scans at the next
-// check interval.
+// ScanParallel fans the scan out across units of a fresh snapshot; see
+// Snapshot.ScanParallel.
 func (s *Store) ScanParallel(ctx context.Context, f *EventFilter, fn func(*sysmon.Event)) int {
-	s.mu.RLock()
-	parts := s.selectParts(f)
-	s.mu.RUnlock()
-	if ctx.Err() != nil {
-		return 0
-	}
-	ops := f.opSet()
-	agents := f.agentSet()
-	var scanned atomic.Int64
-	scanOne := func(p *Partition) {
-		scanned.Add(1)
-		visited := 0
-		p.scan(f, ops, agents, func(ev *sysmon.Event) bool {
-			visited++
-			if visited%scanCheckInterval == 0 && ctx.Err() != nil {
-				return false
-			}
-			fn(ev)
-			return true
-		})
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(parts) {
-		workers = len(parts)
-	}
-	if workers <= 1 {
-		for _, p := range parts {
-			if ctx.Err() != nil {
-				break
-			}
-			scanOne(p)
-		}
-		return int(scanned.Load())
-	}
-	var wg sync.WaitGroup
-	ch := make(chan *Partition, len(parts))
-	for _, p := range parts {
-		ch <- p
-	}
-	close(ch)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for p := range ch {
-				if ctx.Err() != nil {
-					return
-				}
-				scanOne(p)
-			}
-		}()
-	}
-	wg.Wait()
-	return int(scanned.Load())
+	return s.Snapshot().ScanParallel(ctx, f, fn)
 }
 
-// ScanPartitions is the engine's spatial/temporal sub-query parallelism:
-// chunks matching the filter are scanned by a worker pool; each worker
-// collects the events passing both the filter and the keep predicate into
-// a per-chunk buffer and hands it to merge together with the number of
-// events visited. merge may be called concurrently; the caller
-// synchronizes. Returns the number of chunks whose scan started.
-//
-// Cancelling ctx aborts the scan early: unstarted chunks are skipped
-// (and excluded from the returned count) and in-flight chunk scans bail
-// out at the next check interval. Partial chunk batches are still handed
-// to merge so visited-event accounting stays truthful; the caller
-// detects cancellation via ctx.Err().
+// ScanPartitions fans the scan out across units of a fresh snapshot;
+// see Snapshot.ScanPartitions.
 func (s *Store) ScanPartitions(ctx context.Context, f *EventFilter, keep func(*sysmon.Event) bool, merge func(batch []sysmon.Event, visited int64)) int {
-	s.mu.RLock()
-	parts := s.selectParts(f)
-	s.mu.RUnlock()
-	if ctx.Err() != nil {
-		return 0
-	}
-	ops := f.opSet()
-	agents := f.agentSet()
-	var scanned atomic.Int64
-	scanOne := func(p *Partition) {
-		scanned.Add(1)
-		var batch []sysmon.Event
-		var visited int64
-		p.scan(f, ops, agents, func(ev *sysmon.Event) bool {
-			visited++
-			if visited%scanCheckInterval == 0 && ctx.Err() != nil {
-				return false
-			}
-			if keep == nil || keep(ev) {
-				batch = append(batch, *ev)
-			}
-			return true
-		})
-		merge(batch, visited)
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(parts) {
-		workers = len(parts)
-	}
-	if workers <= 1 {
-		for _, p := range parts {
-			if ctx.Err() != nil {
-				break
-			}
-			scanOne(p)
-		}
-		return int(scanned.Load())
-	}
-	var wg sync.WaitGroup
-	ch := make(chan *Partition, len(parts))
-	for _, p := range parts {
-		ch <- p
-	}
-	close(ch)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for p := range ch {
-				if ctx.Err() != nil {
-					return
-				}
-				scanOne(p)
-			}
-		}()
-	}
-	wg.Wait()
-	return int(scanned.Load())
+	return s.Snapshot().ScanPartitions(ctx, f, keep, merge)
 }
 
 // EstimateMatches returns an upper-bound estimate of the number of events
-// matching the filter — the optimizer's "pruning power" signal. Lower
-// estimates mean higher pruning power.
+// matching the filter; see Snapshot.EstimateMatches.
 func (s *Store) EstimateMatches(f *EventFilter) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	total := 0
-	for _, p := range s.selectParts(f) {
-		total += p.estimate(f)
-	}
-	return total
+	return s.Snapshot().EstimateMatches(f)
 }
 
 // Agents returns the distinct agent IDs present in the store, ascending.
 func (s *Store) Agents() []uint32 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	seen := map[uint32]struct{}{}
-	for _, key := range s.order {
-		if s.opts.Partitioning {
-			seen[key.AgentID] = struct{}{}
-		} else {
-			for _, ev := range s.parts[key].events {
-				seen[ev.AgentID] = struct{}{}
-			}
-		}
-	}
-	out := make([]uint32, 0, len(seen))
-	for a := range seen {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return s.Snapshot().Agents()
 }
 
+// PartitionView is one hypertable chunk's committed events, flattened
+// across its segments and memtable, for bulk consumers (baseline
+// loaders, tests).
+type PartitionView struct {
+	Key    PartKey
+	events []sysmon.Event
+}
+
+// Len returns the number of events in the chunk.
+func (p *PartitionView) Len() int { return len(p.events) }
+
+// Events returns the chunk's events: each segment's run oldest first,
+// then the memtable tail. The slice is owned by the caller.
+func (p *PartitionView) Events() []sysmon.Event { return p.events }
+
 // Partitions returns the store's chunks in deterministic order, for bulk
-// consumers (baseline loaders, snapshots).
-func (s *Store) Partitions() []*Partition {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*Partition, 0, len(s.order))
-	for _, key := range s.order {
-		out = append(out, s.parts[key])
+// consumers (baseline loaders, tests).
+func (s *Store) Partitions() []*PartitionView {
+	sn := s.Snapshot()
+	out := make([]*PartitionView, 0, len(sn.parts))
+	for i := range sn.parts {
+		p := &sn.parts[i]
+		pv := &PartitionView{Key: p.key}
+		for _, g := range p.segs {
+			pv.events = append(pv.events, g.events...)
+		}
+		pv.events = append(pv.events, p.mem.Events()...)
+		out = append(out, pv)
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -17,6 +18,9 @@ import (
 type QueryRequest struct {
 	// Query is the AIQL query text.
 	Query string `json:"query"`
+	// Dataset names the catalog dataset to query; empty selects the
+	// default dataset.
+	Dataset string `json:"dataset,omitempty"`
 	// Limit caps returned rows per page; 0 means the service maximum.
 	Limit int `json:"limit,omitempty"`
 	// Cursor resumes pagination with a token from a previous response's
@@ -25,20 +29,35 @@ type QueryRequest struct {
 	// TimeoutMS bounds execution in milliseconds; 0 means the service
 	// default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Explain returns the scheduled pattern order and per-pattern
+	// estimates instead of executing the query.
+	Explain bool `json:"explain,omitempty"`
 }
 
-// QueryResult is the wire form of one query outcome.
+// PlanEntry is the wire form of one scheduled pattern in an explain
+// response.
+type PlanEntry struct {
+	Alias    string `json:"alias"`
+	Estimate int    `json:"estimate"`
+}
+
+// QueryResult is the wire form of one query outcome. Columns and Rows
+// stay unconditionally present (clients index them without guards);
+// only the explain/reuse extras are omitted when empty.
 type QueryResult struct {
-	Columns       []string   `json:"columns"`
-	Rows          [][]string `json:"rows"`
-	TotalRows     int        `json:"total_rows"`
-	Offset        int        `json:"offset"`
-	NextCursor    string     `json:"next_cursor,omitempty"`
-	DurationMS    float64    `json:"duration_ms"`
-	Cached        bool       `json:"cached"`
-	Kind          string     `json:"kind,omitempty"`
-	ScannedEvents int64      `json:"scanned_events"`
-	PatternOrder  []string   `json:"pattern_order,omitempty"`
+	Columns       []string    `json:"columns"`
+	Rows          [][]string  `json:"rows"`
+	TotalRows     int         `json:"total_rows"`
+	Offset        int         `json:"offset"`
+	NextCursor    string      `json:"next_cursor,omitempty"`
+	DurationMS    float64     `json:"duration_ms"`
+	Cached        bool        `json:"cached"`
+	Kind          string      `json:"kind,omitempty"`
+	ScannedEvents int64       `json:"scanned_events"`
+	SegmentHits   int         `json:"segment_hits,omitempty"`
+	SegmentMisses int         `json:"segment_misses,omitempty"`
+	PatternOrder  []string    `json:"pattern_order,omitempty"`
+	Plan          []PlanEntry `json:"plan,omitempty"`
 }
 
 // StreamHeader is the first NDJSON line of a streaming response.
@@ -93,32 +112,81 @@ func clientKey(r *http.Request) string {
 	return r.RemoteAddr
 }
 
-// Handler returns the versioned JSON API:
+// Resolver maps a request's dataset name to the service owning it; the
+// empty name selects the default dataset. Implementations must be safe
+// for concurrent use — the catalog's resolver returns the service bound
+// to the dataset's current store, so a hot-swap redirects new requests
+// while in-flight queries finish on the service they started with.
+type Resolver interface {
+	Resolve(dataset string) (*Service, error)
+}
+
+// ErrUnknownDataset reports a dataset name the resolver does not serve.
+var ErrUnknownDataset = errors.New("service: unknown dataset")
+
+// selfResolver serves every dataset name's empty value from one fixed
+// service (single-dataset deployments and tests).
+type selfResolver struct{ s *Service }
+
+func (r selfResolver) Resolve(dataset string) (*Service, error) {
+	if dataset != "" {
+		return nil, fmt.Errorf("%w: %q (single-dataset server)", ErrUnknownDataset, dataset)
+	}
+	return r.s, nil
+}
+
+// Handler returns the versioned JSON API over this single service; see
+// NewHandler.
+func (s *Service) Handler() http.Handler {
+	return NewHandler(selfResolver{s})
+}
+
+// NewHandler returns the versioned JSON API, routing each request to
+// the service its `dataset` field names:
 //
 //	POST /api/v1/query         QueryRequest → QueryResult | ErrorResponse
 //	POST /api/v1/query/stream  QueryRequest → NDJSON stream
 //	POST /api/v1/check         CheckRequest → CheckResponse
-//	GET  /api/v1/stats                      → Stats
+//	GET  /api/v1/stats[?dataset=name]       → DatasetStats
 //
 // The buffered endpoint pages large results: pass `limit` as the page
 // size and follow `next_cursor` until it is empty; every page of one
-// cursor chain is served from the same store snapshot. The stream
-// endpoint emits NDJSON — a StreamHeader line, one JSON array per row
-// as the engine produces it, and a StreamTrailer line — flushing as
-// rows arrive, and aborts the scan when the client disconnects.
+// cursor chain is served from the same store snapshot. Passing
+// `"explain": true` returns the scheduled pattern order and estimates
+// (`plan`) without executing. The stream endpoint emits NDJSON — a
+// StreamHeader line, one JSON array per row as the engine produces it,
+// and a StreamTrailer line — flushing as rows arrive, and aborts the
+// scan when the client disconnects.
 //
 // Failures map to status codes: 400 for malformed JSON, malformed
-// cursors, and query parse/validation/execution errors, 410 for expired
-// cursors, 429 for per-client throttling (with Retry-After), 504 for
-// deadline-exceeded, 503 for admission rejections (with Retry-After),
-// 405 for wrong methods.
-func (s *Service) Handler() http.Handler {
+// cursors, and query parse/validation/execution errors, 404 for unknown
+// datasets, 410 for expired cursors, 429 for per-client throttling
+// (with Retry-After), 504 for deadline-exceeded, 503 for admission
+// rejections (with Retry-After), 405 for wrong methods.
+func NewHandler(r Resolver) http.Handler {
+	h := &apiHandler{resolve: r}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/v1/query", s.handleQuery)
-	mux.HandleFunc("/api/v1/query/stream", s.handleQueryStream)
-	mux.HandleFunc("/api/v1/check", s.handleCheck)
-	mux.HandleFunc("/api/v1/stats", s.handleStats)
+	mux.HandleFunc("/api/v1/query", h.handleQuery)
+	mux.HandleFunc("/api/v1/query/stream", h.handleQueryStream)
+	mux.HandleFunc("/api/v1/check", h.handleCheck)
+	mux.HandleFunc("/api/v1/stats", h.handleStats)
 	return mux
+}
+
+// apiHandler binds the wire handlers to a dataset resolver.
+type apiHandler struct {
+	resolve Resolver
+}
+
+// resolveService maps the request's dataset to its service, writing the
+// error response on failure.
+func (h *apiHandler) resolveService(w http.ResponseWriter, dataset string) (*Service, bool) {
+	svc, err := h.resolve.Resolve(dataset)
+	if err != nil {
+		writeJSON(w, statusFor(err), ErrorResponse{Error: err.Error()})
+		return nil, false
+	}
+	return svc, true
 }
 
 // decodeQuery parses the request body shared by the buffered and
@@ -136,23 +204,28 @@ func decodeQuery(w http.ResponseWriter, r *http.Request) (QueryRequest, bool) {
 	return req, true
 }
 
-func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	req, ok := decodeQuery(w, r)
 	if !ok {
 		return
 	}
-	resp, err := s.Do(r.Context(), Request{
+	svc, ok := h.resolveService(w, req.Dataset)
+	if !ok {
+		return
+	}
+	resp, err := svc.Do(r.Context(), Request{
 		Query:   req.Query,
 		Limit:   req.Limit,
 		Cursor:  req.Cursor,
 		Client:  clientKey(r),
 		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		Explain: req.Explain,
 	})
 	if err != nil {
 		writeJSON(w, statusFor(err), ErrorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResult{
+	out := QueryResult{
 		Columns:       resp.Columns,
 		Rows:          resp.Rows,
 		TotalRows:     resp.TotalRows,
@@ -162,16 +235,31 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Cached:        resp.Cached,
 		Kind:          resp.Kind,
 		ScannedEvents: resp.Stats.ScannedEvents,
+		SegmentHits:   resp.Stats.SegmentHits,
+		SegmentMisses: resp.Stats.SegmentMisses,
 		PatternOrder:  resp.Stats.PatternOrder,
-	})
+	}
+	for _, e := range resp.Plan {
+		out.Plan = append(out.Plan, PlanEntry{Alias: e.Alias, Estimate: e.Estimate})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleQueryStream serves one query as NDJSON, flushing rows as the
 // engine produces them. The response is 200 once streaming starts;
 // failures before the first byte use normal error statuses, failures
 // mid-stream surface in the trailer.
-func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+func (h *apiHandler) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	req, ok := decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	if req.Explain {
+		// a plan has no row stream; the buffered endpoint serves explain
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "explain is not supported on the stream endpoint; use POST /api/v1/query"})
+		return
+	}
+	svc, ok := h.resolveService(w, req.Dataset)
 	if !ok {
 		return
 	}
@@ -185,7 +273,7 @@ func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	} else {
 		flush = func() {}
 	}
-	resp, err := s.DoStream(r.Context(), Request{
+	resp, err := svc.DoStream(r.Context(), Request{
 		Query:   req.Query,
 		Limit:   req.Limit,
 		Client:  clientKey(r),
@@ -230,7 +318,7 @@ func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
+func (h *apiHandler) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
 		return
@@ -248,8 +336,16 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, CheckResponse{OK: true, Kind: kind})
 }
 
-func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+// handleStats reports one dataset's full statistics: service counters,
+// store segment layout, and segment scan-cache figures. The dataset is
+// selected with the `dataset` query parameter; empty means the default.
+func (h *apiHandler) handleStats(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("dataset")
+	svc, ok := h.resolveService(w, name)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, svc.DatasetStats(name))
 }
 
 // statusFor maps service errors to HTTP status codes.
@@ -265,6 +361,8 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrCursorExpired):
 		return http.StatusGone
+	case errors.Is(err, ErrUnknownDataset):
+		return http.StatusNotFound
 	default:
 		return http.StatusBadRequest
 	}

@@ -183,11 +183,57 @@ func TestHTTPStats(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
-	var st Stats
+	var st DatasetStats
 	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Queries != 1 || st.CacheMisses != 1 {
-		t.Errorf("stats = %+v, want 1 query / 1 miss", st)
+	if st.Service.Queries != 1 || st.Service.CacheMisses != 1 {
+		t.Errorf("stats = %+v, want 1 query / 1 miss", st.Service)
+	}
+	if st.Store.Events != 5 {
+		t.Errorf("store stats report %d events, want 5", st.Store.Events)
+	}
+	if st.Store.SealedEvents+st.Store.MemtableEvents != st.Store.Events {
+		t.Errorf("segment accounting: sealed %d + memtable %d != %d",
+			st.Store.SealedEvents, st.Store.MemtableEvents, st.Store.Events)
+	}
+}
+
+// TestHTTPExplain: "explain": true returns the scheduled plan instead
+// of rows.
+func TestHTTPExplain(t *testing.T) {
+	svc := New(newTestDB(t, 20), Config{})
+	rec := doJSON(t, svc.Handler(), http.MethodPost, "/api/v1/query",
+		`{"query": "proc p write file f as evt1\nproc p read file g as evt2\nwith evt1 before evt2\nreturn p, f, g", "explain": true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	out := decodeResult(t, rec)
+	if len(out.Plan) != 2 {
+		t.Fatalf("plan has %d entries, want 2: %s", len(out.Plan), rec.Body.String())
+	}
+	if len(out.Rows) != 0 || out.TotalRows != 0 {
+		t.Errorf("explain returned rows: %+v", out)
+	}
+	for _, e := range out.Plan {
+		if e.Alias == "" || e.Estimate < 0 {
+			t.Errorf("bad plan entry %+v", e)
+		}
+	}
+	// the write pattern is less selective than nothing, but both aliases
+	// must appear in scheduled order
+	if out.Plan[0].Alias == out.Plan[1].Alias {
+		t.Errorf("duplicate aliases in plan: %+v", out.Plan)
+	}
+}
+
+// TestHTTPUnknownDataset: naming a dataset on a single-dataset server
+// is a 404, not a silent fallback.
+func TestHTTPUnknownDataset(t *testing.T) {
+	svc := New(newTestDB(t, 5), Config{})
+	rec := doJSON(t, svc.Handler(), http.MethodPost, "/api/v1/query",
+		`{"query": "proc p write file f as evt return p, f", "dataset": "nope"}`)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404: %s", rec.Code, rec.Body.String())
 	}
 }

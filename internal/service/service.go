@@ -128,6 +128,10 @@ type Request struct {
 	// Timeout bounds execution; 0 means the service default. Values
 	// above the service maximum are clamped.
 	Timeout time.Duration
+	// Explain requests the scheduled execution plan (pattern order and
+	// pruning-power estimates) instead of executing the query: the
+	// response carries Plan and no rows.
+	Explain bool
 }
 
 // Response is one query outcome.
@@ -145,6 +149,9 @@ type Response struct {
 	Cached     bool
 	Kind       string // query family: multievent, dependency, anomaly
 	Stats      engine.ExecStats
+	// Plan is the scheduled pattern order with estimates, set only for
+	// explain requests (which carry no rows).
+	Plan []engine.ExplainEntry
 }
 
 // Stats are the service's monotonic counters plus instantaneous gauges.
@@ -164,6 +171,59 @@ type Stats struct {
 	Queued       int64  `json:"queued"`
 	CacheEntries int    `json:"cache_entries"`
 	CacheBytes   int64  `json:"cache_bytes"`
+}
+
+// StoreStats is the wire form of one dataset's storage figures,
+// including the LSM segment layout.
+type StoreStats struct {
+	Events         int    `json:"events"`
+	Partitions     int    `json:"partitions"`
+	Segments       int    `json:"segments"`
+	SealedEvents   int    `json:"sealed_events"`
+	SealedBytes    uint64 `json:"sealed_bytes"`
+	MemtableEvents int    `json:"memtable_events"`
+	MemtableBytes  uint64 `json:"memtable_bytes"`
+	Processes      int    `json:"processes"`
+	Files          int    `json:"files"`
+	Netconns       int    `json:"netconns"`
+	ApproxBytes    uint64 `json:"approx_bytes"`
+}
+
+// DatasetStats is one dataset's full statistics blob: the service's
+// counters plus the store's segment layout and the engine's segment
+// scan-cache figures. Every dataset served by a catalog has its own
+// independent instance of all three.
+type DatasetStats struct {
+	Dataset   string                `json:"dataset,omitempty"`
+	Default   bool                  `json:"default,omitempty"`
+	Service   Stats                 `json:"service"`
+	Store     StoreStats            `json:"store"`
+	ScanCache engine.ScanCacheStats `json:"scan_cache"`
+}
+
+// DatasetStats snapshots the service's counters together with its
+// dataset's storage and reuse figures.
+func (s *Service) DatasetStats(name string) DatasetStats {
+	dbStats := s.db.Stats()
+	seg := s.db.SegmentStats()
+	return DatasetStats{
+		Dataset: name,
+		Service: s.Stats(),
+		Store: StoreStats{
+			Events:         dbStats.Events,
+			Partitions:     dbStats.Partitions,
+			Segments:       seg.Segments,
+			SealedEvents:   seg.SealedEvents,
+			SealedBytes:    seg.SealedBytes,
+			MemtableEvents: seg.MemtableEvents,
+			MemtableBytes:  seg.MemtableBytes,
+			Processes:      dbStats.Processes,
+			Files:          dbStats.Files,
+			Netconns:       dbStats.Netconns,
+			ApproxBytes:    dbStats.Bytes,
+		},
+		ScanCache: s.db.ScanCacheStats(),
+	}
 }
 
 // flight is one in-flight execution that identical concurrent requests
@@ -246,6 +306,18 @@ func (s *Service) Stats() Stats {
 func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 	start := time.Now()
 	s.queries.Add(1)
+
+	if req.Explain {
+		// Planning only: estimates come from the store's indexes, no
+		// pattern scan runs, so explain bypasses admission and caching.
+		kind, _ := aiql.QueryKind(req.Query)
+		plan, err := s.db.ExplainPlan(req.Query)
+		if err != nil {
+			s.errors.Add(1)
+			return nil, err
+		}
+		return &Response{Plan: plan, Kind: kind, Duration: time.Since(start)}, nil
+	}
 
 	norm := normalizeQuery(req.Query)
 	offset := 0

@@ -7,6 +7,7 @@
 package translate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -128,18 +129,20 @@ func LoadRelational(db *relational.DB, store *eventstore.Store) error {
 			return err
 		}
 	}
-	for _, part := range store.Partitions() {
-		for _, ev := range part.Events() {
-			if err := events.Insert([]relational.Value{
-				relational.Int(int64(ev.ID)), relational.Int(int64(ev.AgentID)),
-				relational.Int(int64(ev.Subject)), relational.Str(ev.Op.String()),
-				relational.Str(objectTypeName(ev.ObjType)), relational.Int(int64(ev.Object)),
-				relational.Int(ev.StartTS), relational.Int(ev.EndTS),
-				relational.Int(int64(ev.Amount)), relational.Int(int64(ev.Seq)),
-			}); err != nil {
-				return err
-			}
-		}
+	// stream straight off the snapshot: no per-partition event copies
+	var insertErr error
+	store.Snapshot().Scan(context.Background(), &eventstore.EventFilter{}, func(ev *sysmon.Event) bool {
+		insertErr = events.Insert([]relational.Value{
+			relational.Int(int64(ev.ID)), relational.Int(int64(ev.AgentID)),
+			relational.Int(int64(ev.Subject)), relational.Str(ev.Op.String()),
+			relational.Str(objectTypeName(ev.ObjType)), relational.Int(int64(ev.Object)),
+			relational.Int(ev.StartTS), relational.Int(ev.EndTS),
+			relational.Int(int64(ev.Amount)), relational.Int(int64(ev.Seq)),
+		})
+		return insertErr == nil
+	})
+	if insertErr != nil {
+		return insertErr
 	}
 	if db.Optimized() {
 		for _, ix := range [][2]string{
@@ -216,10 +219,9 @@ func LoadGraph(g *graphdb.Graph, store *eventstore.Store) error {
 		})
 	}
 
-	var events []sysmon.Event
-	for _, part := range store.Partitions() {
-		events = append(events, part.Events()...)
-	}
+	// one collected copy is unavoidable here: graph edge ordinals need a
+	// global (start_ts, id) sort before insertion
+	events := store.Collect(&eventstore.EventFilter{})
 	sort.Slice(events, func(i, j int) bool {
 		if events[i].StartTS != events[j].StartTS {
 			return events[i].StartTS < events[j].StartTS

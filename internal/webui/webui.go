@@ -8,6 +8,7 @@ package webui
 
 import (
 	"encoding/json"
+	"fmt"
 	"html/template"
 	"log"
 	"net"
@@ -17,13 +18,37 @@ import (
 	"github.com/aiql/aiql/internal/service"
 )
 
-// Server serves the web UI over one AIQL database. Query execution is
-// routed through the concurrent service layer, so the UI shares the
-// admission control, deadlines, result cache, and statistics of the
-// versioned JSON API.
+// Provider resolves dataset names to their service layers and lists the
+// datasets the UI can offer. A multi-dataset catalog implements it; a
+// single service is adapted by NewWithService.
+type Provider interface {
+	// Resolve maps a dataset name ("" = default) to its service.
+	Resolve(dataset string) (*service.Service, error)
+	// Names lists the selectable datasets, sorted.
+	Names() []string
+	// DefaultName is the dataset the empty selection queries.
+	DefaultName() string
+}
+
+// singleProvider adapts one fixed service to the Provider interface.
+type singleProvider struct{ svc *service.Service }
+
+func (p singleProvider) Resolve(dataset string) (*service.Service, error) {
+	if dataset != "" {
+		return nil, fmt.Errorf("%w: %q (single-dataset server)", service.ErrUnknownDataset, dataset)
+	}
+	return p.svc, nil
+}
+func (p singleProvider) Names() []string     { return nil }
+func (p singleProvider) DefaultName() string { return "" }
+
+// Server serves the web UI over one or more AIQL datasets. Query
+// execution is routed through each dataset's concurrent service layer,
+// so the UI shares the admission control, deadlines, result caches, and
+// statistics of the versioned JSON API.
 type Server struct {
-	svc *service.Service
-	mux *http.ServeMux
+	prov Provider
+	mux  *http.ServeMux
 }
 
 // New creates the UI server with a default-configured service layer.
@@ -31,14 +56,22 @@ func New(db *aiql.DB) *Server {
 	return NewWithService(service.New(db, service.Config{}))
 }
 
-// NewWithService creates the UI server over an existing service layer,
-// sharing its worker pool and result cache with other API consumers.
+// NewWithService creates the UI server over an existing single service
+// layer, sharing its worker pool and result cache with other API
+// consumers.
 func NewWithService(svc *service.Service) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
+	return NewWithProvider(singleProvider{svc})
+}
+
+// NewWithProvider creates the UI server over a dataset provider (a
+// catalog), adding a dataset selector to the page.
+func NewWithProvider(p Provider) *Server {
+	s := &Server{prov: p, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
 	s.mux.HandleFunc("/api/check", s.handleCheck)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/datasets", s.handleDatasets)
 	return s
 }
 
@@ -51,9 +84,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 const maxRequestBody = 1 << 20
 
 type queryRequest struct {
-	Query  string `json:"query"`
-	Limit  int    `json:"limit,omitempty"`
-	Cursor string `json:"cursor,omitempty"`
+	Query   string `json:"query"`
+	Dataset string `json:"dataset,omitempty"`
+	Limit   int    `json:"limit,omitempty"`
+	Cursor  string `json:"cursor,omitempty"`
 }
 
 type queryResponse struct {
@@ -93,7 +127,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if host, _, err := net.SplitHostPort(client); err == nil {
 		client = host
 	}
-	resp, err := s.svc.Do(r.Context(), service.Request{
+	svc, err := s.prov.Resolve(req.Dataset)
+	if err != nil {
+		writeJSON(w, queryResponse{Error: err.Error()})
+		return
+	}
+	resp, err := svc.Do(r.Context(), service.Request{
 		Query:  req.Query,
 		Limit:  limit,
 		Cursor: req.Cursor,
@@ -143,10 +182,21 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("dataset")
+	svc, err := s.prov.Resolve(name)
+	if err != nil {
+		writeJSON(w, queryResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, svc.DatasetStats(name))
+}
+
+// handleDatasets lists the selectable datasets for the UI's dropdown.
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
-		aiql.Stats
-		Service service.Stats `json:"service"`
-	}{s.svc.DB().Stats(), s.svc.Stats()})
+		Default  string   `json:"default"`
+		Datasets []string `json:"datasets"`
+	}{s.prov.DefaultName(), s.prov.Names()})
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -187,6 +237,8 @@ var page = template.Must(template.New("index").Parse(`<!DOCTYPE html>
  th { background: #eef1f6; cursor: pointer; user-select: none; }
  input#filter { padding: .35rem .6rem; margin: .4rem 0; width: 22rem;
                 border: 1px solid #c5ccd8; border-radius: 6px; }
+ select#dataset { padding: .4rem .6rem; margin-right: .5rem; border: 1px solid #c5ccd8;
+                  border-radius: 6px; background: #fff; font-size: .9rem; display: none; }
  .hint { color: #6a7690; font-size: .8rem; }
 </style>
 </head>
@@ -203,6 +255,7 @@ proc p4 read || write ip i1[dstip = "203.0.113.129"] as evt4
 with evt1 before evt2, evt2 before evt3, evt3 before evt4
 return distinct p1, p2, p3, f1, p4, i1</textarea>
 <div style="margin-top:.6rem">
+ <select id="dataset" title="dataset"></select>
  <button onclick="runQuery()">Execute</button>
  <button class="secondary" onclick="checkQuery()">Check syntax</button>
  <input id="filter" placeholder="search results…" oninput="renderTable()">
@@ -212,6 +265,27 @@ return distinct p1, p2, p3, f1, p4, i1</textarea>
 <script>
 let data = {columns: [], rows: []};
 let sortCol = -1, sortAsc = true;
+
+// populate the dataset selector; hidden unless the server has >1 dataset
+(async function loadDatasets() {
+  try {
+    const out = await (await fetch('/api/datasets')).json();
+    const sel = document.getElementById('dataset');
+    (out.datasets || []).forEach(name => {
+      const opt = document.createElement('option');
+      opt.value = name;
+      opt.textContent = name + (name === out.default ? ' (default)' : '');
+      if (name === out.default) opt.selected = true;
+      sel.appendChild(opt);
+    });
+    if ((out.datasets || []).length > 1) sel.style.display = 'inline-block';
+  } catch (e) { /* single-dataset server */ }
+})();
+
+function selectedDataset() {
+  const sel = document.getElementById('dataset');
+  return sel.style.display === 'none' ? '' : sel.value;
+}
 
 function setStatus(text, isError) {
   const el = document.getElementById('status');
@@ -229,9 +303,10 @@ async function runQuery() {
   setStatus('executing…');
   const t0 = performance.now();
   const query = document.getElementById('q').value;
+  const dataset = selectedDataset();
   // paginated fetch: first page executes (or hits the cache), follow-up
   // pages walk the cursor chain over the same store snapshot
-  let out = await post('/api/query', {query});
+  let out = await post('/api/query', {query, dataset});
   if (out.error) { setStatus(out.error, true); data = {columns: [], rows: []}; renderTable(); return; }
   data = {columns: out.columns || [], rows: out.rows || []};
   sortCol = -1;
@@ -240,7 +315,7 @@ async function runQuery() {
   let pages = 1;
   while (out.next_cursor && data.rows.length < maxRows) {
     setStatus('fetched ' + data.rows.length + ' of ' + first.row_count + ' rows…');
-    out = await post('/api/query', {query, cursor: out.next_cursor});
+    out = await post('/api/query', {query, dataset, cursor: out.next_cursor});
     if (out.error) { setStatus(out.error, true); break; }
     data.rows = data.rows.concat(out.rows || []);
     pages++;

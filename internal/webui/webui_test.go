@@ -9,6 +9,7 @@ import (
 	"time"
 
 	aiql "github.com/aiql/aiql"
+	"github.com/aiql/aiql/internal/service"
 )
 
 func testServer(t *testing.T) *Server {
@@ -157,11 +158,11 @@ func TestStatsEndpoint(t *testing.T) {
 	req := httptest.NewRequest(http.MethodGet, "/api/stats", nil)
 	w := httptest.NewRecorder()
 	s.ServeHTTP(w, req)
-	var stats aiql.Stats
+	var stats service.DatasetStats
 	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
 		t.Fatal(err)
 	}
-	if stats.Events != 1 || stats.Processes != 2 {
-		t.Errorf("stats = %+v", stats)
+	if stats.Store.Events != 1 || stats.Store.Processes != 2 {
+		t.Errorf("stats = %+v", stats.Store)
 	}
 }
