@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-streaming bench-segments serve
+.PHONY: check fmt vet build test race bench bench-streaming bench-segments bench-persist serve
 
 check: fmt vet build race
 
@@ -25,7 +25,7 @@ race:
 # Streaming/caching benchmarks on the Fig4 50k-event dataset: cold vs.
 # warm cache, full drain vs. LIMIT-50 early termination. Emits
 # BENCH_streaming.json for the CI perf-trajectory artifact.
-bench: bench-streaming bench-segments
+bench: bench-streaming bench-segments bench-persist
 
 bench-streaming:
 	$(GO) test ./internal/service/ -run XXX \
@@ -45,6 +45,18 @@ bench-segments:
 		-benchtime=20x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
 	@cat bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_segments.json < bench.out
+	@rm -f bench.out
+
+# Durable-storage benchmarks on the Fig4 50k-event dataset: dataset
+# load from file-per-segment snapshots (columnar decode + restored
+# indexes, no replay) vs. legacy gob replay (re-intern, re-chunk,
+# re-seal, re-index everything). Target >= 5x. Emits BENCH_persist.json.
+bench-persist:
+	$(GO) test ./internal/eventstore/ -run XXX \
+		-bench 'BenchmarkPersistGobReplay|BenchmarkPersistSegmentLoad' \
+		-benchtime=10x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
+	@cat bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_persist.json < bench.out
 	@rm -f bench.out
 
 # Web UI + JSON API on :8080 over the built-in demo dataset.

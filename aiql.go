@@ -34,6 +34,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"github.com/aiql/aiql/internal/aiql/ast"
@@ -113,6 +114,64 @@ func OpenWithOptions(storage StorageOptions, cfg EngineConfig) *DB {
 	store := eventstore.New(storage)
 	return &DB{store: store, eng: engine.NewWithConfig(store, cfg)}
 }
+
+// OpenDir opens (creating or recovering) the durable database rooted at
+// dir with default options: sealed segments live as individual files
+// loaded without re-indexing, a MANIFEST names the live segment set,
+// and a write-ahead log makes committed appends durable between seals.
+// Close the database to release the log.
+func OpenDir(dir string) (*DB, error) {
+	storage := eventstore.DefaultOptions()
+	storage.Dir = dir
+	return OpenDirWithOptions(storage, engine.Config{})
+}
+
+// OpenDirWithOptions opens a durable database with explicit storage and
+// engine configurations; storage.Dir names the directory.
+func OpenDirWithOptions(storage StorageOptions, cfg EngineConfig) (*DB, error) {
+	store, err := eventstore.Open(storage)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{store: store, eng: engine.NewWithConfig(store, cfg)}, nil
+}
+
+// OpenPath opens a dataset from either on-disk form: a directory is a
+// durable store (OpenDir), anything else a legacy gob snapshot
+// (LoadFile).
+func OpenPath(path string) (*DB, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return OpenDir(path)
+	}
+	return LoadFile(path)
+}
+
+// Close stops the database's background compactor and closes its
+// write-ahead log. In-memory databases close trivially; in-flight
+// queries on pinned snapshots are unaffected either way.
+func (db *DB) Close() error { return db.store.Close() }
+
+// Compact merges chains of small sealed segments until none remains
+// below the configured target, retiring the old segment IDs from the
+// engine's scan cache. Durable databases install each merge as a new
+// manifest edition. Results are unaffected: compaction moves no data in
+// or out and leaves result caches valid.
+func (db *DB) Compact() eventstore.CompactionResult { return db.store.Compact() }
+
+// StartCompactor runs Compact in the background every interval; Close
+// (or StopCompactor) stops it.
+func (db *DB) StartCompactor(interval time.Duration) { db.store.StartCompactor(interval) }
+
+// StopCompactor stops the background compactor, if running.
+func (db *DB) StopCompactor() { db.store.StopCompactor() }
+
+// DurableStats reports the database's on-disk footprint (segment files,
+// WAL, manifest edition) and compaction activity.
+func (db *DB) DurableStats() eventstore.DurableStats { return db.store.DurableStats() }
+
+// SaveDir writes the database's full sealed state into dir as a durable
+// store directory — the migration path from legacy gob snapshots.
+func (db *DB) SaveDir(dir string) error { return db.store.SaveDir(dir) }
 
 // Append ingests one monitoring record.
 func (db *DB) Append(r Record) { db.store.Append(r) }

@@ -7,6 +7,11 @@
 //	aiql -data data.aiql -query 'proc p read file f["%passwd%"] as e return distinct p, f'
 //	aiql -data data.aiql            # REPL: terminate queries with a ';' line
 //	aiql -data data.aiql -explain -query '...'
+//	aiql -data data.aiql -migrate ./storedir   # one-shot: convert a gob snapshot to a durable directory
+//
+// -data also accepts a durable store directory; -migrate converts a
+// legacy gob snapshot into the file-per-segment durable layout that
+// aiqlserver -data-dir (and -data here) serves without replay.
 package main
 
 import (
@@ -32,8 +37,27 @@ func main() {
 		file    = flag.String("file", "", "read the query from a file")
 		explain = flag.Bool("explain", false, "show the execution plan instead of running")
 		stats   = flag.Bool("stats", true, "print execution statistics after results")
+		migrate = flag.String("migrate", "", "one-shot: convert the -data gob snapshot into a durable store directory at this path, then exit")
 	)
 	flag.Parse()
+
+	if *migrate != "" {
+		if *data == "" {
+			log.Fatal("-migrate requires -data naming the legacy gob snapshot")
+		}
+		start := time.Now()
+		db, err := aiql.LoadFile(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.SaveDir(*migrate); err != nil {
+			log.Fatal(err)
+		}
+		st := db.Stats()
+		fmt.Fprintf(os.Stderr, "migrated %d events (%d processes, %d files, %d connections) from %s to %s in %v\n",
+			st.Events, st.Processes, st.Files, st.Netconns, *data, *migrate, time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	db := openDB(*data)
 	st := db.Stats()
@@ -59,7 +83,7 @@ func openDB(path string) *aiql.DB {
 		fmt.Fprintln(os.Stderr, "no -data given; generating the built-in demo dataset (50k events, demo-apt scenario)")
 		return aiql.FromStore(experiments.BuildStore(experiments.Fig4Dataset(50000, 10, 42)))
 	}
-	db, err := aiql.LoadFile(path)
+	db, err := aiql.OpenPath(path)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,7 +10,14 @@
 // Usage:
 //
 //	aiqlserver -data data.aiql -addr :8080
-//	aiqlserver -datasets "prod=prod.aiql,staging=staging.aiql" -default prod
+//	aiqlserver -data-dir ./store -compact 30s
+//	aiqlserver -datasets "prod=proddir,staging=staging.aiql" -default prod
+//
+// A dataset path may be a legacy gob snapshot file or a durable store
+// directory (file-per-segment snapshots + MANIFEST + WAL, recovered on
+// open); -data-dir serves a durable directory as the default dataset,
+// creating it if absent, and -compact runs each dataset's background
+// segment compactor.
 //
 // API:
 //
@@ -43,8 +50,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aiqlserver: ")
 	var (
-		data       = flag.String("data", "", "dataset snapshot file served as dataset \"default\"; empty = built-in demo dataset (unless -datasets is given)")
-		datasets   = flag.String("datasets", "", "comma-separated name=path dataset list, e.g. \"prod=prod.aiql,staging=staging.aiql\"")
+		data       = flag.String("data", "", "dataset snapshot file served as dataset \"default\"; empty = built-in demo dataset (unless -datasets or -data-dir is given)")
+		dataDir    = flag.String("data-dir", "", "durable store directory served as dataset \"default\" (crash-recovered via MANIFEST + WAL; created if absent)")
+		datasets   = flag.String("datasets", "", "comma-separated name=path dataset list; each path may be a gob snapshot or a durable store directory, e.g. \"prod=proddir,staging=staging.aiql\"")
 		defName    = flag.String("default", "", "default dataset name (default: first registered)")
 		addr       = flag.String("addr", ":8080", "listen address")
 		workers    = flag.Int("workers", 0, "max concurrent query executions per dataset (0 = GOMAXPROCS)")
@@ -54,6 +62,7 @@ func main() {
 		scanCache  = flag.Int64("scan-cache-bytes", 0, "segment scan cache byte budget per dataset (0 = 64 MiB, negative disables)")
 		perClient  = flag.Int("client-inflight", 0, "max concurrent executions per client (0 = half the workers, negative disables)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query execution timeout")
+		compact    = flag.Duration("compact", 0, "background segment-compaction interval per dataset (0 disables), e.g. 30s")
 	)
 	flag.Parse()
 
@@ -66,7 +75,8 @@ func main() {
 			ClientInflight: *perClient,
 			DefaultTimeout: *timeout,
 		},
-		ScanCacheBytes: *scanCache,
+		ScanCacheBytes:  *scanCache,
+		CompactInterval: *compact,
 	})
 
 	if *datasets != "" {
@@ -80,8 +90,16 @@ func main() {
 			}
 		}
 	}
+	if *data != "" && *dataDir != "" {
+		log.Fatal("-data and -data-dir are mutually exclusive")
+	}
 	if *data != "" {
 		if _, err := cat.AddFile("default", *data); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *dataDir != "" {
+		if _, err := cat.AddDir("default", *dataDir); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	aiql "github.com/aiql/aiql"
 	"github.com/aiql/aiql/internal/service"
@@ -33,6 +34,11 @@ type Config struct {
 	// ScanCacheBytes budgets each dataset's segment scan cache; 0
 	// selects DefaultScanCacheBytes, negative disables the cache.
 	ScanCacheBytes int64
+	// CompactInterval, when positive, runs each dataset's background
+	// segment compactor at this period, merging chains of small sealed
+	// segments (and re-pointing the scan cache) while the dataset
+	// serves queries. Zero disables background compaction.
+	CompactInterval time.Duration
 }
 
 // Dataset is one named database with its service layer.
@@ -56,6 +62,11 @@ func (d *Dataset) Service() *service.Service { return d.svc }
 type Catalog struct {
 	cfg Config
 
+	// loadMu serializes hot-swaps: two concurrent Loads of one dataset
+	// would otherwise both close the old database and race two writers
+	// (and two recoveries) onto the same durable directory.
+	loadMu sync.Mutex
+
 	mu          sync.RWMutex
 	sets        map[string]*Dataset
 	order       []string // registration order
@@ -71,10 +82,14 @@ func New(cfg Config) *Catalog {
 }
 
 // newDataset wraps a database in a fresh service layer with the
-// catalog's configuration.
+// catalog's configuration, starting its background compactor when one
+// is configured.
 func (c *Catalog) newDataset(name, path string, db *aiql.DB) *Dataset {
 	if c.cfg.ScanCacheBytes > 0 {
 		db.EnableSegmentScanCache(c.cfg.ScanCacheBytes)
+	}
+	if c.cfg.CompactInterval > 0 {
+		db.StartCompactor(c.cfg.CompactInterval)
 	}
 	return &Dataset{name: name, path: path, svc: service.New(db, c.cfg.Service)}
 }
@@ -95,17 +110,39 @@ func (c *Catalog) AddDB(name string, db *aiql.DB) (*Dataset, error) {
 	return d, nil
 }
 
-// AddFile loads a snapshot file and registers it under name. The first
+// AddFile loads a dataset from path — a durable store directory or a
+// legacy gob snapshot file — and registers it under name. The first
 // dataset registered becomes the default.
 func (c *Catalog) AddFile(name, path string) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("catalog: dataset name must not be empty")
 	}
-	db, err := aiql.LoadFile(path)
+	db, err := aiql.OpenPath(path)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
 	}
 	d := c.newDataset(name, path, db)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sets[name]; ok {
+		return nil, fmt.Errorf("catalog: dataset %q already registered", name)
+	}
+	c.install(d)
+	return d, nil
+}
+
+// AddDir opens (creating or crash-recovering if needed) a durable
+// store directory and registers it under name. The first dataset
+// registered becomes the default.
+func (c *Catalog) AddDir(name, dir string) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: dataset name must not be empty")
+	}
+	db, err := aiql.OpenDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: open %q: %w", name, err)
+	}
+	d := c.newDataset(name, dir, db)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.sets[name]; ok {
@@ -179,12 +216,16 @@ func (c *Catalog) Names() []string {
 	return out
 }
 
-// Load hot-swaps (or registers) the dataset name from a snapshot file:
-// a brand-new store, engine, scan cache, and service are built from
-// path with no catalog lock held, then the entry is swapped atomically.
-// In-flight queries on the old dataset finish on the snapshot they
-// started with; new requests see the loaded data. An empty path reloads
-// the dataset's backing file.
+// Load hot-swaps (or registers) the dataset name from a durable store
+// directory or a legacy gob snapshot file: a brand-new store, engine,
+// scan cache, and service are built from path with no catalog lock
+// held, then the entry is swapped atomically. In-flight queries on the
+// old dataset finish on the snapshot they started with — including
+// while the old dataset's compactor is mid-pass: the replaced database
+// is closed first (in-flight compaction drained, further disk writes
+// fenced, WAL released), so the directory has one writer at a time, and
+// its in-memory snapshots stay readable until those queries finish. An
+// empty path reloads the dataset's backing file.
 //
 // Outstanding pagination cursors are deliberately not carried over: a
 // cursor names a result generation of the replaced store, and serving
@@ -209,14 +250,47 @@ func (c *Catalog) Load(name, path string) (*Dataset, error) {
 			return nil, fmt.Errorf("catalog: dataset %q has no backing snapshot; a path is required", name)
 		}
 	}
-	db, err := aiql.LoadFile(path)
+	c.loadMu.Lock()
+	defer c.loadMu.Unlock()
+	c.mu.RLock()
+	old := c.sets[name]
+	c.mu.RUnlock()
+
+	// When the reload targets the directory the old database is itself
+	// writing, close the old one BEFORE opening the new: Close drains
+	// any in-flight compaction pass, fences further disk writes, and
+	// releases the directory flock, so the new store's recovery (orphan
+	// cleanup included) sees a quiescent single-writer state. The old
+	// dataset keeps serving queries from memory throughout. For any
+	// other path the old database stays fully alive until the swap
+	// lands, so a failed load leaves the dataset untouched.
+	conflict := old != nil && old.svc.DB().DurableStats().Dir == path && path != ""
+	if conflict {
+		old.svc.DB().Close()
+	}
+	db, err := aiql.OpenPath(path)
 	if err != nil {
+		if conflict {
+			// The old database's durability was already torn down; try
+			// to reopen its directory so the dataset stays durable.
+			if rdb, rerr := aiql.OpenPath(old.path); rerr == nil {
+				d := c.newDataset(name, old.path, rdb)
+				c.mu.Lock()
+				c.install(d)
+				c.mu.Unlock()
+				return nil, fmt.Errorf("catalog: load %q: %w (previous dataset reopened)", name, err)
+			}
+			return nil, fmt.Errorf("catalog: load %q: %w (previous dataset now serves from memory only)", name, err)
+		}
 		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
 	}
 	d := c.newDataset(name, path, db)
 	c.mu.Lock()
 	c.install(d)
 	c.mu.Unlock()
+	if old != nil && !conflict {
+		old.svc.DB().Close()
+	}
 	return d, nil
 }
 

@@ -1,0 +1,166 @@
+package catalog
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	aiql "github.com/aiql/aiql"
+	"github.com/aiql/aiql/internal/eventstore"
+	"github.com/aiql/aiql/internal/service"
+)
+
+// buildSegmentedDir creates a durable store directory holding events
+// fragmented into many tiny sealed segments.
+func buildSegmentedDir(t testing.TB, dir string, batches, perBatch int) int {
+	t.Helper()
+	storage := eventstore.DefaultOptions()
+	storage.Dir = dir
+	storage.BatchCommit = false
+	storage.CompactTargetEvents = batches * perBatch
+	db, err := aiql.OpenDirWithOptions(storage, aiql.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	n := 0
+	for b := 0; b < batches; b++ {
+		recs := make([]aiql.Record, 0, perBatch)
+		for i := 0; i < perBatch; i++ {
+			recs = append(recs, aiql.Record{
+				AgentID: 1,
+				Subject: aiql.Process{PID: 100, ExeName: "worker.exe", Path: `C:\bin\worker.exe`, User: "alice"},
+				Op:      aiql.OpWrite,
+				ObjType: aiql.EntityFile,
+				ObjFile: aiql.File{Path: fmt.Sprintf(`C:\logs\out%d.log`, n)},
+				StartTS: int64(n) * int64(time.Second),
+			})
+			n++
+		}
+		db.AppendAll(recs)
+		db.Flush() // tiny seal per batch
+	}
+	segs := db.SegmentStats().Segments
+	if segs < batches {
+		t.Fatalf("setup sealed only %d segments, want >= %d", segs, batches)
+	}
+	return n
+}
+
+// TestCatalogServesDurableDirectory: a durable directory registers,
+// serves queries, and hot-reloads.
+func TestCatalogServesDurableDirectory(t *testing.T) {
+	dir := t.TempDir()
+	events := buildSegmentedDir(t, dir, 8, 4)
+
+	c := New(Config{})
+	d, err := c.AddDir("dur", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := d.Service().Do(context.Background(), service.Request{Query: demoQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TotalRows != events {
+		t.Fatalf("durable dataset returned %d rows, want %d", resp.TotalRows, events)
+	}
+	if st := d.Service().DatasetStats("dur"); st.Durable.Dir != dir || st.Durable.SegmentFiles == 0 {
+		t.Fatalf("stats missing durable figures: %+v", st.Durable)
+	}
+}
+
+// The satellite scenario: a hot-swap lands while the old dataset's
+// compaction is in flight. Queries started on the old service must
+// finish on their pinned snapshot, and the reloaded dataset must open
+// from the compacted manifest.
+func TestHotSwapDuringCompaction(t *testing.T) {
+	dir := t.TempDir()
+	events := buildSegmentedDir(t, dir, 16, 4)
+
+	c := New(Config{})
+	d, err := c.AddDir("x", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSvc := d.Service()
+	segsBefore := oldSvc.DatasetStats("x").Store.Segments
+
+	// queries hammer the old service while compaction runs and the
+	// catalog entry is swapped out from under it
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := oldSvc.Do(context.Background(), service.Request{Query: demoQuery})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.TotalRows != events {
+					errs <- fmt.Errorf("in-flight query on old dataset saw %d rows, want %d", resp.TotalRows, events)
+					return
+				}
+			}
+		}()
+	}
+
+	// compact the old dataset's store concurrently with the queries;
+	// wait for at least one pass to land so the manifest on disk is
+	// known to carry a compacted edition before the swap
+	compactDone := make(chan eventstore.CompactionResult, 1)
+	go func() { compactDone <- oldSvc.DB().Compact() }()
+	deadline := time.Now().Add(5 * time.Second)
+	for oldSvc.DB().DurableStats().Compactions == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// hot-swap while the compaction loop may still be mid-pass: Load
+	// drains it via Close before the replacement opens the directory
+	if _, err := c.Load("x", dir); err != nil {
+		t.Fatal(err)
+	}
+	res := <-compactDone
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if res.Passes == 0 {
+		t.Fatal("compaction performed no merges")
+	}
+
+	// the swapped-in dataset reads whatever manifest edition the
+	// compactor had installed; reloading once more after compaction
+	// finished must see the fully compacted manifest
+	d2, err := c.Load("x", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d2.Service().DatasetStats("x")
+	if st.Store.Segments >= segsBefore {
+		t.Fatalf("reloaded dataset has %d segments, want fewer than %d (compacted manifest)", st.Store.Segments, segsBefore)
+	}
+	if st.Store.Events != events {
+		t.Fatalf("reloaded dataset has %d events, want %d", st.Store.Events, events)
+	}
+	resp, err := d2.Service().Do(context.Background(), service.Request{Query: demoQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TotalRows != events {
+		t.Fatalf("compacted dataset returned %d rows, want %d", resp.TotalRows, events)
+	}
+}

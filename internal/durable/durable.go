@@ -1,0 +1,193 @@
+// Package durable implements the on-disk primitives of the AIQL durable
+// storage subsystem: file-per-segment snapshots, a manifest naming the
+// live segment set, and a write-ahead log covering the unsealed tail.
+//
+// The layout follows the paper's argument that attack-investigation
+// queries become efficient only when monitoring data is stored in a
+// layout purpose-built for its temporal/spatial locality instead of
+// being replayed from flat logs: a sealed segment is written exactly
+// once as an immutable file — columnar event blocks plus the segment's
+// serialized posting indexes plus a checksummed footer carrying its
+// min/max event ID — and loaded back without any re-chunking,
+// re-interning, or re-indexing. The MANIFEST records, per edition, the
+// live segment files together with the entity dictionary tables and the
+// store's ID counters; the WAL makes committed-but-unsealed events
+// durable between seals. Crash recovery is manifest load + WAL replay
+// of the tail; a torn final WAL record (the signature of a crash mid
+// write) truncates cleanly instead of poisoning the replay.
+//
+// The package speaks only sysmon types and bytes; the eventstore layers
+// its LSM store on top (see eventstore.Open), and the background
+// compactor rewrites merged segments through the same file format.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Well-known file names inside a durable store directory.
+const (
+	// ManifestName is the current manifest file.
+	ManifestName = "MANIFEST"
+	// manifestTmpName stages a manifest edition before the atomic rename.
+	manifestTmpName = "MANIFEST.tmp"
+	// WALName is the write-ahead log of committed-but-unsealed events.
+	WALName = "wal.log"
+)
+
+// SegmentFileName returns the canonical file name for a segment id.
+func SegmentFileName(id uint64) string {
+	return fmt.Sprintf("seg-%08d.seg", id)
+}
+
+// crcTable is the Castagnoli table used for every checksum in the
+// subsystem (segment blocks, manifest payload, WAL records).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func checksum(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+// byteWriter accumulates little-endian fields for one on-disk section.
+type byteWriter struct{ buf []byte }
+
+func (w *byteWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *byteWriter) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *byteWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *byteWriter) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *byteWriter) i64(v int64)  { w.u64(uint64(v)) }
+func (w *byteWriter) str(s string) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// byteReader decodes little-endian fields; it records the first
+// out-of-bounds read instead of panicking, so corrupt input surfaces as
+// a descriptive error from err().
+type byteReader struct {
+	buf  []byte
+	off  int
+	fail bool
+	// backing, when set, makes str return substrings of one shared
+	// string instead of allocating per field — the entity-table-heavy
+	// manifest decode drops tens of thousands of allocations this way,
+	// at the cost of pinning the whole image for the tables' lifetime.
+	backing string
+}
+
+// zeroCopyStrings converts the image to one string up front so every
+// str call afterwards is allocation-free.
+func (r *byteReader) zeroCopyStrings() { r.backing = string(r.buf) }
+
+func (r *byteReader) take(n int) []byte {
+	if r.fail || n < 0 || r.off+n > len(r.buf) {
+		r.fail = true
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *byteReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *byteReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *byteReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *byteReader) i64() int64 { return int64(r.u64()) }
+
+func (r *byteReader) str() string {
+	n, sz := binary.Uvarint(r.buf[r.off:])
+	if sz <= 0 {
+		r.fail = true
+		return ""
+	}
+	r.off += sz
+	start := r.off
+	b := r.take(int(n))
+	if b == nil {
+		return ""
+	}
+	if r.backing != "" {
+		return r.backing[start : start+int(n)]
+	}
+	return string(b)
+}
+
+func (r *byteReader) err(what string) error {
+	if r.fail {
+		return fmt.Errorf("durable: truncated %s", what)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to path via a temporary file, fsync, and
+// rename, then fsyncs the directory so the rename itself is durable.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: rename %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making recent creates/renames durable.
+// Best effort on platforms where directories cannot be fsynced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync() // some filesystems reject directory fsync; that's fine
+	return nil
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package durable
+
+// LockDir is a no-op on platforms without flock semantics: the
+// single-writer assumption is then enforced only by process discipline.
+func LockDir(dir string) (*DirLock, error) { return &DirLock{}, nil }
+
+// DirLock holds a directory's exclusive lock until Release.
+type DirLock struct{}
+
+// Release drops the lock. Safe to call more than once.
+func (l *DirLock) Release() error { return nil }

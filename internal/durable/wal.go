@@ -1,0 +1,293 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// The write-ahead log makes committed-but-unsealed events durable
+// between seals. Records are framed [u32 payload length | u32 crc32 |
+// payload] and appended in commit order; a commit appends its
+// dictionary deltas (entities interned since the last logged point)
+// followed by its events, so replaying the log front to back
+// reconstructs exactly the interning and append sequence the live
+// store performed. A crash mid-write leaves a torn final record: replay
+// stops at the first frame whose length or checksum does not line up,
+// OpenWAL truncates the tail back to the last durable frame, and every
+// record before the tear is recovered.
+
+// RecKind discriminates WAL record payloads.
+type RecKind uint8
+
+// WAL record kinds.
+const (
+	RecInvalid RecKind = iota
+	// RecProc/RecFile/RecConn append one entity to the corresponding
+	// dictionary table (dictionary tables are append-only, so a delta
+	// is just the new entries in intern order).
+	RecProc
+	RecFile
+	RecConn
+	// RecEvent appends one committed event (entity references are IDs
+	// into the dictionary as of this point in the log).
+	RecEvent
+)
+
+// Rec is one WAL record; Kind selects which payload field is set.
+type Rec struct {
+	Kind RecKind
+	// ID is the entity's dictionary ID for entity records. Replay uses
+	// it to skip entries a newer manifest already captured (manifests
+	// are written more often than the WAL is truncated), keeping the
+	// log idempotent with respect to the manifest.
+	ID    sysmon.EntityID
+	Proc  sysmon.Process
+	File  sysmon.File
+	Conn  sysmon.Netconn
+	Event sysmon.Event
+}
+
+// walFrameOverhead is the per-record framing cost: length + crc.
+const walFrameOverhead = 8
+
+// maxWALRecord bounds a single record's payload; frames claiming more
+// are treated as corruption rather than allocated.
+const maxWALRecord = 1 << 20
+
+func encodeRec(w *byteWriter, r *Rec) {
+	w.u8(uint8(r.Kind))
+	switch r.Kind {
+	case RecProc:
+		w.u32(uint32(r.ID))
+		w.u32(r.Proc.PID)
+		w.str(r.Proc.ExeName)
+		w.str(r.Proc.Path)
+		w.str(r.Proc.User)
+		w.str(r.Proc.CmdLine)
+	case RecFile:
+		w.u32(uint32(r.ID))
+		w.str(r.File.Path)
+		w.str(r.File.Owner)
+	case RecConn:
+		w.u32(uint32(r.ID))
+		w.str(r.Conn.SrcIP)
+		w.u16(r.Conn.SrcPort)
+		w.str(r.Conn.DstIP)
+		w.u16(r.Conn.DstPort)
+		w.str(r.Conn.Protocol)
+	case RecEvent:
+		e := &r.Event
+		w.u64(e.ID)
+		w.u32(e.AgentID)
+		w.u32(uint32(e.Subject))
+		w.u16(uint16(e.Op))
+		w.u8(uint8(e.ObjType))
+		w.u32(uint32(e.Object))
+		w.i64(e.StartTS)
+		w.i64(e.EndTS)
+		w.u64(e.Amount)
+		w.u64(e.Seq)
+	}
+}
+
+func decodeRec(payload []byte) (Rec, error) {
+	r := &byteReader{buf: payload}
+	var rec Rec
+	rec.Kind = RecKind(r.u8())
+	switch rec.Kind {
+	case RecProc:
+		rec.ID = sysmon.EntityID(r.u32())
+		rec.Proc.PID = r.u32()
+		rec.Proc.ExeName = r.str()
+		rec.Proc.Path = r.str()
+		rec.Proc.User = r.str()
+		rec.Proc.CmdLine = r.str()
+	case RecFile:
+		rec.ID = sysmon.EntityID(r.u32())
+		rec.File.Path = r.str()
+		rec.File.Owner = r.str()
+	case RecConn:
+		rec.ID = sysmon.EntityID(r.u32())
+		rec.Conn.SrcIP = r.str()
+		rec.Conn.SrcPort = r.u16()
+		rec.Conn.DstIP = r.str()
+		rec.Conn.DstPort = r.u16()
+		rec.Conn.Protocol = r.str()
+	case RecEvent:
+		e := &rec.Event
+		e.ID = r.u64()
+		e.AgentID = r.u32()
+		e.Subject = sysmon.EntityID(r.u32())
+		e.Op = sysmon.Operation(r.u16())
+		e.ObjType = sysmon.EntityType(r.u8())
+		e.Object = sysmon.EntityID(r.u32())
+		e.StartTS = r.i64()
+		e.EndTS = r.i64()
+		e.Amount = r.u64()
+		e.Seq = r.u64()
+	default:
+		return rec, fmt.Errorf("durable: unknown WAL record kind %d", rec.Kind)
+	}
+	return rec, r.err("WAL record")
+}
+
+// WAL is an open write-ahead log. Appends are serialized internally;
+// the caller decides per append whether to fsync (acknowledged
+// durability) or just flush to the OS (crash-of-process durability).
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	size    int64
+	records uint64
+}
+
+// OpenWAL opens (creating if absent) the log at path, replaying every
+// intact record through apply in order. A torn or corrupt tail — the
+// signature of a crash mid-append — is truncated back to the last
+// intact frame so subsequent appends extend a clean log; the records
+// before the tear are all delivered. apply may be nil to skip replay
+// delivery (the scan still locates the tail).
+func OpenWAL(path string, apply func(Rec) error) (*WAL, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	good := 0
+	var records uint64
+	for off := 0; off+walFrameOverhead <= len(buf); {
+		n := int(binary.LittleEndian.Uint32(buf[off:]))
+		crc := binary.LittleEndian.Uint32(buf[off+4:])
+		if n <= 0 || n > maxWALRecord || off+walFrameOverhead+n > len(buf) {
+			break // torn final record
+		}
+		payload := buf[off+walFrameOverhead : off+walFrameOverhead+n]
+		if checksum(payload) != crc {
+			break // corrupt tail
+		}
+		rec, err := decodeRec(payload)
+		if err != nil {
+			break // undecodable: treat as the tear point
+		}
+		if apply != nil {
+			if err := apply(rec); err != nil {
+				return nil, err
+			}
+		}
+		off += walFrameOverhead + n
+		good = off
+		records++
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	if int64(good) != int64(len(buf)) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("durable: truncate torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	return &WAL{f: f, path: path, size: int64(good), records: records}, nil
+}
+
+// Append writes the records as one contiguous run of frames. With sync
+// the data is fsynced before returning — the commit is then durable
+// against power loss, which is what makes it "acknowledged".
+func (w *WAL) Append(recs []Rec, sync bool) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	enc := &byteWriter{}
+	frame := &byteWriter{buf: make([]byte, 0, 256)}
+	for i := range recs {
+		frame.buf = frame.buf[:0]
+		encodeRec(frame, &recs[i])
+		enc.u32(uint32(len(frame.buf)))
+		enc.u32(checksum(frame.buf))
+		enc.buf = append(enc.buf, frame.buf...)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("durable: WAL is closed")
+	}
+	if _, err := w.f.Write(enc.buf); err != nil {
+		return fmt.Errorf("durable: WAL append: %w", err)
+	}
+	w.size += int64(len(enc.buf))
+	w.records += uint64(len(recs))
+	if sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("durable: WAL sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Truncate discards the log's contents: every event it covered is now
+// durable in manifest-listed segment files.
+func (w *WAL) Truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("durable: WAL is closed")
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("durable: WAL truncate: %w", err)
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: WAL sync: %w", err)
+	}
+	w.size = 0
+	w.records = 0
+	return nil
+}
+
+// Size returns the log's current byte length.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Records returns the number of records in the log.
+func (w *WAL) Records() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// Sync fsyncs the log.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Close fsyncs and closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	w.f.Sync()
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

@@ -58,6 +58,12 @@ func NewWithConfig(store *eventstore.Store, cfg Config) *Engine {
 	if cfg.ScanCacheBytes > 0 {
 		e.scache.Store(newScanCache(cfg.ScanCacheBytes))
 	}
+	// Re-point the scan cache when compaction retires segments: their
+	// cached batches can never be requested again (new snapshots carry
+	// the merged segment, which is scanned and cached under its own id).
+	store.OnSegmentRetire(func(segIDs []uint64) {
+		e.scache.Load().retire(segIDs)
+	})
 	return e
 }
 

@@ -241,6 +241,31 @@ func (c *scanCache) put(fp scanFP, seg uint64, events []sysmon.Event) {
 	}
 }
 
+// retire drops every entry keyed to one of the given segment IDs:
+// compaction replaced those segments with a merged one, so their
+// batches can never be requested again — the merged segment is scanned
+// (and cached) fresh under its own ID. A late put from a query still
+// scanning a pinned pre-compaction snapshot may re-add one entry; it is
+// bounded garbage that ages out with the LRU.
+func (c *scanCache) retire(segIDs []uint64) {
+	if c == nil || len(segIDs) == 0 {
+		return
+	}
+	retired := make(map[uint64]bool, len(segIDs))
+	for _, id := range segIDs {
+		retired[id] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.entries {
+		if retired[key.seg] {
+			c.bytes -= el.Value.(*scanCacheEntry).bytes
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+}
+
 func (c *scanCache) stats() ScanCacheStats {
 	if c == nil {
 		return ScanCacheStats{}

@@ -1,0 +1,262 @@
+package eventstore
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/aiql/aiql/internal/durable"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// Compaction solves the small-segment accumulation problem: repeated
+// small seals (frequent Flushes, trickling agents) leave chains of tiny
+// segments whose per-segment overhead — scan-cache entries, manifest
+// rows, file handles — dwarfs their data. A pass merges a chain of
+// adjacent small segments into one (bounded by CompactFanIn segments
+// and CompactTargetEvents merged events), installs the result by
+// replacing the chain slice copy-on-write — snapshots pinned by
+// in-flight queries keep scanning the retired segments, which stay
+// immutable — and retires the old segment IDs through the store's
+// retire listeners so the engine's scan cache re-points at the merged
+// segment. Durable stores write the merged segment file and a new
+// manifest edition before deleting the retired files, so a crash at any
+// point recovers either the old chain or the new one, never neither.
+//
+// Compaction moves no events in or out of the store and does not bump
+// the commit counter: every result (and result-cache entry) computed
+// before a pass remains valid after it.
+
+// CompactionResult sums what compaction passes accomplished.
+type CompactionResult struct {
+	// Passes is the number of merges performed.
+	Passes int
+	// SegmentsRetired counts the input segments replaced by merges.
+	SegmentsRetired int
+	// EventsMerged counts the events rewritten into merged segments.
+	EventsMerged int
+}
+
+// compactRun is one eligible chain of adjacent small segments.
+type compactRun struct {
+	key  PartKey
+	segs []*Segment
+}
+
+// findCompactRunLocked returns the first chain of ≥2 adjacent segments,
+// each smaller than the target, whose merged size stays within the
+// target, taking at most CompactFanIn inputs. Caller holds mu (read).
+func (s *Store) findCompactRunLocked() *compactRun {
+	target := s.opts.CompactTargetEvents
+	fanIn := s.opts.CompactFanIn
+	for _, key := range s.order {
+		p := s.parts[key]
+		for i := 0; i < len(p.segs); i++ {
+			if p.segs[i].Len() >= target {
+				continue
+			}
+			total := 0
+			j := i
+			for j < len(p.segs) && j-i < fanIn && p.segs[j].Len() < target && total+p.segs[j].Len() <= target {
+				total += p.segs[j].Len()
+				j++
+			}
+			if j-i >= 2 {
+				return &compactRun{key: key, segs: p.segs[i:j:j]}
+			}
+		}
+	}
+	return nil
+}
+
+// CompactOnce performs at most one merge. It reports whether a merge
+// happened; callers loop (or use Compact) to drain all eligible chains.
+// Safe to call concurrently with appends, seals, and queries.
+func (s *Store) CompactOnce() (CompactionResult, bool) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	if s.closed.Load() {
+		return CompactionResult{}, false
+	}
+
+	s.mu.RLock()
+	run := s.findCompactRunLocked()
+	s.mu.RUnlock()
+	if run == nil {
+		return CompactionResult{}, false
+	}
+
+	// Merge outside any lock: the inputs are immutable.
+	merged := mergeSegmentEvents(run.segs)
+	s.mu.Lock()
+	s.nextSegID++
+	id := s.nextSegID
+	s.mu.Unlock()
+	g := newSegment(id, run.key, merged, s.opts.Indexes)
+	g.buildIndexes()
+
+	// Durable stores persist the merged segment before installing it,
+	// so the manifest edition written below can list it immediately.
+	if d := s.dur; d != nil {
+		d.mu.Lock()
+		name := durable.SegmentFileName(id)
+		n, err := durable.WriteSegmentFile(filepath.Join(d.dir, name), g.segmentData())
+		if err != nil {
+			d.setErr(err)
+			d.mu.Unlock()
+			return CompactionResult{}, false
+		}
+		d.persisted[id] = persistedSeg{file: name, bytes: n}
+		d.mu.Unlock()
+	}
+
+	// Install copy-on-write: pinned snapshots keep the old chain slice;
+	// only compaction removes or reorders chain elements and compactMu
+	// serializes it, so the run is still in place — seals can only have
+	// appended behind it.
+	s.mu.Lock()
+	p := s.parts[run.key]
+	idx := runIndex(p.segs, run.segs)
+	if idx < 0 {
+		s.mu.Unlock()
+		if d := s.dur; d != nil {
+			d.mu.Lock()
+			if ps, ok := d.persisted[id]; ok {
+				delete(d.persisted, id)
+				os.Remove(filepath.Join(d.dir, ps.file))
+			}
+			d.mu.Unlock()
+		}
+		return CompactionResult{}, false
+	}
+	newSegs := make([]*Segment, 0, len(p.segs)-len(run.segs)+1)
+	newSegs = append(newSegs, p.segs[:idx]...)
+	newSegs = append(newSegs, g)
+	newSegs = append(newSegs, p.segs[idx+len(run.segs):]...)
+	p.segs = newSegs
+	s.snap = nil // same data, new segment set; commits stay unchanged
+	s.mu.Unlock()
+
+	retired := make([]uint64, len(run.segs))
+	for i, old := range run.segs {
+		retired[i] = old.id
+	}
+	s.notifyRetire(retired)
+
+	if d := s.dur; d != nil {
+		d.mu.Lock()
+		var oldFiles []string
+		for _, old := range run.segs {
+			if ps, ok := d.persisted[old.id]; ok {
+				oldFiles = append(oldFiles, ps.file)
+				delete(d.persisted, old.id)
+			}
+		}
+		s.writeManifestLocked()
+		d.mu.Unlock()
+		// The new edition no longer references the retired files;
+		// pinned snapshots read memory, never files, so deletion is
+		// safe immediately.
+		for _, f := range oldFiles {
+			os.Remove(filepath.Join(d.dir, f))
+		}
+	}
+
+	s.compactions.Add(1)
+	s.segsCompacted.Add(uint64(len(run.segs)))
+	return CompactionResult{Passes: 1, SegmentsRetired: len(run.segs), EventsMerged: len(merged)}, true
+}
+
+// Compact runs passes until no chain is eligible, returning the sums.
+func (s *Store) Compact() CompactionResult {
+	var total CompactionResult
+	for {
+		r, ok := s.CompactOnce()
+		if !ok {
+			return total
+		}
+		total.Passes += r.Passes
+		total.SegmentsRetired += r.SegmentsRetired
+		total.EventsMerged += r.EventsMerged
+	}
+}
+
+// runIndex locates run as a contiguous subsequence of segs by pointer
+// identity; -1 if it is no longer there.
+func runIndex(segs, run []*Segment) int {
+	for i := 0; i+len(run) <= len(segs); i++ {
+		if segs[i] != run[0] {
+			continue
+		}
+		match := true
+		for j := 1; j < len(run); j++ {
+			if segs[i+j] != run[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+// mergeSegmentEvents flattens the runs in chain order and stable-sorts
+// by start timestamp: equal timestamps keep their chain (arrival)
+// order, exactly as a stable k-way merge would.
+func mergeSegmentEvents(segs []*Segment) []sysmon.Event {
+	total := 0
+	for _, g := range segs {
+		total += len(g.events)
+	}
+	out := make([]sysmon.Event, 0, total)
+	for _, g := range segs {
+		out = append(out, g.events...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartTS < out[j].StartTS })
+	return out
+}
+
+// StartCompactor runs Compact in the background every interval until
+// StopCompactor (or Close). A second call while running is a no-op.
+func (s *Store) StartCompactor(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	s.compactorMu.Lock()
+	defer s.compactorMu.Unlock()
+	if s.compactorStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.compactorStop, s.compactorDone = stop, done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.Compact()
+			}
+		}
+	}()
+}
+
+// StopCompactor stops the background compactor and waits for the
+// in-flight pass, if any, to finish. No-op when none is running.
+func (s *Store) StopCompactor() {
+	s.compactorMu.Lock()
+	stop, done := s.compactorStop, s.compactorDone
+	s.compactorStop, s.compactorDone = nil, nil
+	s.compactorMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

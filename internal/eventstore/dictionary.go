@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/aiql/aiql/internal/like"
 	"github.com/aiql/aiql/internal/sysmon"
@@ -24,6 +25,10 @@ type Dictionary struct {
 	mu      sync.RWMutex
 	dedup   bool
 	indexed bool
+
+	// needsBuild marks a restored dictionary whose intern maps and
+	// attribute indexes have not been hydrated yet (see restoreTables).
+	needsBuild atomic.Bool
 
 	procs []sysmon.Process // index = EntityID-1
 	files []sysmon.File
@@ -54,10 +59,116 @@ func newDictionary(dedup, indexed bool) *Dictionary {
 	return d
 }
 
+// tableHeaders snapshots the entity table slice headers. Tables are
+// append-only and entries immutable, so the returned slices stay valid
+// while the dictionary keeps interning; callers may read them with no
+// lock held but must not mutate them.
+func (d *Dictionary) tableHeaders() (procs []sysmon.Process, files []sysmon.File, conns []sysmon.Netconn) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.procs, d.files, d.conns
+}
+
+// restoreTables installs persisted entity tables into an empty
+// dictionary. Entity IDs are table positions, so restoring the tables
+// verbatim preserves every ID referenced by persisted events.
+//
+// The derived structures — intern maps and attribute hash indexes —
+// are NOT rebuilt here: they hydrate lazily on first use (an intern, or
+// an exact-match index lookup), keeping dataset open latency down to
+// reading the tables themselves. Everything else works on the raw
+// tables: ID→entity lookups index directly and wildcard attribute
+// matches scan the (deduplicated, hence small) tables anyway.
+func (d *Dictionary) restoreTables(procs []sysmon.Process, files []sysmon.File, conns []sysmon.Netconn) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.procs, d.files, d.conns = procs, files, conns
+	if d.dedup || d.indexed {
+		d.needsBuild.Store(true)
+	}
+}
+
+// ensureBuilt hydrates the derived structures deferred by
+// restoreTables; a no-op (one atomic load) once built.
+func (d *Dictionary) ensureBuilt() {
+	if !d.needsBuild.Load() {
+		return
+	}
+	d.mu.Lock()
+	d.buildLocked()
+	d.mu.Unlock()
+}
+
+// buildLocked rebuilds intern maps and attribute indexes from the
+// restored tables. The three entity types rebuild concurrently — their
+// maps are disjoint. Caller holds the write lock.
+func (d *Dictionary) buildLocked() {
+	if !d.needsBuild.Load() {
+		return
+	}
+	procs, files, conns := d.procs, d.files, d.conns
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		if d.dedup {
+			d.procIntern = make(map[sysmon.Process]sysmon.EntityID, len(procs))
+		}
+		for i := range procs {
+			id := sysmon.EntityID(i + 1)
+			if d.dedup {
+				d.procIntern[procs[i]] = id
+			}
+			if d.indexed {
+				for _, attr := range sysmon.Attrs(sysmon.EntityProcess) {
+					addIdx(d.procIdx, attr, sysmon.ProcessAttr(&procs[i], attr), id)
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if d.dedup {
+			d.fileIntern = make(map[sysmon.File]sysmon.EntityID, len(files))
+		}
+		for i := range files {
+			id := sysmon.EntityID(i + 1)
+			if d.dedup {
+				d.fileIntern[files[i]] = id
+			}
+			if d.indexed {
+				for _, attr := range sysmon.Attrs(sysmon.EntityFile) {
+					addIdx(d.fileIdx, attr, sysmon.FileAttr(&files[i], attr), id)
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if d.dedup {
+			d.connIntern = make(map[sysmon.Netconn]sysmon.EntityID, len(conns))
+		}
+		for i := range conns {
+			id := sysmon.EntityID(i + 1)
+			if d.dedup {
+				d.connIntern[conns[i]] = id
+			}
+			if d.indexed {
+				for _, attr := range sysmon.Attrs(sysmon.EntityNetconn) {
+					addIdx(d.connIdx, attr, sysmon.NetconnAttr(&conns[i], attr), id)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	d.needsBuild.Store(false)
+}
+
 // InternProcess returns the ID for p, creating (and indexing) it if new.
 func (d *Dictionary) InternProcess(p sysmon.Process) sysmon.EntityID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.buildLocked()
 	if d.dedup {
 		if id, ok := d.procIntern[p]; ok {
 			return id
@@ -80,6 +191,7 @@ func (d *Dictionary) InternProcess(p sysmon.Process) sysmon.EntityID {
 func (d *Dictionary) InternFile(f sysmon.File) sysmon.EntityID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.buildLocked()
 	if d.dedup {
 		if id, ok := d.fileIntern[f]; ok {
 			return id
@@ -102,6 +214,7 @@ func (d *Dictionary) InternFile(f sysmon.File) sysmon.EntityID {
 func (d *Dictionary) InternNetconn(n sysmon.Netconn) sysmon.EntityID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.buildLocked()
 	if d.dedup {
 		if id, ok := d.connIntern[n]; ok {
 			return id
@@ -200,6 +313,9 @@ func (d *Dictionary) Count(t sysmon.EntityType) int {
 // the hash index; wildcard patterns scan the (deduplicated, hence small)
 // dictionary. Without indexes every lookup scans the dictionary.
 func (d *Dictionary) MatchEntities(t sysmon.EntityType, attr string, pat *like.Pattern) *IDSet {
+	if d.indexed && pat.Exact() {
+		d.ensureBuilt() // only the exact path consults the hash indexes
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	attr, ok := sysmon.CanonicalAttr(t, attr)

@@ -1,0 +1,585 @@
+package eventstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/aiql/aiql/internal/durable"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// The durable storage subsystem layers crash-safe persistence under the
+// LSM store without touching its read path: sealed segments are written
+// exactly once as individual files and loaded back without re-indexing,
+// a MANIFEST names the live segment set (plus the dictionary tables and
+// ID counters), and a write-ahead log covers committed events that have
+// not reached a sealed segment yet. Recovery is manifest load + WAL
+// replay of the unsealed tail.
+//
+// Two invariants carry the whole design:
+//
+//  1. Chunk chains seal in arrival (event-ID) order, so a chunk's
+//     persisted segments always cover an ID-prefix of its events. The
+//     manifest lists the longest *persisted* prefix of each chain, and
+//     WAL replay skips exactly the records whose event ID falls at or
+//     below the listed segments' max event ID for their chunk.
+//  2. The WAL is truncated only when a manifest edition covers every
+//     committed event (all chains fully persisted, all memtables and
+//     the append batch empty). Until then replay stays idempotent:
+//     entity records carry their dictionary ID and event records their
+//     event ID, so records already captured by a newer manifest are
+//     recognized and skipped.
+//
+// A crash between a seal and its manifest edition therefore loses
+// nothing: the segment file is ignored (and deleted as an orphan on the
+// next open) and its events are recovered from the WAL instead.
+
+// persistedSeg records one segment's on-disk file.
+type persistedSeg struct {
+	file  string
+	bytes int64
+}
+
+// durableState is a Store's attachment to its directory.
+type durableState struct {
+	dir     string
+	syncWAL bool
+	wal     *durable.WAL
+	lock    *durable.DirLock // exclusive flock; held until Close
+
+	// mu serializes segment persistence, manifest editions, and WAL
+	// truncation decisions. Lock order: mu before Store.mu (read).
+	mu        sync.Mutex
+	edition   uint64
+	persisted map[uint64]persistedSeg
+
+	// loggedProcs/Files/Conns count the dictionary entries already
+	// appended to the WAL; guarded by the Store's write lock (they are
+	// only touched inside commitLocked).
+	loggedProcs int
+	loggedFiles int
+	loggedConns int
+
+	errMu   sync.Mutex
+	lastErr error
+}
+
+// setErr records the first durability failure; the store keeps serving
+// from memory, and the error surfaces through DurableStats.
+func (d *durableState) setErr(err error) {
+	if err == nil {
+		return
+	}
+	d.errMu.Lock()
+	if d.lastErr == nil {
+		d.lastErr = err
+	}
+	d.errMu.Unlock()
+}
+
+func (d *durableState) lastError() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.lastErr
+}
+
+// Open opens (creating or recovering) the durable store at opts.Dir:
+// manifest-listed segment files load back with their indexes — no
+// re-chunking, re-interning, or re-indexing — and the WAL replays the
+// committed-but-unsealed tail into memtables. A torn final WAL record
+// (crash mid append) is truncated; every record before it is recovered.
+func Open(opts Options) (*Store, error) {
+	opts = opts.normalized()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("eventstore: Open requires Options.Dir (use New for an in-memory store)")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("eventstore: %w", err)
+	}
+	// The whole subsystem assumes one writer per directory: WAL frames,
+	// manifest editions, and orphan cleanup would all tear under two.
+	// The flock enforces it across processes (and across opens within
+	// one process); a crashed owner releases it automatically.
+	lock, err := durable.LockDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("eventstore: %w", err)
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			lock.Release()
+		}
+	}()
+	s := New(opts)
+	d := &durableState{dir: opts.Dir, syncWAL: opts.SyncWAL, lock: lock, persisted: make(map[uint64]persistedSeg)}
+
+	maxSealed := make(map[PartKey]uint64)
+	var toIndex []*Segment
+	m, err := durable.ReadManifest(opts.Dir)
+	switch {
+	case err == nil:
+		if m.Partitioning != opts.Partitioning || m.ChunkDurationNS != int64(opts.ChunkDuration) || m.Dedup != opts.Dedup {
+			return nil, fmt.Errorf("eventstore: %s: manifest layout (partitioning=%v chunk=%v dedup=%v) does not match Open options (partitioning=%v chunk=%v dedup=%v)",
+				opts.Dir, m.Partitioning, m.ChunkDurationNS, m.Dedup, opts.Partitioning, int64(opts.ChunkDuration), opts.Dedup)
+		}
+		// The dictionary rebuild (intern maps + attribute indexes over
+		// tens of thousands of entities) and the segment file loads are
+		// independent; run them concurrently, with the files themselves
+		// decoded by a worker pool — this is where load-without-replay
+		// wins its wall-clock over gob.
+		dictDone := make(chan struct{})
+		go func() {
+			defer close(dictDone)
+			s.dict.restoreTables(m.Procs, m.Files, m.Conns)
+		}()
+		s.nextSegID = m.NextSegID
+		s.nextEventID = m.NextEventID
+		for agent, seq := range m.NextSeq {
+			s.nextSeq[agent] = seq
+		}
+		d.edition = m.Edition
+		loaded := make([]*Segment, len(m.Segments))
+		sizes := make([]int64, len(m.Segments))
+		var loadErr error
+		var loadMu sync.Mutex
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i := range m.Segments {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer func() { <-sem; wg.Done() }()
+				ref := &m.Segments[i]
+				path := filepath.Join(opts.Dir, ref.File)
+				sd, err := durable.ReadSegmentFile(path)
+				if err == nil && (sd.ID != ref.ID || len(sd.Events) != ref.Events) {
+					err = fmt.Errorf("segment file %s does not match manifest (id %d vs %d, %d events vs %d)",
+						ref.File, sd.ID, ref.ID, len(sd.Events), ref.Events)
+				}
+				if err != nil {
+					loadMu.Lock()
+					if loadErr == nil {
+						loadErr = err
+					}
+					loadMu.Unlock()
+					return
+				}
+				loaded[i] = restoreSegment(sd, opts.Indexes)
+				if fi, err := os.Stat(path); err == nil {
+					sizes[i] = fi.Size()
+				}
+			}(i)
+		}
+		wg.Wait()
+		<-dictDone
+		if loadErr != nil {
+			return nil, fmt.Errorf("eventstore: recover %s: %w", opts.Dir, loadErr)
+		}
+		// assemble chains in manifest (scan) order
+		for i, g := range loaded {
+			if opts.Indexes && !g.ready.Load() {
+				toIndex = append(toIndex, g) // persisted before its indexes were built
+			}
+			p := s.parts[g.key]
+			if p == nil {
+				p = &partState{key: g.key}
+				s.parts[g.key] = p
+				s.order = append(s.order, g.key)
+			}
+			p.segs = append(p.segs, g)
+			d.persisted[g.id] = persistedSeg{file: m.Segments[i].File, bytes: sizes[i]}
+			if g.maxEventID > maxSealed[g.key] {
+				maxSealed[g.key] = g.maxEventID
+			}
+			s.noteEventsLocked(len(g.events), g.minTS, g.maxTS)
+		}
+	case errors.Is(err, durable.ErrNoManifest):
+		// fresh directory
+	default:
+		return nil, fmt.Errorf("eventstore: recover %s: %w", opts.Dir, err)
+	}
+
+	// Replay the WAL tail: entity deltas the manifest does not capture
+	// extend the dictionary; events not covered by a listed segment go
+	// back to their chunk's memtable.
+	pending := make(map[PartKey][]sysmon.Event)
+	var pendingOrder []PartKey
+	wal, err := durable.OpenWAL(filepath.Join(opts.Dir, durable.WALName), func(rec durable.Rec) error {
+		switch rec.Kind {
+		case durable.RecProc:
+			if int(rec.ID) > s.dict.Count(sysmon.EntityProcess) {
+				if id := s.dict.InternProcess(rec.Proc); id != rec.ID {
+					return fmt.Errorf("eventstore: recover %s: WAL process entity landed at id %d, logged as %d", opts.Dir, id, rec.ID)
+				}
+			}
+		case durable.RecFile:
+			if int(rec.ID) > s.dict.Count(sysmon.EntityFile) {
+				if id := s.dict.InternFile(rec.File); id != rec.ID {
+					return fmt.Errorf("eventstore: recover %s: WAL file entity landed at id %d, logged as %d", opts.Dir, id, rec.ID)
+				}
+			}
+		case durable.RecConn:
+			if int(rec.ID) > s.dict.Count(sysmon.EntityNetconn) {
+				if id := s.dict.InternNetconn(rec.Conn); id != rec.ID {
+					return fmt.Errorf("eventstore: recover %s: WAL connection entity landed at id %d, logged as %d", opts.Dir, id, rec.ID)
+				}
+			}
+		case durable.RecEvent:
+			ev := rec.Event
+			key := s.partKey(ev.AgentID, ev.StartTS)
+			if ev.ID <= maxSealed[key] {
+				return nil // already durable in a manifest-listed segment
+			}
+			if _, ok := pending[key]; !ok {
+				pendingOrder = append(pendingOrder, key)
+			}
+			pending[key] = append(pending[key], ev)
+			if ev.ID > s.nextEventID {
+				s.nextEventID = ev.ID
+			}
+			if ev.Seq > s.nextSeq[ev.AgentID] {
+				s.nextSeq[ev.AgentID] = ev.Seq
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.wal = wal
+	for _, key := range pendingOrder {
+		evs := pending[key]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].StartTS < evs[j].StartTS })
+		p := s.parts[key]
+		if p == nil {
+			p = &partState{key: key}
+			s.parts[key] = p
+			s.order = append(s.order, key)
+		}
+		var minTS, maxTS int64
+		if len(evs) > 0 {
+			minTS, maxTS = evs[0].StartTS, evs[len(evs)-1].StartTS
+		}
+		p.mem.appendBatch(evs)
+		s.noteEventsLocked(len(evs), minTS, maxTS)
+	}
+	d.loggedProcs = s.dict.Count(sysmon.EntityProcess)
+	d.loggedFiles = s.dict.Count(sysmon.EntityFile)
+	d.loggedConns = s.dict.Count(sysmon.EntityNetconn)
+	s.dur = d
+	indexSegments(toIndex)
+	removeOrphans(opts.Dir, d.persisted)
+	opened = true
+	return s, nil
+}
+
+// noteEventsLocked accounts n restored events with the given time range
+// into the store's totals. Open runs single-threaded, so "locked" is by
+// construction rather than by mutex.
+func (s *Store) noteEventsLocked(n int, minTS, maxTS int64) {
+	if n == 0 {
+		return
+	}
+	if s.total == 0 || minTS < s.minTS {
+		s.minTS = minTS
+	}
+	if s.total == 0 || maxTS > s.maxTS {
+		s.maxTS = maxTS
+	}
+	s.total += n
+}
+
+// removeOrphans deletes segment files the manifest does not reference:
+// leftovers of a crash between a seal and its manifest edition (their
+// events recover from the WAL) or of a compaction's retired inputs.
+func removeOrphans(dir string, persisted map[uint64]persistedSeg) {
+	live := make(map[string]bool, len(persisted))
+	for _, ps := range persisted {
+		live[ps.file] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		stale := (strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".seg") && !live[name]) ||
+			strings.HasPrefix(name, ".tmp-")
+		if stale {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// logCommitLocked appends the commit to the WAL before it becomes
+// visible: first the dictionary entries interned since the last logged
+// point (replay must be able to resolve the events' entity IDs), then
+// the batch's events. Runs under the store's write lock, which is what
+// guarantees WAL order equals commit order.
+func (d *durableState) logCommitLocked(s *Store) {
+	procs, files, conns := s.dict.tableHeaders()
+	recs := make([]durable.Rec, 0,
+		len(s.batch)+(len(procs)-d.loggedProcs)+(len(files)-d.loggedFiles)+(len(conns)-d.loggedConns))
+	for i := d.loggedProcs; i < len(procs); i++ {
+		recs = append(recs, durable.Rec{Kind: durable.RecProc, ID: sysmon.EntityID(i + 1), Proc: procs[i]})
+	}
+	for i := d.loggedFiles; i < len(files); i++ {
+		recs = append(recs, durable.Rec{Kind: durable.RecFile, ID: sysmon.EntityID(i + 1), File: files[i]})
+	}
+	for i := d.loggedConns; i < len(conns); i++ {
+		recs = append(recs, durable.Rec{Kind: durable.RecConn, ID: sysmon.EntityID(i + 1), Conn: conns[i]})
+	}
+	d.loggedProcs, d.loggedFiles, d.loggedConns = len(procs), len(files), len(conns)
+	for i := range s.batch {
+		recs = append(recs, durable.Rec{Kind: durable.RecEvent, Event: s.batch[i]})
+	}
+	if err := d.wal.Append(recs, d.syncWAL); err != nil {
+		d.setErr(err)
+	}
+}
+
+// persistSealed writes freshly sealed segments as individual files and
+// installs a manifest edition covering them. Called with no store locks
+// held, after the segments' indexes are built, so a seal's disk work
+// never stalls appends or queries.
+func (s *Store) persistSealed(segs []*Segment) {
+	d := s.dur
+	if d == nil || len(segs) == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Re-checked under d.mu: Close drains this mutex after setting the
+	// flag, so once Close returns no straggler can touch the directory.
+	if s.closed.Load() {
+		return
+	}
+	for _, g := range segs {
+		name := durable.SegmentFileName(g.id)
+		n, err := durable.WriteSegmentFile(filepath.Join(d.dir, name), g.segmentData())
+		if err != nil {
+			d.setErr(err)
+			return
+		}
+		d.persisted[g.id] = persistedSeg{file: name, bytes: n}
+	}
+	s.writeManifestLocked()
+}
+
+// writeManifestLocked installs a manifest edition reflecting the
+// store's current persisted state, then truncates the WAL if the
+// edition covers every committed event. The caller holds d.mu; the
+// store read lock is held across the write and the truncation so no
+// commit can slip records into the WAL between the coverage check and
+// the truncate.
+func (s *Store) writeManifestLocked() {
+	d := s.dur
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := &durable.Manifest{
+		Edition:         d.edition + 1,
+		NextSegID:       s.nextSegID,
+		NextEventID:     s.nextEventID,
+		NextSeq:         make(map[uint32]uint64, len(s.nextSeq)),
+		Partitioning:    s.opts.Partitioning,
+		ChunkDurationNS: int64(s.opts.ChunkDuration),
+		Dedup:           s.opts.Dedup,
+	}
+	for agent, seq := range s.nextSeq {
+		m.NextSeq[agent] = seq
+	}
+	m.Procs, m.Files, m.Conns = s.dict.tableHeaders()
+	covered := len(s.batch) == 0
+	for _, key := range s.order {
+		p := s.parts[key]
+		if len(p.mem.events) > 0 {
+			covered = false
+		}
+		for _, g := range p.segs {
+			ps, ok := d.persisted[g.id]
+			if !ok {
+				// List only the longest persisted prefix of the chain:
+				// recovery's ID-prefix skip rule depends on no gaps.
+				covered = false
+				break
+			}
+			m.Segments = append(m.Segments, durable.SegmentRef{
+				ID:         g.id,
+				AgentID:    g.key.AgentID,
+				Bucket:     g.key.Bucket,
+				File:       ps.file,
+				Events:     len(g.events),
+				MinTS:      g.minTS,
+				MaxTS:      g.maxTS,
+				MinEventID: g.minEventID,
+				MaxEventID: g.maxEventID,
+			})
+		}
+	}
+	if err := durable.WriteManifest(d.dir, m); err != nil {
+		d.setErr(err)
+		return
+	}
+	d.edition = m.Edition
+	if covered {
+		if err := d.wal.Truncate(); err != nil {
+			d.setErr(err)
+		}
+	}
+}
+
+// SaveDir writes the store's full state into dir as a durable store
+// directory: every chunk is sealed, each segment becomes one file, and
+// a first manifest edition lists them all (so the WAL starts empty).
+// The target must not already contain a durable store. The caller must
+// quiesce writers for the duration. This is the migration path from
+// legacy gob snapshots: LoadFile + SaveDir, then Open serves the
+// directory from then on.
+func (s *Store) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("eventstore: %w", err)
+	}
+	if _, err := durable.ReadManifest(dir); err == nil {
+		return fmt.Errorf("eventstore: SaveDir target %s already contains a durable store", dir)
+	} else if !errors.Is(err, durable.ErrNoManifest) {
+		return err
+	}
+	s.Flush()
+	sn := s.Snapshot()
+
+	s.mu.RLock()
+	m := &durable.Manifest{
+		Edition:         1,
+		NextSegID:       s.nextSegID,
+		NextEventID:     s.nextEventID,
+		NextSeq:         make(map[uint32]uint64, len(s.nextSeq)),
+		Partitioning:    s.opts.Partitioning,
+		ChunkDurationNS: int64(s.opts.ChunkDuration),
+		Dedup:           s.opts.Dedup,
+	}
+	for agent, seq := range s.nextSeq {
+		m.NextSeq[agent] = seq
+	}
+	s.mu.RUnlock()
+	m.Procs, m.Files, m.Conns = s.dict.tableHeaders()
+
+	for i := range sn.parts {
+		for _, g := range sn.parts[i].segs {
+			g.buildIndexes() // idempotent; ensures the file carries indexes
+			name := durable.SegmentFileName(g.id)
+			if _, err := durable.WriteSegmentFile(filepath.Join(dir, name), g.segmentData()); err != nil {
+				return err
+			}
+			m.Segments = append(m.Segments, durable.SegmentRef{
+				ID:         g.id,
+				AgentID:    g.key.AgentID,
+				Bucket:     g.key.Bucket,
+				File:       name,
+				Events:     len(g.events),
+				MinTS:      g.minTS,
+				MaxTS:      g.maxTS,
+				MinEventID: g.minEventID,
+				MaxEventID: g.maxEventID,
+			})
+		}
+	}
+	return durable.WriteManifest(dir, m)
+}
+
+// MigrateGobToDir converts a legacy gob snapshot into a durable store
+// directory with the given options. The directory can then be served
+// with Open — no gob replay, re-interning, or re-indexing on any later
+// load.
+func MigrateGobToDir(gobPath, dir string, opts Options) error {
+	opts.Dir = ""
+	s, err := LoadFile(gobPath, opts)
+	if err != nil {
+		return err
+	}
+	return s.SaveDir(dir)
+}
+
+// Dir returns the durable directory backing the store; empty for
+// in-memory stores.
+func (s *Store) Dir() string {
+	if s.dur == nil {
+		return ""
+	}
+	return s.dur.dir
+}
+
+// Close stops the background compactor, waits for any in-flight
+// compaction pass to finish its manifest edition, prevents further
+// passes and persistence, and closes the write-ahead log. After Close
+// the directory has exactly one consistent owner-less state, so another
+// Open (a hot-swap reload) can take it over safely. The in-memory state
+// stays readable — in-flight queries on pinned snapshots are unaffected
+// — but later appends are no longer made durable.
+func (s *Store) Close() error {
+	s.StopCompactor()
+	s.closed.Store(true)
+	// Drain barriers: an in-flight direct Compact call holds compactMu
+	// through its manifest write, and an in-flight persistSealed holds
+	// d.mu through its file writes. Once both are acquired here, every
+	// writer that slipped past the closed flag has finished and every
+	// later one re-checks the flag under the mutex it holds.
+	s.compactMu.Lock()
+	s.compactMu.Unlock() //nolint:staticcheck // empty critical section is the point
+	if s.dur == nil {
+		return nil
+	}
+	s.dur.mu.Lock()
+	s.dur.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+	err := s.dur.wal.Close()
+	if lerr := s.dur.lock.Release(); err == nil {
+		err = lerr
+	}
+	return err
+}
+
+// DurableStats describes the store's on-disk footprint and the durable
+// subsystem's activity. Zero-valued (except compaction counters) for
+// in-memory stores.
+type DurableStats struct {
+	Dir               string `json:"dir,omitempty"`
+	SegmentFiles      int    `json:"segment_files"`
+	SegmentFileBytes  int64  `json:"segment_file_bytes"`
+	WALBytes          int64  `json:"wal_bytes"`
+	WALRecords        uint64 `json:"wal_records"`
+	ManifestEdition   uint64 `json:"manifest_edition"`
+	Compactions       uint64 `json:"compactions"`
+	SegmentsCompacted uint64 `json:"segments_compacted"`
+	LastError         string `json:"last_error,omitempty"`
+}
+
+// DurableStats reports the durable subsystem's figures.
+func (s *Store) DurableStats() DurableStats {
+	st := DurableStats{
+		Compactions:       s.compactions.Load(),
+		SegmentsCompacted: s.segsCompacted.Load(),
+	}
+	d := s.dur
+	if d == nil {
+		return st
+	}
+	st.Dir = d.dir
+	d.mu.Lock()
+	st.ManifestEdition = d.edition
+	st.SegmentFiles = len(d.persisted)
+	for _, ps := range d.persisted {
+		st.SegmentFileBytes += ps.bytes
+	}
+	d.mu.Unlock()
+	st.WALBytes = d.wal.Size()
+	st.WALRecords = d.wal.Records()
+	if err := d.lastError(); err != nil {
+		st.LastError = err.Error()
+	}
+	return st
+}

@@ -1,0 +1,486 @@
+package eventstore
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/aiql/aiql/internal/durable"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// durableOpts returns small-segment durable options rooted at dir.
+func durableOpts(dir string) Options {
+	opts := DefaultOptions()
+	opts.Dir = dir
+	opts.SyncWAL = true
+	opts.BatchCommit = false // every Append commits (and is acknowledged)
+	opts.SegmentEvents = 8
+	return opts
+}
+
+// fill appends n distinct-ish records across two agents.
+func fill(s *Store, n, from int) {
+	for i := from; i < from+n; i++ {
+		agent := uint32(1 + i%2)
+		s.Append(mkRecord(agent, fmt.Sprintf("exe%d", i%5), sysmon.OpWrite, fmt.Sprintf("f%d.txt", i%7), i))
+	}
+}
+
+// crash abandons a durable store without Close, as a killed process
+// would: the WAL handle stays unfsynced-but-written and only the
+// directory flock — which the OS releases with a dead process — is
+// dropped so the reopening "process" can take over.
+func crash(s *Store) { s.dur.lock.Release() }
+
+// collectAll returns every event, sorted by ID for comparison.
+func collectAll(s *Store) []sysmon.Event {
+	evs := s.Collect(&EventFilter{})
+	sort.Slice(evs, func(i, j int) bool { return evs[i].ID < evs[j].ID })
+	return evs
+}
+
+// eventStrings renders events with entity attributes resolved, so
+// stores with different internal entity numbering can be compared.
+func eventStrings(s *Store) []string {
+	dict := s.Dict()
+	var out []string
+	for _, ev := range collectAll(s) {
+		out = append(out, fmt.Sprintf("%d|%d|%s|%s|%s|%s|%d|%d",
+			ev.ID, ev.AgentID,
+			dict.Attr(sysmon.EntityProcess, ev.Subject, "exename"),
+			ev.Op, ev.ObjType,
+			dict.Attr(ev.ObjType, ev.Object, "name"),
+			ev.StartTS, ev.Amount))
+	}
+	return out
+}
+
+func TestDurableOpenAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(s, 30, 0) // 30 events, seal threshold 8 → sealed segments + tails
+	want := eventStrings(s)
+	wantLen := s.Len()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != wantLen {
+		t.Fatalf("reopened store has %d events, want %d", s2.Len(), wantLen)
+	}
+	if got := eventStrings(s2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopened events differ:\n got %v\nwant %v", got[:3], want[:3])
+	}
+	// appends must continue with fresh IDs, not collide with recovered ones
+	fill(s2, 5, 100)
+	if s2.Len() != wantLen+5 {
+		t.Fatalf("after post-recovery appends: %d events, want %d", s2.Len(), wantLen+5)
+	}
+	seen := map[uint64]bool{}
+	for _, ev := range collectAll(s2) {
+		if seen[ev.ID] {
+			t.Fatalf("duplicate event ID %d after recovery", ev.ID)
+		}
+		seen[ev.ID] = true
+	}
+}
+
+// The acceptance scenario: kill after appends past the last seal. The
+// first store is never closed (the "crash"); reopening must recover all
+// acknowledged events from MANIFEST + WAL.
+func TestCrashRecoveryPastLastSeal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(s, 20, 0) // seals at 8 → sealed segments exist
+	fill(s, 5, 50) // unsealed tail, covered only by the WAL
+	want := eventStrings(s)
+	crash(s) // no Close: the WAL handle is simply abandoned
+
+	s2, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := eventStrings(s2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("crash recovery lost events: got %d, want %d", len(got), len(want))
+	}
+}
+
+// A torn final WAL record — the disk image a crash mid-append leaves —
+// must not poison recovery: every record before the tear is recovered.
+func TestCrashRecoveryTornWALRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(s, 12, 0)
+	all := eventStrings(s)
+	total := s.Len()
+	crash(s)
+
+	// tear the last record: chop a few bytes off the WAL
+	walPath := filepath.Join(dir, durable.WALName)
+	buf, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) == 0 {
+		t.Fatal("expected a non-empty WAL (unsealed tail)")
+	}
+	if err := os.WriteFile(walPath, buf[:len(buf)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != total-1 {
+		t.Fatalf("recovered %d events, want %d (all but the torn record)", s2.Len(), total-1)
+	}
+	if got := eventStrings(s2); !reflect.DeepEqual(got, all[:len(all)-1]) {
+		t.Fatal("surviving events differ from the pre-tear prefix")
+	}
+}
+
+// A segment file that never made it into a manifest edition (crash
+// between seal and manifest write) is an orphan: recovery must ignore
+// and delete it, and recover its events from the WAL instead.
+func TestRecoveryRemovesOrphanSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(s, 10, 0)
+	want := eventStrings(s)
+	crash(s)
+
+	orphan := filepath.Join(dir, durable.SegmentFileName(999))
+	if _, err := durable.WriteSegmentFile(orphan, &durable.SegmentData{ID: 999}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphan segment file survived recovery")
+	}
+	if got := eventStrings(s2); !reflect.DeepEqual(got, want) {
+		t.Fatal("events differ after orphan cleanup")
+	}
+}
+
+// Once a flush seals everything and the manifest edition covers it,
+// the WAL must be empty: reopening performs zero replay.
+func TestWALTruncatedWhenFullySealed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fill(s, 20, 0)
+	if st := s.DurableStats(); st.WALBytes == 0 {
+		t.Fatal("expected WAL to cover the unsealed tail before the flush")
+	}
+	s.Flush()
+	st := s.DurableStats()
+	if st.WALBytes != 0 || st.WALRecords != 0 {
+		t.Fatalf("WAL not truncated after full seal: %d bytes, %d records", st.WALBytes, st.WALRecords)
+	}
+	if st.SegmentFiles == 0 || st.ManifestEdition == 0 {
+		t.Fatalf("expected segment files and a manifest edition, got %+v", st)
+	}
+	if st.LastError != "" {
+		t.Fatalf("durable error: %s", st.LastError)
+	}
+}
+
+// The directory is single-writer: a second Open while the first store
+// still holds the flock must be rejected, and Close must release the
+// lock so a successor can take over.
+func TestOpenEnforcesSingleWriter(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(s, 5, 0)
+	if _, err := Open(durableOpts(dir)); err == nil || !strings.Contains(err.Error(), "already open") {
+		t.Fatalf("second Open on a live directory: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	s2.Close()
+}
+
+func TestOpenRejectsMismatchedLayout(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(s, 10, 0)
+	s.Flush()
+	s.Close()
+
+	opts := durableOpts(dir)
+	opts.Partitioning = false
+	if _, err := Open(opts); err == nil || !strings.Contains(err.Error(), "manifest layout") {
+		t.Fatalf("mismatched partitioning accepted: %v", err)
+	}
+	opts = durableOpts(dir)
+	opts.ChunkDuration = 2 * time.Hour
+	if _, err := Open(opts); err == nil {
+		t.Fatal("mismatched chunk duration accepted")
+	}
+}
+
+func TestSaveDirMigrateRoundTrip(t *testing.T) {
+	// legacy path: an in-memory store saved as a gob snapshot
+	mem := New(DefaultOptions())
+	fill(mem, 40, 0)
+	mem.Flush()
+	gobPath := filepath.Join(t.TempDir(), "legacy.aiql")
+	if err := mem.SaveFile(gobPath); err != nil {
+		t.Fatal(err)
+	}
+	want := eventStrings(mem)
+
+	// migrate the gob snapshot into a durable directory
+	dir := filepath.Join(t.TempDir(), "store")
+	opts := DefaultOptions()
+	if err := MigrateGobToDir(gobPath, dir, opts); err != nil {
+		t.Fatal(err)
+	}
+	opts.Dir = dir
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := eventStrings(s); !reflect.DeepEqual(got, want) {
+		t.Fatalf("migrated store differs: %d vs %d events", len(got), len(want))
+	}
+	if st := s.DurableStats(); st.WALBytes != 0 || st.SegmentFiles == 0 {
+		t.Fatalf("migrated directory: %+v", st)
+	}
+	// migrating onto an existing durable directory must refuse
+	if err := MigrateGobToDir(gobPath, dir, DefaultOptions()); err == nil {
+		t.Fatal("migration overwrote an existing durable store")
+	}
+}
+
+// sealMany builds a store with many deliberately tiny segments.
+func sealMany(t *testing.T, opts Options, batches, perBatch int) *Store {
+	t.Helper()
+	var s *Store
+	var err error
+	if opts.Dir != "" {
+		s, err = Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		s = New(opts)
+	}
+	for b := 0; b < batches; b++ {
+		fill(s, perBatch, b*perBatch)
+		s.Flush() // every flush seals → tiny segments pile up
+	}
+	return s
+}
+
+func TestCompactionReducesSegmentsWithoutChangingResults(t *testing.T) {
+	for _, durableStore := range []bool{false, true} {
+		name := map[bool]string{false: "memory", true: "durable"}[durableStore]
+		t.Run(name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.BatchCommit = false
+			opts.CompactFanIn = 8
+			opts.CompactTargetEvents = 64
+			if durableStore {
+				opts.Dir = t.TempDir()
+			}
+			s := sealMany(t, opts, 16, 4) // 64 events in ≥16 tiny segments
+			defer s.Close()
+
+			before := s.NumSegments()
+			if before < 16 {
+				t.Fatalf("setup produced only %d segments", before)
+			}
+			wantEvents := eventStrings(s)
+			filter := &EventFilter{Ops: []sysmon.Operation{sysmon.OpWrite}}
+			wantMatches := len(s.Collect(filter))
+
+			res := s.Compact()
+			if res.Passes == 0 || res.SegmentsRetired == 0 {
+				t.Fatalf("compaction did nothing: %+v", res)
+			}
+			after := s.NumSegments()
+			if after >= before {
+				t.Fatalf("segments %d → %d, expected a reduction", before, after)
+			}
+			// 64 events with a 64-event target: each chunk compacts to
+			// its minimal chain (fan-in bounded), far below the input
+			if after > before/2 {
+				t.Fatalf("segments %d → %d, expected at least a 2x reduction", before, after)
+			}
+			if got := eventStrings(s); !reflect.DeepEqual(got, wantEvents) {
+				t.Fatal("compaction changed the event set")
+			}
+			if got := len(s.Collect(filter)); got != wantMatches {
+				t.Fatalf("filtered scan after compaction: %d matches, want %d", got, wantMatches)
+			}
+			if st := s.DurableStats(); st.Compactions == 0 || st.SegmentsCompacted == 0 {
+				t.Fatalf("compaction counters not bumped: %+v", st)
+			}
+
+			if durableStore {
+				// the new manifest edition must reflect the merged set;
+				// reopening sees the compacted layout and the same data
+				st := s.DurableStats()
+				if st.SegmentFiles != after {
+					t.Fatalf("%d segment files on disk, %d segments in memory", st.SegmentFiles, after)
+				}
+				s.Close()
+				s2, err := Open(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s2.Close()
+				if s2.NumSegments() != after {
+					t.Fatalf("reopened store has %d segments, want %d", s2.NumSegments(), after)
+				}
+				if got := eventStrings(s2); !reflect.DeepEqual(got, wantEvents) {
+					t.Fatal("reopened compacted store lost events")
+				}
+			}
+		})
+	}
+}
+
+// Snapshots pinned before a compaction keep scanning the retired chain;
+// the compactor must never mutate it. Run with -race.
+func TestCompactionConcurrentWithScans(t *testing.T) {
+	opts := DefaultOptions()
+	opts.BatchCommit = false
+	opts.CompactTargetEvents = 128
+	s := sealMany(t, opts, 32, 4)
+	defer s.Close()
+	want := len(s.Collect(&EventFilter{}))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := 0
+				s.Scan(context.Background(), &EventFilter{}, func(*sysmon.Event) bool { n++; return true })
+				if n < want {
+					panic(fmt.Sprintf("scan during compaction saw %d events, want >= %d", n, want))
+				}
+			}
+		}()
+	}
+	var retired []uint64
+	var retiredMu sync.Mutex
+	s.OnSegmentRetire(func(ids []uint64) {
+		retiredMu.Lock()
+		retired = append(retired, ids...)
+		retiredMu.Unlock()
+	})
+	s.Compact()
+	close(stop)
+	wg.Wait()
+	retiredMu.Lock()
+	defer retiredMu.Unlock()
+	if len(retired) == 0 {
+		t.Fatal("no retirement notifications delivered")
+	}
+}
+
+// The background compactor drains tiny segments on its own.
+func TestBackgroundCompactor(t *testing.T) {
+	opts := DefaultOptions()
+	opts.BatchCommit = false
+	opts.CompactTargetEvents = 256
+	s := sealMany(t, opts, 16, 4)
+	before := s.NumSegments()
+	s.StartCompactor(time.Millisecond)
+	defer s.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.NumSegments() >= before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := s.NumSegments(); after >= before {
+		t.Fatalf("background compactor made no progress: %d → %d", before, after)
+	}
+	s.StopCompactor()
+	s.StopCompactor() // idempotent
+}
+
+// Encode must not hold the store lock for the duration of the gob
+// encode: a writer appending concurrently must not deadlock or race,
+// and the snapshot must be a consistent committed prefix. Run with -race.
+func TestEncodeConcurrentWithAppends(t *testing.T) {
+	s := New(DefaultOptions())
+	fill(s, 64, 0)
+	s.Flush()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fill(s, 256, 1000)
+	}()
+	for i := 0; i < 10; i++ {
+		var sink countingWriter
+		if err := s.Encode(&sink); err != nil {
+			t.Error(err)
+		}
+		if sink.n == 0 {
+			t.Error("empty encode")
+		}
+	}
+	wg.Wait()
+}
+
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) { w.n += int64(len(p)); return len(p), nil }

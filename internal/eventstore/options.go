@@ -43,6 +43,26 @@ type Options struct {
 	// regardless of size. Smaller segments seal (and become cacheable)
 	// sooner; larger ones amortize per-segment overhead.
 	SegmentEvents int
+
+	// Dir enables the durable storage subsystem: sealed segments are
+	// written once as individual files under Dir, a MANIFEST records
+	// the live segment set plus the dictionary tables, and a
+	// write-ahead log covers committed-but-unsealed events. Open the
+	// store with Open (New ignores Dir). Empty keeps the store purely
+	// in-memory.
+	Dir string
+	// SyncWAL fsyncs the write-ahead log on every commit, making
+	// acknowledged appends durable against power loss (not just
+	// process crashes) at the cost of one fsync per commit batch.
+	SyncWAL bool
+	// CompactFanIn caps how many adjacent small segments one
+	// compaction merges into a single segment. Default 8.
+	CompactFanIn int
+	// CompactTargetEvents is the compactor's target segment size:
+	// chains of adjacent sealed segments smaller than the target are
+	// merged until the merged segment would exceed it. Default
+	// 4×SegmentEvents.
+	CompactTargetEvents int
 }
 
 // DefaultOptions returns the fully optimized configuration used by the
@@ -75,6 +95,12 @@ func (o Options) normalized() Options {
 	}
 	if o.SegmentEvents <= 0 {
 		o.SegmentEvents = 8192
+	}
+	if o.CompactFanIn <= 1 {
+		o.CompactFanIn = 8
+	}
+	if o.CompactTargetEvents <= 0 {
+		o.CompactTargetEvents = 4 * o.SegmentEvents
 	}
 	return o
 }

@@ -24,21 +24,34 @@ type diskSnapshot struct {
 
 const snapshotVersion = 1
 
-// Encode serializes the store (gob-encoded) to w.
+// Encode serializes the store (gob-encoded) to w. The store lock is
+// held only long enough to copy slice headers — segment runs, frozen
+// memtable prefixes, and dictionary tables are all immutable behind
+// their headers — so the (potentially long) gob encode of a large store
+// never stalls writers.
 func (s *Store) Encode(w io.Writer) error {
 	snap := diskSnapshot{Version: snapshotVersion}
 	s.mu.RLock()
-	snap.Procs = s.dict.procs
-	snap.Files = s.dict.files
-	snap.Conns = s.dict.conns
+	runs := make([][]sysmon.Event, 0, 2*len(s.order))
+	total := 0
 	for _, key := range s.order {
 		p := s.parts[key]
 		for _, g := range p.segs {
-			snap.Events = append(snap.Events, g.events...)
+			runs = append(runs, g.events)
+			total += len(g.events)
 		}
-		snap.Events = append(snap.Events, p.mem.events...)
+		runs = append(runs, p.mem.events)
+		total += len(p.mem.events)
 	}
 	s.mu.RUnlock()
+	// The dictionary has its own lock; tables are append-only so the
+	// headers stay valid while interning continues.
+	snap.Procs, snap.Files, snap.Conns = s.dict.tableHeaders()
+
+	snap.Events = make([]sysmon.Event, 0, total)
+	for _, run := range runs {
+		snap.Events = append(snap.Events, run...)
+	}
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
@@ -46,13 +59,46 @@ func (s *Store) Encode(w io.Writer) error {
 // rebuilding chunks, segments, and indexes according to the store's own
 // options. The loaded data is fully sealed, so a freshly loaded dataset
 // is immediately eligible for segment-granular result reuse.
-func (s *Store) Decode(r io.Reader) error {
+//
+// Truncated or corrupt input returns a descriptive error: gob decoding
+// failures (including panics deep inside the decoder) are captured, and
+// every event's entity references are bounds-checked against the
+// decoded tables before anything is committed.
+func (s *Store) Decode(r io.Reader) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("eventstore: decode snapshot: corrupt input: %v", p)
+		}
+	}()
 	var snap diskSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("eventstore: decode snapshot: %w", err)
 	}
 	if snap.Version != snapshotVersion {
 		return fmt.Errorf("eventstore: unsupported snapshot version %d", snap.Version)
+	}
+	for i := range snap.Events {
+		ev := &snap.Events[i]
+		if int(ev.Subject) > len(snap.Procs) {
+			return fmt.Errorf("eventstore: corrupt snapshot: event %d references process %d of %d", ev.ID, ev.Subject, len(snap.Procs))
+		}
+		var objects int
+		switch ev.ObjType {
+		case sysmon.EntityProcess:
+			objects = len(snap.Procs)
+		case sysmon.EntityFile:
+			objects = len(snap.Files)
+		case sysmon.EntityNetconn:
+			objects = len(snap.Conns)
+		case sysmon.EntityInvalid:
+			// legal for operations whose object type is ambiguous and
+			// was never resolved; such events carry no object reference
+		default:
+			return fmt.Errorf("eventstore: corrupt snapshot: event %d has object type %d", ev.ID, ev.ObjType)
+		}
+		if int(ev.Object) > objects {
+			return fmt.Errorf("eventstore: corrupt snapshot: event %d references %s object %d of %d", ev.ID, ev.ObjType, ev.Object, objects)
+		}
 	}
 	s.mu.Lock()
 	if s.total != 0 || len(s.batch) != 0 {
@@ -107,7 +153,7 @@ func (s *Store) Decode(r io.Reader) error {
 	sealed = append(sealed, s.commitLocked()...)
 	sealed = append(sealed, s.sealAllLocked()...)
 	s.mu.Unlock()
-	indexSegments(sealed)
+	s.afterCommit(sealed)
 	return nil
 }
 

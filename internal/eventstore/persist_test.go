@@ -1,0 +1,118 @@
+package eventstore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// encodeSnapshot serializes a small valid store image for corruption.
+func encodeSnapshot(t *testing.T) []byte {
+	t.Helper()
+	s := New(DefaultOptions())
+	fill(s, 24, 0)
+	s.Flush()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Decode must return a descriptive error — never panic, never succeed
+// silently — for byte streams clipped at every region of the snapshot.
+func TestDecodeTruncatedSnapshots(t *testing.T) {
+	full := encodeSnapshot(t)
+	cuts := []struct {
+		name string
+		n    int
+	}{
+		{"empty", 0},
+		{"three bytes", 3},
+		{"mid type section", 40},
+		{"mid header", len(full) / 8},
+		{"mid tables", len(full) / 3},
+		{"mid events", len(full) / 2},
+		{"most of stream", len(full) * 9 / 10},
+		{"last byte gone", len(full) - 1},
+	}
+	for _, tc := range cuts {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(DefaultOptions())
+			err := s.Decode(bytes.NewReader(full[:tc.n]))
+			if err == nil {
+				t.Fatalf("clipped at %d of %d bytes: Decode succeeded", tc.n, len(full))
+			}
+			if !strings.Contains(err.Error(), "eventstore:") {
+				t.Fatalf("error lacks context: %v", err)
+			}
+			if s.Len() != 0 {
+				t.Fatalf("failed decode left %d events in the store", s.Len())
+			}
+		})
+	}
+}
+
+func TestDecodeGarbageInput(t *testing.T) {
+	for _, junk := range [][]byte{
+		[]byte("not a snapshot at all"),
+		bytes.Repeat([]byte{0xff}, 512),
+		bytes.Repeat([]byte{0x00}, 512),
+	} {
+		s := New(DefaultOptions())
+		if err := s.Decode(bytes.NewReader(junk)); err == nil {
+			t.Fatalf("garbage input %x... accepted", junk[:8])
+		}
+	}
+}
+
+// A structurally valid gob stream whose events reference entities
+// beyond the decoded tables must be rejected with a bounds error, not
+// ingested with dangling references.
+func TestDecodeRejectsDanglingEntityRefs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*diskSnapshot)
+	}{
+		{"subject out of range", func(d *diskSnapshot) { d.Events[0].Subject = sysmon.EntityID(len(d.Procs) + 10) }},
+		{"object out of range", func(d *diskSnapshot) { d.Events[0].Object = sysmon.EntityID(1 << 20) }},
+		{"bad object type", func(d *diskSnapshot) { d.Events[0].ObjType = sysmon.EntityType(99) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var snap diskSnapshot
+			if err := gob.NewDecoder(bytes.NewReader(encodeSnapshot(t))).Decode(&snap); err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(&snap)
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+				t.Fatal(err)
+			}
+			s := New(DefaultOptions())
+			err := s.Decode(&buf)
+			if err == nil || !strings.Contains(err.Error(), "corrupt snapshot") {
+				t.Fatalf("dangling reference accepted: %v", err)
+			}
+		})
+	}
+}
+
+func TestDecodeVersionMismatch(t *testing.T) {
+	var snap diskSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(encodeSnapshot(t))).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Version = 99
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	s := New(DefaultOptions())
+	if err := s.Decode(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch accepted: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"github.com/aiql/aiql/internal/durable"
 	"github.com/aiql/aiql/internal/sysmon"
 )
 
@@ -27,6 +28,13 @@ type Segment struct {
 	events []sysmon.Event // sorted by StartTS; immutable after seal
 	minTS  int64
 	maxTS  int64
+	// minEventID/maxEventID bound the contained event IDs. Events are
+	// routed to a chunk in ID (arrival) order and a seal moves the
+	// whole memtable, so a chunk's sealed events are always an
+	// ID-prefix of its event stream — which is what lets WAL recovery
+	// skip exactly the records a persisted segment already covers.
+	minEventID uint64
+	maxEventID uint64
 
 	indexed    bool // whether posting indexes are wanted at all
 	buildOnce  sync.Once
@@ -43,8 +51,55 @@ func newSegment(id uint64, key PartKey, events []sysmon.Event, indexed bool) *Se
 	if len(events) > 0 {
 		g.minTS = events[0].StartTS
 		g.maxTS = events[len(events)-1].StartTS
+		g.minEventID, g.maxEventID = events[0].ID, events[0].ID
+		for i := range events {
+			if id := events[i].ID; id < g.minEventID {
+				g.minEventID = id
+			} else if id > g.maxEventID {
+				g.maxEventID = id
+			}
+		}
 	}
 	return g
+}
+
+// restoreSegment rebuilds a sealed segment from its persisted form. The
+// posting indexes come straight from the file when present (and wanted),
+// so a load performs no index rebuild: the segment is ready to serve
+// indexed scans — and segment-granular cache reuse — immediately.
+func restoreSegment(d *durable.SegmentData, indexed bool) *Segment {
+	g := newSegment(d.ID, PartKey{AgentID: d.AgentID, Bucket: d.Bucket}, d.Events, indexed)
+	if indexed && d.Indexed {
+		g.postingSub = d.PostingSub
+		g.postingObj = d.PostingObj
+		for op, c := range d.OpCount {
+			if op < sysmon.NumOperations {
+				g.opCount[op] = c
+			}
+		}
+		g.ready.Store(true)
+	}
+	return g
+}
+
+// segmentData exports the segment's persisted form. The events and
+// posting slices are shared, not copied: both sides are immutable.
+func (g *Segment) segmentData() *durable.SegmentData {
+	d := &durable.SegmentData{
+		ID:         g.id,
+		AgentID:    g.key.AgentID,
+		Bucket:     g.key.Bucket,
+		Events:     g.events,
+		MinEventID: g.minEventID,
+		MaxEventID: g.maxEventID,
+	}
+	if g.indexed && g.ready.Load() {
+		d.Indexed = true
+		d.PostingSub = g.postingSub
+		d.PostingObj = g.postingObj
+		d.OpCount = append([]int(nil), g.opCount[:]...)
+	}
+	return d
 }
 
 // ID returns the segment's store-wide unique, monotonically assigned id.
@@ -73,8 +128,8 @@ func (g *Segment) ApproxBytes() uint64 {
 // It is idempotent and safe to call concurrently; the store calls it
 // after sealing, with no locks held.
 func (g *Segment) buildIndexes() {
-	if !g.indexed {
-		return
+	if !g.indexed || g.ready.Load() {
+		return // unindexed, or restored with prebuilt indexes
 	}
 	g.buildOnce.Do(func() {
 		g.postingSub = make(map[sysmon.EntityID][]int32)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/aiql/aiql/internal/sysmon"
 )
@@ -55,6 +56,54 @@ type Store struct {
 	// snap memoizes the current Snapshot between mutations; commits and
 	// seals clear it. Guarded by mu.
 	snap *Snapshot
+
+	// dur attaches the store to its durable directory; nil for
+	// in-memory stores. Set once before the store is shared.
+	dur *durableState
+
+	compactions   atomic.Uint64
+	segsCompacted atomic.Uint64
+
+	// compactorMu guards the background compactor's lifecycle;
+	// compactMu serializes compaction passes themselves.
+	compactorMu   sync.Mutex
+	compactorStop chan struct{}
+	compactorDone chan struct{}
+	compactMu     sync.Mutex
+	closed        atomic.Bool
+
+	retireMu  sync.Mutex
+	retireFns []func(segIDs []uint64)
+}
+
+// OnSegmentRetire registers fn to be called with the IDs of segments
+// retired by compaction, after their replacement is installed. The
+// engine uses this to drop the retired segments' scan-cache entries so
+// the cache re-points at the merged segment.
+func (s *Store) OnSegmentRetire(fn func(segIDs []uint64)) {
+	s.retireMu.Lock()
+	s.retireFns = append(s.retireFns, fn)
+	s.retireMu.Unlock()
+}
+
+func (s *Store) notifyRetire(ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	s.retireMu.Lock()
+	fns := append([]func(segIDs []uint64){}, s.retireFns...)
+	s.retireMu.Unlock()
+	for _, fn := range fns {
+		fn(ids)
+	}
+}
+
+// afterCommit finishes a commit outside the store lock: index builds
+// for freshly sealed segments, then (for durable stores) segment file
+// persistence and a manifest edition.
+func (s *Store) afterCommit(sealed []*Segment) {
+	indexSegments(sealed)
+	s.persistSealed(sealed)
 }
 
 // New creates a store with the given options.
@@ -100,7 +149,7 @@ func (s *Store) Append(r Record) {
 		sealed = s.commitLocked()
 	}
 	s.mu.Unlock()
-	indexSegments(sealed)
+	s.afterCommit(sealed)
 }
 
 // AppendAll ingests a slice of raw records under one lock acquisition.
@@ -116,7 +165,7 @@ func (s *Store) AppendAll(rs []Record) {
 		}
 	}
 	s.mu.Unlock()
-	indexSegments(sealed)
+	s.afterCommit(sealed)
 }
 
 func (s *Store) appendLocked(r Record) {
@@ -165,7 +214,7 @@ func (s *Store) Flush() {
 	sealed := s.commitLocked()
 	sealed = append(sealed, s.sealAllLocked()...)
 	s.mu.Unlock()
-	indexSegments(sealed)
+	s.afterCommit(sealed)
 }
 
 // commitLocked makes the buffered batch visible: events are grouped by
@@ -175,6 +224,11 @@ func (s *Store) Flush() {
 func (s *Store) commitLocked() []*Segment {
 	if len(s.batch) == 0 {
 		return nil
+	}
+	if s.dur != nil {
+		// WAL first: the commit is durable (and, with SyncWAL, fsynced
+		// — acknowledged) before it becomes visible.
+		s.dur.logCommitLocked(s)
 	}
 	s.commits++
 	s.snap = nil

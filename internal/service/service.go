@@ -30,6 +30,7 @@ import (
 
 	aiql "github.com/aiql/aiql"
 	"github.com/aiql/aiql/internal/engine"
+	"github.com/aiql/aiql/internal/eventstore"
 )
 
 // ErrOverloaded reports that the service shed the query: every worker is
@@ -190,15 +191,17 @@ type StoreStats struct {
 }
 
 // DatasetStats is one dataset's full statistics blob: the service's
-// counters plus the store's segment layout and the engine's segment
-// scan-cache figures. Every dataset served by a catalog has its own
-// independent instance of all three.
+// counters plus the store's segment layout, the engine's segment
+// scan-cache figures, and the durable subsystem's disk/WAL/compaction
+// figures. Every dataset served by a catalog has its own independent
+// instance of all of them.
 type DatasetStats struct {
-	Dataset   string                `json:"dataset,omitempty"`
-	Default   bool                  `json:"default,omitempty"`
-	Service   Stats                 `json:"service"`
-	Store     StoreStats            `json:"store"`
-	ScanCache engine.ScanCacheStats `json:"scan_cache"`
+	Dataset   string                  `json:"dataset,omitempty"`
+	Default   bool                    `json:"default,omitempty"`
+	Service   Stats                   `json:"service"`
+	Store     StoreStats              `json:"store"`
+	ScanCache engine.ScanCacheStats   `json:"scan_cache"`
+	Durable   eventstore.DurableStats `json:"durable"`
 }
 
 // DatasetStats snapshots the service's counters together with its
@@ -223,6 +226,7 @@ func (s *Service) DatasetStats(name string) DatasetStats {
 			ApproxBytes:    dbStats.Bytes,
 		},
 		ScanCache: s.db.ScanCacheStats(),
+		Durable:   s.db.DurableStats(),
 	}
 }
 

@@ -262,6 +262,7 @@ return distinct p1, p2, p3, f1, p4, i1</textarea>
 </div>
 <div id="status"></div>
 <div id="results"></div>
+<div id="storestats" class="hint" style="margin-top:.8rem"></div>
 <script>
 let data = {columns: [], rows: []};
 let sortCol = -1, sortAsc = true;
@@ -329,6 +330,7 @@ async function runQuery() {
             ', scanned ' + first.scanned_events +
             ' events' + (first.pattern_order ? ', schedule: ' + first.pattern_order.join(' → ') : ''));
   renderTable();
+  loadStoreStats();
 }
 
 async function checkQuery() {
@@ -368,6 +370,35 @@ function sortBy(i) {
 function esc(s) {
   return String(s).replace(/&/g, '&amp;').replace(/</g, '&lt;').replace(/>/g, '&gt;');
 }
+
+function fmtBytes(n) {
+  if (n >= 1 << 20) return (n / (1 << 20)).toFixed(1) + ' MiB';
+  if (n >= 1 << 10) return (n / (1 << 10)).toFixed(1) + ' KiB';
+  return n + ' B';
+}
+
+// storage footer: segment layout plus the durable subsystem's
+// disk/WAL/compaction figures for the selected dataset
+async function loadStoreStats() {
+  try {
+    const ds = selectedDataset();
+    const st = await (await fetch('/api/stats' + (ds ? '?dataset=' + encodeURIComponent(ds) : ''))).json();
+    const s = st.store || {}, d = st.durable || {};
+    let line = 'store: ' + (s.events || 0) + ' events in ' + (s.segments || 0) +
+        ' sealed segments + ' + (s.memtable_events || 0) + ' memtable events';
+    if (d.dir) {
+      line += ' — disk: ' + (d.segment_files || 0) + ' segment files (' +
+          fmtBytes(d.segment_file_bytes || 0) + '), WAL ' + fmtBytes(d.wal_bytes || 0) +
+          ', manifest edition ' + (d.manifest_edition || 0);
+    }
+    if (d.compactions) {
+      line += ', ' + d.compactions + ' compactions (' + d.segments_compacted + ' segments merged)';
+    }
+    if (d.last_error) line += ' — durable error: ' + d.last_error;
+    document.getElementById('storestats').textContent = line;
+  } catch (e) { /* stats are best-effort */ }
+}
+loadStoreStats();
 </script>
 </body>
 </html>`))
