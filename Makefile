@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-streaming bench-segments bench-persist serve
+.PHONY: check fmt vet build test race bench bench-streaming bench-segments bench-persist bench-prepare serve
 
 check: fmt vet build race
 
@@ -25,7 +25,7 @@ race:
 # Streaming/caching benchmarks on the Fig4 50k-event dataset: cold vs.
 # warm cache, full drain vs. LIMIT-50 early termination. Emits
 # BENCH_streaming.json for the CI perf-trajectory artifact.
-bench: bench-streaming bench-segments bench-persist
+bench: bench-streaming bench-segments bench-persist bench-prepare
 
 bench-streaming:
 	$(GO) test ./internal/service/ -run XXX \
@@ -57,6 +57,17 @@ bench-persist:
 		-benchtime=10x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
 	@cat bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_persist.json < bench.out
+	@rm -f bench.out
+
+# Prepared-statement benchmarks on the Fig4 50k dataset: per-call
+# parse+plan+execute vs. compile-once/execute-many re-execution of the
+# same investigation template. Emits BENCH_prepare.json.
+bench-prepare:
+	$(GO) test ./internal/service/ -run XXX \
+		-bench 'BenchmarkPrepareColdPerCall|BenchmarkPreparedReexecute' \
+		-benchtime=50x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
+	@cat bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_prepare.json < bench.out
 	@rm -f bench.out
 
 # Web UI + JSON API on :8080 over the built-in demo dataset.

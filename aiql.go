@@ -70,6 +70,28 @@ type (
 	Cursor = engine.Cursor
 	// CursorOptions shape a streaming execution (limit pushdown).
 	CursorOptions = engine.CursorOptions
+	// Params carries bindings for one execution of a prepared
+	// statement: placeholder name → value (strings for string/time
+	// parameters, numbers for number parameters).
+	Params = engine.Params
+	// ParamSpec is one entry of a prepared statement's typed parameter
+	// signature.
+	ParamSpec = engine.ParamSpec
+	// ParamType classifies what kind of value a $name placeholder
+	// accepts: ParamString, ParamNumber, or ParamTime.
+	ParamType = engine.ParamType
+	// ParamError reports a bad binding (unknown name, missing binding,
+	// wrong type) with a machine-readable code.
+	ParamError = engine.ParamError
+	// ExplainEntry is one scheduled pattern of an execution plan.
+	ExplainEntry = engine.ExplainEntry
+)
+
+// Parameter types (re-exported).
+const (
+	ParamString = engine.ParamString
+	ParamNumber = engine.ParamNumber
+	ParamTime   = engine.ParamTime
 )
 
 // Operations (re-exported).
@@ -191,8 +213,72 @@ func (db *DB) TimeRange() (time.Time, time.Time) {
 	return time.Unix(0, lo), time.Unix(0, hi)
 }
 
-// Query parses, validates, and executes one AIQL query without a
-// deadline. Use QueryContext to bound execution.
+// Stmt is a prepared AIQL statement: the query template is compiled
+// once (parse → semantic check → dependency rewrite → pattern
+// scheduling) and executed any number of times with different `$name`
+// parameter bindings, each execution skipping everything but the scan.
+// A Stmt is immutable and safe for concurrent use.
+type Stmt struct {
+	db *DB
+	p  *engine.Prepared
+}
+
+// Prepare compiles one AIQL query into a reusable statement. The query
+// may contain `$name` placeholders in value positions (entity patterns,
+// attribute comparisons, time windows, global constraints); the
+// returned statement's Params reports the inferred typed signature.
+func (db *DB) Prepare(src string) (*Stmt, error) {
+	p, err := db.eng.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, p: p}, nil
+}
+
+// Exec binds params and runs the statement under ctx, materializing the
+// result in canonical sorted order.
+func (s *Stmt) Exec(ctx context.Context, params Params) (*Result, error) {
+	return s.db.eng.ExecutePrepared(ctx, s.p, params)
+}
+
+// ExecCursor binds params and starts the statement as a streaming
+// cursor; see DB.QueryCursor for cursor semantics.
+func (s *Stmt) ExecCursor(ctx context.Context, params Params, opts CursorOptions) (*Cursor, error) {
+	return s.db.eng.ExecutePreparedCursor(ctx, s.p, params, opts)
+}
+
+// Explain reports the statement's frozen pattern order with
+// pruning-power estimates against the current store state.
+func (s *Stmt) Explain() ([]ExplainEntry, error) {
+	return s.db.eng.ExplainPrepared(s.p)
+}
+
+// Check validates params against the statement's signature without
+// executing: unknown names, missing bindings, and type mismatches are
+// reported as *ParamError.
+func (s *Stmt) Check(params Params) error {
+	return s.p.CheckParams(params)
+}
+
+// Params returns the statement's typed parameter signature in
+// first-appearance order.
+func (s *Stmt) Params() []ParamSpec { return s.p.Params() }
+
+// Columns returns the result header the statement produces.
+func (s *Stmt) Columns() []string { return s.p.Columns() }
+
+// Kind returns the statement's query family.
+func (s *Stmt) Kind() string { return s.p.Kind() }
+
+// Source returns the statement's original query text.
+func (s *Stmt) Source() string { return s.p.Source() }
+
+// Fingerprint identifies the template across reformattings; result
+// caches key on it together with the canonicalized bindings.
+func (s *Stmt) Fingerprint() uint64 { return s.p.Fingerprint() }
+
+// Query prepares and executes one AIQL query without a deadline — the
+// one-shot form of Prepare + Exec. Use QueryContext to bound execution.
 func (db *DB) Query(src string) (*Result, error) {
 	return db.eng.Execute(context.Background(), src)
 }

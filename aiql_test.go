@@ -1,6 +1,8 @@
 package aiql_test
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -236,4 +238,128 @@ func TestMigrateRoundTrip(t *testing.T) {
 	if reopened.Len() != n {
 		t.Fatalf("reopened migrated store has %d events, want %d", reopened.Len(), n)
 	}
+}
+
+// TestPrepareAcceptance is the acceptance check for the prepared API:
+// DB.Prepare + Stmt.Exec with typed $name parameters works across the
+// multievent, dependency, and anomaly families.
+func TestPrepareAcceptance(t *testing.T) {
+	db := demoDB(t)
+	ctx := context.Background()
+
+	t.Run("multievent", func(t *testing.T) {
+		stmt, err := db.Prepare(`
+(at $day)
+proc p1[$starter] start proc p2 as evt1
+proc p3 write file f["%backup1.dmp"] as evt2
+proc p4 read file f as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, p2, p3, p4, f`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := stmt.Params()
+		if len(sig) != 2 || sig[0] != (aiql.ParamSpec{Name: "day", Type: aiql.ParamTime}) ||
+			sig[1] != (aiql.ParamSpec{Name: "starter", Type: aiql.ParamString}) {
+			t.Fatalf("signature = %+v", sig)
+		}
+		res, err := stmt.Exec(ctx, aiql.Params{"day": "05/10/2018", "starter": "%cmd.exe"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0] != "cmd.exe" {
+			t.Fatalf("rows:\n%s", res.Table())
+		}
+		miss, err := stmt.Exec(ctx, aiql.Params{"day": "05/11/2018", "starter": "%cmd.exe"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(miss.Rows) != 0 {
+			t.Fatalf("wrong-day binding matched:\n%s", miss.Table())
+		}
+	})
+
+	t.Run("dependency", func(t *testing.T) {
+		stmt, err := db.Prepare(`backward: ip i1[dstip = $dst] <-[write] proc p ->[read] file f
+return distinct p, f`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stmt.Kind() != "dependency" {
+			t.Fatalf("kind = %q", stmt.Kind())
+		}
+		res, err := stmt.Exec(ctx, aiql.Params{"dst": "203.0.113.129"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0] != "sbblv.exe" {
+			t.Fatalf("rows:\n%s", res.Table())
+		}
+	})
+
+	t.Run("anomaly", func(t *testing.T) {
+		stmt, err := db.Prepare(`
+(from $a to $b)
+window = 1 min, step = 1 min
+proc p write ip i as evt
+return p, sum(evt.amount) as total
+group by p
+having total > 0`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stmt.Kind() != "anomaly" {
+			t.Fatalf("kind = %q", stmt.Kind())
+		}
+		res, err := stmt.Exec(ctx, aiql.Params{"a": "05/10/2018 13:30:00", "b": "05/10/2018 13:40:00"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0] != "sbblv.exe" {
+			t.Fatalf("rows:\n%s", res.Table())
+		}
+	})
+
+	t.Run("cursor and explain", func(t *testing.T) {
+		stmt, err := db.Prepare(`proc p[$exe] read || write file f return p, f`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, err := stmt.ExecCursor(ctx, aiql.Params{"exe": "%"}, aiql.CursorOptions{Limit: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := 0
+		for cur.Next() {
+			rows++
+		}
+		cur.Close()
+		if err := cur.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if rows != 1 {
+			t.Fatalf("limit-1 cursor yielded %d rows", rows)
+		}
+		entries, err := stmt.Explain()
+		if err != nil || len(entries) != 1 {
+			t.Fatalf("explain = %+v, %v", entries, err)
+		}
+	})
+
+	t.Run("binding errors", func(t *testing.T) {
+		stmt, err := db.Prepare(`proc p[$exe] start proc q return p`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pe *aiql.ParamError
+		if err := stmt.Check(aiql.Params{}); !errors.As(err, &pe) {
+			t.Errorf("missing binding: %v", err)
+		}
+		if err := stmt.Check(aiql.Params{"exe": "%x", "nope": 1}); !errors.As(err, &pe) {
+			t.Errorf("unknown binding: %v", err)
+		}
+		if err := stmt.Check(aiql.Params{"exe": "%x"}); err != nil {
+			t.Errorf("valid binding rejected: %v", err)
+		}
+	})
 }

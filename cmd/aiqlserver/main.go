@@ -21,12 +21,17 @@
 //
 // API:
 //
-//	POST /api/v1/query                 {"query": "...", "dataset": "...", "limit": 100, "cursor": "...", "timeout_ms": 5000, "explain": false}
-//	POST /api/v1/query/stream          {"query": "...", "dataset": "...", "limit": 100, "timeout_ms": 5000}  (NDJSON)
+//	POST /api/v1/prepare               {"query": "proc p[$exe] ... return p", "dataset": "..."} → {stmt_id, params}
+//	POST /api/v1/query                 {"query" | "stmt_id", "params": {...}, "dataset": "...", "limit": 100, "cursor": "...", "timeout_ms": 5000, "explain": false}
+//	POST /api/v1/query/stream          {"query" | "stmt_id", "params": {...}, "dataset": "...", "limit": 100, "timeout_ms": 5000}  (NDJSON)
 //	POST /api/v1/check                 {"query": "..."}
 //	GET  /api/v1/stats?dataset=name
 //	GET  /api/v1/datasets
 //	POST /api/v1/datasets/{name}/load  {"path": "optional.aiql"}
+//
+// Every failure carries a stable machine-readable code (parse_error,
+// unknown_param, stmt_not_found, overloaded, ...) plus line/col for
+// query-text errors.
 package main
 
 import (

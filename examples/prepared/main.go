@@ -1,0 +1,68 @@
+// Prepared statements: compile one investigation template, then
+// iterate it over different suspects and days — the interactive loop
+// attack investigation actually runs (same query shape, different
+// bindings), paying for parse/validate/schedule exactly once.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	aiql "github.com/aiql/aiql"
+)
+
+func main() {
+	db := aiql.Open()
+
+	// Two days of activity on host 7: on May 10 an unknown tool reads
+	// the database dump; on May 11 a backup agent reads it legitimately.
+	day1 := time.Date(2018, 5, 10, 13, 30, 0, 0, time.UTC)
+	day2 := time.Date(2018, 5, 11, 2, 0, 0, 0, time.UTC)
+
+	sqlservr := aiql.Process{PID: 301, ExeName: "sqlservr.exe", Path: `C:\Program Files\SQL\sqlservr.exe`, User: "system"}
+	tool := aiql.Process{PID: 905, ExeName: "sbblv.exe", Path: `C:\Temp\sbblv.exe`, User: "dbadmin"}
+	backup := aiql.Process{PID: 120, ExeName: "backup.exe", Path: `C:\Windows\backup.exe`, User: "system"}
+	dump := aiql.File{Path: `C:\SQLData\backup1.dmp`, Owner: "system"}
+
+	db.AppendAll([]aiql.Record{
+		{AgentID: 7, Subject: sqlservr, Op: aiql.OpWrite, ObjType: aiql.EntityFile, ObjFile: dump, StartTS: day1.UnixNano(), Amount: 850_000_000},
+		{AgentID: 7, Subject: tool, Op: aiql.OpRead, ObjType: aiql.EntityFile, ObjFile: dump, StartTS: day1.Add(time.Minute).UnixNano(), Amount: 850_000_000},
+		{AgentID: 7, Subject: backup, Op: aiql.OpRead, ObjType: aiql.EntityFile, ObjFile: dump, StartTS: day2.UnixNano(), Amount: 850_000_000},
+	})
+	db.Flush()
+
+	// One template, three typed parameters. The signature is inferred
+	// from each placeholder's position: $day is a time literal, $agent a
+	// number, $reader an entity string pattern.
+	stmt, err := db.Prepare(`
+(at $day)
+agentid = $agent
+proc r[$reader] read file f["%backup1.dmp"] as evt
+return distinct r, f`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("template signature:")
+	for _, p := range stmt.Params() {
+		fmt.Printf(" $%s(%s)", p.Name, p.Type)
+	}
+	fmt.Println()
+
+	// Iterate the investigation: same compiled plan, different bindings.
+	ctx := context.Background()
+	for _, bindings := range []aiql.Params{
+		{"day": "05/10/2018", "agent": 7, "reader": "%"},        // who read it on the day of the dump?
+		{"day": "05/11/2018", "agent": 7, "reader": "%"},        // and the day after?
+		{"day": "05/10/2018", "agent": 7, "reader": "%sbblv%"},  // was it the suspicious tool?
+		{"day": "05/10/2018", "agent": 7, "reader": "%backup%"}, // or the backup agent?
+	} {
+		res, err := stmt.Exec(ctx, bindings)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nday=%v reader=%v → %d row(s)\n", bindings["day"], bindings["reader"], len(res.Rows))
+		fmt.Print(res.Table())
+	}
+}

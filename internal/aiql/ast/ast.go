@@ -28,11 +28,24 @@ type Head struct {
 }
 
 // TimeWindow is the temporal scope of a query, [From, To) in unix nanos.
-// Zero bounds are open. Raw preserves the source text for display.
+// Zero bounds are open. Raw preserves the source text for display. The
+// *Param fields name prepared-statement placeholders standing in for the
+// corresponding literal: AtParam for the single `at` instant, FromParam
+// and ToParam for the range bounds. Bind substitutes and parses them; a
+// window with an unresolved parameter cannot be executed.
 type TimeWindow struct {
-	From int64
-	To   int64
-	Raw  string
+	From      int64
+	To        int64
+	Raw       string
+	AtParam   string
+	FromParam string
+	ToParam   string
+	Pos       token.Pos
+}
+
+// HasParams reports whether the window still carries placeholders.
+func (w *TimeWindow) HasParams() bool {
+	return w.AtParam != "" || w.FromParam != "" || w.ToParam != ""
 }
 
 // CmpOp is a comparison operator in filters and expressions.
@@ -55,11 +68,14 @@ var cmpNames = [...]string{"=", "!=", "<", "<=", ">", ">=", "like"}
 func (c CmpOp) String() string { return cmpNames[c] }
 
 // Value is a literal in a filter: a string (LIKE pattern or exact) or a
-// number.
+// number. A non-empty Param names a prepared-statement placeholder
+// (`$name`) instead of a literal; binding replaces it with the concrete
+// value before execution.
 type Value struct {
 	IsNum bool
 	Str   string
 	Num   float64
+	Param string
 }
 
 // Filter is one attribute constraint, e.g. `exe_name = "%cmd.exe"`,

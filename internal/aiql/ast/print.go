@@ -25,9 +25,15 @@ func Print(q Query) string {
 }
 
 func printHead(b *strings.Builder, h *Head) {
-	if h.Window != nil && (h.Window.From != 0 || h.Window.To != 0) {
-		from := time.Unix(0, h.Window.From).UTC()
-		to := time.Unix(0, h.Window.To).UTC()
+	switch w := h.Window; {
+	case w == nil:
+	case w.AtParam != "":
+		fmt.Fprintf(b, "(at $%s)\n", w.AtParam)
+	case w.FromParam != "" || w.ToParam != "":
+		fmt.Fprintf(b, "(from %s to %s)\n", windowBound(w.FromParam, w.From), windowBound(w.ToParam, w.To))
+	case w.From != 0 || w.To != 0:
+		from := time.Unix(0, w.From).UTC()
+		to := time.Unix(0, w.To).UTC()
 		fmt.Fprintf(b, "(from %q to %q)\n", from.Format("01/02/2006 15:04:05"), to.Format("01/02/2006 15:04:05"))
 	}
 	for _, f := range h.Globals {
@@ -35,7 +41,19 @@ func printHead(b *strings.Builder, h *Head) {
 	}
 }
 
+// windowBound renders one time-window bound: the placeholder when one is
+// set, the literal instant otherwise.
+func windowBound(param string, ns int64) string {
+	if param != "" {
+		return "$" + param
+	}
+	return strconv.Quote(time.Unix(0, ns).UTC().Format("01/02/2006 15:04:05"))
+}
+
 func formatValue(v Value) string {
+	if v.Param != "" {
+		return "$" + v.Param
+	}
 	if v.IsNum {
 		return strconv.FormatFloat(v.Num, 'g', -1, 64)
 	}

@@ -120,6 +120,8 @@ func (l *Lexer) Next() (token.Token, error) {
 		return l.scanNumber(pos)
 	case c == '"' || c == '\'':
 		return l.scanString(pos)
+	case c == '$':
+		return l.scanParam(pos)
 	}
 	l.advance()
 	mk := func(k token.Kind) (token.Token, error) {
@@ -219,6 +221,21 @@ func (l *Lexer) scanIdent(pos token.Pos) token.Token {
 		return token.Token{Kind: k, Text: strings.ToLower(text), Pos: pos}
 	}
 	return token.Token{Kind: token.IDENT, Text: text, Pos: pos}
+}
+
+// scanParam scans a `$name` prepared-statement placeholder. The token
+// text is the bare name; names follow identifier rules and are never
+// keywordized, so `$return` is a valid parameter.
+func (l *Lexer) scanParam(pos token.Pos) (token.Token, error) {
+	l.advance() // '$'
+	if !isIdentStart(l.peek()) {
+		return token.Token{}, &Error{Pos: pos, Msg: "expected parameter name after '$' (parameters look like $name)"}
+	}
+	start := l.off
+	for l.off < len(l.src) && isIdentPart(l.peek()) {
+		l.advance()
+	}
+	return token.Token{Kind: token.PARAM, Text: l.src[start:l.off], Pos: pos}, nil
 }
 
 func (l *Lexer) scanNumber(pos token.Pos) (token.Token, error) {

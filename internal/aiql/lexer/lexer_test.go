@@ -143,3 +143,38 @@ func TestErrorPositions(t *testing.T) {
 		t.Errorf("error pos = %v, want 1:5", lexErr.Pos)
 	}
 }
+
+func TestParamTokens(t *testing.T) {
+	toks, err := Tokenize(`proc p[$exe] start proc q {agentid = $agent}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var params []string
+	for _, tk := range toks {
+		if tk.Kind == token.PARAM {
+			params = append(params, tk.Text)
+		}
+	}
+	if len(params) != 2 || params[0] != "exe" || params[1] != "agent" {
+		t.Errorf("params = %v, want [exe agent]", params)
+	}
+	// parameter names follow identifier rules and are never keywordized
+	toks, err = Tokenize(`$return $_x1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.PARAM || toks[0].Text != "return" {
+		t.Errorf("$return lexed as %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Kind != token.PARAM || toks[1].Text != "_x1" {
+		t.Errorf("$_x1 lexed as %v %q", toks[1].Kind, toks[1].Text)
+	}
+}
+
+func TestParamErrors(t *testing.T) {
+	for _, src := range []string{`$`, `$ x`, `$1`, `$"s"`} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) succeeded, want error", src)
+		}
+	}
+}

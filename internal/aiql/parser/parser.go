@@ -161,10 +161,15 @@ func (p *parser) parseTimeWindow(hs *headState) error {
 	if hs.head.Window != nil {
 		return p.errAt(open.Pos, "duplicate time window")
 	}
-	w := &ast.TimeWindow{}
+	w := &ast.TimeWindow{Pos: open.Pos}
 	switch {
 	case p.atWord("at"):
 		p.next()
+		if p.at(token.PARAM) {
+			w.AtParam = p.next().Text
+			w.Raw = fmt.Sprintf("at $%s", w.AtParam)
+			break
+		}
 		lit, err := p.expect(token.STRING)
 		if err != nil {
 			return err
@@ -177,31 +182,23 @@ func (p *parser) parseTimeWindow(hs *headState) error {
 		w.Raw = fmt.Sprintf("at %q", lit.Text)
 	case p.atWord("from"):
 		p.next()
-		litFrom, err := p.expect(token.STRING)
+		fromRaw, err := p.parseWindowBound(&w.From, &w.FromParam)
 		if err != nil {
 			return err
-		}
-		from, _, err := parseInstant(litFrom.Text, false)
-		if err != nil {
-			return p.errAt(litFrom.Pos, "%v", err)
 		}
 		if !p.atWord("to") {
 			return p.errf("expected 'to' in time window, found %s", p.cur())
 		}
 		p.next()
-		litTo, err := p.expect(token.STRING)
+		toPos := p.cur().Pos
+		toRaw, err := p.parseWindowBound(&w.To, &w.ToParam)
 		if err != nil {
 			return err
 		}
-		to, _, err := parseInstant(litTo.Text, false)
-		if err != nil {
-			return p.errAt(litTo.Pos, "%v", err)
+		if !w.HasParams() && w.To <= w.From {
+			return p.errAt(toPos, "time window is empty: 'to' is not after 'from'")
 		}
-		if to <= from {
-			return p.errAt(litTo.Pos, "time window is empty: 'to' is not after 'from'")
-		}
-		w.From, w.To = from, to
-		w.Raw = fmt.Sprintf("from %q to %q", litFrom.Text, litTo.Text)
+		w.Raw = fmt.Sprintf("from %s to %s", fromRaw, toRaw)
 	default:
 		return p.errf("expected 'at' or 'from' in time window, found %s", p.cur())
 	}
@@ -210,6 +207,26 @@ func (p *parser) parseTimeWindow(hs *headState) error {
 	}
 	hs.head.Window = w
 	return nil
+}
+
+// parseWindowBound parses one `from`/`to` bound: a time literal or a
+// $parameter. It stores the parsed instant (or the placeholder name) and
+// returns the bound's surface form for TimeWindow.Raw.
+func (p *parser) parseWindowBound(ns *int64, param *string) (string, error) {
+	if p.at(token.PARAM) {
+		*param = p.next().Text
+		return "$" + *param, nil
+	}
+	lit, err := p.expect(token.STRING)
+	if err != nil {
+		return "", err
+	}
+	v, _, err := parseInstant(lit.Text, false)
+	if err != nil {
+		return "", p.errAt(lit.Pos, "%v", err)
+	}
+	*ns = v
+	return fmt.Sprintf("%q", lit.Text), nil
 }
 
 // timeLayouts are the accepted literal formats for time windows.
@@ -223,6 +240,13 @@ var timeLayouts = []struct {
 	{"2006-01-02 15:04:05", false},
 	{"2006-01-02T15:04:05", false},
 	{"2006-01-02", true},
+}
+
+// ParseInstant parses a time literal exactly as time-window clauses do,
+// for binding `$name` window parameters outside the parser. With
+// asWindow set and a date-only literal, the result covers the whole day.
+func ParseInstant(s string, asWindow bool) (from, to int64, err error) {
+	return parseInstant(s, asWindow)
 }
 
 // parseInstant parses a time literal. With asWindow set and a date-only
@@ -365,6 +389,9 @@ func (p *parser) parseValue() (ast.Value, error) {
 	case token.NUMBER:
 		t := p.next()
 		return ast.Value{IsNum: true, Num: t.Num, Str: t.Text}, nil
+	case token.PARAM:
+		t := p.next()
+		return ast.Value{Param: t.Text}, nil
 	case token.MINUS:
 		p.next()
 		t, err := p.expect(token.NUMBER)
@@ -373,7 +400,7 @@ func (p *parser) parseValue() (ast.Value, error) {
 		}
 		return ast.Value{IsNum: true, Num: -t.Num, Str: "-" + t.Text}, nil
 	}
-	return ast.Value{}, p.errf("expected string or number, found %s", p.cur())
+	return ast.Value{}, p.errf("expected string, number, or $parameter, found %s", p.cur())
 }
 
 // ---------------------------------------------------------- entity refs
@@ -431,6 +458,15 @@ func (p *parser) parseEntityRef(declared map[string]sysmon.EntityType) (ast.Enti
 				ref.Filters = append(ref.Filters, ast.Filter{
 					Attr: sysmon.DefaultAttr(ref.Type), Op: op,
 					Val: ast.Value{Str: lit.Text}, Pos: lit.Pos,
+				})
+			case p.at(token.PARAM):
+				// positional placeholder on the default attribute; whether
+				// it means LIKE or exact equality depends on the bound
+				// value, so binding resolves the operator
+				prm := p.next()
+				ref.Filters = append(ref.Filters, ast.Filter{
+					Attr: sysmon.DefaultAttr(ref.Type), Op: ast.CmpEQ,
+					Val: ast.Value{Param: prm.Text}, Pos: prm.Pos,
 				})
 			case p.at(token.IDENT):
 				f, err := p.parseNamedFilter()

@@ -280,3 +280,86 @@ having amt > 2 * amt[1]`,
 		}
 	}
 }
+
+func TestParamsInValuePositions(t *testing.T) {
+	mq := parseMulti(t, `
+(at $day)
+agentid = $agent
+proc p[$exe] start proc q[exe_name = $target] as e1
+proc q write file f {amount > $amt} as e2
+with e1 before e2, e2.amount >= $amt
+return p, q, f`)
+	w := mq.Head_.Window
+	if w == nil || w.AtParam != "day" || w.From != 0 || w.To != 0 {
+		t.Fatalf("window = %+v, want at-param day", w)
+	}
+	if !w.HasParams() {
+		t.Error("HasParams() = false")
+	}
+	if g := mq.Head_.Globals[0]; g.Val.Param != "agent" {
+		t.Errorf("global = %+v", g)
+	}
+	if f := mq.Patterns[0].Subject.Filters[0]; f.Val.Param != "exe" || f.Attr != "exe_name" || f.Op != ast.CmpEQ {
+		t.Errorf("positional param filter = %+v", f)
+	}
+	if f := mq.Patterns[0].Object.Filters[0]; f.Val.Param != "target" || f.Op != ast.CmpEQ {
+		t.Errorf("named param filter = %+v", f)
+	}
+	if f := mq.Patterns[1].EvtFilters[0]; f.Val.Param != "amt" || f.Op != ast.CmpGT {
+		t.Errorf("event param filter = %+v", f)
+	}
+	cond, ok := mq.With[1].(ast.EventCond)
+	if !ok || cond.Val.Param != "amt" {
+		t.Errorf("with cond = %+v", mq.With[1])
+	}
+}
+
+func TestParamsInFromToWindow(t *testing.T) {
+	mq := parseMulti(t, `(from $start to "05/12/2018") proc p start proc q return p`)
+	w := mq.Head_.Window
+	if w == nil || w.FromParam != "start" || w.ToParam != "" || w.To == 0 {
+		t.Fatalf("window = %+v", w)
+	}
+	mq = parseMulti(t, `(from $a to $b) proc p start proc q return p`)
+	w = mq.Head_.Window
+	if w.FromParam != "a" || w.ToParam != "b" {
+		t.Fatalf("window = %+v", w)
+	}
+}
+
+func TestParamRejectedOutsideValuePositions(t *testing.T) {
+	for name, src := range map[string]string{
+		"as alias":       `proc p start proc q as $e return p`,
+		"return item":    `proc p start proc q return $p`,
+		"operation":      `proc p $op proc q return p`,
+		"duration":       `proc a start proc b as e1 proc b start proc c as e2 with e1 before e2 within $d return a`,
+		"entity name":    `proc $p start proc q return q`,
+		"attribute name": `proc p[$attr = "x"] start proc q return p`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse(%q) succeeded, want error", name, src)
+		}
+	}
+}
+
+func TestParamPrintRoundTrip(t *testing.T) {
+	src := `(at $day)
+agentid = $agent
+proc p1[$exe] start proc p2[exe_name = $t] as evt1
+return distinct p1, p2`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ast.Print(q)
+	q2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of printed form failed: %v\n%s", err, printed)
+	}
+	if ast.Print(q2) != printed {
+		t.Errorf("print not stable:\n%s\nvs\n%s", printed, ast.Print(q2))
+	}
+	if !strings.Contains(printed, "$day") || !strings.Contains(printed, "$exe") {
+		t.Errorf("printed form lost parameters:\n%s", printed)
+	}
+}

@@ -27,6 +27,41 @@ func errf(pos token.Pos, format string, args ...interface{}) error {
 	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
+// ParamType classifies what kind of value a `$name` placeholder accepts,
+// inferred from the placeholder's position in the query.
+type ParamType string
+
+// Parameter types.
+const (
+	// ParamString is an entity attribute value or pattern (LIKE
+	// wildcards in the bound string are honored) or a string-valued
+	// event attribute such as optype.
+	ParamString ParamType = "string"
+	// ParamNumber is a numeric comparison value (agentid, amount,
+	// ordering comparisons on entity attributes).
+	ParamNumber ParamType = "number"
+	// ParamTime is a time-window literal ("05/10/2018", "2018-05-10
+	// 13:30:00").
+	ParamTime ParamType = "time"
+)
+
+// ParamSpec is one entry of a query's typed parameter signature.
+type ParamSpec struct {
+	Name string    `json:"name"`
+	Type ParamType `json:"type"`
+}
+
+// ParamError reports conflicting uses of one placeholder: two positions
+// that demand different value types.
+type ParamError struct {
+	Name string
+	Pos  token.Pos
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParamError) Error() string { return fmt.Sprintf("semantic error at %s: %s", e.Pos, e.Msg) }
+
 // Info is the symbol information produced by Check.
 type Info struct {
 	// Vars maps entity variable names to their types.
@@ -38,6 +73,49 @@ type Info struct {
 	// Aggregates maps return aliases to their aggregate expression, for
 	// anomaly queries.
 	Aggregates map[string]*ast.CallExpr
+	// Params is the query's typed parameter signature, placeholders in
+	// first-appearance order. Empty for fully literal queries.
+	Params []ParamSpec
+
+	paramTypes map[string]ParamType
+}
+
+// addParam records one placeholder occurrence, rejecting a type that
+// conflicts with an earlier occurrence of the same name.
+func (info *Info) addParam(name string, t ParamType, pos token.Pos) error {
+	if prev, ok := info.paramTypes[name]; ok {
+		if prev != t {
+			return &ParamError{Name: name, Pos: pos,
+				Msg: fmt.Sprintf("parameter $%s is used as both %s and %s", name, prev, t)}
+		}
+		return nil
+	}
+	info.paramTypes[name] = t
+	info.Params = append(info.Params, ParamSpec{Name: name, Type: t})
+	return nil
+}
+
+// eventAttrParamType is the parameter type demanded by an event-attribute
+// comparison position.
+func eventAttrParamType(attr string) ParamType {
+	switch attr {
+	case "optype", "op":
+		return ParamString
+	default: // id, agentid, amount, seq, starttime, endtime
+		return ParamNumber
+	}
+}
+
+// entityFilterParamType is the parameter type demanded by an
+// entity-attribute comparison: ordering comparisons need numbers,
+// equality and LIKE take strings (wildcards resolved at bind time).
+func entityFilterParamType(op ast.CmpOp) ParamType {
+	switch op {
+	case ast.CmpLT, ast.CmpLE, ast.CmpGT, ast.CmpGE:
+		return ParamNumber
+	default:
+		return ParamString
+	}
 }
 
 // Check validates q, normalizing it in place, and returns symbol info.
@@ -48,6 +126,10 @@ func Check(q ast.Query) (*Info, error) {
 		Vars:       map[string]sysmon.EntityType{},
 		Events:     map[string]int{},
 		Aggregates: map[string]*ast.CallExpr{},
+		paramTypes: map[string]ParamType{},
+	}
+	if err := checkHead(q.Header(), info); err != nil {
+		return info, err
 	}
 	switch x := q.(type) {
 	case *ast.MultieventQuery:
@@ -59,6 +141,32 @@ func Check(q ast.Query) (*Info, error) {
 	default:
 		return nil, fmt.Errorf("semantic: unknown query type %T", q)
 	}
+}
+
+// checkHead collects placeholder uses from the global clauses: window
+// bound parameters are time-typed, global event-attribute constraints
+// follow the event-attribute rule.
+func checkHead(h *ast.Head, info *Info) error {
+	if w := h.Window; w != nil {
+		for _, name := range []string{w.AtParam, w.FromParam, w.ToParam} {
+			if name == "" {
+				continue
+			}
+			if err := info.addParam(name, ParamTime, w.Pos); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range h.Globals {
+		f := &h.Globals[i]
+		if f.Val.Param == "" {
+			continue
+		}
+		if err := info.addParam(f.Val.Param, eventAttrParamType(f.Attr), f.Pos); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // opObjectTypes returns the object entity types permitted for an op name.
@@ -107,6 +215,11 @@ func checkEntityRef(r *ast.EntityRef, info *Info) error {
 				r.Name, r.Type, f.Attr, sysmon.Attrs(r.Type))
 		}
 		f.Attr = canon
+		if f.Val.Param != "" {
+			if err := info.addParam(f.Val.Param, entityFilterParamType(f.Op), f.Pos); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -134,6 +247,11 @@ func checkPattern(p *ast.EventPattern, idx int, info *Info) error {
 		f := &p.EvtFilters[i]
 		if !sysmon.ValidEventAttr(f.Attr) {
 			return errf(f.Pos, "unknown event attribute %q", f.Attr)
+		}
+		if f.Val.Param != "" {
+			if err := info.addParam(f.Val.Param, eventAttrParamType(f.Attr), f.Pos); err != nil {
+				return err
+			}
 		}
 	}
 	if p.Alias != "" {
@@ -172,6 +290,11 @@ func checkMultievent(q *ast.MultieventQuery, info *Info) error {
 			}
 			if !sysmon.ValidEventAttr(c.Attr) {
 				return errf(c.Pos, "unknown event attribute %q", c.Attr)
+			}
+			if c.Val.Param != "" {
+				if err := info.addParam(c.Val.Param, eventAttrParamType(c.Attr), c.Pos); err != nil {
+					return err
+				}
 			}
 		}
 	}

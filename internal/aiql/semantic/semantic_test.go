@@ -1,6 +1,7 @@
 package semantic
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -167,4 +168,68 @@ func TestPolymorphicReadWrite(t *testing.T) {
 	mustCheck(t, `proc p read file f as e return p`)
 	mustCheck(t, `proc p read ip i as e return p`)
 	mustCheck(t, `proc p read || write ip i as e return p`)
+}
+
+func TestParamSignatureInference(t *testing.T) {
+	info := mustCheck(t, `
+(at $day)
+agentid = $agent
+proc p[$exe] start proc q[pid = $pid] as e1
+proc q write file f {amount > $amt} as e2
+with e2.optype = $op
+return p, q, f`)
+	want := []ParamSpec{
+		{Name: "day", Type: ParamTime},
+		{Name: "agent", Type: ParamNumber},
+		{Name: "exe", Type: ParamString},
+		{Name: "pid", Type: ParamString},
+		{Name: "amt", Type: ParamNumber},
+		{Name: "op", Type: ParamString},
+	}
+	if len(info.Params) != len(want) {
+		t.Fatalf("params = %+v, want %d entries", info.Params, len(want))
+	}
+	for i, w := range want {
+		if info.Params[i] != w {
+			t.Errorf("param %d = %+v, want %+v", i, info.Params[i], w)
+		}
+	}
+}
+
+func TestParamReuseSameTypeAllowed(t *testing.T) {
+	info := mustCheck(t, `
+proc p[$exe] start proc q[exe_name = $exe] as e1
+return p, q`)
+	if len(info.Params) != 1 || info.Params[0].Name != "exe" || info.Params[0].Type != ParamString {
+		t.Errorf("params = %+v", info.Params)
+	}
+}
+
+func TestParamConflictingTypesRejected(t *testing.T) {
+	for name, src := range map[string]string{
+		"string vs number": `proc p[$x] start proc q {agentid = $x} return p`,
+		"time vs string":   `(at $x) proc p[$x] start proc q return p`,
+		"number vs time":   `(from $x to "05/12/2018") proc p[pid > $x] start proc q return p`,
+	} {
+		q, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		_, err = Check(q)
+		if err == nil {
+			t.Errorf("%s: Check succeeded, want conflict error", name)
+			continue
+		}
+		var pe *ParamError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %v is not a ParamError", name, err)
+		}
+	}
+}
+
+func TestOrderingComparisonParamIsNumber(t *testing.T) {
+	info := mustCheck(t, `proc p[pid >= $lo] start proc q return p`)
+	if len(info.Params) != 1 || info.Params[0].Type != ParamNumber {
+		t.Errorf("params = %+v, want number", info.Params)
+	}
 }

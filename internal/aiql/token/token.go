@@ -17,6 +17,7 @@ const (
 	IDENT  // p1, proc, write, agentid
 	STRING // "%cmd.exe"
 	NUMBER // 42, 2.5
+	PARAM  // $name — prepared-statement placeholder in a value position
 
 	LPAREN   // (
 	RPAREN   // )
@@ -70,6 +71,7 @@ var kindNames = map[Kind]string{
 	IDENT:    "identifier",
 	STRING:   "string",
 	NUMBER:   "number",
+	PARAM:    "parameter",
 	LPAREN:   "'('",
 	RPAREN:   "')'",
 	LBRACKET: "'['",
@@ -171,6 +173,8 @@ func (t Token) String() string {
 		return fmt.Sprintf("%q", t.Text)
 	case NUMBER:
 		return t.Text
+	case PARAM:
+		return "$" + t.Text
 	default:
 		return t.Kind.String()
 	}

@@ -232,6 +232,12 @@ func (c *Catalog) Names() []string {
 // its remaining pages would hand out rows from a dataset the operator
 // just swapped away. Such requests answer 410 Gone (the cursor-expired
 // contract) and the client re-issues the query against the new data.
+//
+// Prepared statements DO survive the swap: the new service re-prepares
+// every statement the old registry held against the swapped-in
+// database under its original stmt_id, so clients keep executing their
+// handles across the reload (results now reflect the new data, exactly
+// as an inline query would).
 func (c *Catalog) Load(name, path string) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("catalog: dataset name must not be empty")
@@ -275,6 +281,7 @@ func (c *Catalog) Load(name, path string) (*Dataset, error) {
 			// to reopen its directory so the dataset stays durable.
 			if rdb, rerr := aiql.OpenPath(old.path); rerr == nil {
 				d := c.newDataset(name, old.path, rdb)
+				d.svc.AdoptPrepared(old.svc.PreparedSeeds())
 				c.mu.Lock()
 				c.install(d)
 				c.mu.Unlock()
@@ -285,6 +292,9 @@ func (c *Catalog) Load(name, path string) (*Dataset, error) {
 		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
 	}
 	d := c.newDataset(name, path, db)
+	if old != nil {
+		d.svc.AdoptPrepared(old.svc.PreparedSeeds())
+	}
 	c.mu.Lock()
 	c.install(d)
 	c.mu.Unlock()

@@ -2,7 +2,6 @@ package catalog
 
 import (
 	"encoding/json"
-	"errors"
 	"log"
 	"net/http"
 	"strings"
@@ -30,10 +29,6 @@ type DatasetsResponse struct {
 	Datasets []service.DatasetStats `json:"datasets"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
 // maxLoadBody caps hot-swap request bodies.
 const maxLoadBody = 1 << 16
 
@@ -56,7 +51,8 @@ func (c *Catalog) Handler() http.Handler {
 
 func (c *Catalog) handleList(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		writeJSON(w, http.StatusMethodNotAllowed,
+			service.ErrorResponse{Code: service.CodeMethodNotAllowed, Error: "GET only"})
 		return
 	}
 	writeJSON(w, http.StatusOK, DatasetsResponse{Default: c.DefaultName(), Datasets: c.Stats()})
@@ -67,27 +63,28 @@ func (c *Catalog) handleDataset(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/datasets/")
 	name, action, ok := strings.Cut(rest, "/")
 	if !ok || name == "" || action != "load" {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown datasets endpoint; try POST /api/v1/datasets/{name}/load"})
+		// status and code must agree with the documented table:
+		// bad_request is pinned to 400
+		writeJSON(w, http.StatusBadRequest, service.ErrorResponse{Code: service.CodeBadRequest,
+			Error: "unknown datasets endpoint; try POST /api/v1/datasets/{name}/load"})
 		return
 	}
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		writeJSON(w, http.StatusMethodNotAllowed,
+			service.ErrorResponse{Code: service.CodeMethodNotAllowed, Error: "POST only"})
 		return
 	}
 	var req LoadRequest
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxLoadBody)).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+			writeJSON(w, http.StatusBadRequest,
+				service.ErrorResponse{Code: service.CodeBadRequest, Error: "bad request: " + err.Error()})
 			return
 		}
 	}
 	d, err := c.Load(name, req.Path)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, service.ErrUnknownDataset) {
-			status = http.StatusNotFound
-		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		service.WriteError(w, err)
 		return
 	}
 	st := d.Service().DatasetStats(d.Name())

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"github.com/aiql/aiql/internal/aiql/ast"
-	"github.com/aiql/aiql/internal/aiql/parser"
 	"github.com/aiql/aiql/internal/aiql/semantic"
 )
 
@@ -155,15 +154,17 @@ func (c *Cursor) Close() error {
 	}
 }
 
-// ExecuteCursor parses, validates, and starts one AIQL query, returning
-// a cursor over its rows. Parse, semantic, and planning errors are
-// returned immediately; execution errors surface through Cursor.Err.
+// ExecuteCursor prepares and starts one AIQL query, returning a cursor
+// over its rows — the bind-then-run form of a one-shot execution.
+// Parse, semantic, and planning errors are returned immediately;
+// execution errors surface through Cursor.Err. Queries with `$name`
+// parameters need Prepare + ExecutePreparedCursor to supply bindings.
 func (e *Engine) ExecuteCursor(ctx context.Context, src string, opts CursorOptions) (*Cursor, error) {
-	q, err := parser.Parse(src)
+	p, err := e.Prepare(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecuteQueryCursor(ctx, q, opts)
+	return e.ExecutePreparedCursor(ctx, p, nil, opts)
 }
 
 // ExecuteQueryCursor validates and starts a parsed query under ctx,
@@ -226,11 +227,19 @@ func (e *Engine) ExecuteQueryCursor(ctx context.Context, q ast.Query, opts Curso
 		return nil, fmt.Errorf("engine: unsupported query type %T", q)
 	}
 
+	return e.startCursor(ctx, cp.cols, opts, cp.run), nil
+}
+
+// startCursor launches the producer goroutine for a compiled execution
+// and returns its cursor. run receives the halt-layered context, the
+// statistics sink, and the emit callback; it is the only goroutine that
+// touches them until the cursor ends.
+func (e *Engine) startCursor(ctx context.Context, cols []string, opts CursorOptions, run func(cctx context.Context, stats *ExecStats, emit emitFunc) error) *Cursor {
 	// The row channel is buffered so a fast producer is not forced into a
 	// goroutine handoff per row on full drains; the buffer stays small so
 	// memory remains bounded and backpressure still reaches the scan.
 	c := &Cursor{
-		cols: cp.cols,
+		cols: cols,
 		rows: make(chan []string, 256),
 		h:    newHalt(),
 		done: make(chan struct{}),
@@ -252,7 +261,7 @@ func (e *Engine) ExecuteQueryCursor(ctx context.Context, q ast.Query, opts Curso
 			sent++
 			return opts.Limit <= 0 || sent < opts.Limit
 		}
-		runErr := cp.run(cctx, &stats, emit)
+		runErr := run(cctx, &stats, emit)
 		// Classify the outcome. A real execution error always wins; a
 		// cancellation that traces to the parent context is reported as
 		// an abort; a cancellation caused solely by Close is a clean
@@ -275,5 +284,5 @@ func (e *Engine) ExecuteQueryCursor(ctx context.Context, q ast.Query, opts Curso
 		c.mu.Unlock()
 		close(c.rows)
 	}()
-	return c, nil
+	return c
 }

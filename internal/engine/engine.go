@@ -16,8 +16,6 @@ import (
 	"time"
 
 	"github.com/aiql/aiql/internal/aiql/ast"
-	"github.com/aiql/aiql/internal/aiql/parser"
-	"github.com/aiql/aiql/internal/aiql/semantic"
 	"github.com/aiql/aiql/internal/eventstore"
 )
 
@@ -83,15 +81,17 @@ func (e *Engine) ScanCacheStats() ScanCacheStats {
 	return e.scache.Load().stats()
 }
 
-// Execute parses, validates, and runs one AIQL query. The context bounds
-// execution: cancellation or an expired deadline aborts partition scans
-// and binding joins mid-flight.
+// Execute compiles and runs one AIQL query — the bind-then-run form of
+// a one-shot execution (Prepare + ExecutePrepared with no bindings).
+// The context bounds execution: cancellation or an expired deadline
+// aborts partition scans and binding joins mid-flight. Queries with
+// `$name` parameters need Prepare + ExecutePrepared to supply bindings.
 func (e *Engine) Execute(ctx context.Context, src string) (*Result, error) {
-	q, err := parser.Parse(src)
+	p, err := e.Prepare(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecuteQuery(ctx, q)
+	return e.ExecutePrepared(ctx, p, nil)
 }
 
 // ExecuteQuery validates and runs a parsed query under ctx. It is a
@@ -108,6 +108,14 @@ func (e *Engine) ExecuteQuery(ctx context.Context, q ast.Query) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
+	return materializeCursor(cur, start)
+}
+
+// materializeCursor drains a cursor to completion and puts the rows
+// into the engine's canonical sorted order. When execution is aborted
+// the returned error wraps the cause and the Result still carries the
+// statistics accumulated up to the abort.
+func materializeCursor(cur *Cursor, start time.Time) (*Result, error) {
 	res := &Result{Columns: cur.Columns()}
 	for cur.Next() {
 		res.Rows = append(res.Rows, cur.Row())
@@ -129,44 +137,13 @@ type ExplainEntry struct {
 	Estimate int
 }
 
-// Explain returns the scheduled pattern order and pruning-power estimates
-// for a multievent or dependency query without executing it.
+// Explain returns the scheduled pattern order and pruning-power
+// estimates for a query without executing it. Parameterized templates
+// are explained with their placeholders unconstrained.
 func (e *Engine) Explain(src string) ([]ExplainEntry, error) {
-	q, err := parser.Parse(src)
+	p, err := e.Prepare(src)
 	if err != nil {
 		return nil, err
 	}
-	var mq *ast.MultieventQuery
-	switch x := q.(type) {
-	case *ast.MultieventQuery:
-		if _, err := semantic.Check(x); err != nil {
-			return nil, err
-		}
-		mq = x
-	case *ast.DependencyQuery:
-		if _, err := semantic.Check(x); err != nil {
-			return nil, err
-		}
-		mq, err = RewriteDependency(x)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := semantic.Check(mq); err != nil {
-			return nil, err
-		}
-	case *ast.AnomalyQuery:
-		if _, err := semantic.Check(x); err != nil {
-			return nil, err
-		}
-		mq = &ast.MultieventQuery{Head_: x.Head_, Patterns: []ast.EventPattern{x.Pattern}}
-	}
-	plan, err := e.buildPlanEstimates(e.store.Snapshot(), mq, true)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]ExplainEntry, 0, len(plan.patterns))
-	for _, pp := range plan.patterns {
-		out = append(out, ExplainEntry{Alias: pp.alias, Estimate: pp.estimate})
-	}
-	return out, nil
+	return e.ExplainPrepared(p)
 }

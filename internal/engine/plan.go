@@ -124,6 +124,9 @@ func (e *Engine) entityCandidates(ref *ast.EntityRef) (*eventstore.IDSet, error)
 	var set *eventstore.IDSet
 	for i := range ref.Filters {
 		f := &ref.Filters[i]
+		if f.Val.Param != "" {
+			return nil, fmt.Errorf("engine: unbound parameter $%s; prepare the query and bind it before executing", f.Val.Param)
+		}
 		attr, ok := sysmon.CanonicalAttr(ref.Type, f.Attr)
 		if !ok {
 			return nil, fmt.Errorf("engine: entity %q has no attribute %q", ref.Name, f.Attr)
@@ -210,8 +213,57 @@ func (e *Engine) buildPlan(snap *eventstore.Snapshot, q *ast.MultieventQuery) (*
 }
 
 func (e *Engine) buildPlanEstimates(snap *eventstore.Snapshot, q *ast.MultieventQuery, needEstimates bool) (*queryPlan, error) {
+	plan, err := e.compilePatterns(snap, q, needEstimates)
+	if err != nil {
+		return nil, err
+	}
+	e.schedule(plan)
+	return plan, nil
+}
+
+// buildPlanFixed compiles the patterns and applies a previously computed
+// scheduling order (pattern indices in execution sequence) instead of
+// re-scheduling — the execute-many half of a prepared statement: no
+// pruning-power estimates are computed at all.
+func (e *Engine) buildPlanFixed(snap *eventstore.Snapshot, q *ast.MultieventQuery, order []int) (*queryPlan, error) {
+	plan, err := e.compilePatterns(snap, q, false)
+	if err != nil {
+		return nil, err
+	}
+	orderPlan(plan, order)
+	return plan, nil
+}
+
+// orderPlan reorders the pattern plans to the given sequence of original
+// pattern indices. A mismatched order (defensive; cannot happen for a
+// plan compiled from the template the order came from) leaves the
+// syntactic order in place.
+func orderPlan(plan *queryPlan, order []int) {
+	if len(order) != len(plan.patterns) {
+		return
+	}
+	byIdx := make(map[int]*patternPlan, len(plan.patterns))
+	for _, pp := range plan.patterns {
+		byIdx[pp.idx] = pp
+	}
+	ordered := make([]*patternPlan, 0, len(order))
+	for _, idx := range order {
+		pp, ok := byIdx[idx]
+		if !ok {
+			return
+		}
+		ordered = append(ordered, pp)
+		delete(byIdx, idx)
+	}
+	plan.patterns = ordered
+}
+
+func (e *Engine) compilePatterns(snap *eventstore.Snapshot, q *ast.MultieventQuery, needEstimates bool) (*queryPlan, error) {
 	plan := &queryPlan{}
 	if q.Head_.Window != nil {
+		if q.Head_.Window.HasParams() {
+			return nil, fmt.Errorf("engine: time window carries unbound parameters; prepare the query and bind them before executing")
+		}
 		plan.window = *q.Head_.Window
 	}
 	globalAgents, globalPreds, err := splitGlobals(q.Head_.Globals)
@@ -266,6 +318,9 @@ func (e *Engine) buildPlanEstimates(snap *eventstore.Snapshot, q *ast.Multievent
 		pp.evtPreds = append(pp.evtPreds, globalPreds...)
 		evtFilters := append(append([]ast.Filter{}, pat.EvtFilters...), perEventConds[pat.Alias]...)
 		for _, f := range evtFilters {
+			if f.Val.Param != "" {
+				return nil, fmt.Errorf("engine: unbound parameter $%s; prepare the query and bind it before executing", f.Val.Param)
+			}
 			// agent equality narrows the spatial scope directly
 			if (f.Attr == "agentid" || f.Attr == "agent_id") && f.Op == ast.CmpEQ {
 				if a, ok := filterAgent(f); ok {
@@ -290,6 +345,9 @@ func splitGlobals(globals []ast.Filter) ([]uint32, []evtPred, error) {
 	var agents []uint32
 	var preds []evtPred
 	for _, f := range globals {
+		if f.Val.Param != "" {
+			return nil, nil, fmt.Errorf("engine: unbound parameter $%s; prepare the query and bind it before executing", f.Val.Param)
+		}
 		if (f.Attr == "agentid" || f.Attr == "agent_id") && f.Op == ast.CmpEQ {
 			if a, ok := filterAgent(f); ok {
 				agents = append(agents, a)

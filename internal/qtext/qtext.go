@@ -1,0 +1,49 @@
+// Package qtext canonicalizes AIQL query text. The service's result
+// cache and the engine's prepared-statement fingerprints both key on the
+// normalized form, so a reformatted query (line breaks, indentation)
+// maps to the same template.
+package qtext
+
+import "strings"
+
+// Normalize canonicalizes query text: outside string literals,
+// whitespace runs collapse to one space and surrounding whitespace is
+// trimmed. Literal contents are preserved byte-for-byte — AIQL strings
+// may contain significant whitespace, and collapsing it would alias
+// distinct queries to one key. Quoting follows the lexer: double or
+// single quotes with backslash escapes.
+func Normalize(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	var quote byte   // the active quote character, 0 outside literals
+	pending := false // a collapsed whitespace run awaits emission
+	escaped := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if quote != 0 {
+			b.WriteByte(c)
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\':
+				escaped = true
+			case c == quote:
+				quote = 0
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			pending = b.Len() > 0
+			continue
+		}
+		if pending {
+			b.WriteByte(' ')
+			pending = false
+		}
+		if c == '"' || c == '\'' {
+			quote = c
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}

@@ -2,10 +2,10 @@ package service
 
 import (
 	"container/list"
-	"strings"
 	"sync"
 
 	"github.com/aiql/aiql/internal/engine"
+	"github.com/aiql/aiql/internal/qtext"
 )
 
 // cacheKey identifies one query result: the normalized query text plus
@@ -138,45 +138,7 @@ func (c *resultCache) sizeBytes() int64 {
 	return c.bytes
 }
 
-// normalizeQuery canonicalizes query text for cache keying: outside
-// string literals, whitespace runs collapse to one space and surrounding
-// whitespace is trimmed, so reformatting a query (line breaks,
-// indentation) still hits the cache. Literal contents are preserved
-// byte-for-byte — AIQL strings may contain significant whitespace, and
-// collapsing it would alias distinct queries to one key. Quoting follows
-// the lexer: double or single quotes with backslash escapes.
-func normalizeQuery(src string) string {
-	var b strings.Builder
-	b.Grow(len(src))
-	var quote byte   // the active quote character, 0 outside literals
-	pending := false // a collapsed whitespace run awaits emission
-	escaped := false
-	for i := 0; i < len(src); i++ {
-		c := src[i]
-		if quote != 0 {
-			b.WriteByte(c)
-			switch {
-			case escaped:
-				escaped = false
-			case c == '\\':
-				escaped = true
-			case c == quote:
-				quote = 0
-			}
-			continue
-		}
-		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
-			pending = b.Len() > 0
-			continue
-		}
-		if pending {
-			b.WriteByte(' ')
-			pending = false
-		}
-		if c == '"' || c == '\'' {
-			quote = c
-		}
-		b.WriteByte(c)
-	}
-	return b.String()
-}
+// normalizeQuery canonicalizes query text for cache keying, so
+// reformatting a query (line breaks, indentation) still hits the cache.
+// The same normalization fingerprints prepared-statement templates.
+func normalizeQuery(src string) string { return qtext.Normalize(src) }

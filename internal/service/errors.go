@@ -1,0 +1,181 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"github.com/aiql/aiql/internal/aiql/lexer"
+	"github.com/aiql/aiql/internal/aiql/parser"
+	"github.com/aiql/aiql/internal/aiql/semantic"
+	"github.com/aiql/aiql/internal/aiql/token"
+	"github.com/aiql/aiql/internal/engine"
+)
+
+// Stable machine-readable error codes carried by every API failure.
+// Clients dispatch on the code; the message is for humans and may
+// change between releases.
+const (
+	// CodeParseError: the query text does not lex or parse; position
+	// points at the offending token.
+	CodeParseError = "parse_error"
+	// CodeSemanticError: the query parses but fails validation
+	// (unknown attribute, type conflict, bad alias); position points at
+	// the offending clause.
+	CodeSemanticError = "semantic_error"
+	// CodeUnknownParam: a binding names a parameter the statement does
+	// not declare.
+	CodeUnknownParam = "unknown_param"
+	// CodeMissingParam: a declared parameter has no binding.
+	CodeMissingParam = "missing_param"
+	// CodeParamTypeMismatch: a binding's value (or two conflicting
+	// placeholder positions) does not fit the parameter's inferred type.
+	CodeParamTypeMismatch = "param_type_mismatch"
+	// CodeStmtNotFound: the stmt_id is unknown, expired, or evicted;
+	// re-prepare and retry.
+	CodeStmtNotFound = "stmt_not_found"
+	// CodeBadCursor: the pagination cursor is malformed or belongs to a
+	// different query.
+	CodeBadCursor = "bad_cursor"
+	// CodeCursorExpired: the cursor's snapshot is gone; re-issue the
+	// query.
+	CodeCursorExpired = "cursor_expired"
+	// CodeOverloaded: the service shed the query; back off and retry.
+	CodeOverloaded = "overloaded"
+	// CodeThrottled: the client exceeded its concurrent-execution
+	// share; back off and retry.
+	CodeThrottled = "throttled"
+	// CodeTimeout: the per-query deadline expired mid-execution.
+	CodeTimeout = "timeout"
+	// CodeCanceled: the client went away before the query finished.
+	CodeCanceled = "canceled"
+	// CodeUnknownDataset: the named dataset is not registered.
+	CodeUnknownDataset = "unknown_dataset"
+	// CodeBadRequest: the request itself is malformed (bad JSON,
+	// oversized body).
+	CodeBadRequest = "bad_request"
+	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeUnsupported: the endpoint cannot serve this request shape
+	// (e.g. explain on the stream endpoint).
+	CodeUnsupported = "unsupported"
+	// CodeExecError: the query failed during execution (resource
+	// limits, internal errors) — the fallback code.
+	CodeExecError = "exec_error"
+)
+
+// ErrorPosition is a 1-based source position in the submitted query.
+type ErrorPosition struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// ErrorResponse is the wire form of any API failure: a stable
+// machine-readable code, a human-readable message, the source position
+// for query-text errors, and optional detail (the offending parameter
+// name, a hint).
+type ErrorResponse struct {
+	Code     string         `json:"code"`
+	Error    string         `json:"error"`
+	Position *ErrorPosition `json:"position,omitempty"`
+	Detail   string         `json:"detail,omitempty"`
+}
+
+// apiError lets handlers raise a failure with an explicit code and
+// status (method checks, body decoding) through the same writer as
+// service errors.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// ErrorBody classifies err into the structured wire form.
+func ErrorBody(err error) ErrorResponse {
+	out := ErrorResponse{Code: CodeExecError, Error: err.Error()}
+	pos := func(p token.Pos) *ErrorPosition { return &ErrorPosition{Line: p.Line, Col: p.Col} }
+	var (
+		lexErr   *lexer.Error
+		parseErr *parser.Error
+		semErr   *semantic.Error
+		confErr  *semantic.ParamError
+		bindErr  *engine.ParamError
+		httpErr  *apiError
+	)
+	switch {
+	case errors.As(err, &httpErr):
+		out.Code = httpErr.code
+	case errors.As(err, &lexErr):
+		out.Code = CodeParseError
+		out.Position = pos(lexErr.Pos)
+		out.Detail = lexErr.Msg
+	case errors.As(err, &parseErr):
+		out.Code = CodeParseError
+		out.Position = pos(parseErr.Pos)
+		out.Detail = parseErr.Msg
+	case errors.As(err, &confErr):
+		out.Code = CodeParamTypeMismatch
+		out.Position = pos(confErr.Pos)
+		out.Detail = "parameter $" + confErr.Name
+	case errors.As(err, &semErr):
+		out.Code = CodeSemanticError
+		out.Position = pos(semErr.Pos)
+		out.Detail = semErr.Msg
+	case errors.As(err, &bindErr):
+		out.Code = string(bindErr.Code)
+		out.Detail = "parameter $" + bindErr.Name
+	case errors.Is(err, ErrStmtNotFound):
+		out.Code = CodeStmtNotFound
+	case errors.Is(err, ErrBadCursor):
+		out.Code = CodeBadCursor
+	case errors.Is(err, ErrCursorExpired):
+		out.Code = CodeCursorExpired
+	case errors.Is(err, ErrOverloaded):
+		out.Code = CodeOverloaded
+	case errors.Is(err, ErrClientThrottled):
+		out.Code = CodeThrottled
+	case errors.Is(err, ErrUnknownDataset):
+		out.Code = CodeUnknownDataset
+	case errors.Is(err, context.DeadlineExceeded):
+		out.Code = CodeTimeout
+	case errors.Is(err, context.Canceled):
+		out.Code = CodeCanceled
+	}
+	return out
+}
+
+// statusFor maps service errors to HTTP status codes.
+func statusFor(err error) int {
+	var httpErr *apiError
+	if errors.As(err, &httpErr) {
+		return httpErr.status
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrClientThrottled):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrCursorExpired):
+		return http.StatusGone
+	case errors.Is(err, ErrUnknownDataset):
+		return http.StatusNotFound
+	case errors.Is(err, ErrStmtNotFound):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// WriteError writes err as a structured JSON error response with the
+// appropriate status code. It is shared by every API endpoint
+// (including the catalog's management handlers) so all failures carry
+// the same machine-readable model.
+func WriteError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), ErrorBody(err))
+}

@@ -1,7 +1,6 @@
 package service
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,10 +13,18 @@ import (
 	aiql "github.com/aiql/aiql"
 )
 
-// QueryRequest is the wire form of one query submission.
+// QueryRequest is the wire form of one query submission: inline query
+// text (optionally with params), or a prepared stmt_id with params.
 type QueryRequest struct {
-	// Query is the AIQL query text.
-	Query string `json:"query"`
+	// Query is the AIQL query text; it may contain `$name` parameters
+	// bound by Params. Ignored when StmtID is set.
+	Query string `json:"query,omitempty"`
+	// StmtID executes a statement registered via POST /api/v1/prepare.
+	StmtID string `json:"stmt_id,omitempty"`
+	// Params binds the statement's `$name` parameters: name → value
+	// (JSON strings for string/time parameters, numbers for number
+	// parameters).
+	Params map[string]any `json:"params,omitempty"`
 	// Dataset names the catalog dataset to query; empty selects the
 	// default dataset.
 	Dataset string `json:"dataset,omitempty"`
@@ -32,6 +39,25 @@ type QueryRequest struct {
 	// Explain returns the scheduled pattern order and per-pattern
 	// estimates instead of executing the query.
 	Explain bool `json:"explain,omitempty"`
+}
+
+// PrepareRequest is the wire form of a statement registration.
+type PrepareRequest struct {
+	// Query is the AIQL template, `$name` parameters in value
+	// positions.
+	Query string `json:"query"`
+	// Dataset names the catalog dataset the statement binds to.
+	Dataset string `json:"dataset,omitempty"`
+}
+
+// PrepareResponse describes the registered statement: the handle to
+// execute by, the query family, and the inferred typed parameter
+// signature.
+type PrepareResponse struct {
+	StmtID  string      `json:"stmt_id"`
+	Kind    string      `json:"kind"`
+	Params  []ParamInfo `json:"params"`
+	Columns []string    `json:"columns,omitempty"`
 }
 
 // PlanEntry is the wire form of one scheduled pattern in an explain
@@ -66,18 +92,16 @@ type StreamHeader struct {
 	Cached  bool     `json:"cached,omitempty"`
 }
 
-// StreamTrailer is the last NDJSON line of a streaming response.
+// StreamTrailer is the last NDJSON line of a streaming response. A
+// mid-stream failure surfaces here (the status is already 200), with
+// the same machine-readable code the buffered endpoint would return.
 type StreamTrailer struct {
 	Done          bool    `json:"done"`
 	Rows          int     `json:"rows"`
 	DurationMS    float64 `json:"duration_ms"`
 	ScannedEvents int64   `json:"scanned_events"`
 	Error         string  `json:"error,omitempty"`
-}
-
-// ErrorResponse is the wire form of any failure.
-type ErrorResponse struct {
-	Error string `json:"error"`
+	Code          string  `json:"code,omitempty"`
 }
 
 // maxRequestBody caps request bodies: queries are human-written text, so
@@ -90,11 +114,14 @@ type CheckRequest struct {
 	Query string `json:"query"`
 }
 
-// CheckResponse reports validation outcome without executing.
+// CheckResponse reports validation outcome without executing. Failures
+// carry the same machine-readable code and position as query errors.
 type CheckResponse struct {
-	OK    bool   `json:"ok"`
-	Kind  string `json:"kind,omitempty"`
-	Error string `json:"error,omitempty"`
+	OK       bool           `json:"ok"`
+	Kind     string         `json:"kind,omitempty"`
+	Error    string         `json:"error,omitempty"`
+	Code     string         `json:"code,omitempty"`
+	Position *ErrorPosition `json:"position,omitempty"`
 }
 
 // clientKeyHeader lets API clients identify themselves for fairness
@@ -144,11 +171,15 @@ func (s *Service) Handler() http.Handler {
 // NewHandler returns the versioned JSON API, routing each request to
 // the service its `dataset` field names:
 //
+//	POST /api/v1/prepare       PrepareRequest → PrepareResponse
 //	POST /api/v1/query         QueryRequest → QueryResult | ErrorResponse
 //	POST /api/v1/query/stream  QueryRequest → NDJSON stream
 //	POST /api/v1/check         CheckRequest → CheckResponse
 //	GET  /api/v1/stats[?dataset=name]       → DatasetStats
 //
+// Prepare registers a query template (with `$name` parameters) once;
+// both query endpoints then execute it by `stmt_id` + `params`, or
+// accept inline `query` + `params` for one-shot parameterized runs.
 // The buffered endpoint pages large results: pass `limit` as the page
 // size and follow `next_cursor` until it is empty; every page of one
 // cursor chain is served from the same store snapshot. Passing
@@ -158,14 +189,18 @@ func (s *Service) Handler() http.Handler {
 // and a StreamTrailer line — flushing as rows arrive, and aborts the
 // scan when the client disconnects.
 //
-// Failures map to status codes: 400 for malformed JSON, malformed
-// cursors, and query parse/validation/execution errors, 404 for unknown
-// datasets, 410 for expired cursors, 429 for per-client throttling
-// (with Retry-After), 504 for deadline-exceeded, 503 for admission
-// rejections (with Retry-After), 405 for wrong methods.
+// Every failure is an ErrorResponse carrying a stable machine-readable
+// code (parse_error, unknown_param, stmt_not_found, overloaded, …),
+// the source position for query-text errors, and a status code: 400
+// for malformed requests, bindings, and query errors, 404 for unknown
+// datasets and unknown/expired statements, 410 for expired cursors,
+// 429 for per-client throttling (with Retry-After), 504 for
+// deadline-exceeded, 503 for admission rejections (with Retry-After),
+// 405 for wrong methods.
 func NewHandler(r Resolver) http.Handler {
 	h := &apiHandler{resolve: r}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/prepare", h.handlePrepare)
 	mux.HandleFunc("/api/v1/query", h.handleQuery)
 	mux.HandleFunc("/api/v1/query/stream", h.handleQueryStream)
 	mux.HandleFunc("/api/v1/check", h.handleCheck)
@@ -183,25 +218,56 @@ type apiHandler struct {
 func (h *apiHandler) resolveService(w http.ResponseWriter, dataset string) (*Service, bool) {
 	svc, err := h.resolve.Resolve(dataset)
 	if err != nil {
-		writeJSON(w, statusFor(err), ErrorResponse{Error: err.Error()})
+		WriteError(w, err)
 		return nil, false
 	}
 	return svc, true
+}
+
+// decodeBody parses a POST JSON body into dst, writing the structured
+// error response (method_not_allowed, bad_request) on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		WriteError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed, msg: "POST only"})
+		return false
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(dst); err != nil {
+		WriteError(w, &apiError{status: http.StatusBadRequest, code: CodeBadRequest, msg: "bad request: " + err.Error()})
+		return false
+	}
+	return true
 }
 
 // decodeQuery parses the request body shared by the buffered and
 // streaming endpoints, reporting (ok=false) after writing the error.
 func decodeQuery(w http.ResponseWriter, r *http.Request) (QueryRequest, bool) {
 	var req QueryRequest
-	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
-		return req, false
+	ok := decodeBody(w, r, &req)
+	return req, ok
+}
+
+// handlePrepare registers a query template and returns its handle and
+// inferred parameter signature.
+func (h *apiHandler) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req PrepareRequest
+	if !decodeBody(w, r, &req) {
+		return
 	}
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error()})
-		return req, false
+	svc, ok := h.resolveService(w, req.Dataset)
+	if !ok {
+		return
 	}
-	return req, true
+	info, err := svc.Prepare(req.Query)
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PrepareResponse{
+		StmtID:  info.StmtID,
+		Kind:    info.Kind,
+		Params:  info.Params,
+		Columns: info.Columns,
+	})
 }
 
 func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -215,6 +281,8 @@ func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := svc.Do(r.Context(), Request{
 		Query:   req.Query,
+		StmtID:  req.StmtID,
+		Params:  req.Params,
 		Limit:   req.Limit,
 		Cursor:  req.Cursor,
 		Client:  clientKey(r),
@@ -222,7 +290,7 @@ func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Explain: req.Explain,
 	})
 	if err != nil {
-		writeJSON(w, statusFor(err), ErrorResponse{Error: err.Error()})
+		WriteError(w, err)
 		return
 	}
 	out := QueryResult{
@@ -256,7 +324,8 @@ func (h *apiHandler) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Explain {
 		// a plan has no row stream; the buffered endpoint serves explain
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "explain is not supported on the stream endpoint; use POST /api/v1/query"})
+		WriteError(w, &apiError{status: http.StatusBadRequest, code: CodeUnsupported,
+			msg: "explain is not supported on the stream endpoint; use POST /api/v1/query"})
 		return
 	}
 	svc, ok := h.resolveService(w, req.Dataset)
@@ -275,6 +344,8 @@ func (h *apiHandler) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := svc.DoStream(r.Context(), Request{
 		Query:   req.Query,
+		StmtID:  req.StmtID,
+		Params:  req.Params,
 		Limit:   req.Limit,
 		Client:  clientKey(r),
 		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
@@ -298,12 +369,12 @@ func (h *apiHandler) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		})
 	if err != nil {
 		if !started {
-			writeJSON(w, statusFor(err), ErrorResponse{Error: err.Error()})
+			WriteError(w, err)
 			return
 		}
 		// the stream is already 200 + partial rows: the trailer is the
 		// only place left to report the failure
-		if encErr := enc.Encode(StreamTrailer{Error: err.Error()}); encErr == nil {
+		if encErr := enc.Encode(StreamTrailer{Error: err.Error(), Code: ErrorBody(err).Code}); encErr == nil {
 			flush()
 		}
 		return
@@ -319,17 +390,13 @@ func (h *apiHandler) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *apiHandler) handleCheck(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
-		return
-	}
 	var req CheckRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error()})
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if err := aiql.Check(req.Query); err != nil {
-		writeJSON(w, http.StatusOK, CheckResponse{Error: err.Error()})
+		body := ErrorBody(err)
+		writeJSON(w, http.StatusOK, CheckResponse{Error: err.Error(), Code: body.Code, Position: body.Position})
 		return
 	}
 	kind, _ := aiql.QueryKind(req.Query)
@@ -346,26 +413,6 @@ func (h *apiHandler) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, svc.DatasetStats(name))
-}
-
-// statusFor maps service errors to HTTP status codes.
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return 499 // client closed request (nginx convention)
-	case errors.Is(err, ErrOverloaded):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, ErrClientThrottled):
-		return http.StatusTooManyRequests
-	case errors.Is(err, ErrCursorExpired):
-		return http.StatusGone
-	case errors.Is(err, ErrUnknownDataset):
-		return http.StatusNotFound
-	default:
-		return http.StatusBadRequest
-	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -75,6 +75,13 @@ type Config struct {
 	// count is still reported; pagination reaches the rest). Streams
 	// are bounded only by their own limit. Default: 5000.
 	MaxRows int
+	// PreparedEntries caps the prepared-statement registry (LRU).
+	// Negative disables prepared statements. Default: 256.
+	PreparedEntries int
+	// PreparedTTL expires statements idle longer than this; each
+	// lookup refreshes the clock. Negative disables expiry.
+	// Default: 15m.
+	PreparedTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -108,13 +115,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxRows <= 0 {
 		c.MaxRows = 5000
 	}
+	if c.PreparedEntries == 0 {
+		c.PreparedEntries = 256
+	}
+	if c.PreparedTTL == 0 {
+		c.PreparedTTL = 15 * time.Minute
+	}
 	return c
 }
 
 // Request is one query submission.
 type Request struct {
-	// Query is the AIQL query text.
+	// Query is the AIQL query text. It may contain `$name` parameters
+	// when Params supplies their bindings; the template is compiled
+	// once per submission (use StmtID to compile once per session).
 	Query string
+	// StmtID executes a statement registered via Prepare instead of
+	// inline query text; Params supplies the bindings.
+	StmtID string
+	// Params binds the statement's `$name` parameters for this
+	// execution.
+	Params map[string]any
 	// Limit caps returned rows (the page size under pagination); 0 means
 	// the service maximum. The limit shapes the response only —
 	// TotalRows always reports the full count.
@@ -202,6 +223,7 @@ type DatasetStats struct {
 	Store     StoreStats              `json:"store"`
 	ScanCache engine.ScanCacheStats   `json:"scan_cache"`
 	Durable   eventstore.DurableStats `json:"durable"`
+	Prepared  PreparedStats           `json:"prepared"`
 }
 
 // DatasetStats snapshots the service's counters together with its
@@ -227,6 +249,7 @@ func (s *Service) DatasetStats(name string) DatasetStats {
 		},
 		ScanCache: s.db.ScanCacheStats(),
 		Durable:   s.db.DurableStats(),
+		Prepared:  s.PreparedStats(),
 	}
 }
 
@@ -240,10 +263,11 @@ type flight struct {
 
 // Service executes queries for many concurrent clients over one database.
 type Service struct {
-	db    *aiql.DB
-	cfg   Config
-	sem   chan struct{} // worker slots
-	cache *resultCache
+	db       *aiql.DB
+	cfg      Config
+	sem      chan struct{} // worker slots
+	cache    *resultCache
+	prepared *preparedRegistry
 
 	flightMu sync.Mutex
 	flights  map[cacheKey]*flight
@@ -270,12 +294,13 @@ type Service struct {
 func New(db *aiql.DB, cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		db:      db,
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.Workers),
-		cache:   newResultCache(cfg.CacheEntries, cfg.MaxCacheBytes),
-		flights: map[cacheKey]*flight{},
-		clients: map[string]int{},
+		db:       db,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Workers),
+		cache:    newResultCache(cfg.CacheEntries, cfg.MaxCacheBytes),
+		prepared: newPreparedRegistry(cfg.PreparedEntries, cfg.PreparedTTL),
+		flights:  map[cacheKey]*flight{},
+		clients:  map[string]int{},
 	}
 }
 
@@ -303,17 +328,86 @@ func (s *Service) Stats() Stats {
 	}
 }
 
-// Do executes one query request: cursor resolution, cache lookup,
-// per-client fairness, singleflight collapsing, admission, bounded
-// execution, cache fill, page shaping. It is safe for arbitrary
-// concurrent use.
+// execTarget is one request resolved to its executable form: either a
+// prepared statement with bindings or inline query text, plus the
+// canonical cache-key text. Prepared executions key on (template
+// fingerprint, canonicalized bindings), so distinct bindings of one
+// template share the compiled plan while caching results
+// independently; inline text keys on its normalized form.
+type execTarget struct {
+	stmt     *aiql.Stmt
+	params   aiql.Params
+	query    string // inline text; empty when stmt is set
+	keyQuery string
+	kind     string
+}
+
+// resolveTarget maps a request to its executable: a registered
+// statement (StmtID), an ad-hoc prepared template (inline text with
+// Params), or plain query text. Bindings are validated here so
+// unknown/missing/mistyped parameters fail before admission.
+func (s *Service) resolveTarget(req Request) (*execTarget, error) {
+	switch {
+	case req.StmtID != "":
+		stmt, err := s.prepared.get(req.StmtID, time.Now())
+		if err != nil {
+			return nil, err
+		}
+		params := aiql.Params(req.Params)
+		if err := stmt.Check(params); err != nil {
+			return nil, err
+		}
+		return &execTarget{stmt: stmt, params: params,
+			keyQuery: stmtCacheKey(stmt, params), kind: stmt.Kind()}, nil
+	case len(req.Params) > 0:
+		stmt, err := s.db.Prepare(req.Query)
+		if err != nil {
+			return nil, err
+		}
+		params := aiql.Params(req.Params)
+		if err := stmt.Check(params); err != nil {
+			return nil, err
+		}
+		return &execTarget{stmt: stmt, params: params,
+			keyQuery: stmtCacheKey(stmt, params), kind: stmt.Kind()}, nil
+	default:
+		return &execTarget{query: req.Query, keyQuery: normalizeQuery(req.Query)}, nil
+	}
+}
+
+// run executes the resolved target under ctx.
+func (t *execTarget) run(ctx context.Context, db *aiql.DB) (*engine.Result, error) {
+	if t.stmt != nil {
+		return t.stmt.Exec(ctx, t.params)
+	}
+	return db.QueryContext(ctx, t.query)
+}
+
+// Do executes one query request: statement/binding resolution, cursor
+// resolution, cache lookup, per-client fairness, singleflight
+// collapsing, admission, bounded execution, cache fill, page shaping.
+// It is safe for arbitrary concurrent use.
 func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 	start := time.Now()
 	s.queries.Add(1)
 
+	target, err := s.resolveTarget(req)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+
 	if req.Explain {
 		// Planning only: estimates come from the store's indexes, no
 		// pattern scan runs, so explain bypasses admission and caching.
+		if target.stmt != nil {
+			plan, err := target.stmt.Explain()
+			if err != nil {
+				s.errors.Add(1)
+				return nil, err
+			}
+			return &Response{Plan: plan, Kind: target.kind, Duration: time.Since(start)}, nil
+		}
 		kind, _ := aiql.QueryKind(req.Query)
 		plan, err := s.db.ExplainPlan(req.Query)
 		if err != nil {
@@ -323,7 +417,7 @@ func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 		return &Response{Plan: plan, Kind: kind, Duration: time.Since(start)}, nil
 	}
 
-	norm := normalizeQuery(req.Query)
+	norm := target.keyQuery
 	offset := 0
 
 	// The commit counter is read before execution; the entry is only
@@ -370,10 +464,9 @@ func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 	var (
 		entry     *cacheEntry
 		coalesced bool
-		err       error
 	)
 	for attempt := 0; ; attempt++ {
-		entry, coalesced, err = s.executeShared(ctx, req, key)
+		entry, coalesced, err = s.executeShared(ctx, req, target, key)
 		// A follower inherits the leader's outcome. If the leader died of
 		// its own context (client disconnect, shorter deadline) while this
 		// request's context is still live, the failure says nothing about
@@ -404,7 +497,7 @@ func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 // the first request becomes the leader and executes; identical
 // concurrent requests wait for the leader's entry instead of executing
 // again (singleflight). The reported bool is true for followers.
-func (s *Service) executeShared(ctx context.Context, req Request, key cacheKey) (*cacheEntry, bool, error) {
+func (s *Service) executeShared(ctx context.Context, req Request, target *execTarget, key cacheKey) (*cacheEntry, bool, error) {
 	s.flightMu.Lock()
 	if f, ok := s.flights[key]; ok {
 		s.flightMu.Unlock()
@@ -425,7 +518,7 @@ func (s *Service) executeShared(ctx context.Context, req Request, key cacheKey) 
 	s.flights[key] = f
 	s.flightMu.Unlock()
 
-	f.entry, f.err = s.execute(ctx, req, key)
+	f.entry, f.err = s.execute(ctx, req, target, key)
 	// Order matters for the at-most-one-execution guarantee: the entry
 	// is cached before the flight is removed, so a request arriving
 	// after the flight is gone finds the cache filled.
@@ -440,7 +533,7 @@ func (s *Service) executeShared(ctx context.Context, req Request, key cacheKey) 
 }
 
 // execute admits and runs one query under its deadline.
-func (s *Service) execute(ctx context.Context, req Request, key cacheKey) (*cacheEntry, error) {
+func (s *Service) execute(ctx context.Context, req Request, target *execTarget, key cacheKey) (*cacheEntry, error) {
 	start := time.Now()
 	if err := s.admit(ctx); err != nil {
 		return nil, err
@@ -453,8 +546,11 @@ func (s *Service) execute(ctx context.Context, req Request, key cacheKey) (*cach
 	defer cancel()
 
 	s.executions.Add(1)
-	kind, _ := aiql.QueryKind(req.Query)
-	res, err := s.db.QueryContext(execCtx, req.Query)
+	kind := target.kind
+	if kind == "" {
+		kind, _ = aiql.QueryKind(req.Query)
+	}
+	res, err := target.run(execCtx, s.db)
 	if err != nil {
 		if ctxErr := execCtx.Err(); ctxErr != nil {
 			// a deadline expiry is a timeout; a cancelled parent means
@@ -599,7 +695,13 @@ func (s *Service) DoStream(ctx context.Context, req Request, header func(cols []
 		limit = 0
 	}
 
-	norm := normalizeQuery(req.Query)
+	target, err := s.resolveTarget(req)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+
+	norm := target.keyQuery
 	commits := s.db.Store().Commits()
 	if entry, ok := s.cache.get(cacheKey{query: norm, commits: commits}); ok {
 		s.cacheHits.Add(1)
@@ -647,8 +749,16 @@ func (s *Service) DoStream(ctx context.Context, req Request, header func(cols []
 	defer cancel()
 
 	s.executions.Add(1)
-	kind, _ := aiql.QueryKind(req.Query)
-	cur, err := s.db.QueryCursor(execCtx, req.Query, aiql.CursorOptions{Limit: limit})
+	kind := target.kind
+	if kind == "" {
+		kind, _ = aiql.QueryKind(req.Query)
+	}
+	var cur *aiql.Cursor
+	if target.stmt != nil {
+		cur, err = target.stmt.ExecCursor(execCtx, target.params, aiql.CursorOptions{Limit: limit})
+	} else {
+		cur, err = s.db.QueryCursor(execCtx, req.Query, aiql.CursorOptions{Limit: limit})
+	}
 	if err != nil {
 		s.errors.Add(1)
 		return nil, err

@@ -377,8 +377,9 @@ function fmtBytes(n) {
   return n + ' B';
 }
 
-// storage footer: segment layout plus the durable subsystem's
-// disk/WAL/compaction figures for the selected dataset
+// storage footer: segment layout, the durable subsystem's
+// disk/WAL/compaction figures, and the prepared-statement registry for
+// the selected dataset
 async function loadStoreStats() {
   try {
     const ds = selectedDataset();
@@ -395,6 +396,12 @@ async function loadStoreStats() {
       line += ', ' + d.compactions + ' compactions (' + d.segments_compacted + ' segments merged)';
     }
     if (d.last_error) line += ' — durable error: ' + d.last_error;
+    const p = st.prepared || {};
+    if (p.statements || p.hits || p.evictions || p.expired) {
+      line += ' — prepared: ' + (p.statements || 0) + ' statements, ' + (p.hits || 0) +
+          ' hits, ' + (p.evictions || 0) + ' evictions' +
+          (p.expired ? ', ' + p.expired + ' expired' : '');
+    }
     document.getElementById('storestats').textContent = line;
   } catch (e) { /* stats are best-effort */ }
 }
