@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-streaming bench-segments bench-persist bench-prepare serve
+.PHONY: check fmt vet build test race bench bench-streaming bench-segments bench-persist bench-prepare bench-ingest serve
 
 check: fmt vet build race
 
@@ -25,7 +25,7 @@ race:
 # Streaming/caching benchmarks on the Fig4 50k-event dataset: cold vs.
 # warm cache, full drain vs. LIMIT-50 early termination. Emits
 # BENCH_streaming.json for the CI perf-trajectory artifact.
-bench: bench-streaming bench-segments bench-persist bench-prepare
+bench: bench-streaming bench-segments bench-persist bench-prepare bench-ingest
 
 bench-streaming:
 	$(GO) test ./internal/service/ -run XXX \
@@ -68,6 +68,18 @@ bench-prepare:
 		-benchtime=50x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
 	@cat bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_prepare.json < bench.out
+	@rm -f bench.out
+
+# Live-ingestion + standing-query benchmarks on the Fig4 50k dataset:
+# per-append incremental re-evaluation (delta state + scan cache) vs.
+# full re-execution (target >= 5x), plus acknowledged ingest throughput
+# with and without a registered watch. Emits BENCH_ingest.json.
+bench-ingest:
+	$(GO) test ./internal/service/ -run XXX \
+		-bench 'BenchmarkStandingEvalFullRescan|BenchmarkStandingEvalIncremental|BenchmarkIngestBatch$$|BenchmarkIngestBatchWatched' \
+		-benchtime=20x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
+	@cat bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_ingest.json < bench.out
 	@rm -f bench.out
 
 # Web UI + JSON API on :8080 over the built-in demo dataset.

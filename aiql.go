@@ -85,6 +85,12 @@ type (
 	ParamError = engine.ParamError
 	// ExplainEntry is one scheduled pattern of an execution plan.
 	ExplainEntry = engine.ExplainEntry
+	// StandingState carries a standing query's evaluation watermark —
+	// which commits it has seen and which rows it has reported.
+	StandingState = engine.StandingState
+	// DeltaResult is one standing-query evaluation's outcome: the rows
+	// new since the previous evaluation against the same state.
+	DeltaResult = engine.DeltaResult
 )
 
 // Parameter types (re-exported).
@@ -195,14 +201,28 @@ func (db *DB) DurableStats() eventstore.DurableStats { return db.store.DurableSt
 // store directory — the migration path from legacy gob snapshots.
 func (db *DB) SaveDir(dir string) error { return db.store.SaveDir(dir) }
 
-// Append ingests one monitoring record.
-func (db *DB) Append(r Record) { db.store.Append(r) }
+// ErrClosed reports a write against a closed database — reachable when
+// a live writer races a catalog hot-swap that closes the store. The
+// write is rejected cleanly; nothing is partially applied.
+var ErrClosed = eventstore.ErrClosed
 
-// AppendAll bulk-ingests records.
-func (db *DB) AppendAll(rs []Record) { db.store.AppendAll(rs) }
+// Append ingests one monitoring record. Returns ErrClosed after Close.
+func (db *DB) Append(r Record) error { return db.store.Append(r) }
 
-// Flush commits buffered records.
-func (db *DB) Flush() { db.store.Flush() }
+// AppendAll bulk-ingests records: the whole batch is committed (visible
+// to queries) before the call returns, and under durable storage the
+// batch is group-committed with a single WAL fsync. Returns ErrClosed
+// after Close.
+func (db *DB) AppendAll(rs []Record) error { return db.store.AppendAll(rs) }
+
+// Flush commits buffered records and seals every active memtable.
+// Returns ErrClosed after Close.
+func (db *DB) Flush() error { return db.store.Flush() }
+
+// Commits reports the store's commit counter: it advances whenever new
+// events become visible, so pollers (standing-query evaluators, result
+// caches) can detect fresh data without scanning.
+func (db *DB) Commits() uint64 { return db.store.Commits() }
 
 // Len returns the number of committed events.
 func (db *DB) Len() int { return db.store.Len() }
@@ -245,6 +265,19 @@ func (s *Stmt) Exec(ctx context.Context, params Params) (*Result, error) {
 // cursor; see DB.QueryCursor for cursor semantics.
 func (s *Stmt) ExecCursor(ctx context.Context, params Params, opts CursorOptions) (*Cursor, error) {
 	return s.db.eng.ExecutePreparedCursor(ctx, s.p, params, opts)
+}
+
+// NewStandingState returns an empty standing-query state; the first
+// ExecDelta against it reports every current match (the baseline).
+func NewStandingState() *StandingState { return engine.NewStandingState() }
+
+// ExecDelta evaluates the statement as a standing query: a no-op when
+// the store has no new commits since st's last evaluation, otherwise a
+// (scan-cache-accelerated) re-execution that reports only the rows not
+// seen before. st is not safe for concurrent use; callers serialize
+// evaluations per state.
+func (s *Stmt) ExecDelta(ctx context.Context, params Params, st *StandingState) (*DeltaResult, error) {
+	return s.db.eng.ExecutePreparedDelta(ctx, s.p, params, st)
 }
 
 // Explain reports the statement's frozen pattern order with

@@ -28,6 +28,11 @@
 //	GET  /api/v1/stats?dataset=name
 //	GET  /api/v1/datasets
 //	POST /api/v1/datasets/{name}/load  {"path": "optional.aiql"}
+//	POST /api/v1/ingest?dataset=name   NDJSON event records → {ingested, new_matches, ...}
+//	POST /api/v1/watch                 {"query": "...", "params": {...}, "dataset": "..."} → {watch_id, ...}
+//	GET  /api/v1/watch?dataset=name    registered standing queries
+//	DELETE /api/v1/watch/{id}?dataset=name
+//	GET  /api/v1/watch/{id}/events?dataset=name   SSE stream of fresh matches
 //
 // Every failure carries a stable machine-readable code (parse_error,
 // unknown_param, stmt_not_found, overloaded, ...) plus line/col for
@@ -68,17 +73,25 @@ func main() {
 		perClient  = flag.Int("client-inflight", 0, "max concurrent executions per client (0 = half the workers, negative disables)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query execution timeout")
 		compact    = flag.Duration("compact", 0, "background segment-compaction interval per dataset (0 disables), e.g. 30s")
+		ingestRecs = flag.Int("ingest-max-records", 0, "max event records per ingest request (0 = 10000, negative disables the cap)")
+		ingestMax  = flag.Int64("ingest-max-bytes", 0, "max ingest request body bytes (0 = 8 MiB)")
+		maxWatches = flag.Int("max-watches", 0, "max standing queries per dataset (0 = 64, negative disables standing queries)")
+		watchBuf   = flag.Int("watch-buffer", 0, "buffered matches per SSE subscriber before drop-oldest (0 = 256)")
 	)
 	flag.Parse()
 
 	cat := catalog.New(catalog.Config{
 		Service: service.Config{
-			Workers:        *workers,
-			QueueDepth:     *queue,
-			CacheEntries:   *cache,
-			MaxCacheBytes:  *cacheBytes,
-			ClientInflight: *perClient,
-			DefaultTimeout: *timeout,
+			Workers:          *workers,
+			QueueDepth:       *queue,
+			CacheEntries:     *cache,
+			MaxCacheBytes:    *cacheBytes,
+			ClientInflight:   *perClient,
+			DefaultTimeout:   *timeout,
+			IngestMaxRecords: *ingestRecs,
+			IngestMaxBytes:   *ingestMax,
+			MaxWatches:       *maxWatches,
+			WatchBuffer:      *watchBuf,
 		},
 		ScanCacheBytes:  *scanCache,
 		CompactInterval: *compact,

@@ -282,6 +282,7 @@ func (c *Catalog) Load(name, path string) (*Dataset, error) {
 			if rdb, rerr := aiql.OpenPath(old.path); rerr == nil {
 				d := c.newDataset(name, old.path, rdb)
 				d.svc.AdoptPrepared(old.svc.PreparedSeeds())
+				d.svc.AdoptWatches(old.svc.WatchSeeds())
 				c.mu.Lock()
 				c.install(d)
 				c.mu.Unlock()
@@ -294,6 +295,7 @@ func (c *Catalog) Load(name, path string) (*Dataset, error) {
 	d := c.newDataset(name, path, db)
 	if old != nil {
 		d.svc.AdoptPrepared(old.svc.PreparedSeeds())
+		d.svc.AdoptWatches(old.svc.WatchSeeds())
 	}
 	c.mu.Lock()
 	c.install(d)

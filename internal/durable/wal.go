@@ -144,6 +144,10 @@ type WAL struct {
 	path    string
 	size    int64
 	records uint64
+	// syncs counts append-path fsyncs (Append with sync, and Sync). The
+	// group-commit tests assert on it: a bulk ingest must cost one fsync
+	// per batch, not one per commit.
+	syncs uint64
 }
 
 // OpenWAL opens (creating if absent) the log at path, replaying every
@@ -226,6 +230,7 @@ func (w *WAL) Append(recs []Rec, sync bool) error {
 	w.size += int64(len(enc.buf))
 	w.records += uint64(len(recs))
 	if sync {
+		w.syncs++
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("durable: WAL sync: %w", err)
 		}
@@ -276,7 +281,15 @@ func (w *WAL) Sync() error {
 	if w.f == nil {
 		return nil
 	}
+	w.syncs++
 	return w.f.Sync()
+}
+
+// Syncs returns the number of append-path fsyncs issued so far.
+func (w *WAL) Syncs() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncs
 }
 
 // Close fsyncs and closes the log file.

@@ -12,6 +12,7 @@ package engine
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,6 +44,12 @@ type Engine struct {
 	store  *eventstore.Store
 	cfg    Config
 	scache atomic.Pointer[scanCache]
+
+	// resolveMu guards resolved, the entity-resolution memo keyed by
+	// attribute filter + dictionary identity + entity count (see
+	// cachedEntityMatch).
+	resolveMu sync.Mutex
+	resolved  map[entityMatchKey]entityMatchEntry
 }
 
 // New creates an engine over store with the fully optimized configuration.

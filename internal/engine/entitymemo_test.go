@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/aiql/aiql/internal/eventstore"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// TestEntityResolutionMemo: wildcard entity resolution is memoized
+// across executions while the entity table is unchanged, and a commit
+// that interns a new matching entity invalidates the memo — the next
+// evaluation must see the newcomer.
+func TestEntityResolutionMemo(t *testing.T) {
+	s := buildSegmentedStore(t, 16, 64, 0)
+	e := New(s)
+	ctx := context.Background()
+	const q = `proc p["%worker.exe"] write file f as evt return p, f`
+
+	first, err := e.Execute(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Rows) != 64 {
+		t.Fatalf("first run rows = %d, want 64", len(first.Rows))
+	}
+
+	// appending events that reuse known entities leaves the process
+	// table unchanged: the memo must serve the same (correct) set
+	if err := s.AppendAll([]eventstore.Record{{
+		AgentID: 1,
+		Subject: proc("worker.exe"),
+		Op:      sysmon.OpWrite,
+		ObjType: sysmon.EntityFile,
+		ObjFile: sysmon.File{Path: `C:\data\fresh.log`},
+		StartTS: ts(170),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Execute(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Rows) != 65 {
+		t.Fatalf("after same-entity append rows = %d, want 65", len(second.Rows))
+	}
+
+	// a brand-new process matching the wildcard grows the process table:
+	// the count-keyed memo entry is stale and must be re-resolved
+	if err := s.AppendAll([]eventstore.Record{{
+		AgentID: 1,
+		Subject: sysmon.Process{PID: 9999, ExeName: "night-worker.exe", Path: `C:\bin\night-worker.exe`, User: "bob"},
+		Op:      sysmon.OpWrite,
+		ObjType: sysmon.EntityFile,
+		ObjFile: sysmon.File{Path: `C:\data\night.log`},
+		StartTS: ts(171),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	third, err := e.Execute(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third.Rows) != 66 {
+		t.Fatalf("after new-entity append rows = %d, want 66 (memo served a stale entity set)", len(third.Rows))
+	}
+	found := false
+	for _, row := range third.Rows {
+		for _, cell := range row {
+			if cell != "" && containsNight(cell) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("rows never mention the newly interned night-worker.exe")
+	}
+
+	// memo population stays bounded by distinct filters
+	e.resolveMu.Lock()
+	entries := len(e.resolved)
+	e.resolveMu.Unlock()
+	if entries == 0 || entries > 4 {
+		t.Errorf("memo holds %d entries, want the query's single filter (and no unbounded growth)", entries)
+	}
+}
+
+func containsNight(s string) bool {
+	for i := 0; i+5 <= len(s); i++ {
+		if s[i:i+5] == "night" {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEntityResolutionMemoManyFilters: the memo clears rather than
+// growing without bound under an adversarial stream of distinct
+// filters.
+func TestEntityResolutionMemoManyFilters(t *testing.T) {
+	s := buildSegmentedStore(t, 16, 32, 0)
+	e := New(s)
+	ctx := context.Background()
+	for i := 0; i < entityMatchCap+16; i++ {
+		q := fmt.Sprintf(`proc p["%%worker-%d%%"] write file f as evt return p, f`, i)
+		if _, err := e.Execute(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.resolveMu.Lock()
+	entries := len(e.resolved)
+	e.resolveMu.Unlock()
+	if entries > entityMatchCap {
+		t.Errorf("memo grew to %d entries past the %d cap", entries, entityMatchCap)
+	}
+}

@@ -131,37 +131,104 @@ func (e *Engine) entityCandidates(ref *ast.EntityRef) (*eventstore.IDSet, error)
 		if !ok {
 			return nil, fmt.Errorf("engine: entity %q has no attribute %q", ref.Name, f.Attr)
 		}
-		var cur *eventstore.IDSet
-		switch f.Op {
-		case ast.CmpLike:
-			cur = dict.MatchEntities(ref.Type, attr, like.Compile(f.Val.Str))
-		case ast.CmpEQ:
-			if f.Val.IsNum {
-				cur = matchNumeric(dict, ref.Type, attr, f.Op, f.Val.Num)
-			} else {
-				cur = dict.MatchEntities(ref.Type, attr, like.Compile(f.Val.Str))
-			}
-		case ast.CmpNEQ:
-			if f.Val.IsNum {
-				cur = matchNumeric(dict, ref.Type, attr, f.Op, f.Val.Num)
-			} else {
-				pat := like.Compile(f.Val.Str)
-				cur = matchPredicate(dict, ref.Type, attr, func(v string) bool { return !pat.Match(v) })
-			}
-		default: // numeric comparisons
-			num := f.Val.Num
-			if !f.Val.IsNum {
-				n, err := strconv.ParseFloat(f.Val.Str, 64)
-				if err != nil {
-					return nil, fmt.Errorf("engine: attribute %s.%s compared with non-numeric value %q", ref.Name, attr, f.Val.Str)
-				}
-				num = n
-			}
-			cur = matchNumeric(dict, ref.Type, attr, f.Op, num)
+		cur, err := e.cachedEntityMatch(dict, ref, attr, f)
+		if err != nil {
+			return nil, err
 		}
 		set = set.Intersect(cur)
 	}
 	return set, nil
+}
+
+// entityMatchKey identifies one attribute filter's resolution; together
+// with the dictionary identity and per-type entity count it fully
+// determines the resolved ID set.
+type entityMatchKey struct {
+	typ   sysmon.EntityType
+	attr  string
+	op    ast.CmpOp
+	str   string
+	num   float64
+	isNum bool
+}
+
+// entityMatchEntry is one memoized resolution. The entry is valid while
+// the same dictionary still holds exactly n entities of the filter's
+// type: entity tables are append-only with immutable entries, so an
+// unchanged count guarantees an unchanged match set. The set is shared
+// and must be treated as read-only (Intersect copies).
+type entityMatchEntry struct {
+	dict *eventstore.Dictionary
+	n    int
+	set  *eventstore.IDSet
+}
+
+// entityMatchCap bounds the resolution memo; the population is one
+// entry per distinct attribute filter across live queries, so the cap
+// exists only to survive adversarial query streams.
+const entityMatchCap = 512
+
+// cachedEntityMatch resolves one attribute filter against the entity
+// dictionary, memoizing by filter + dictionary + entity count. Standing
+// queries re-evaluate after every ingest commit; when a commit touched
+// only events (or entities of other types), the wildcard re-scan of the
+// dictionary — linear in interned entities — is skipped entirely, which
+// keeps post-ingest re-evaluation proportional to the fresh delta.
+func (e *Engine) cachedEntityMatch(dict *eventstore.Dictionary, ref *ast.EntityRef, attr string, f *ast.Filter) (*eventstore.IDSet, error) {
+	key := entityMatchKey{typ: ref.Type, attr: attr, op: f.Op, str: f.Val.Str, num: f.Val.Num, isNum: f.Val.IsNum}
+	// the count is read before resolving: interns racing the resolution
+	// can only make the resolved set larger than the recorded count
+	// admits, which future lookups see as a stale count — a miss, never
+	// a wrong hit
+	n := dict.Count(ref.Type)
+	e.resolveMu.Lock()
+	if ent, ok := e.resolved[key]; ok && ent.dict == dict && ent.n == n {
+		e.resolveMu.Unlock()
+		return ent.set, nil
+	}
+	e.resolveMu.Unlock()
+	cur, err := matchEntityFilter(dict, ref, attr, f)
+	if err != nil {
+		return nil, err
+	}
+	e.resolveMu.Lock()
+	if e.resolved == nil {
+		e.resolved = make(map[entityMatchKey]entityMatchEntry)
+	} else if len(e.resolved) >= entityMatchCap {
+		e.resolved = make(map[entityMatchKey]entityMatchEntry)
+	}
+	e.resolved[key] = entityMatchEntry{dict: dict, n: n, set: cur}
+	e.resolveMu.Unlock()
+	return cur, nil
+}
+
+// matchEntityFilter is the uncached resolution of one attribute filter.
+func matchEntityFilter(dict *eventstore.Dictionary, ref *ast.EntityRef, attr string, f *ast.Filter) (*eventstore.IDSet, error) {
+	switch f.Op {
+	case ast.CmpLike:
+		return dict.MatchEntities(ref.Type, attr, like.Compile(f.Val.Str)), nil
+	case ast.CmpEQ:
+		if f.Val.IsNum {
+			return matchNumeric(dict, ref.Type, attr, f.Op, f.Val.Num), nil
+		}
+		return dict.MatchEntities(ref.Type, attr, like.Compile(f.Val.Str)), nil
+	case ast.CmpNEQ:
+		if f.Val.IsNum {
+			return matchNumeric(dict, ref.Type, attr, f.Op, f.Val.Num), nil
+		}
+		pat := like.Compile(f.Val.Str)
+		return matchPredicate(dict, ref.Type, attr, func(v string) bool { return !pat.Match(v) }), nil
+	default: // numeric comparisons
+		num := f.Val.Num
+		if !f.Val.IsNum {
+			n, err := strconv.ParseFloat(f.Val.Str, 64)
+			if err != nil {
+				return nil, fmt.Errorf("engine: attribute %s.%s compared with non-numeric value %q", ref.Name, attr, f.Val.Str)
+			}
+			num = n
+		}
+		return matchNumeric(dict, ref.Type, attr, f.Op, num), nil
+	}
 }
 
 func matchPredicate(dict *eventstore.Dictionary, t sysmon.EntityType, attr string, pred func(string) bool) *eventstore.IDSet {

@@ -321,8 +321,10 @@ func removeOrphans(dir string, persisted map[uint64]persistedSeg) {
 // visible: first the dictionary entries interned since the last logged
 // point (replay must be able to resolve the events' entity IDs), then
 // the batch's events. Runs under the store's write lock, which is what
-// guarantees WAL order equals commit order.
-func (d *durableState) logCommitLocked(s *Store) {
+// guarantees WAL order equals commit order. sync=false skips the fsync
+// even under SyncWAL: AppendAll group-commits, issuing one Sync for the
+// whole batch after its final commit.
+func (d *durableState) logCommitLocked(s *Store, sync bool) {
 	procs, files, conns := s.dict.tableHeaders()
 	recs := make([]durable.Rec, 0,
 		len(s.batch)+(len(procs)-d.loggedProcs)+(len(files)-d.loggedFiles)+(len(conns)-d.loggedConns))
@@ -339,7 +341,7 @@ func (d *durableState) logCommitLocked(s *Store) {
 	for i := range s.batch {
 		recs = append(recs, durable.Rec{Kind: durable.RecEvent, Event: s.batch[i]})
 	}
-	if err := d.wal.Append(recs, d.syncWAL); err != nil {
+	if err := d.wal.Append(recs, sync && d.syncWAL); err != nil {
 		d.setErr(err)
 	}
 }
@@ -450,7 +452,9 @@ func (s *Store) SaveDir(dir string) error {
 	} else if !errors.Is(err, durable.ErrNoManifest) {
 		return err
 	}
-	s.Flush()
+	if err := s.Flush(); err != nil {
+		return err
+	}
 	sn := s.Snapshot()
 
 	s.mu.RLock()
@@ -531,6 +535,12 @@ func (s *Store) Close() error {
 	// later one re-checks the flag under the mutex it holds.
 	s.compactMu.Lock()
 	s.compactMu.Unlock() //nolint:staticcheck // empty critical section is the point
+	// Append/AppendAll/Flush check the closed flag under s.mu before
+	// touching the WAL, so draining s.mu here guarantees no straggler
+	// ingest write reaches the log after it closes below; the writer
+	// instead observes the flag and returns ErrClosed.
+	s.mu.Lock()
+	s.mu.Unlock() //nolint:staticcheck // empty critical section is the point
 	if s.dur == nil {
 		return nil
 	}
@@ -552,6 +562,7 @@ type DurableStats struct {
 	SegmentFileBytes  int64  `json:"segment_file_bytes"`
 	WALBytes          int64  `json:"wal_bytes"`
 	WALRecords        uint64 `json:"wal_records"`
+	WALSyncs          uint64 `json:"wal_syncs"`
 	ManifestEdition   uint64 `json:"manifest_edition"`
 	Compactions       uint64 `json:"compactions"`
 	SegmentsCompacted uint64 `json:"segments_compacted"`
@@ -578,6 +589,7 @@ func (s *Store) DurableStats() DurableStats {
 	d.mu.Unlock()
 	st.WALBytes = d.wal.Size()
 	st.WALRecords = d.wal.Records()
+	st.WALSyncs = d.wal.Syncs()
 	if err := d.lastError(); err != nil {
 		st.LastError = err.Error()
 	}

@@ -2,6 +2,7 @@ package eventstore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -484,3 +485,115 @@ func TestEncodeConcurrentWithAppends(t *testing.T) {
 type countingWriter struct{ n int64 }
 
 func (w *countingWriter) Write(p []byte) (int, error) { w.n += int64(len(p)); return len(p), nil }
+
+// A bulk AppendAll under SyncWAL must group-commit: the batch spans
+// many internal commits (BatchSize boundaries plus the tail), but the
+// whole call costs exactly one WAL fsync. Before the fix every commit
+// fsynced individually, cratering bulk-ingest throughput.
+func TestAppendAllGroupCommitSingleSync(t *testing.T) {
+	opts := durableOpts(t.TempDir())
+	opts.BatchCommit = true
+	opts.BatchSize = 8 // 100 records → 13 internal commits
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	recs := make([]Record, 100)
+	for i := range recs {
+		recs[i] = mkRecord(uint32(1+i%2), fmt.Sprintf("exe%d", i%5), sysmon.OpWrite, fmt.Sprintf("f%d.txt", i%7), i)
+	}
+	before := s.dur.wal.Syncs()
+	if err := s.AppendAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.dur.wal.Syncs() - before; got != 1 {
+		t.Fatalf("AppendAll of %d records issued %d WAL fsyncs, want exactly 1 (group commit)", len(recs), got)
+	}
+	// The batch must be fully committed (visible) at return, not parked
+	// in the append buffer waiting for a BatchSize boundary.
+	if s.Len() != len(recs) {
+		t.Fatalf("after AppendAll: Len=%d, want %d (tail must commit)", s.Len(), len(recs))
+	}
+	if st := s.DurableStats(); st.WALSyncs == 0 {
+		t.Fatalf("DurableStats.WALSyncs = 0, want > 0")
+	}
+
+	// Single-record Append keeps per-commit acknowledged durability:
+	// each call fsyncs once.
+	before = s.dur.wal.Syncs()
+	if err := s.Append(mkRecord(1, "solo", sysmon.OpWrite, "solo.txt", 500)); err != nil {
+		t.Fatal(err)
+	}
+	// BatchCommit buffers until BatchSize; force the commit so the sync
+	// accounting is observable.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.dur.wal.Syncs() - before; got != 1 {
+		t.Fatalf("Append+Flush of one record issued %d WAL fsyncs, want 1", got)
+	}
+}
+
+// Writes against a closed store must fail with the typed ErrClosed —
+// reachable when an HTTP ingest races a catalog hot-swap — and must not
+// touch the closed WAL.
+func TestAppendAfterCloseReturnsErrClosed(t *testing.T) {
+	s, err := Open(durableOpts(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(s, 10, 0)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mkRecord(1, "late", sysmon.OpWrite, "late.txt", 0)
+	if err := s.Append(r); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: err=%v, want ErrClosed", err)
+	}
+	if err := s.AppendAll([]Record{r, r}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AppendAll after Close: err=%v, want ErrClosed", err)
+	}
+	if err := s.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush after Close: err=%v, want ErrClosed", err)
+	}
+	// The in-memory state stays readable.
+	if s.Len() != 10 {
+		t.Fatalf("Len after Close = %d, want 10", s.Len())
+	}
+}
+
+// Concurrent appenders racing Close must each either succeed fully
+// (their events are durable and visible) or fail with ErrClosed —
+// never crash into the closed WAL. Run with -race.
+func TestAppendRacesClose(t *testing.T) {
+	s, err := Open(durableOpts(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				r := mkRecord(uint32(1+g), fmt.Sprintf("exe%d", i), sysmon.OpWrite, "f.txt", i)
+				if err := s.AppendAll([]Record{r}); err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("AppendAll: %v", err)
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	close(start)
+	time.Sleep(time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}

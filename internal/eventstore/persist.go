@@ -147,10 +147,10 @@ func (s *Store) Decode(r io.Reader) (err error) {
 		}
 		s.batch = append(s.batch, ev)
 		if len(s.batch) >= 65536 {
-			sealed = append(sealed, s.commitLocked()...)
+			sealed = append(sealed, s.commitLocked(true)...)
 		}
 	}
-	sealed = append(sealed, s.commitLocked()...)
+	sealed = append(sealed, s.commitLocked(true)...)
 	sealed = append(sealed, s.sealAllLocked()...)
 	s.mu.Unlock()
 	s.afterCommit(sealed)

@@ -2,12 +2,20 @@ package eventstore
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"github.com/aiql/aiql/internal/sysmon"
 )
+
+// ErrClosed reports a write against a closed store. Reachable when a
+// live writer (an HTTP ingest, a loader) races a catalog hot-swap that
+// closes the store it is about to append to: the write is refused
+// cleanly instead of silently losing durability, and the caller retries
+// against the swapped-in store.
+var ErrClosed = errors.New("eventstore: store is closed")
 
 // scanCheckInterval is how many visited events a scan processes between
 // context-cancellation checks. Checking ctx.Err() takes a mutex, so the
@@ -141,31 +149,60 @@ type Record struct {
 
 // Append ingests one raw record. With batch commit enabled the record is
 // buffered and committed when the batch fills; call Flush to force.
-func (s *Store) Append(r Record) {
+// Returns ErrClosed after Close.
+func (s *Store) Append(r Record) error {
 	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		return ErrClosed
+	}
 	s.appendLocked(r)
 	var sealed []*Segment
 	if !s.opts.BatchCommit || len(s.batch) >= s.opts.BatchSize {
-		sealed = s.commitLocked()
+		sealed = s.commitLocked(true)
 	}
 	s.mu.Unlock()
 	s.afterCommit(sealed)
+	return nil
 }
 
-// AppendAll ingests a slice of raw records under one lock acquisition.
-// Commit boundaries follow the batch-commit policy exactly as Append's
-// do: without batch commit every record commits individually.
-func (s *Store) AppendAll(rs []Record) {
+// AppendAll ingests one acknowledged batch under a single lock
+// acquisition: intermediate commit boundaries follow the batch-commit
+// policy, the tail commits before the call returns, and the whole batch
+// is group-committed — with SyncWAL, every commit the call makes is
+// covered by ONE WAL fsync instead of one per commit, so bulk-ingest
+// durability costs a single syscall per batch. When the call returns
+// the records are visible to queries and (with SyncWAL) durable.
+// Returns ErrClosed after Close.
+func (s *Store) AppendAll(rs []Record) error {
 	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		return ErrClosed
+	}
 	var sealed []*Segment
+	committed := false
 	for i := range rs {
 		s.appendLocked(rs[i])
 		if !s.opts.BatchCommit || len(s.batch) >= s.opts.BatchSize {
-			sealed = append(sealed, s.commitLocked()...)
+			sealed = append(sealed, s.commitLocked(false)...)
+			committed = true
+		}
+	}
+	if len(s.batch) > 0 {
+		sealed = append(sealed, s.commitLocked(false)...)
+		committed = true
+	}
+	if committed && s.dur != nil && s.dur.syncWAL {
+		// Group commit: the per-commit WAL appends above skipped their
+		// fsyncs; this one sync makes the entire batch durable.
+		if err := s.dur.wal.Sync(); err != nil {
+			s.dur.setErr(err)
 		}
 	}
 	s.mu.Unlock()
 	s.afterCommit(sealed)
+	return nil
 }
 
 func (s *Store) appendLocked(r Record) {
@@ -208,27 +245,35 @@ func (s *Store) appendLocked(r Record) {
 // state. Sealing moves no data and bumps no commit counter — results
 // (and result-cache entries) computed before a seal stay valid — and
 // segment index builds run after the store lock is released, so a seal
-// never stalls concurrent appends or queries.
-func (s *Store) Flush() {
+// never stalls concurrent appends or queries. Returns ErrClosed after
+// Close.
+func (s *Store) Flush() error {
 	s.mu.Lock()
-	sealed := s.commitLocked()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	sealed := s.commitLocked(true)
 	sealed = append(sealed, s.sealAllLocked()...)
 	s.mu.Unlock()
 	s.afterCommit(sealed)
+	return nil
 }
 
 // commitLocked makes the buffered batch visible: events are grouped by
 // partition key and appended to each chunk's memtable; memtables that
 // reach the seal threshold are sealed. Returns the segments sealed, for
-// index building outside the lock.
-func (s *Store) commitLocked() []*Segment {
+// index building outside the lock. sync=false defers the WAL fsync to a
+// caller-issued group commit (AppendAll syncs once after its last
+// commit); callers without a later sync point must pass true.
+func (s *Store) commitLocked(sync bool) []*Segment {
 	if len(s.batch) == 0 {
 		return nil
 	}
 	if s.dur != nil {
 		// WAL first: the commit is durable (and, with SyncWAL, fsynced
 		// — acknowledged) before it becomes visible.
-		s.dur.logCommitLocked(s)
+		s.dur.logCommitLocked(s, sync)
 	}
 	s.commits++
 	s.snap = nil

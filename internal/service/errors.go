@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"net/http"
+	"strconv"
 
+	aiql "github.com/aiql/aiql"
 	"github.com/aiql/aiql/internal/aiql/lexer"
 	"github.com/aiql/aiql/internal/aiql/parser"
 	"github.com/aiql/aiql/internal/aiql/semantic"
@@ -62,6 +64,17 @@ const (
 	// CodeExecError: the query failed during execution (resource
 	// limits, internal errors) — the fallback code.
 	CodeExecError = "exec_error"
+	// CodeDatasetReloading: a write raced a catalog hot-swap and hit
+	// the closed store; retry after the reload completes.
+	CodeDatasetReloading = "dataset_reloading"
+	// CodeTooLarge: the ingest request exceeds the record or byte cap;
+	// split the batch.
+	CodeTooLarge = "too_large"
+	// CodeWatchNotFound: the watch id is unknown or already deleted.
+	CodeWatchNotFound = "watch_not_found"
+	// CodeWatchLimit: the dataset's standing-query capacity is reached;
+	// delete a watch or retry later.
+	CodeWatchLimit = "watch_limit"
 )
 
 // ErrorPosition is a 1-based source position in the submitted query.
@@ -138,6 +151,12 @@ func ErrorBody(err error) ErrorResponse {
 		out.Code = CodeThrottled
 	case errors.Is(err, ErrUnknownDataset):
 		out.Code = CodeUnknownDataset
+	case errors.Is(err, aiql.ErrClosed):
+		out.Code = CodeDatasetReloading
+	case errors.Is(err, ErrWatchNotFound):
+		out.Code = CodeWatchNotFound
+	case errors.Is(err, ErrWatchLimit):
+		out.Code = CodeWatchLimit
 	case errors.Is(err, context.DeadlineExceeded):
 		out.Code = CodeTimeout
 	case errors.Is(err, context.Canceled):
@@ -167,15 +186,41 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrStmtNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, aiql.ErrClosed):
+		// the hot-swap completes momentarily; 503 + Retry-After tells
+		// the writer to resend the batch rather than drop it
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrWatchNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrWatchLimit):
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusBadRequest
 	}
 }
 
+// retryHintError decorates a shed request with the backoff the client
+// should observe, derived from live queue pressure at rejection time.
+// The HTTP layer surfaces it as the Retry-After header; the wrapped
+// error keeps its identity for errors.Is dispatch.
+type retryHintError struct {
+	err   error
+	after int // whole seconds
+}
+
+func (e *retryHintError) Error() string { return e.err.Error() }
+func (e *retryHintError) Unwrap() error { return e.err }
+
 // WriteError writes err as a structured JSON error response with the
 // appropriate status code. It is shared by every API endpoint
 // (including the catalog's management handlers) so all failures carry
-// the same machine-readable model.
+// the same machine-readable model. Rejections carrying a load-derived
+// backoff hint set Retry-After from it; writeJSON fills the 1s floor
+// for 429/503 failures raised without one.
 func WriteError(w http.ResponseWriter, err error) {
+	var hint *retryHintError
+	if errors.As(err, &hint) {
+		w.Header().Set("Retry-After", strconv.Itoa(hint.after))
+	}
 	writeJSON(w, statusFor(err), ErrorBody(err))
 }

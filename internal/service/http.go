@@ -4,10 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
-	"strconv"
+	"strings"
 	"time"
 
 	aiql "github.com/aiql/aiql"
@@ -176,6 +177,11 @@ func (s *Service) Handler() http.Handler {
 //	POST /api/v1/query/stream  QueryRequest → NDJSON stream
 //	POST /api/v1/check         CheckRequest → CheckResponse
 //	GET  /api/v1/stats[?dataset=name]       → DatasetStats
+//	POST /api/v1/ingest[?dataset=name]      NDJSON IngestRecord lines → IngestResult
+//	POST /api/v1/watch         WatchRequest → WatchInfo
+//	GET  /api/v1/watch[?dataset=name]       → []WatchInfo
+//	DELETE /api/v1/watch/{id}[?dataset=name]
+//	GET  /api/v1/watch/{id}/events[?dataset=name]  → SSE match stream
 //
 // Prepare registers a query template (with `$name` parameters) once;
 // both query endpoints then execute it by `stmt_id` + `params`, or
@@ -205,6 +211,9 @@ func NewHandler(r Resolver) http.Handler {
 	mux.HandleFunc("/api/v1/query/stream", h.handleQueryStream)
 	mux.HandleFunc("/api/v1/check", h.handleCheck)
 	mux.HandleFunc("/api/v1/stats", h.handleStats)
+	mux.HandleFunc("/api/v1/ingest", h.handleIngest)
+	mux.HandleFunc("/api/v1/watch", h.handleWatch)
+	mux.HandleFunc("/api/v1/watch/", h.handleWatchSub)
 	return mux
 }
 
@@ -415,10 +424,177 @@ func (h *apiHandler) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, svc.DatasetStats(name))
 }
 
+// WatchRequest is the wire form of a standing-query registration.
+type WatchRequest struct {
+	// Query is the AIQL template; `$name` parameters are bound once,
+	// at registration, by Params.
+	Query  string         `json:"query"`
+	Params map[string]any `json:"params,omitempty"`
+	// Dataset names the catalog dataset the watch observes.
+	Dataset string `json:"dataset,omitempty"`
+}
+
+// handleIngest commits one NDJSON batch of monitoring events. The body
+// is a stream of IngestRecord JSON values (one per line by convention);
+// the whole batch commits atomically — any invalid record rejects the
+// request before a single append.
+func (h *apiHandler) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		WriteError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed, msg: "POST only"})
+		return
+	}
+	svc, ok := h.resolveService(w, r.URL.Query().Get("dataset"))
+	if !ok {
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, svc.cfg.IngestMaxBytes))
+	var recs []aiql.Record
+	for line := 1; ; line++ {
+		var ir IngestRecord
+		if err := dec.Decode(&ir); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				svc.ingestRejected.Add(1)
+				WriteError(w, &apiError{status: http.StatusRequestEntityTooLarge, code: CodeTooLarge,
+					msg: fmt.Sprintf("ingest body exceeds %d bytes, split the batch", svc.cfg.IngestMaxBytes)})
+				return
+			}
+			svc.ingestRejected.Add(1)
+			WriteError(w, &apiError{status: http.StatusBadRequest, code: CodeBadRequest,
+				msg: fmt.Sprintf("ingest record %d: bad JSON: %v", line, err)})
+			return
+		}
+		rec, err := ir.toRecord(line)
+		if err != nil {
+			svc.ingestRejected.Add(1)
+			WriteError(w, err)
+			return
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 {
+		WriteError(w, &apiError{status: http.StatusBadRequest, code: CodeBadRequest,
+			msg: "ingest body carries no records"})
+		return
+	}
+	res, err := svc.Ingest(r.Context(), clientKey(r), recs)
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleWatch registers a standing query (POST) or lists the registered
+// ones (GET).
+func (h *apiHandler) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		svc, ok := h.resolveService(w, r.URL.Query().Get("dataset"))
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, svc.Watches())
+		return
+	}
+	var req WatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	svc, ok := h.resolveService(w, req.Dataset)
+	if !ok {
+		return
+	}
+	info, err := svc.Watch(r.Context(), req.Query, req.Params)
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleWatchSub routes the /api/v1/watch/{id}[/events] subtree:
+// DELETE {id} removes the watch, GET {id} describes it, GET
+// {id}/events streams its matches over SSE.
+func (h *apiHandler) handleWatchSub(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/watch/")
+	id, sub, _ := strings.Cut(rest, "/")
+	svc, ok := h.resolveService(w, r.URL.Query().Get("dataset"))
+	if !ok {
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodDelete:
+		if err := svc.Unwatch(id); err != nil {
+			WriteError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+	case sub == "" && r.Method == http.MethodGet:
+		info, err := svc.WatchInfo(id)
+		if err != nil {
+			WriteError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	case sub == "events" && r.Method == http.MethodGet:
+		h.serveWatchEvents(w, r, svc, id)
+	default:
+		WriteError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed,
+			msg: "use DELETE /api/v1/watch/{id}, GET /api/v1/watch/{id} or GET /api/v1/watch/{id}/events"})
+	}
+}
+
+// serveWatchEvents streams a watch's matches as Server-Sent Events:
+// one `match` event per post-ingest evaluation that produced fresh
+// rows (data: WatchMatch JSON), and a final `close` event if the watch
+// is deleted. A client disconnect tears the subscription down — the
+// bounded buffer stops accumulating the moment the consumer is gone.
+func (h *apiHandler) serveWatchEvents(w http.ResponseWriter, r *http.Request, svc *Service, id string) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		WriteError(w, &apiError{status: http.StatusBadRequest, code: CodeUnsupported,
+			msg: "response writer does not support streaming"})
+		return
+	}
+	sub, err := svc.Subscribe(id)
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+	defer svc.Unsubscribe(id, sub)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": watching %s\n\n", id)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.Closed():
+			fmt.Fprint(w, "event: close\ndata: {}\n\n")
+			fl.Flush()
+			return
+		case m := <-sub.Matches():
+			data, err := json.Marshal(m)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: match\ndata: %s\n\n", data)
+			fl.Flush()
+		}
+	}
+}
+
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
-	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", strconv.Itoa(1))
+	if (status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests) &&
+		w.Header().Get("Retry-After") == "" {
+		// floor for rejections raised without a load-derived hint
+		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {

@@ -82,6 +82,20 @@ type Config struct {
 	// lookup refreshes the clock. Negative disables expiry.
 	// Default: 15m.
 	PreparedTTL time.Duration
+	// IngestMaxRecords caps events per ingest request; oversized
+	// batches are rejected before any append. Negative disables the
+	// cap. Default: 10000.
+	IngestMaxRecords int
+	// IngestMaxBytes caps an ingest request body. Default: 8 MiB.
+	IngestMaxBytes int64
+	// MaxWatches caps registered standing queries per dataset.
+	// Negative disables standing queries entirely. Default: 64.
+	MaxWatches int
+	// WatchBuffer is each SSE subscriber's buffered match capacity;
+	// a full buffer drops its oldest match (drop-oldest backpressure)
+	// so a slow consumer sees the freshest matches, never a stalled
+	// ingest path. Default: 256.
+	WatchBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +134,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PreparedTTL == 0 {
 		c.PreparedTTL = 15 * time.Minute
+	}
+	if c.IngestMaxRecords == 0 {
+		c.IngestMaxRecords = 10000
+	}
+	if c.IngestMaxBytes <= 0 {
+		c.IngestMaxBytes = 8 << 20
+	}
+	if c.MaxWatches == 0 {
+		c.MaxWatches = 64
+	}
+	if c.WatchBuffer <= 0 {
+		c.WatchBuffer = 256
 	}
 	return c
 }
@@ -224,6 +250,8 @@ type DatasetStats struct {
 	ScanCache engine.ScanCacheStats   `json:"scan_cache"`
 	Durable   eventstore.DurableStats `json:"durable"`
 	Prepared  PreparedStats           `json:"prepared"`
+	Ingest    IngestStats             `json:"ingest"`
+	Watch     WatchStats              `json:"watch"`
 }
 
 // DatasetStats snapshots the service's counters together with its
@@ -250,6 +278,8 @@ func (s *Service) DatasetStats(name string) DatasetStats {
 		ScanCache: s.db.ScanCacheStats(),
 		Durable:   s.db.DurableStats(),
 		Prepared:  s.PreparedStats(),
+		Ingest:    s.IngestStats(),
+		Watch:     s.WatchStats(),
 	}
 }
 
@@ -268,6 +298,7 @@ type Service struct {
 	sem      chan struct{} // worker slots
 	cache    *resultCache
 	prepared *preparedRegistry
+	watches  *watchRegistry
 
 	flightMu sync.Mutex
 	flights  map[cacheKey]*flight
@@ -288,6 +319,10 @@ type Service struct {
 	rowsStreamed atomic.Uint64
 	active       atomic.Int64
 	queued       atomic.Int64
+
+	ingests        atomic.Uint64
+	ingestEvents   atomic.Uint64
+	ingestRejected atomic.Uint64
 }
 
 // New creates a service over db.
@@ -299,6 +334,7 @@ func New(db *aiql.DB, cfg Config) *Service {
 		sem:      make(chan struct{}, cfg.Workers),
 		cache:    newResultCache(cfg.CacheEntries, cfg.MaxCacheBytes),
 		prepared: newPreparedRegistry(cfg.PreparedEntries, cfg.PreparedTTL),
+		watches:  newWatchRegistry(cfg.MaxWatches, cfg.WatchBuffer),
 		flights:  map[cacheKey]*flight{},
 		clients:  map[string]int{},
 	}
@@ -579,6 +615,29 @@ func (s *Service) timeout(req Request) time.Duration {
 	return timeout
 }
 
+// retryAfter derives the Retry-After hint (whole seconds) from live
+// queue pressure: an idle queue suggests an immediate 1s retry, a full
+// queue the whole QueueWait, scaling linearly between — so a fleet of
+// shed clients spreads its retries proportionally to how far behind the
+// service actually is instead of stampeding back after a fixed second.
+func (s *Service) retryAfter() int {
+	depth := s.queued.Load()
+	if depth < 0 {
+		depth = 0
+	}
+	secs := int((time.Duration(depth)*s.cfg.QueueWait/time.Duration(s.cfg.QueueDepth) + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// shed wraps a rejection with the queue-derived backoff hint the HTTP
+// layer turns into the Retry-After header.
+func (s *Service) shed(err error) error {
+	return &retryHintError{err: err, after: s.retryAfter()}
+}
+
 // acquireClient reserves one of the client's concurrent execution slots.
 func (s *Service) acquireClient(client string) error {
 	if client == "" || s.cfg.ClientInflight < 0 {
@@ -588,7 +647,7 @@ func (s *Service) acquireClient(client string) error {
 	defer s.clientMu.Unlock()
 	if s.clients[client] >= s.cfg.ClientInflight {
 		s.throttled.Add(1)
-		return ErrClientThrottled
+		return s.shed(ErrClientThrottled)
 	}
 	s.clients[client]++
 	return nil
@@ -617,7 +676,7 @@ func (s *Service) admit(ctx context.Context) error {
 	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
 		s.queued.Add(-1)
 		s.rejected.Add(1)
-		return ErrOverloaded
+		return s.shed(ErrOverloaded)
 	}
 	defer s.queued.Add(-1)
 	wait := time.NewTimer(s.cfg.QueueWait)
@@ -636,7 +695,7 @@ func (s *Service) admit(ctx context.Context) error {
 		return fmt.Errorf("service: cancelled while queued: %w", ctx.Err())
 	case <-wait.C:
 		s.rejected.Add(1)
-		return ErrOverloaded
+		return s.shed(ErrOverloaded)
 	}
 }
 

@@ -402,6 +402,17 @@ async function loadStoreStats() {
           ' hits, ' + (p.evictions || 0) + ' evictions' +
           (p.expired ? ', ' + p.expired + ' expired' : '');
     }
+    const ing = st.ingest || {};
+    if (ing.requests || ing.events) {
+      line += ' — ingest: ' + (ing.events || 0) + ' events in ' + (ing.requests || 0) + ' batches' +
+          (ing.rejected ? ' (' + ing.rejected + ' rejected)' : '');
+    }
+    const wt = st.watch || {};
+    if (wt.watches || wt.matches || wt.evals) {
+      line += ' — watches: ' + (wt.watches || 0) + ' live, ' + (wt.matches || 0) + ' matches pushed to ' +
+          (wt.subscribers || 0) + ' subscribers' +
+          (wt.dropped ? ' (' + wt.dropped + ' dropped)' : '');
+    }
     document.getElementById('storestats').textContent = line;
   } catch (e) { /* stats are best-effort */ }
 }
