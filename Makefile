@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-streaming bench-segments bench-persist bench-prepare bench-ingest serve
+.PHONY: check fmt vet build test race bench bench-streaming bench-segments bench-persist bench-prepare bench-ingest bench-scan serve
 
 check: fmt vet build race
 
@@ -22,65 +22,57 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Streaming/caching benchmarks on the Fig4 50k-event dataset: cold vs.
-# warm cache, full drain vs. LIMIT-50 early termination. Emits
-# BENCH_streaming.json for the CI perf-trajectory artifact.
-bench: bench-streaming bench-segments bench-persist bench-prepare bench-ingest
-
-bench-streaming:
-	$(GO) test ./internal/service/ -run XXX \
-		-bench 'BenchmarkColdQuery|BenchmarkWarmCache|BenchmarkFullDrain|BenchmarkLimit50EarlyTermination' \
-		-benchtime=5x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
+# run-bench <package> <bench regex> <benchtime> <output json>: run one
+# benchmark group and convert its output into the named JSON report for
+# the CI perf-trajectory artifact.
+define run-bench
+	$(GO) test $(1) -run XXX -bench '$(2)' \
+		-benchtime=$(3) > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
 	@cat bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_streaming.json < bench.out
+	$(GO) run ./cmd/benchjson -o $(4) < bench.out
 	@rm -f bench.out
+endef
+
+bench: bench-streaming bench-segments bench-persist bench-prepare bench-ingest bench-scan
+
+# Streaming/caching benchmarks on the Fig4 50k-event dataset: cold vs.
+# warm cache, full drain vs. LIMIT-50 early termination.
+bench-streaming:
+	$(call run-bench,./internal/service/,BenchmarkColdQuery|BenchmarkWarmCache|BenchmarkFullDrain|BenchmarkLimit50EarlyTermination,5x,BENCH_streaming.json)
 
 # Segment-granular reuse benchmarks on the Fig4 50k-event dataset:
 # cold re-execution vs. full result-cache hit vs. partial reuse after an
 # append (sealed segments served from the scan cache, only the fresh
-# tail re-scanned; target >= 10x vs cold). Emits BENCH_segments.json.
+# tail re-scanned; target >= 10x vs cold).
 bench-segments:
-	$(GO) test ./internal/service/ -run XXX \
-		-bench 'BenchmarkSegmentsCold|BenchmarkSegmentsFullCacheHit|BenchmarkSegmentsPartialReuseAfterAppend' \
-		-benchtime=20x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
-	@cat bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_segments.json < bench.out
-	@rm -f bench.out
+	$(call run-bench,./internal/service/,BenchmarkSegmentsCold|BenchmarkSegmentsFullCacheHit|BenchmarkSegmentsPartialReuseAfterAppend,20x,BENCH_segments.json)
 
 # Durable-storage benchmarks on the Fig4 50k-event dataset: dataset
 # load from file-per-segment snapshots (columnar decode + restored
 # indexes, no replay) vs. legacy gob replay (re-intern, re-chunk,
-# re-seal, re-index everything). Target >= 5x. Emits BENCH_persist.json.
+# re-seal, re-index everything). Target >= 5x.
 bench-persist:
-	$(GO) test ./internal/eventstore/ -run XXX \
-		-bench 'BenchmarkPersistGobReplay|BenchmarkPersistSegmentLoad' \
-		-benchtime=10x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
-	@cat bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_persist.json < bench.out
-	@rm -f bench.out
+	$(call run-bench,./internal/eventstore/,BenchmarkPersistGobReplay|BenchmarkPersistSegmentLoad,10x,BENCH_persist.json)
 
 # Prepared-statement benchmarks on the Fig4 50k dataset: per-call
 # parse+plan+execute vs. compile-once/execute-many re-execution of the
-# same investigation template. Emits BENCH_prepare.json.
+# same investigation template.
 bench-prepare:
-	$(GO) test ./internal/service/ -run XXX \
-		-bench 'BenchmarkPrepareColdPerCall|BenchmarkPreparedReexecute' \
-		-benchtime=50x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
-	@cat bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_prepare.json < bench.out
-	@rm -f bench.out
+	$(call run-bench,./internal/service/,BenchmarkPrepareColdPerCall|BenchmarkPreparedReexecute,50x,BENCH_prepare.json)
 
 # Live-ingestion + standing-query benchmarks on the Fig4 50k dataset:
 # per-append incremental re-evaluation (delta state + scan cache) vs.
 # full re-execution (target >= 5x), plus acknowledged ingest throughput
-# with and without a registered watch. Emits BENCH_ingest.json.
+# with and without a registered watch.
 bench-ingest:
-	$(GO) test ./internal/service/ -run XXX \
-		-bench 'BenchmarkStandingEvalFullRescan|BenchmarkStandingEvalIncremental|BenchmarkIngestBatch$$|BenchmarkIngestBatchWatched' \
-		-benchtime=20x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
-	@cat bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_ingest.json < bench.out
-	@rm -f bench.out
+	$(call run-bench,./internal/service/,BenchmarkStandingEvalFullRescan|BenchmarkStandingEvalIncremental|BenchmarkIngestBatch$$|BenchmarkIngestBatchWatched,20x,BENCH_ingest.json)
+
+# Parallel-scan benchmarks on the Fig4 50k-event dataset: cold full
+# scans, sequential (row-at-a-time reference path) vs. the batch/bitmap
+# executor at 1/2/4/8 workers, plus warm scan-cache parity. Target:
+# >= 2x cold speedup at 4 workers vs. sequential.
+bench-scan:
+	$(call run-bench,./internal/engine/,BenchmarkScan,10x,BENCH_scan.json)
 
 # Web UI + JSON API on :8080 over the built-in demo dataset.
 serve:

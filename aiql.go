@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/aiql/aiql/internal/aiql/ast"
@@ -43,6 +44,7 @@ import (
 	"github.com/aiql/aiql/internal/engine"
 	"github.com/aiql/aiql/internal/eventstore"
 	"github.com/aiql/aiql/internal/sysmon"
+	"github.com/aiql/aiql/internal/workpool"
 )
 
 // Re-exported domain types. Process, File, and Netconn describe system
@@ -408,6 +410,32 @@ func (db *DB) EnableSegmentScanCache(maxBytes int64) {
 func (db *DB) ScanCacheStats() engine.ScanCacheStats {
 	return db.eng.ScanCacheStats()
 }
+
+// ScanPool is a bounded pool of helper goroutines for parallel segment
+// scans; see NewScanPool.
+type ScanPool = workpool.Pool
+
+// ScanPoolStats are a scan pool's gauges and counters.
+type ScanPoolStats = workpool.Stats
+
+// NewScanPool creates a scan worker pool capping total scan
+// parallelism at the given worker count — the scanning query's own
+// goroutine plus workers-1 helpers, clamped to the machine's cores
+// (scan helpers are CPU-bound, so a wider pool only adds scheduling
+// overhead). Share one pool across several databases (SetScanPool) to
+// govern their combined scan CPU in one place; a non-positive count
+// yields fully sequential scanning.
+func NewScanPool(workers int) *ScanPool {
+	return workpool.New(min(workers, runtime.GOMAXPROCS(0)) - 1)
+}
+
+// SetScanPool installs the worker pool parallel scans draw helpers
+// from. Without an explicit pool the engine shares the process-wide
+// default, sized to GOMAXPROCS. A nil pool is ignored.
+func (db *DB) SetScanPool(p *ScanPool) { db.eng.SetScanPool(p) }
+
+// ScanPoolStats reports the scan worker pool's counters.
+func (db *DB) ScanPoolStats() ScanPoolStats { return db.eng.ScanPool().Stats() }
 
 // SegmentStats reports the store's LSM layout: sealed segments versus
 // active memtables.

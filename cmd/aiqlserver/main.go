@@ -66,6 +66,7 @@ func main() {
 		defName    = flag.String("default", "", "default dataset name (default: first registered)")
 		addr       = flag.String("addr", ":8080", "listen address")
 		workers    = flag.Int("workers", 0, "max concurrent query executions per dataset (0 = GOMAXPROCS)")
+		scanWork   = flag.Int("scan-workers", 0, "parallel-scan worker pool shared by all datasets (0 = match -workers, 1 = sequential scans)")
 		queue      = flag.Int("queue", 0, "admission queue depth beyond workers (0 = 4x workers)")
 		cache      = flag.Int("cache", 256, "result cache entries per dataset (negative disables)")
 		cacheBytes = flag.Int64("cache-bytes", 0, "result cache byte budget per dataset (0 = 64 MiB, negative = unbounded)")
@@ -95,6 +96,7 @@ func main() {
 		},
 		ScanCacheBytes:  *scanCache,
 		CompactInterval: *compact,
+		ScanWorkers:     *scanWork,
 	})
 
 	if *datasets != "" {

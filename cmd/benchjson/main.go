@@ -1,6 +1,7 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON benchmark report, so CI can record the perf
-// trajectory per PR as an artifact.
+// trajectory per PR as an artifact. The parsing lives in
+// internal/benchjson so benchmark tests can emit reports directly.
 //
 // Usage:
 //
@@ -8,31 +9,12 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
 	"os"
-	"strconv"
-	"strings"
+
+	"github.com/aiql/aiql/internal/benchjson"
 )
-
-// Benchmark is one parsed benchmark line.
-type Benchmark struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	MsPerOp    float64 `json:"ms_per_op"`
-}
-
-// Report is the emitted document.
-type Report struct {
-	GOOS       string      `json:"goos,omitempty"`
-	GOARCH     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
 
 func main() {
 	log.SetFlags(0)
@@ -40,59 +22,11 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	var rep Report
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-			continue
-		case strings.HasPrefix(line, "goarch:"):
-			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-			continue
-		case strings.HasPrefix(line, "cpu:"):
-			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-			continue
-		case !strings.HasPrefix(line, "Benchmark"):
-			continue
-		}
-		// BenchmarkName-8   	       3	 123456789 ns/op [...]
-		fields := strings.Fields(line)
-		if len(fields) < 4 || fields[3] != "ns/op" {
-			continue
-		}
-		iters, err1 := strconv.ParseInt(fields[1], 10, 64)
-		ns, err2 := strconv.ParseFloat(fields[2], 64)
-		if err1 != nil || err2 != nil {
-			continue
-		}
-		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
-			Name:       fields[0],
-			Iterations: iters,
-			NsPerOp:    ns,
-			MsPerOp:    ns / 1e6,
-		})
-	}
-	if err := sc.Err(); err != nil {
-		log.Fatal(err)
-	}
-	if len(rep.Benchmarks) == 0 {
-		log.Fatal("no benchmark lines found on stdin")
-	}
-
-	enc, err := json.MarshalIndent(rep, "", "  ")
+	rep, err := benchjson.Parse(os.Stdin)
 	if err != nil {
 		log.Fatal(err)
 	}
-	enc = append(enc, '\n')
-	if *out == "" {
-		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := rep.WriteFile(*out); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
 }

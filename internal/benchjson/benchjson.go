@@ -1,0 +1,111 @@
+// Package benchjson parses `go test -bench` output into a
+// machine-readable JSON benchmark report, so CI can record the perf
+// trajectory per PR as an artifact. Command benchjson wraps it for
+// Makefile pipelines; benchmark tests use it directly to emit their
+// report next to the regular test output.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	MsPerOp    float64 `json:"ms_per_op"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// ErrNoBenchmarks reports that the parsed stream held no benchmark
+// result lines (e.g. the bench run failed before printing any).
+var ErrNoBenchmarks = errors.New("benchjson: no benchmark lines found")
+
+// Parse reads `go test -bench` output and collects every benchmark
+// result line plus the goos/goarch/cpu header. It returns
+// ErrNoBenchmarks when the stream held none.
+func Parse(r io.Reader) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		// BenchmarkName-8   	       3	 123456789 ns/op [...]
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+			Name:       fields[0],
+			Iterations: iters,
+			NsPerOp:    ns,
+			MsPerOp:    ns / 1e6,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return rep, ErrNoBenchmarks
+	}
+	return rep, nil
+}
+
+// Encode marshals the report as indented JSON with a trailing newline.
+func (rep Report) Encode() ([]byte, error) {
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(enc, '\n'), nil
+}
+
+// WriteFile writes the report to path ("" or "-" = stdout).
+func (rep Report) WriteFile(path string) error {
+	enc, err := rep.Encode()
+	if err != nil {
+		return err
+	}
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))
+	return nil
+}

@@ -1,0 +1,65 @@
+package benchjson
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/aiql/aiql/internal/engine
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScanColdSequential 	      10	    213449 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScanColdWorkers4-8 	      10	     77741 ns/op	   12672 B/op	       7 allocs/op
+some stray log line
+BenchmarkBroken 	 notanumber 	 x ns/op
+PASS
+ok  	github.com/aiql/aiql/internal/engine	0.247s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("header = %q/%q/%q", rep.GOOS, rep.GOARCH, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 (malformed line must be skipped)", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[1]
+	if b.Name != "BenchmarkScanColdWorkers4-8" || b.Iterations != 10 || b.NsPerOp != 77741 {
+		t.Errorf("benchmark 1 = %+v", b)
+	}
+	if b.MsPerOp != b.NsPerOp/1e6 {
+		t.Errorf("MsPerOp = %v, want %v", b.MsPerOp, b.NsPerOp/1e6)
+	}
+}
+
+func TestParseNoBenchmarks(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok\n")); !errors.Is(err, ErrNoBenchmarks) {
+		t.Fatalf("want ErrNoBenchmarks, got %v", err)
+	}
+}
+
+func TestEncodeRoundTrips(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	enc, err := rep.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out := string(enc)
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("encoded report must end in a newline")
+	}
+	for _, want := range []string{`"goos": "linux"`, `"ns_per_op": 213449`, `"BenchmarkScanColdWorkers4-8"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("encoded report missing %s", want)
+		}
+	}
+}

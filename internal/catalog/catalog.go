@@ -14,12 +14,14 @@ package catalog
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	aiql "github.com/aiql/aiql"
 	"github.com/aiql/aiql/internal/service"
+	"github.com/aiql/aiql/internal/workpool"
 )
 
 // DefaultScanCacheBytes is the per-dataset segment scan cache budget
@@ -39,6 +41,13 @@ type Config struct {
 	// segments (and re-pointing the scan cache) while the dataset
 	// serves queries. Zero disables background compaction.
 	CompactInterval time.Duration
+	// ScanWorkers caps the parallel-scan worker pool shared by every
+	// dataset the catalog creates (a query's merging goroutine plus
+	// ScanWorkers-1 pooled helpers), so total scan CPU is governed in
+	// one place alongside the admission pool. Zero matches the
+	// admission pool's worker count (Service.Workers, itself defaulting
+	// to GOMAXPROCS); 1 scans sequentially.
+	ScanWorkers int
 }
 
 // Dataset is one named database with its service layer.
@@ -62,6 +71,11 @@ func (d *Dataset) Service() *service.Service { return d.svc }
 type Catalog struct {
 	cfg Config
 
+	// scanPool is shared by every dataset (and survives hot-swaps), so
+	// the process-wide scan-parallelism cap holds no matter how many
+	// datasets are served.
+	scanPool *workpool.Pool
+
 	// loadMu serializes hot-swaps: two concurrent Loads of one dataset
 	// would otherwise both close the old database and race two writers
 	// (and two recoveries) onto the same durable directory.
@@ -78,7 +92,20 @@ func New(cfg Config) *Catalog {
 	if cfg.ScanCacheBytes == 0 {
 		cfg.ScanCacheBytes = DefaultScanCacheBytes
 	}
-	return &Catalog{cfg: cfg, sets: make(map[string]*Dataset)}
+	workers := cfg.ScanWorkers
+	if workers <= 0 {
+		workers = cfg.Service.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Scan helpers are CPU-bound, so a pool wider than the machine only
+	// adds scheduling overhead: clamp to the cores available.
+	return &Catalog{
+		cfg:      cfg,
+		scanPool: workpool.New(min(workers, runtime.GOMAXPROCS(0)) - 1),
+		sets:     make(map[string]*Dataset),
+	}
 }
 
 // newDataset wraps a database in a fresh service layer with the
@@ -88,6 +115,7 @@ func (c *Catalog) newDataset(name, path string, db *aiql.DB) *Dataset {
 	if c.cfg.ScanCacheBytes > 0 {
 		db.EnableSegmentScanCache(c.cfg.ScanCacheBytes)
 	}
+	db.SetScanPool(c.scanPool)
 	if c.cfg.CompactInterval > 0 {
 		db.StartCompactor(c.cfg.CompactInterval)
 	}

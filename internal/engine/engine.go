@@ -12,12 +12,14 @@ package engine
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/aiql/aiql/internal/aiql/ast"
 	"github.com/aiql/aiql/internal/eventstore"
+	"github.com/aiql/aiql/internal/workpool"
 )
 
 // Config toggles the engine's optimizations, for the scheduling ablation
@@ -35,6 +37,13 @@ type Config struct {
 	// tail and fresh segments. Zero disables the cache — the default, so
 	// ablation benchmarks and tests measure raw scans unless they opt in.
 	ScanCacheBytes int64
+	// ScanWorkers caps one query's scan parallelism: the merging
+	// goroutine itself plus up to ScanWorkers-1 helpers from a
+	// dedicated pool (so 1 means fully inline scanning). Zero — the
+	// default — draws helpers from the process-wide shared pool sized
+	// to GOMAXPROCS; SetScanPool overrides either with an explicitly
+	// shared pool so several engines are governed together.
+	ScanWorkers int
 }
 
 // Engine executes AIQL queries against an event store. Every execution
@@ -44,6 +53,7 @@ type Engine struct {
 	store  *eventstore.Store
 	cfg    Config
 	scache atomic.Pointer[scanCache]
+	pool   atomic.Pointer[workpool.Pool]
 
 	// resolveMu guards resolved, the entity-resolution memo keyed by
 	// attribute filter + dictionary identity + entity count (see
@@ -62,6 +72,13 @@ func NewWithConfig(store *eventstore.Store, cfg Config) *Engine {
 	e := &Engine{store: store, cfg: cfg}
 	if cfg.ScanCacheBytes > 0 {
 		e.scache.Store(newScanCache(cfg.ScanCacheBytes))
+	}
+	if cfg.ScanWorkers > 0 {
+		// Scan helpers are CPU-bound, so a pool wider than the machine
+		// only adds scheduling overhead: clamp to the cores available.
+		e.pool.Store(workpool.New(min(cfg.ScanWorkers, runtime.GOMAXPROCS(0)) - 1))
+	} else {
+		e.pool.Store(workpool.Default())
 	}
 	// Re-point the scan cache when compaction retires segments: their
 	// cached batches can never be requested again (new snapshots carry
@@ -87,6 +104,20 @@ func (e *Engine) SetScanCache(maxBytes int64) {
 func (e *Engine) ScanCacheStats() ScanCacheStats {
 	return e.scache.Load().stats()
 }
+
+// SetScanPool installs the worker pool parallel scans draw helpers
+// from — typically one pool shared across every engine in the process,
+// so total scan CPU is capped in one place alongside the service
+// admission pool. A nil pool is ignored. Safe for concurrent use;
+// in-flight executions keep the pool they started with.
+func (e *Engine) SetScanPool(p *workpool.Pool) {
+	if p != nil {
+		e.pool.Store(p)
+	}
+}
+
+// ScanPool returns the worker pool parallel scans currently use.
+func (e *Engine) ScanPool() *workpool.Pool { return e.pool.Load() }
 
 // Execute compiles and runs one AIQL query — the bind-then-run form of
 // a one-shot execution (Prepare + ExecutePrepared with no bindings).

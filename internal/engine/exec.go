@@ -3,9 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
-	"sort"
 	"strings"
-	"sync"
 
 	"github.com/aiql/aiql/internal/aiql/ast"
 	"github.com/aiql/aiql/internal/aiql/semantic"
@@ -140,13 +138,13 @@ func (e *Engine) runMultievent(ctx context.Context, snap *eventstore.Snapshot, q
 }
 
 // streamFinal scans the final pattern and pushes each full match through
-// join → projection → emit without collecting events or bindings. With a
-// limit hint (or parallelism disabled) the scan is sequential, so the
-// number of events visited before the limit is satisfied is
-// deterministic; otherwise scan units are processed in parallel and
-// their batches are joined and emitted as they arrive, which delivers
-// first rows while later units are still being scanned. Sealed-segment
-// batches come from the scan cache when it holds them.
+// join → projection → emit without collecting events or bindings. Scan
+// units are filtered in parallel on the worker pool but consumed
+// strictly in unit order (see forEachUnitOrdered), so emission order,
+// limit pushdown, and the visited-event accounting are identical to the
+// sequential path; with parallelism disabled the reference sequential
+// walk runs instead. Sealed-segment batches come from the scan cache
+// when it holds them.
 func (e *Engine) streamFinal(ctx context.Context, snap *eventstore.Snapshot, filter *eventstore.EventFilter, pp *patternPlan, j *joiner, proj *projector, stats *ExecStats, emit emitFunc, limitHint int) error {
 	var (
 		ferr     error
@@ -182,21 +180,21 @@ func (e *Engine) streamFinal(ctx context.Context, snap *eventstore.Snapshot, fil
 		return cont
 	}
 
-	cache := e.scache.Load()
-	var fp scanFP
-	if cache != nil {
-		fp = scanFingerprint(filter, pp.evtPreds)
-	}
 	units := snap.Units(filter)
 
-	if e.cfg.DisableParallel || limitHint > 0 {
-		// Deterministic unit-by-unit scan. Collection touches only the
+	if e.cfg.DisableParallel {
+		// Reference sequential walk. Collection touches only the
 		// snapshot's immutable data; the join → project → emit work
 		// happens with no locks held, so a consumer that stalls
 		// mid-stream cannot block writers or other queries. Cache
 		// lookups stay per-unit here: a satisfied limit stops the walk,
 		// and prefetching lookups for units never consumed would skew
 		// the reuse counters.
+		cache := e.scache.Load()
+		var fp scanFP
+		if cache != nil {
+			fp = scanFingerprint(filter, pp.evtPreds)
+		}
 		for i := range units {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("engine: query aborted: %w", err)
@@ -222,58 +220,18 @@ func (e *Engine) streamFinal(ctx context.Context, snap *eventstore.Snapshot, fil
 		return nil
 	}
 
-	// Parallel streaming: unit scans run concurrently; completed batches
-	// are joined and emitted under the merge mutex while other units are
-	// still scanning. An execution error triggers the cursor's halt (when
-	// running under one) so in-flight unit scans abort promptly.
-	abort := func() {}
-	if hc, ok := ctx.(*haltCtx); ok {
-		abort = hc.h.trigger
-	}
-	var (
-		mu      sync.Mutex
-		stopped bool
-	)
-	cached := cache.getAll(fp, units)
-	eventstore.ForEachUnit(ctx, units, func(i int, u *eventstore.ScanUnit) {
-		var (
-			batch   []sysmon.Event
-			visited int64
-			hit     bool
-		)
-		if cached != nil && cached[i] != nil {
-			batch, hit = cached[i], true
-		} else {
-			batch, visited, _, hit = e.unitBatch(ctx, cache, u, filter, fp, pp.evtPreds, false)
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		stats.ScannedEvents += visited
-		countReuse(stats, cache, u, hit)
-		if stopped {
-			return
-		}
-		for i := range batch {
-			if i%joinCheckInterval == joinCheckInterval-1 && ctx.Err() != nil {
-				stopped = true
-				return
-			}
-			if !handle(&batch[i]) {
-				stopped = true
-				if ferr != nil {
-					abort()
-				}
-				return
+	err := e.forEachUnitOrdered(ctx, units, filter, pp.evtPreds, stats, limitHint, func(batch []sysmon.Event) bool {
+		for k := range batch {
+			if !handle(&batch[k]) {
+				return false
 			}
 		}
+		return true
 	})
 	if ferr != nil {
 		return ferr
 	}
-	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("engine: query aborted: %w", err)
-	}
-	return nil
+	return err
 }
 
 // joinCheckInterval is how many join probes or projected rows pass
@@ -332,22 +290,24 @@ func countReuse(stats *ExecStats, cache *scanCache, u *eventstore.ScanUnit, hit 
 }
 
 // scanPattern collects the events matching a pattern plan's filter and
-// per-event predicates over the snapshot, using parallel unit scans
-// unless disabled, reusing cached sealed-segment batches when the scan
-// cache holds them. A cancelled ctx aborts the scan early; the scanned
-// count then reflects only the events actually visited (the caller
-// checks ctx.Err()).
+// per-event predicates over the snapshot, reusing cached sealed-segment
+// batches when the scan cache holds them. Unit scans run in parallel on
+// the worker pool but batches concatenate in deterministic unit order —
+// the exact order the sequential walk produces — so downstream joins
+// see identical input either way. A cancelled ctx aborts the scan
+// early; the scanned count then reflects only the events actually
+// visited (the caller checks ctx.Err()).
 func (e *Engine) scanPattern(ctx context.Context, snap *eventstore.Snapshot, filter *eventstore.EventFilter, pp *patternPlan, stats *ExecStats) []sysmon.Event {
-	cache := e.scache.Load()
-	var fp scanFP
-	if cache != nil {
-		fp = scanFingerprint(filter, pp.evtPreds)
-	}
 	units := snap.Units(filter)
-	cached := cache.getAll(fp, units)
 	var events []sysmon.Event
 
 	if e.cfg.DisableParallel {
+		cache := e.scache.Load()
+		var fp scanFP
+		if cache != nil {
+			fp = scanFingerprint(filter, pp.evtPreds)
+		}
+		cached := cache.getAll(fp, units)
 		for i := range units {
 			if ctx.Err() != nil {
 				break
@@ -373,27 +333,10 @@ func (e *Engine) scanPattern(ctx context.Context, snap *eventstore.Snapshot, fil
 		return events
 	}
 
-	var mu sync.Mutex
-	eventstore.ForEachUnit(ctx, units, func(i int, u *eventstore.ScanUnit) {
-		var (
-			batch   []sysmon.Event
-			visited int64
-			hit     bool
-		)
-		if cached != nil && cached[i] != nil {
-			batch, hit = cached[i], true
-		} else {
-			batch, visited, _, hit = e.unitBatch(ctx, cache, u, filter, fp, pp.evtPreds, false)
-		}
-		mu.Lock()
+	e.forEachUnitOrdered(ctx, units, filter, pp.evtPreds, stats, 0, func(batch []sysmon.Event) bool {
 		events = append(events, batch...)
-		stats.ScannedEvents += visited
-		countReuse(stats, cache, u, hit)
-		mu.Unlock()
+		return true
 	})
-	// canonical order: parallel unit scans return events in
-	// nondeterministic interleaving
-	sort.Slice(events, func(i, j int) bool { return events[i].ID < events[j].ID })
 	return events
 }
 

@@ -195,6 +195,46 @@ func (c *scanCache) getAll(fp scanFP, units []eventstore.ScanUnit) [][]sysmon.Ev
 	return out
 }
 
+// peekAll is getAll without the hit/miss accounting: the parallel
+// ordered-merge executor prefetches every sealed unit's batch up front
+// but attributes a hit or miss only when a unit's result is actually
+// consumed (via note), so the reuse counters always match what the
+// sequential walk would have reported — even when a satisfied limit
+// stops the merge before every prefetched unit is consumed.
+func (c *scanCache) peekAll(fp scanFP, units []eventstore.ScanUnit) [][]sysmon.Event {
+	if c == nil {
+		return nil
+	}
+	out := make([][]sysmon.Event, len(units))
+	c.mu.Lock()
+	for i := range units {
+		if !units[i].Sealed() {
+			continue
+		}
+		if el, ok := c.entries[scanCacheKey{fp: fp, seg: units[i].SegmentID()}]; ok {
+			entry := el.Value.(*scanCacheEntry)
+			entry.used = true
+			out[i] = entry.events
+		}
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// note records the consume-time outcome for one sealed unit served
+// through peekAll: a hit for a prefetched batch, a miss for a unit that
+// had to be scanned.
+func (c *scanCache) note(hit bool) {
+	if c == nil {
+		return
+	}
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+}
+
 // emptyBatch is the shared non-nil value cached for scans that matched
 // nothing, so getAll can use nil for "not cached".
 var emptyBatch = make([]sysmon.Event, 0)

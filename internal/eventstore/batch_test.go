@@ -1,0 +1,170 @@
+package eventstore
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/aiql/aiql/internal/like"
+	"github.com/aiql/aiql/internal/sysmon"
+)
+
+// buildBatchStore commits a randomized event mix — several agents,
+// ops across every family, varied amounts — leaving part of it sealed
+// (key-column batch path) and part in memtables (struct batch path).
+func buildBatchStore(t *testing.T, sealed, unsealed int) *Store {
+	t.Helper()
+	s := New(DefaultOptions())
+	rng := rand.New(rand.NewSource(11))
+	exes := []string{"bash", "vim", "curl", "python", "sshd"}
+	ops := []sysmon.Operation{
+		sysmon.OpStart, sysmon.OpRead, sysmon.OpWrite, sysmon.OpDelete,
+		sysmon.OpConnect, sysmon.OpSend,
+	}
+	add := func(n int) {
+		recs := make([]Record, 0, n)
+		for i := 0; i < n; i++ {
+			r := mkRecord(uint32(1+rng.Intn(4)), exes[rng.Intn(len(exes))],
+				ops[rng.Intn(len(ops))], "obj.txt", rng.Intn(600))
+			r.Amount = uint64(rng.Intn(200))
+			recs = append(recs, r)
+		}
+		s.AppendAll(recs)
+	}
+	add(sealed)
+	s.Flush()
+	add(unsealed)
+	return s
+}
+
+// TestCollectBatchMatchesScan cross-checks the bitmap batch collector
+// — dense masked-compare over the packed key column, residual sparse
+// probes, posting-list path, memtable kernels — against the
+// row-at-a-time Scan reference for every filter shape. Any divergence
+// in membership or order is a correctness bug in the vectorized path.
+func TestCollectBatchMatchesScan(t *testing.T) {
+	s := buildBatchStore(t, 3000, 500)
+	from := base.Add(100 * time.Minute).UnixNano()
+	to := base.Add(400 * time.Minute).UnixNano()
+	bash := s.Dict().MatchEntities(sysmon.EntityProcess, "exe_name", like.Compile("bash"))
+
+	filters := []*EventFilter{
+		{},
+		{Agents: []uint32{2}},    // single agent: folded into the dense mask
+		{Agents: []uint32{1, 3}}, // agent set: residual sparse probe
+		{Ops: []sysmon.Operation{sysmon.OpDelete}},               // single op: dense mask
+		{Ops: []sysmon.Operation{sysmon.OpRead, sysmon.OpWrite}}, // op set: sparse probe
+		{ObjType: sysmon.EntityFile},
+		{MinAmount: 120},
+		{From: from, To: to},
+		{Agents: []uint32{2}, Ops: []sysmon.Operation{sysmon.OpWrite}, ObjType: sysmon.EntityFile},
+		{Agents: []uint32{1, 4}, Ops: []sysmon.Operation{sysmon.OpSend, sysmon.OpConnect}, MinAmount: 40, From: from},
+		{Subjects: bash}, // posting-list path on indexed segments
+		{Subjects: bash, From: from, To: to},
+		{Objects: NewIDSet()}, // empty set: must match nothing
+	}
+	keeps := []func(*sysmon.Event) bool{
+		nil,
+		func(ev *sysmon.Event) bool { return ev.Amount%2 == 0 },
+	}
+
+	for fi, f := range filters {
+		for ki, keep := range keeps {
+			units := s.Snapshot().Units(f)
+			cf := f.Compile()
+			var got, want []uint64
+			var visited int64
+			for i := range units {
+				batch, v, complete := units[i].CollectBatch(context.Background(), cf, keep)
+				if !complete {
+					t.Fatalf("filter %d keep %d: batch collect incomplete without cancellation", fi, ki)
+				}
+				visited += v
+				for j := range batch {
+					got = append(got, batch[j].ID)
+				}
+				units[i].Scan(f, func(ev *sysmon.Event) bool {
+					if keep == nil || keep(ev) {
+						want = append(want, ev.ID)
+					}
+					return true
+				})
+			}
+			if len(got) != len(want) {
+				t.Fatalf("filter %d keep %d: batch path found %d events, scan found %d", fi, ki, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("filter %d keep %d: event %d differs: batch %d, scan %d", fi, ki, j, got[j], want[j])
+				}
+			}
+			if visited < int64(len(want)) {
+				t.Errorf("filter %d keep %d: visited %d < matched %d", fi, ki, visited, len(want))
+			}
+		}
+	}
+}
+
+// TestCollectBatchIntoReusesBuffer verifies the scratch-reuse contract:
+// the returned batch aliases the passed-in buffer when capacity
+// suffices, so a sequential walk can recycle one allocation across
+// every unit.
+func TestCollectBatchIntoReusesBuffer(t *testing.T) {
+	s := buildBatchStore(t, 2000, 0)
+	f := &EventFilter{Ops: []sysmon.Operation{sysmon.OpDelete}}
+	cf := f.Compile()
+	units := s.Snapshot().Units(f)
+	if len(units) == 0 {
+		t.Fatal("no scan units")
+	}
+	buf := make([]sysmon.Event, 0, 4096)
+	for i := range units {
+		batch, _, complete := units[i].CollectBatchInto(context.Background(), cf, nil, buf[:0])
+		if !complete {
+			t.Fatal("unexpected incomplete collect")
+		}
+		if len(batch) > 0 && cap(batch) <= cap(buf) && &batch[:1][0] != &buf[:1][0] {
+			t.Fatalf("unit %d: batch did not reuse the scratch buffer", i)
+		}
+	}
+}
+
+// TestPostingEstimateClampsToTimeSlice pins the estimator fix: a
+// narrow time window over an entity with postings spread across the
+// whole segment must be charged only for the postings inside the
+// window, not the full posting-list length — otherwise the planner
+// ranks a cheap windowed pattern as expensive as an unbounded one.
+func TestPostingEstimateClampsToTimeSlice(t *testing.T) {
+	s := New(DefaultOptions())
+	// One agent, one subject, 400 events at one-minute spacing: the
+	// subject's posting list in the sealed segment covers everything.
+	recs := make([]Record, 0, 400)
+	for i := 0; i < 400; i++ {
+		recs = append(recs, mkRecord(1, "bash", sysmon.OpWrite, "out.log", i))
+	}
+	s.AppendAll(recs)
+	s.Flush()
+
+	bash := s.Dict().MatchEntities(sysmon.EntityProcess, "exe_name", like.Compile("bash"))
+	if bash.Len() != 1 {
+		t.Fatalf("expected one interned bash process, got %d", bash.Len())
+	}
+	from := base.Add(100 * time.Minute).UnixNano()
+	to := base.Add(110 * time.Minute).UnixNano()
+	f := &EventFilter{Subjects: bash, From: from, To: to}
+
+	actual := 0
+	s.Scan(context.Background(), f, func(*sysmon.Event) bool { actual++; return true })
+	if actual != 10 {
+		t.Fatalf("windowed scan matched %d events, want 10", actual)
+	}
+	est := s.EstimateMatches(f)
+	if est < actual {
+		t.Fatalf("estimate %d undercounts actual %d", est, actual)
+	}
+	// Clamped to the window the bound is exact; pre-fix it was 400.
+	if est > 2*actual {
+		t.Errorf("estimate %d not clamped to the time slice (actual %d)", est, actual)
+	}
+}

@@ -2,12 +2,12 @@ package eventstore
 
 import (
 	"context"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"github.com/aiql/aiql/internal/sysmon"
+	"github.com/aiql/aiql/internal/workpool"
 )
 
 // Snapshot is an immutable, epoch-pinned view of a store: for every
@@ -319,42 +319,42 @@ func (sn *Snapshot) ScanPartitions(ctx context.Context, f *EventFilter, keep fun
 	return int(scanned.Load())
 }
 
-// ForEachUnit runs fn over the units with up to GOMAXPROCS workers,
-// skipping unstarted units once ctx is cancelled. fn receives each
-// unit's index and must be safe for concurrent use; with a single
-// worker the calls are sequential and in order.
+// ForEachUnit runs fn over the units, fanning out onto the process-wide
+// scan worker pool, skipping unstarted units once ctx is cancelled. fn
+// receives each unit's index and must be safe for concurrent use. The
+// calling goroutine always participates, so the fan-out makes progress
+// (sequentially, in order) even when the pool is saturated or empty.
 func ForEachUnit(ctx context.Context, units []ScanUnit, fn func(int, *ScanUnit)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(units) {
-		workers = len(units)
+	if len(units) == 0 {
+		return
 	}
-	if workers <= 1 {
-		for i := range units {
+	var next atomic.Int64
+	run := func() {
+		for {
 			if ctx.Err() != nil {
-				break
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= len(units) {
+				return
 			}
 			fn(i, &units[i])
 		}
-		return
+	}
+	pool := workpool.Default()
+	helpers := pool.Helpers()
+	if helpers > len(units)-1 {
+		helpers = len(units) - 1
 	}
 	var wg sync.WaitGroup
-	ch := make(chan int, len(units))
-	for i := range units {
-		ch <- i
-	}
-	close(ch)
-	for w := 0; w < workers; w++ {
+	for w := 0; w < helpers; w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				if ctx.Err() != nil {
-					return
-				}
-				fn(i, &units[i])
-			}
-		}()
+		if !pool.TryGo(func() { defer wg.Done(); run() }) {
+			wg.Done()
+			break
+		}
 	}
+	run()
 	wg.Wait()
 }
 

@@ -31,6 +31,7 @@ import (
 	aiql "github.com/aiql/aiql"
 	"github.com/aiql/aiql/internal/engine"
 	"github.com/aiql/aiql/internal/eventstore"
+	"github.com/aiql/aiql/internal/workpool"
 )
 
 // ErrOverloaded reports that the service shed the query: every worker is
@@ -243,15 +244,19 @@ type StoreStats struct {
 // figures. Every dataset served by a catalog has its own independent
 // instance of all of them.
 type DatasetStats struct {
-	Dataset   string                  `json:"dataset,omitempty"`
-	Default   bool                    `json:"default,omitempty"`
-	Service   Stats                   `json:"service"`
-	Store     StoreStats              `json:"store"`
-	ScanCache engine.ScanCacheStats   `json:"scan_cache"`
-	Durable   eventstore.DurableStats `json:"durable"`
-	Prepared  PreparedStats           `json:"prepared"`
-	Ingest    IngestStats             `json:"ingest"`
-	Watch     WatchStats              `json:"watch"`
+	Dataset   string                `json:"dataset,omitempty"`
+	Default   bool                  `json:"default,omitempty"`
+	Service   Stats                 `json:"service"`
+	Store     StoreStats            `json:"store"`
+	ScanCache engine.ScanCacheStats `json:"scan_cache"`
+	// Scan reports the parallel-scan worker pool. The pool is normally
+	// shared process-wide (one cap across all datasets), so the figures
+	// are global, repeated per dataset for convenience.
+	Scan     workpool.Stats          `json:"scan"`
+	Durable  eventstore.DurableStats `json:"durable"`
+	Prepared PreparedStats           `json:"prepared"`
+	Ingest   IngestStats             `json:"ingest"`
+	Watch    WatchStats              `json:"watch"`
 }
 
 // DatasetStats snapshots the service's counters together with its
@@ -276,6 +281,7 @@ func (s *Service) DatasetStats(name string) DatasetStats {
 			ApproxBytes:    dbStats.Bytes,
 		},
 		ScanCache: s.db.ScanCacheStats(),
+		Scan:      s.db.ScanPoolStats(),
 		Durable:   s.db.DurableStats(),
 		Prepared:  s.PreparedStats(),
 		Ingest:    s.IngestStats(),

@@ -1,0 +1,109 @@
+// Package workpool provides a bounded pool of helper goroutines for
+// parallel scan work. One process-wide pool (or one explicitly shared
+// instance) caps the total number of concurrent scan tasks regardless
+// of how many queries, datasets, or snapshots fan work out — the same
+// single-point-of-governance idea as the service admission pool, applied
+// to intra-query parallelism.
+//
+// The pool is deliberately non-blocking: TryGo either claims a helper
+// slot immediately or refuses, and callers are expected to do the work
+// inline when refused. That shape makes saturation harmless (a busy
+// pool degrades to sequential execution instead of queueing) and makes
+// deadlock impossible (no scan ever waits for a slot held by another
+// scan).
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded set of helper-goroutine slots. The zero Pool and
+// the nil Pool are valid and never run helpers.
+type Pool struct {
+	slots chan struct{}
+
+	busy      atomic.Int64
+	tasks     atomic.Uint64
+	saturated atomic.Uint64
+}
+
+// New creates a pool with the given number of helper slots. A
+// non-positive count yields a pool that always refuses TryGo, which
+// degrades every caller to inline (sequential) execution.
+func New(helpers int) *Pool {
+	if helpers < 0 {
+		helpers = 0
+	}
+	return &Pool{slots: make(chan struct{}, helpers)}
+}
+
+var defaultPool = sync.OnceValue(func() *Pool {
+	return New(runtime.GOMAXPROCS(0) - 1)
+})
+
+// Default returns the lazily created process-wide pool, sized to
+// GOMAXPROCS-1 helpers: together with the caller doing work inline,
+// a fan-out saturates the machine without oversubscribing it.
+func Default() *Pool { return defaultPool() }
+
+// Helpers returns the pool's helper-slot capacity.
+func (p *Pool) Helpers() int {
+	if p == nil {
+		return 0
+	}
+	return cap(p.slots)
+}
+
+// TryGo runs fn on a helper goroutine if a slot is free, returning
+// whether it did. It never blocks: when the pool is saturated (or has
+// zero slots) the caller keeps the work and runs it inline.
+func (p *Pool) TryGo(fn func()) bool {
+	if p == nil {
+		return false
+	}
+	select {
+	case p.slots <- struct{}{}:
+	default:
+		p.saturated.Add(1)
+		return false
+	}
+	p.tasks.Add(1)
+	p.busy.Add(1)
+	go func() {
+		defer func() {
+			p.busy.Add(-1)
+			<-p.slots
+		}()
+		fn()
+	}()
+	return true
+}
+
+// Stats are the pool's gauges and monotonic counters.
+type Stats struct {
+	// Workers is the helper-slot capacity.
+	Workers int `json:"workers"`
+	// Busy is the number of helpers currently running a task.
+	Busy int64 `json:"busy"`
+	// Tasks counts tasks ever started on a helper.
+	Tasks uint64 `json:"tasks"`
+	// Saturated counts TryGo calls refused for lack of a free slot
+	// (the caller ran that work inline).
+	Saturated uint64 `json:"saturated"`
+}
+
+// Stats returns a snapshot of the pool's counters; zero values for a
+// nil pool.
+func (p *Pool) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	return Stats{
+		Workers:   cap(p.slots),
+		Busy:      p.busy.Load(),
+		Tasks:     p.tasks.Load(),
+		Saturated: p.saturated.Load(),
+	}
+}

@@ -1,0 +1,70 @@
+package workpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTryGoBoundsConcurrency(t *testing.T) {
+	const helpers = 3
+	p := New(helpers)
+	if got := p.Helpers(); got != helpers {
+		t.Fatalf("Helpers() = %d, want %d", got, helpers)
+	}
+
+	// Occupy every slot, then verify the pool refuses more work
+	// instead of blocking or oversubscribing.
+	var (
+		started sync.WaitGroup
+		release = make(chan struct{})
+		done    sync.WaitGroup
+	)
+	started.Add(helpers)
+	done.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		if !p.TryGo(func() {
+			started.Done()
+			<-release
+			done.Done()
+		}) {
+			t.Fatalf("TryGo %d refused with free slots", i)
+		}
+	}
+	started.Wait()
+
+	if p.TryGo(func() { t.Error("ran a task on a saturated pool") }) {
+		t.Fatal("TryGo accepted work with all slots busy")
+	}
+	s := p.Stats()
+	if s.Busy != helpers || s.Tasks != helpers || s.Saturated != 1 {
+		t.Fatalf("saturated stats = %+v, want busy=%d tasks=%d saturated=1", s, helpers, helpers)
+	}
+
+	close(release)
+	done.Wait()
+
+	// Freed slots must be reusable.
+	var again sync.WaitGroup
+	again.Add(1)
+	if !p.TryGo(func() { again.Done() }) {
+		t.Fatal("TryGo refused after all helpers finished")
+	}
+	again.Wait()
+	if s := p.Stats(); s.Tasks != helpers+1 {
+		t.Fatalf("Tasks = %d, want %d", s.Tasks, helpers+1)
+	}
+}
+
+func TestZeroAndNilPoolsRefuse(t *testing.T) {
+	for _, p := range []*Pool{nil, New(0), New(-5)} {
+		if p.Helpers() != 0 {
+			t.Errorf("Helpers() = %d, want 0", p.Helpers())
+		}
+		if p.TryGo(func() {}) {
+			t.Error("TryGo succeeded on a helperless pool")
+		}
+		if s := p.Stats(); s.Workers != 0 || s.Busy != 0 || s.Tasks != 0 {
+			t.Errorf("Stats() = %+v, want zeroes", s)
+		}
+	}
+}
