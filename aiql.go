@@ -176,6 +176,17 @@ func OpenPath(path string) (*DB, error) {
 	return LoadFile(path)
 }
 
+// OpenPathWithOptions is OpenPath with explicit storage and engine
+// configurations; for directories storage.Dir is overridden with path.
+func OpenPathWithOptions(path string, storage StorageOptions, cfg EngineConfig) (*DB, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		storage.Dir = path
+		return OpenDirWithOptions(storage, cfg)
+	}
+	storage.Dir = ""
+	return LoadFileWithOptions(path, storage, cfg)
+}
+
 // Close stops the database's background compactor and closes its
 // write-ahead log. In-memory databases close trivially; in-flight
 // queries on pinned snapshots are unaffected either way.
@@ -198,6 +209,14 @@ func (db *DB) StopCompactor() { db.store.StopCompactor() }
 // DurableStats reports the database's on-disk footprint (segment files,
 // WAL, manifest edition) and compaction activity.
 func (db *DB) DurableStats() eventstore.DurableStats { return db.store.DurableStats() }
+
+// StorageStats reports where sealed-segment bytes live: mmap'd v2
+// segment files versus heap-resident decodes, plus block-cache counters.
+func (db *DB) StorageStats() eventstore.StorageStats { return db.store.StorageStats() }
+
+// UpgradeSegments rewrites persisted v1 segment files in place in the
+// v2 mmap-friendly columnar format, returning how many were upgraded.
+func (db *DB) UpgradeSegments() (int, error) { return db.store.UpgradeSegments() }
 
 // SaveDir writes the database's full sealed state into dir as a durable
 // store directory — the migration path from legacy gob snapshots.
@@ -454,11 +473,17 @@ func (db *DB) SaveFile(path string) error { return db.store.SaveFile(path) }
 
 // LoadFile opens a database from a snapshot file with default options.
 func LoadFile(path string) (*DB, error) {
-	store, err := eventstore.LoadFile(path, eventstore.DefaultOptions())
+	return LoadFileWithOptions(path, eventstore.DefaultOptions(), engine.Config{})
+}
+
+// LoadFileWithOptions opens a snapshot file with explicit storage and
+// engine configurations.
+func LoadFileWithOptions(path string, storage StorageOptions, cfg EngineConfig) (*DB, error) {
+	store, err := eventstore.LoadFile(path, storage)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{store: store, eng: engine.New(store)}, nil
+	return &DB{store: store, eng: engine.NewWithConfig(store, cfg)}, nil
 }
 
 // Stats summarizes the database contents.

@@ -8,10 +8,14 @@
 //	aiql -data data.aiql            # REPL: terminate queries with a ';' line
 //	aiql -data data.aiql -explain -query '...'
 //	aiql -data data.aiql -migrate ./storedir   # one-shot: convert a gob snapshot to a durable directory
+//	aiql -data ./storedir -migrate ./storedir  # one-shot: upgrade v1 segment files to v2 in place
 //
 // -data also accepts a durable store directory; -migrate converts a
 // legacy gob snapshot into the file-per-segment durable layout that
-// aiqlserver -data-dir (and -data here) serves without replay.
+// aiqlserver -data-dir (and -data here) serves without replay. When
+// -data and -migrate name the same durable directory, the segment files
+// are instead rewritten in place in the v2 mmap-friendly columnar
+// format (a no-op for files already v2).
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -43,10 +48,29 @@ func main() {
 
 	if *migrate != "" {
 		if *data == "" {
-			log.Fatal("-migrate requires -data naming the legacy gob snapshot")
+			log.Fatal("-migrate requires -data naming the legacy gob snapshot or durable store directory")
 		}
 		start := time.Now()
-		db, err := aiql.LoadFile(*data)
+		if fi, err := os.Stat(*data); err == nil && fi.IsDir() && filepath.Clean(*data) == filepath.Clean(*migrate) {
+			// In-place upgrade: rewrite the directory's v1 segment files
+			// in the v2 mmap-friendly columnar format. Filenames and the
+			// manifest are unchanged, so the upgrade is restartable.
+			db, err := aiql.OpenDir(*data)
+			if err != nil {
+				log.Fatal(err)
+			}
+			n, err := db.UpgradeSegments()
+			if cerr := db.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "upgraded %d segment files in %s to the v2 columnar format in %v\n",
+				n, *data, time.Since(start).Round(time.Millisecond))
+			return
+		}
+		db, err := aiql.OpenPath(*data)
 		if err != nil {
 			log.Fatal(err)
 		}

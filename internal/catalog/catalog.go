@@ -48,6 +48,12 @@ type Config struct {
 	// admission pool's worker count (Service.Workers, itself defaulting
 	// to GOMAXPROCS); 1 scans sequentially.
 	ScanWorkers int
+	// SegmentCompression selects the block codec for newly written v2
+	// segment files ("lz4" or "none"); empty selects the store default.
+	SegmentCompression string
+	// BlockCacheBytes budgets each dataset's decompressed-block cache;
+	// 0 selects the store default, negative disables it.
+	BlockCacheBytes int64
 }
 
 // Dataset is one named database with its service layer.
@@ -108,6 +114,29 @@ func New(cfg Config) *Catalog {
 	}
 }
 
+// storageOptions returns the default storage options with the catalog's
+// segment-codec and block-cache settings applied.
+func (c *Catalog) storageOptions() aiql.StorageOptions {
+	storage := aiql.DefaultStorage()
+	storage.SegmentCompression = c.cfg.SegmentCompression
+	storage.BlockCacheBytes = c.cfg.BlockCacheBytes
+	return storage
+}
+
+// openPath opens a dataset path (durable directory or gob snapshot)
+// with the catalog's storage configuration applied.
+func (c *Catalog) openPath(path string) (*aiql.DB, error) {
+	return aiql.OpenPathWithOptions(path, c.storageOptions(), aiql.EngineConfig{})
+}
+
+// openDir opens (creating if needed) a durable store directory with the
+// catalog's storage configuration applied.
+func (c *Catalog) openDir(dir string) (*aiql.DB, error) {
+	storage := c.storageOptions()
+	storage.Dir = dir
+	return aiql.OpenDirWithOptions(storage, aiql.EngineConfig{})
+}
+
 // newDataset wraps a database in a fresh service layer with the
 // catalog's configuration, starting its background compactor when one
 // is configured.
@@ -145,7 +174,7 @@ func (c *Catalog) AddFile(name, path string) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("catalog: dataset name must not be empty")
 	}
-	db, err := aiql.OpenPath(path)
+	db, err := c.openPath(path)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
 	}
@@ -166,7 +195,7 @@ func (c *Catalog) AddDir(name, dir string) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("catalog: dataset name must not be empty")
 	}
-	db, err := aiql.OpenDir(dir)
+	db, err := c.openDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: open %q: %w", name, err)
 	}
@@ -302,12 +331,12 @@ func (c *Catalog) Load(name, path string) (*Dataset, error) {
 	if conflict {
 		old.svc.DB().Close()
 	}
-	db, err := aiql.OpenPath(path)
+	db, err := c.openPath(path)
 	if err != nil {
 		if conflict {
 			// The old database's durability was already torn down; try
 			// to reopen its directory so the dataset stays durable.
-			if rdb, rerr := aiql.OpenPath(old.path); rerr == nil {
+			if rdb, rerr := c.openPath(old.path); rerr == nil {
 				d := c.newDataset(name, old.path, rdb)
 				d.svc.AdoptPrepared(old.svc.PreparedSeeds())
 				d.svc.AdoptWatches(old.svc.WatchSeeds())

@@ -11,8 +11,18 @@ import (
 )
 
 const (
-	manifestMagic   = "AQMF"
-	manifestVersion = 2
+	manifestMagic = "AQMF"
+	// manifestVersion 3 added the per-segment Format hint; version-2
+	// manifests (pre-columnar stores) still decode, with Format left
+	// unknown.
+	manifestVersion = 3
+)
+
+// Segment file format hints recorded in SegmentRef.Format.
+const (
+	SegmentFormatUnknown = 0 // legacy manifest: sniff the file
+	SegmentFormatV1      = 1 // eager gob encoding
+	SegmentFormatV2      = 2 // block-compressed columnar, mmap-friendly
 )
 
 // ErrNoManifest reports that the directory holds no manifest — a fresh
@@ -30,6 +40,12 @@ type SegmentRef struct {
 	MaxTS      int64
 	MinEventID uint64
 	MaxEventID uint64
+	// Format is the segment file's format version (SegmentFormat*). It
+	// is a hint, not a contract: a v2 hint lets a reopening store defer
+	// the file open entirely (the ref already carries every bound a
+	// cold segment needs), while unknown or stale hints fall back to
+	// sniffing the file header on first access.
+	Format uint8
 }
 
 // Manifest is one edition of the durable store's metadata: the live
@@ -126,6 +142,7 @@ func EncodeManifest(m *Manifest) ([]byte, error) {
 		w.i64(r.MaxTS)
 		w.u64(r.MinEventID)
 		w.u64(r.MaxEventID)
+		w.u8(r.Format)
 	}
 	w.u32(checksum(w.buf[payloadStart:]))
 	return w.buf, nil
@@ -138,8 +155,9 @@ func DecodeManifest(buf []byte) (*Manifest, error) {
 	}
 	r := &byteReader{buf: buf, off: 4}
 	r.zeroCopyStrings()
-	if v := r.u32(); v != manifestVersion {
-		return nil, fmt.Errorf("durable: unsupported manifest version %d", v)
+	ver := r.u32()
+	if ver != 2 && ver != manifestVersion {
+		return nil, fmt.Errorf("durable: unsupported manifest version %d", ver)
 	}
 	if len(buf) < 12+4 {
 		return nil, fmt.Errorf("durable: truncated manifest")
@@ -219,6 +237,9 @@ func DecodeManifest(buf []byte) (*Manifest, error) {
 		ref.MaxTS = r.i64()
 		ref.MinEventID = r.u64()
 		ref.MaxEventID = r.u64()
+		if ver >= 3 {
+			ref.Format = r.u8()
+		}
 	}
 	if err := r.err("manifest"); err != nil {
 		return nil, err

@@ -1,0 +1,50 @@
+//go:build (!linux && !darwin) || aiql_nommap
+
+package durable
+
+import (
+	"fmt"
+	"os"
+)
+
+// fileHandle is the portable read-at fallback used where mmap is
+// unavailable (or disabled with the aiql_nommap build tag, which CI
+// uses to race-test this path). Every read allocates and copies, so
+// readAt always reports zero-copy=false and callers decode into heap
+// buffers exactly as they would for a compressed block.
+//
+// The *os.File's own finalizer closes the descriptor when the handle
+// becomes unreachable, mirroring the mmap flavor's finalizer-driven
+// unmap.
+type fileHandle struct {
+	f *os.File
+	n int64
+}
+
+func openHandle(path string) (*fileHandle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	return &fileHandle{f: f, n: st.Size()}, nil
+}
+
+func (h *fileHandle) readAt(off int64, n int) ([]byte, bool, error) {
+	if off < 0 || n < 0 || off+int64(n) > h.n {
+		return nil, false, corruptf("read [%d,+%d) beyond file size %d", off, n, h.n)
+	}
+	buf := make([]byte, n)
+	if _, err := h.f.ReadAt(buf, off); err != nil {
+		return nil, false, fmt.Errorf("durable: read segment: %w", err)
+	}
+	return buf, false, nil
+}
+
+func (h *fileHandle) mapped() bool { return false }
+
+func (h *fileHandle) size() int64 { return h.n }

@@ -1,0 +1,63 @@
+//go:build (linux || darwin) && !aiql_nommap
+
+package durable
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// fileHandle is the mmap-backed accessor for immutable segment files.
+// readAt returns slices of the shared read-only mapping — zero-copy —
+// so block reads on the scan hot path touch no heap at all.
+//
+// The mapping is released by a finalizer rather than an explicit Close:
+// sealed segments are immutable and snapshot pinning means decoded
+// views of a retired segment can outlive the store that opened it, so
+// the mapping must stay valid exactly as long as anything can still
+// reach the handle. Callers keep the invariant that every escaping
+// slice of the mapping is owned by a struct that also references the
+// handle (Segment → SegmentReader → fileHandle).
+type fileHandle struct {
+	data []byte
+	n    int64
+}
+
+func openHandle(path string) (*fileHandle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	n := st.Size()
+	if n == 0 {
+		return &fileHandle{}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(n), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("durable: mmap %s: %w", path, err)
+	}
+	h := &fileHandle{data: data, n: n}
+	runtime.SetFinalizer(h, func(h *fileHandle) { syscall.Munmap(h.data) })
+	return h, nil
+}
+
+// readAt returns n bytes at off. The second result reports zero-copy:
+// the slice aliases the mapping and is valid while the handle is
+// reachable.
+func (h *fileHandle) readAt(off int64, n int) ([]byte, bool, error) {
+	if off < 0 || n < 0 || off+int64(n) > h.n {
+		return nil, false, corruptf("read [%d,+%d) beyond file size %d", off, n, h.n)
+	}
+	return h.data[off : off+int64(n) : off+int64(n)], true, nil
+}
+
+func (h *fileHandle) mapped() bool { return h.data != nil }
+
+func (h *fileHandle) size() int64 { return h.n }

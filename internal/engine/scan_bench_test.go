@@ -127,3 +127,6 @@ func BenchmarkScanWarmWorkers1(b *testing.B) {
 func BenchmarkScanWarmWorkers4(b *testing.B) {
 	benchScanExecutor(b, Config{ScanWorkers: 4, ScanCacheBytes: 64 << 20}, true)
 }
+func BenchmarkScanWarmWorkers8(b *testing.B) {
+	benchScanExecutor(b, Config{ScanWorkers: 8, ScanCacheBytes: 64 << 20}, true)
+}

@@ -2,11 +2,18 @@ package eventstore
 
 import (
 	"context"
+	"encoding/binary"
+	"errors"
 	"math/bits"
 	"slices"
 
+	"github.com/aiql/aiql/internal/durable"
 	"github.com/aiql/aiql/internal/sysmon"
 )
+
+// errNoReader latches in a column cursor whose segment lost its file
+// backing (a lazy open that failed); the data reads as absent.
+var errNoReader = errors.New("eventstore: segment file unavailable")
 
 // This file is the batch-oriented scan path: instead of invoking a
 // callback per event, a unit's events are filtered a block at a time
@@ -29,9 +36,11 @@ type blockBitmap [batchBlockWords]uint64
 // scanKey packs an event's cheap scalar predicates into one word so
 // the dense filter pass streams 8 bytes per event instead of the whole
 // event struct. Layout: agent in bits 63-32, op in 31-16, object type
-// in 15-8; the low byte stays zero.
+// in 15-8; the low byte stays zero. The packing is shared with the v2
+// segment format's persisted key column (durable.ColKey), which is what
+// lets the bitmap loop read the mmap'd file directly.
 func scanKey(agent uint32, op sysmon.Operation, t sysmon.EntityType) uint64 {
-	return uint64(agent)<<32 | uint64(op)<<16 | uint64(t)<<8
+	return durable.ScanKey(agent, uint16(op), uint8(t))
 }
 
 const (
@@ -113,15 +122,145 @@ func (u *ScanUnit) CollectBatch(ctx context.Context, cf *CompiledFilter, keep fu
 // not retain batches — no scan cache to fill — reuse one scratch
 // buffer across units instead of allocating per unit.
 func (u *ScanUnit) CollectBatchInto(ctx context.Context, cf *CompiledFilter, keep func(*sysmon.Event) bool, buf []sysmon.Event) (batch []sysmon.Event, visited int64, complete bool) {
-	if u.seg != nil {
-		if u.seg.indexed && u.seg.ready.Load() {
-			if list, ok := u.seg.bestPostingList(cf.f); ok {
-				return collectPostings(ctx, u.seg.events, list, cf, keep, buf)
+	if g := u.seg; g != nil {
+		if g.fileBacked() {
+			// Resolve a lazily restored segment before choosing a path:
+			// the open decides whether events live on the heap (v1
+			// fallback) or behind the column reader.
+			g.fileReader()
+		}
+		if g.indexed && (g.ready.Load() || (g.fileBacked() && g.postingApplicable(cf.f) && g.ensureIndexes())) {
+			if list, ok := g.bestPostingList(cf.f); ok {
+				if events := g.loadedEvents(); events != nil {
+					return collectPostings(ctx, events, list, cf, keep, buf)
+				}
+				return collectPostingsCols(ctx, g, list, cf, keep, buf)
 			}
 		}
-		return collectBlocksKeys(ctx, u.seg.events, u.seg.keyColumn(), cf, keep, buf)
+		if events := g.loadedEvents(); events != nil {
+			return collectBlocksKeys(ctx, events, g.keyColumn(), cf, keep, buf)
+		}
+		return collectBlocksCols(ctx, g, cf, keep, buf)
 	}
 	return collectBlocks(ctx, u.mem.events, cf, keep, buf)
+}
+
+// colCursor streams one column of a reader-backed segment by absolute
+// event position, memoizing the current decoded block. Scan positions
+// are monotonically increasing, so each file block is fetched at most
+// once per pass; decoded (non-zero-copy) blocks go through the store's
+// block cache so a warm re-scan touches no codec at all. The first
+// decode failure latches in err and subsequent reads return zeros — the
+// caller checks err at block boundaries and treats the data as absent.
+type colCursor struct {
+	g       *Segment
+	rd      *durable.SegmentReader
+	col     int
+	blk     int
+	data    []byte
+	scratch []byte
+	err     error
+}
+
+func newColCursor(g *Segment, col int) colCursor {
+	return colCursor{g: g, rd: g.reader(), col: col, blk: -1}
+}
+
+func (c *colCursor) block(blk int) []byte {
+	if blk == c.blk {
+		return c.data
+	}
+	g := c.g
+	if data, ok := g.bc.get(g.id, uint8(c.col), uint32(blk)); ok {
+		c.blk, c.data = blk, data
+		return data
+	}
+	if c.rd == nil {
+		c.err = errNoReader
+		c.blk, c.data = blk, nil
+		return nil
+	}
+	if c.scratch == nil {
+		c.scratch = make([]byte, 0, batchBlockEvents*8)
+	}
+	data, zeroCopy, err := c.rd.Block(c.col, blk, c.scratch)
+	if err != nil {
+		c.err = err
+		c.blk, c.data = blk, nil
+		return nil
+	}
+	if !zeroCopy && g.bc != nil {
+		owned := make([]byte, len(data))
+		copy(owned, data)
+		g.bc.put(g.id, uint8(c.col), uint32(blk), owned)
+		data = owned
+	}
+	c.blk, c.data = blk, data
+	return data
+}
+
+func (c *colCursor) u64(pos int) uint64 {
+	b := c.block(pos >> 10)
+	if c.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[(pos&(batchBlockEvents-1))*8:])
+}
+
+func (c *colCursor) u32(pos int) uint32 {
+	b := c.block(pos >> 10)
+	if c.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[(pos&(batchBlockEvents-1))*4:])
+}
+
+// gatherEvent assembles one whole event from the per-attribute columns:
+// agent, op, and object type unpack from the scan key; the remaining
+// fields gather from their column cursors.
+type colGather struct {
+	g                           *Segment
+	ts                          []int64
+	id, sub, obj, end, amt, seq colCursor
+}
+
+func newColGather(g *Segment, ts []int64) *colGather {
+	return &colGather{
+		g:   g,
+		ts:  ts,
+		id:  newColCursor(g, durable.ColID),
+		sub: newColCursor(g, durable.ColSubject),
+		obj: newColCursor(g, durable.ColObject),
+		end: newColCursor(g, durable.ColEndTS),
+		amt: newColCursor(g, durable.ColAmount),
+		seq: newColCursor(g, durable.ColSeq),
+	}
+}
+
+func (cg *colGather) event(pos int, key uint64) sysmon.Event {
+	return sysmon.Event{
+		ID:      cg.id.u64(pos),
+		AgentID: uint32(key >> 32),
+		Subject: sysmon.EntityID(cg.sub.u32(pos)),
+		Op:      sysmon.Operation((key >> 16) & 0xFFFF),
+		ObjType: sysmon.EntityType((key >> 8) & 0xFF),
+		Object:  sysmon.EntityID(cg.obj.u32(pos)),
+		StartTS: cg.ts[pos],
+		EndTS:   int64(cg.end.u64(pos)),
+		Amount:  cg.amt.u64(pos),
+		Seq:     cg.seq.u64(pos),
+	}
+}
+
+// cursorErr returns the first decode failure across the gather's
+// cursors, if any.
+func (cg *colGather) cursorErr() error {
+	for _, c := range []*colCursor{&cg.id, &cg.sub, &cg.obj, &cg.end, &cg.amt, &cg.seq} {
+		if c.err != nil {
+			return c.err
+		}
+	}
+	return nil
 }
 
 // collectPostings walks a merged posting list (position-sorted, so the
@@ -223,14 +362,207 @@ func collectBlocksKeys(ctx context.Context, events []sysmon.Event, keys []uint64
 	return batch, visited, true
 }
 
-// filterBlockKeys narrows the selection bitmap using the packed key
-// column: every single-valued scalar predicate (agent, op, object
-// type) folds into one dense branchless masked compare; multi-valued
-// agent/op sets probe the key column for survivors only; entity sets
-// and the amount bound then touch the surviving events. Predicate
-// semantics mirror EventFilter.matches exactly (minus From/To, which
-// the caller's time slice already guarantees).
-func filterBlockKeys(blk []sysmon.Event, keys []uint64, cf *CompiledFilter, sel *blockBitmap) int {
+// collectBlocksCols is the dense path over a reader-backed (v2)
+// segment that has never been materialized: the scalar predicates run
+// over the mmap'd scan-key column exactly like collectBlocksKeys, but
+// residual set probes and survivor materialization gather from the
+// per-attribute column vectors instead of an AoS event array — the
+// 56-byte structs are assembled only for events that pass everything
+// else. On a decode error the remaining data reads as absent: the
+// error is recorded with the store and the batch built so far stands.
+func collectBlocksCols(ctx context.Context, g *Segment, cf *CompiledFilter, keep func(*sysmon.Event) bool, buf []sysmon.Event) (batch []sysmon.Event, visited int64, complete bool) {
+	batch = buf
+	keys := g.keyColumn()
+	ts := g.tsColumn()
+	if keys == nil || len(ts) != len(keys) {
+		return batch, 0, true // column unreadable; recorded by keyColumn
+	}
+	lo, hi := timeSliceTS(ts, cf.f.From, cf.f.To)
+	gather := newColGather(g, ts)
+	var sel blockBitmap
+	var ev sysmon.Event
+	for base := lo; base < hi; base += batchBlockEvents {
+		if ctx.Err() != nil {
+			return batch, visited, false
+		}
+		n := hi - base
+		if n > batchBlockEvents {
+			n = batchBlockEvents
+		}
+		live := filterBlockKeysCols(keys[base:base+n], base, gather, cf, &sel)
+		if err := gather.cursorErr(); err != nil {
+			g.fail(err)
+			return batch, visited, true
+		}
+		if live == 0 {
+			continue
+		}
+		visited += int64(live)
+		batch = slices.Grow(batch, live)
+		mark := len(batch)
+		words := (n + 63) / 64
+		for w := 0; w < words; w++ {
+			for b := sel[w]; b != 0; b &= b - 1 {
+				pos := base + w<<6 + bits.TrailingZeros64(b)
+				ev = gather.event(pos, keys[pos])
+				if keep == nil || keep(&ev) {
+					batch = append(batch, ev)
+				}
+			}
+		}
+		if err := gather.cursorErr(); err != nil {
+			g.fail(err)
+			return batch[:mark], visited - int64(live), true
+		}
+	}
+	return batch, visited, true
+}
+
+// collectPostingsCols walks a merged posting list gathering candidate
+// events from the column vectors, re-checking the full filter per
+// entry: posting lists are keyed on one endpoint only. Positions in a
+// posting list ascend, so the cursors stream forward here too.
+func collectPostingsCols(ctx context.Context, g *Segment, list []int32, cf *CompiledFilter, keep func(*sysmon.Event) bool, buf []sysmon.Event) (batch []sysmon.Event, visited int64, complete bool) {
+	batch = buf
+	keys := g.keyColumn()
+	ts := g.tsColumn()
+	if keys == nil || len(ts) != len(keys) {
+		return batch, 0, true
+	}
+	gather := newColGather(g, ts)
+	var ev sysmon.Event
+	for n, pos := range list {
+		if n%scanCheckInterval == scanCheckInterval-1 && ctx.Err() != nil {
+			return batch, visited, false
+		}
+		if int(pos) >= len(keys) {
+			continue
+		}
+		ev = gather.event(int(pos), keys[pos])
+		if err := gather.cursorErr(); err != nil {
+			g.fail(err)
+			return batch, visited, true
+		}
+		if !cf.f.matches(&ev, cf.ops, cf.agents) {
+			continue
+		}
+		visited++
+		if keep == nil || keep(&ev) {
+			batch = append(batch, ev)
+		}
+	}
+	return batch, visited, true
+}
+
+// filterBlockKeysCols is filterBlockKeys with the residual probes
+// (entity sets, amount bound) reading the column vectors at absolute
+// positions instead of an AoS block. The dense masked-compare pass over
+// the key column is shared verbatim.
+func filterBlockKeysCols(keys []uint64, base int, gather *colGather, cf *CompiledFilter, sel *blockBitmap) int {
+	n := len(keys)
+	words := (n + 63) / 64
+	any := filterKeysDense(keys, cf, sel)
+	if any == 0 {
+		return 0
+	}
+
+	if cf.needAgents {
+		any = 0
+		for w := 0; w < words; w++ {
+			b := sel[w]
+			for r := b; r != 0; r &= r - 1 {
+				tz := bits.TrailingZeros64(r)
+				if _, ok := cf.agents[uint32(keys[w<<6+tz]>>32)]; !ok {
+					b &^= 1 << uint(tz)
+				}
+			}
+			sel[w] = b
+			any |= b
+		}
+		if any == 0 {
+			return 0
+		}
+	}
+
+	if cf.needOps {
+		any = 0
+		for w := 0; w < words; w++ {
+			b := sel[w]
+			for r := b; r != 0; r &= r - 1 {
+				tz := bits.TrailingZeros64(r)
+				if !cf.ops[sysmon.Operation(keys[w<<6+tz]>>16)&0xFFFF] {
+					b &^= 1 << uint(tz)
+				}
+			}
+			sel[w] = b
+			any |= b
+		}
+		if any == 0 {
+			return 0
+		}
+	}
+
+	f := cf.f
+	if f.Subjects != nil {
+		any = 0
+		for w := 0; w < words; w++ {
+			b := sel[w]
+			for r := b; r != 0; r &= r - 1 {
+				tz := bits.TrailingZeros64(r)
+				if !f.Subjects.Has(sysmon.EntityID(gather.sub.u32(base + w<<6 + tz))) {
+					b &^= 1 << uint(tz)
+				}
+			}
+			sel[w] = b
+			any |= b
+		}
+		if any == 0 {
+			return 0
+		}
+	}
+
+	if f.Objects != nil {
+		any = 0
+		for w := 0; w < words; w++ {
+			b := sel[w]
+			for r := b; r != 0; r &= r - 1 {
+				tz := bits.TrailingZeros64(r)
+				if !f.Objects.Has(sysmon.EntityID(gather.obj.u32(base + w<<6 + tz))) {
+					b &^= 1 << uint(tz)
+				}
+			}
+			sel[w] = b
+			any |= b
+		}
+		if any == 0 {
+			return 0
+		}
+	}
+
+	if f.MinAmount != 0 {
+		for w := 0; w < words; w++ {
+			b := sel[w]
+			for r := b; r != 0; r &= r - 1 {
+				tz := bits.TrailingZeros64(r)
+				if gather.amt.u64(base+w<<6+tz) < f.MinAmount {
+					b &^= 1 << uint(tz)
+				}
+			}
+			sel[w] = b
+		}
+	}
+
+	live := 0
+	for w := 0; w < words; w++ {
+		live += bits.OnesCount64(sel[w])
+	}
+	return live
+}
+
+// filterKeysDense runs the masked-compare pass of the key column into
+// the selection bitmap (the first, dense stage shared by the AoS-block
+// and columnar key paths), returning an any-survivors word.
+func filterKeysDense(keys []uint64, cf *CompiledFilter, sel *blockBitmap) uint64 {
 	n := len(keys)
 	words := (n + 63) / 64
 	var any uint64
@@ -288,6 +620,20 @@ func filterBlockKeys(blk []sysmon.Event, keys []uint64, cf *CompiledFilter, sel 
 		}
 		any = 1
 	}
+	return any
+}
+
+// filterBlockKeys narrows the selection bitmap using the packed key
+// column: every single-valued scalar predicate (agent, op, object
+// type) folds into one dense branchless masked compare; multi-valued
+// agent/op sets probe the key column for survivors only; entity sets
+// and the amount bound then touch the surviving events. Predicate
+// semantics mirror EventFilter.matches exactly (minus From/To, which
+// the caller's time slice already guarantees).
+func filterBlockKeys(blk []sysmon.Event, keys []uint64, cf *CompiledFilter, sel *blockBitmap) int {
+	n := len(keys)
+	words := (n + 63) / 64
+	any := filterKeysDense(keys, cf, sel)
 	if any == 0 {
 		return 0
 	}

@@ -1,0 +1,139 @@
+package eventstore
+
+import "sync"
+
+// BlockCache is the byte-bounded cache of decompressed v2 segment
+// column blocks. Zero-copy raw blocks never enter it — mapped bytes
+// are already the page cache's problem — only blocks that had to be
+// decoded to heap (compressed columns, or any column under the read-at
+// fallback). Eviction is CLOCK, matching the segment scan cache: one
+// used bit per entry, second chance on access, so repeated scans over
+// the same warm columns stay resident while one-off scans cycle
+// through.
+//
+// The cache is shared by every segment of one store and is safe for
+// concurrent use.
+type BlockCache struct {
+	mu        sync.Mutex
+	max       int64
+	bytes     int64
+	entries   map[blockCacheKey]*blockCacheEntry
+	ring      []*blockCacheEntry
+	hand      int
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type blockCacheKey struct {
+	seg uint64
+	col uint8
+	blk uint32
+}
+
+type blockCacheEntry struct {
+	key  blockCacheKey
+	data []byte
+	used bool
+}
+
+// BlockCacheStats is a point-in-time snapshot of cache counters.
+type BlockCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Bytes     int64  `json:"bytes"`
+	Entries   int    `json:"entries"`
+}
+
+// DefaultBlockCacheBytes is the block-cache budget when the option is
+// left zero: enough for ~4k decoded 8-byte-wide blocks.
+const DefaultBlockCacheBytes = 32 << 20
+
+// NewBlockCache creates a cache bounded to maxBytes of block data.
+// Returns nil (an always-miss cache) when maxBytes <= 0.
+func NewBlockCache(maxBytes int64) *BlockCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &BlockCache{max: maxBytes, entries: make(map[blockCacheKey]*blockCacheEntry)}
+}
+
+// get returns the cached block, marking it recently used. A nil cache
+// always misses.
+func (c *BlockCache) get(seg uint64, col uint8, blk uint32) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[blockCacheKey{seg, col, blk}]; ok {
+		e.used = true
+		c.hits++
+		return e.data, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts an owned block buffer (the cache keeps the slice; the
+// caller must not reuse it). No-op on a nil cache, an existing entry,
+// or a block bigger than the whole budget.
+func (c *BlockCache) put(seg uint64, col uint8, blk uint32, data []byte) {
+	if c == nil {
+		return
+	}
+	key := blockCacheKey{seg, col, blk}
+	n := int64(len(data))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok || n > c.max {
+		return
+	}
+	for c.bytes+n > c.max && len(c.ring) > 0 {
+		c.evictOneLocked()
+	}
+	e := &blockCacheEntry{key: key, data: data, used: true}
+	c.ring = append(c.ring, e)
+	c.entries[key] = e
+	c.bytes += n
+}
+
+// evictOneLocked runs the CLOCK hand until a victim falls out.
+func (c *BlockCache) evictOneLocked() {
+	for {
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		e := c.ring[c.hand]
+		if e.used {
+			e.used = false
+			c.hand++
+			continue
+		}
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.data))
+		last := len(c.ring) - 1
+		c.ring[c.hand] = c.ring[last]
+		c.ring[last] = nil
+		c.ring = c.ring[:last]
+		c.evictions++
+		return
+	}
+}
+
+// Stats snapshots the cache counters. Safe on a nil cache.
+func (c *BlockCache) Stats() BlockCacheStats {
+	if c == nil {
+		return BlockCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return BlockCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Bytes:     c.bytes,
+		Entries:   len(c.ring),
+	}
+}

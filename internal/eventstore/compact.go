@@ -101,7 +101,7 @@ func (s *Store) CompactOnce() (CompactionResult, bool) {
 	if d := s.dur; d != nil {
 		d.mu.Lock()
 		name := durable.SegmentFileName(id)
-		n, err := durable.WriteSegmentFile(filepath.Join(d.dir, name), g.segmentData())
+		n, err := s.writeSegmentFile(filepath.Join(d.dir, name), g)
 		if err != nil {
 			d.setErr(err)
 			d.mu.Unlock()
@@ -209,11 +209,11 @@ func runIndex(segs, run []*Segment) int {
 func mergeSegmentEvents(segs []*Segment) []sysmon.Event {
 	total := 0
 	for _, g := range segs {
-		total += len(g.events)
+		total += g.Len()
 	}
 	out := make([]sysmon.Event, 0, total)
 	for _, g := range segs {
-		out = append(out, g.events...)
+		out = append(out, g.Events()...)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].StartTS < out[j].StartTS })
 	return out

@@ -40,10 +40,13 @@ import (
 // nothing: the segment file is ignored (and deleted as an orphan on the
 // next open) and its events are recovered from the WAL instead.
 
-// persistedSeg records one segment's on-disk file.
+// persistedSeg records one segment's on-disk file and format version
+// (SegmentFormat*), the latter written into manifest refs so a reopen
+// can defer v2 file opens entirely.
 type persistedSeg struct {
 	file  string
 	bytes int64
+	ver   uint8
 }
 
 // durableState is a Store's attachment to its directory.
@@ -58,6 +61,18 @@ type durableState struct {
 	mu        sync.Mutex
 	edition   uint64
 	persisted map[uint64]persistedSeg
+
+	// manifested tracks which persisted segments the on-disk manifest
+	// (base + delta log) already lists, and manifestedProcs/Files/Conns
+	// how many dictionary rows it carries — the baseline each delta
+	// frame appends on top of. deltaBroken forces full rewrites after a
+	// failed delta append (the log's tail state is then unknown). All
+	// guarded by mu.
+	manifested      map[uint64]bool
+	manifestedProcs int
+	manifestedFiles int
+	manifestedConns int
+	deltaBroken     bool
 
 	// loggedProcs/Files/Conns count the dictionary entries already
 	// appended to the WAL; guarded by the Store's write lock (they are
@@ -117,7 +132,13 @@ func Open(opts Options) (*Store, error) {
 		}
 	}()
 	s := New(opts)
-	d := &durableState{dir: opts.Dir, syncWAL: opts.SyncWAL, lock: lock, persisted: make(map[uint64]persistedSeg)}
+	d := &durableState{
+		dir:        opts.Dir,
+		syncWAL:    opts.SyncWAL,
+		lock:       lock,
+		persisted:  make(map[uint64]persistedSeg),
+		manifested: make(map[uint64]bool),
+	}
 
 	maxSealed := make(map[PartKey]uint64)
 	var toIndex []*Segment
@@ -127,6 +148,12 @@ func Open(opts Options) (*Store, error) {
 		if m.Partitioning != opts.Partitioning || m.ChunkDurationNS != int64(opts.ChunkDuration) || m.Dedup != opts.Dedup {
 			return nil, fmt.Errorf("eventstore: %s: manifest layout (partitioning=%v chunk=%v dedup=%v) does not match Open options (partitioning=%v chunk=%v dedup=%v)",
 				opts.Dir, m.Partitioning, m.ChunkDurationNS, m.Dedup, opts.Partitioning, int64(opts.ChunkDuration), opts.Dedup)
+		}
+		// Fold the incremental edition log into the base manifest first:
+		// the WAL may already have been truncated against a delta-covered
+		// edition, so serving the base alone could lose sealed segments.
+		if _, err := durable.ApplyManifestDeltas(opts.Dir, m); err != nil {
+			return nil, fmt.Errorf("eventstore: recover %s: %w", opts.Dir, err)
 		}
 		// The dictionary rebuild (intern maps + attribute indexes over
 		// tens of thousands of entities) and the segment file loads are
@@ -146,21 +173,69 @@ func Open(opts Options) (*Store, error) {
 		d.edition = m.Edition
 		loaded := make([]*Segment, len(m.Segments))
 		sizes := make([]int64, len(m.Segments))
+		vers := make([]uint8, len(m.Segments))
 		var loadErr error
 		var loadMu sync.Mutex
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 		for i := range m.Segments {
+			ref := &m.Segments[i]
+			path := filepath.Join(opts.Dir, ref.File)
+			if ref.Format == durable.SegmentFormatV2 {
+				// The ref carries every bound a cold segment needs, so a
+				// v2 file is not even opened here: one Stat confirms it
+				// exists (and sizes the stats), and the open — syscalls,
+				// footer decode, block directory — is deferred until a
+				// scan first touches the segment. A stale hint degrades
+				// gracefully: first access sniffs the header and falls
+				// back to an eager v1 decode.
+				fi, serr := os.Stat(path)
+				if serr != nil {
+					loadMu.Lock()
+					if loadErr == nil {
+						loadErr = fmt.Errorf("segment file %s: %w", ref.File, serr)
+					}
+					loadMu.Unlock()
+					continue
+				}
+				loaded[i] = restoreSegmentLazy(ref, path, opts.Indexes, s.blockCache, d.setErr)
+				sizes[i] = fi.Size()
+				vers[i] = durable.SegmentFormatV2
+				continue
+			}
 			wg.Add(1)
 			sem <- struct{}{}
-			go func(i int) {
+			go func(i int, ref *durable.SegmentRef, path string) {
 				defer func() { <-sem; wg.Done() }()
-				ref := &m.Segments[i]
-				path := filepath.Join(opts.Dir, ref.File)
-				sd, err := durable.ReadSegmentFile(path)
-				if err == nil && (sd.ID != ref.ID || len(sd.Events) != ref.Events) {
-					err = fmt.Errorf("segment file %s does not match manifest (id %d vs %d, %d events vs %d)",
-						ref.File, sd.ID, ref.ID, len(sd.Events), ref.Events)
+				// Version dispatch: v2 files open as mmap-backed readers
+				// (footer + block directory only — no event decode), v1
+				// files keep the eager heap decode for compatibility.
+				op, err := durable.OpenSegment(path)
+				if err == nil {
+					switch {
+					case op.V2 != nil:
+						rd := op.V2
+						if rd.ID != ref.ID || rd.Count != ref.Events {
+							err = fmt.Errorf("segment file %s does not match manifest (id %d vs %d, %d events vs %d)",
+								ref.File, rd.ID, ref.ID, rd.Count, ref.Events)
+							break
+						}
+						loaded[i] = restoreSegmentFromReader(rd, opts.Indexes, s.blockCache, d.setErr)
+						sizes[i] = rd.Size()
+						vers[i] = durable.SegmentFormatV2
+					default:
+						sd := op.V1
+						if sd.ID != ref.ID || len(sd.Events) != ref.Events {
+							err = fmt.Errorf("segment file %s does not match manifest (id %d vs %d, %d events vs %d)",
+								ref.File, sd.ID, ref.ID, len(sd.Events), ref.Events)
+							break
+						}
+						loaded[i] = restoreSegment(sd, opts.Indexes)
+						vers[i] = durable.SegmentFormatV1
+						if fi, serr := os.Stat(path); serr == nil {
+							sizes[i] = fi.Size()
+						}
+					}
 				}
 				if err != nil {
 					loadMu.Lock()
@@ -168,13 +243,8 @@ func Open(opts Options) (*Store, error) {
 						loadErr = err
 					}
 					loadMu.Unlock()
-					return
 				}
-				loaded[i] = restoreSegment(sd, opts.Indexes)
-				if fi, err := os.Stat(path); err == nil {
-					sizes[i] = fi.Size()
-				}
-			}(i)
+			}(i, ref, path)
 		}
 		wg.Wait()
 		<-dictDone
@@ -183,7 +253,14 @@ func Open(opts Options) (*Store, error) {
 		}
 		// assemble chains in manifest (scan) order
 		for i, g := range loaded {
-			if opts.Indexes && !g.ready.Load() {
+			// Lazily restored segments are never queued for an index
+			// rebuild: forcing their files open would defeat the lazy
+			// restore, and v2 files written by seal or compaction carry
+			// their indexes anyway. The rare unindexed one (a crash in
+			// the seal's index window) serves sequential scans until
+			// compaction rewrites it.
+			rd := g.reader()
+			if opts.Indexes && !g.ready.Load() && g.lazyPath == "" && !(rd != nil && rd.Indexed) {
 				toIndex = append(toIndex, g) // persisted before its indexes were built
 			}
 			p := s.parts[g.key]
@@ -193,12 +270,14 @@ func Open(opts Options) (*Store, error) {
 				s.order = append(s.order, g.key)
 			}
 			p.segs = append(p.segs, g)
-			d.persisted[g.id] = persistedSeg{file: m.Segments[i].File, bytes: sizes[i]}
+			d.persisted[g.id] = persistedSeg{file: m.Segments[i].File, bytes: sizes[i], ver: vers[i]}
+			d.manifested[g.id] = true
 			if g.maxEventID > maxSealed[g.key] {
 				maxSealed[g.key] = g.maxEventID
 			}
-			s.noteEventsLocked(len(g.events), g.minTS, g.maxTS)
+			s.noteEventsLocked(g.Len(), g.minTS, g.maxTS)
 		}
+		d.manifestedProcs, d.manifestedFiles, d.manifestedConns = len(m.Procs), len(m.Files), len(m.Conns)
 	case errors.Is(err, durable.ErrNoManifest):
 		// fresh directory
 	default:
@@ -364,14 +443,99 @@ func (s *Store) persistSealed(segs []*Segment) {
 	}
 	for _, g := range segs {
 		name := durable.SegmentFileName(g.id)
-		n, err := durable.WriteSegmentFile(filepath.Join(d.dir, name), g.segmentData())
+		n, err := s.writeSegmentFile(filepath.Join(d.dir, name), g)
 		if err != nil {
 			d.setErr(err)
 			return
 		}
-		d.persisted[g.id] = persistedSeg{file: name, bytes: n}
+		d.persisted[g.id] = persistedSeg{file: name, bytes: n, ver: durable.SegmentFormatV2}
 	}
-	s.writeManifestLocked()
+	if !s.appendManifestDeltaLocked() {
+		s.writeManifestLocked()
+	}
+}
+
+// writeSegmentFile writes g as a v2 (columnar, block-compressed) segment
+// file, honoring the store's codec choice.
+func (s *Store) writeSegmentFile(path string, g *Segment) (int64, error) {
+	return durable.WriteSegmentFileV2(path, g.segmentData(), s.opts.SegmentCompression != "none")
+}
+
+// appendManifestDeltaLocked installs the next manifest edition as one
+// appended delta frame instead of a full rewrite, carrying only the
+// segment refs and dictionary rows added since the last edition. Returns
+// false when a full rewrite is required instead: no base manifest exists
+// yet, a previous append failed (the log tail is suspect), or the append
+// itself errors. The caller holds d.mu; like writeManifestLocked, the
+// store read lock spans the coverage check and the WAL truncation.
+func (s *Store) appendManifestDeltaLocked() bool {
+	d := s.dur
+	if d.edition == 0 || d.deltaBroken {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	delta := &durable.ManifestDelta{
+		Edition:     d.edition + 1,
+		NextSegID:   s.nextSegID,
+		NextEventID: s.nextEventID,
+		NextSeq:     make(map[uint32]uint64, len(s.nextSeq)),
+	}
+	for agent, seq := range s.nextSeq {
+		delta.NextSeq[agent] = seq
+	}
+	procs, files, conns := s.dict.tableHeaders()
+	delta.Procs = procs[d.manifestedProcs:]
+	delta.Files = files[d.manifestedFiles:]
+	delta.Conns = conns[d.manifestedConns:]
+	covered := len(s.batch) == 0
+	for _, key := range s.order {
+		p := s.parts[key]
+		if len(p.mem.events) > 0 {
+			covered = false
+		}
+		for _, g := range p.segs {
+			if d.manifested[g.id] {
+				continue
+			}
+			ps, ok := d.persisted[g.id]
+			if !ok {
+				// Same prefix rule as the full rewrite: a chain with an
+				// unpersisted middle must not list anything past the gap.
+				covered = false
+				break
+			}
+			delta.Segments = append(delta.Segments, durable.SegmentRef{
+				ID:         g.id,
+				AgentID:    g.key.AgentID,
+				Bucket:     g.key.Bucket,
+				File:       ps.file,
+				Events:     g.Len(),
+				MinTS:      g.minTS,
+				MaxTS:      g.maxTS,
+				MinEventID: g.minEventID,
+				MaxEventID: g.maxEventID,
+				Format:     ps.ver,
+			})
+		}
+	}
+	if err := durable.AppendManifestDelta(d.dir, delta); err != nil {
+		// Fall back to a full rewrite (which truncates the suspect log);
+		// only if that also fails does an error surface.
+		d.deltaBroken = true
+		return false
+	}
+	d.edition = delta.Edition
+	for i := range delta.Segments {
+		d.manifested[delta.Segments[i].ID] = true
+	}
+	d.manifestedProcs, d.manifestedFiles, d.manifestedConns = len(procs), len(files), len(conns)
+	if covered {
+		if err := d.wal.Truncate(); err != nil {
+			d.setErr(err)
+		}
+	}
+	return true
 }
 
 // writeManifestLocked installs a manifest edition reflecting the
@@ -416,11 +580,12 @@ func (s *Store) writeManifestLocked() {
 				AgentID:    g.key.AgentID,
 				Bucket:     g.key.Bucket,
 				File:       ps.file,
-				Events:     len(g.events),
+				Events:     g.Len(),
 				MinTS:      g.minTS,
 				MaxTS:      g.maxTS,
 				MinEventID: g.minEventID,
 				MaxEventID: g.maxEventID,
+				Format:     ps.ver,
 			})
 		}
 	}
@@ -429,6 +594,20 @@ func (s *Store) writeManifestLocked() {
 		return
 	}
 	d.edition = m.Edition
+	// The full rewrite captured everything the delta log carried (and
+	// re-baselined the dictionary counters), so the log restarts empty.
+	// Ordering matters: the new base is durable first, so a crash here
+	// leaves stale frames recovery skips by edition.
+	if err := durable.RemoveManifestDelta(d.dir); err != nil {
+		d.setErr(err)
+	} else {
+		d.deltaBroken = false
+	}
+	d.manifested = make(map[uint64]bool, len(m.Segments))
+	for i := range m.Segments {
+		d.manifested[m.Segments[i].ID] = true
+	}
+	d.manifestedProcs, d.manifestedFiles, d.manifestedConns = len(m.Procs), len(m.Files), len(m.Conns)
 	if covered {
 		if err := d.wal.Truncate(); err != nil {
 			d.setErr(err)
@@ -477,7 +656,7 @@ func (s *Store) SaveDir(dir string) error {
 		for _, g := range sn.parts[i].segs {
 			g.buildIndexes() // idempotent; ensures the file carries indexes
 			name := durable.SegmentFileName(g.id)
-			if _, err := durable.WriteSegmentFile(filepath.Join(dir, name), g.segmentData()); err != nil {
+			if _, err := s.writeSegmentFile(filepath.Join(dir, name), g); err != nil {
 				return err
 			}
 			m.Segments = append(m.Segments, durable.SegmentRef{
@@ -485,15 +664,69 @@ func (s *Store) SaveDir(dir string) error {
 				AgentID:    g.key.AgentID,
 				Bucket:     g.key.Bucket,
 				File:       name,
-				Events:     len(g.events),
+				Events:     g.Len(),
 				MinTS:      g.minTS,
 				MaxTS:      g.maxTS,
 				MinEventID: g.minEventID,
 				MaxEventID: g.maxEventID,
+				Format:     durable.SegmentFormatV2,
 			})
 		}
 	}
 	return durable.WriteManifest(dir, m)
+}
+
+// UpgradeSegments rewrites every persisted v1 segment file in place in
+// the v2 columnar format, returning how many were upgraded. Filenames,
+// event counts, and IDs are unchanged, so the manifest stays valid as
+// is; already-v2 files are left alone. In-memory segments keep serving
+// their heap copies — the mmap-backed read path engages on the next
+// Open. Safe to call on a live store; the rewrite uses the same
+// atomic-replace discipline as every other durable write.
+func (s *Store) UpgradeSegments() (int, error) {
+	d := s.dur
+	if d == nil {
+		return 0, fmt.Errorf("eventstore: UpgradeSegments requires a durable store")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	s.mu.RLock()
+	segs := make([]*Segment, 0, len(d.persisted))
+	for _, key := range s.order {
+		segs = append(segs, s.parts[key].segs...)
+	}
+	s.mu.RUnlock()
+	upgraded := 0
+	for _, g := range segs {
+		ps, ok := d.persisted[g.id]
+		if !ok {
+			continue
+		}
+		path := filepath.Join(d.dir, ps.file)
+		ver, err := durable.SegmentFileVersion(path)
+		if err != nil {
+			return upgraded, err
+		}
+		if ver >= 2 {
+			continue
+		}
+		g.buildIndexes() // idempotent; the v2 file carries the indexes
+		data := durable.EncodeSegmentV2(g.segmentData(), s.opts.SegmentCompression != "none")
+		if err := durable.ReplaceSegmentFile(path, data); err != nil {
+			return upgraded, err
+		}
+		d.persisted[g.id] = persistedSeg{file: ps.file, bytes: int64(len(data)), ver: durable.SegmentFormatV2}
+		upgraded++
+	}
+	if upgraded > 0 {
+		// Refresh the manifest's Format hints so the next Open defers
+		// the upgraded files' opens instead of sniffing each header.
+		s.writeManifestLocked()
+	}
+	return upgraded, nil
 }
 
 // MigrateGobToDir converts a legacy gob snapshot into a durable store
@@ -564,6 +797,7 @@ type DurableStats struct {
 	WALRecords        uint64 `json:"wal_records"`
 	WALSyncs          uint64 `json:"wal_syncs"`
 	ManifestEdition   uint64 `json:"manifest_edition"`
+	ManifestDeltas    int64  `json:"manifest_delta_bytes"`
 	Compactions       uint64 `json:"compactions"`
 	SegmentsCompacted uint64 `json:"segments_compacted"`
 	LastError         string `json:"last_error,omitempty"`
@@ -587,6 +821,7 @@ func (s *Store) DurableStats() DurableStats {
 		st.SegmentFileBytes += ps.bytes
 	}
 	d.mu.Unlock()
+	st.ManifestDeltas = durable.ManifestDeltaSize(d.dir)
 	st.WALBytes = d.wal.Size()
 	st.WALRecords = d.wal.Records()
 	st.WALSyncs = d.wal.Syncs()

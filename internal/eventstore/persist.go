@@ -37,8 +37,8 @@ func (s *Store) Encode(w io.Writer) error {
 	for _, key := range s.order {
 		p := s.parts[key]
 		for _, g := range p.segs {
-			runs = append(runs, g.events)
-			total += len(g.events)
+			runs = append(runs, g.Events())
+			total += g.Len()
 		}
 		runs = append(runs, p.mem.events)
 		total += len(p.mem.events)

@@ -1,6 +1,8 @@
 package eventstore
 
 import (
+	"encoding/binary"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -16,16 +18,32 @@ import (
 // without any lock, and per-segment scan results can be cached by
 // (filter, segment id) and reused verbatim across appends.
 //
+// A segment has two backings. Freshly sealed segments own their event
+// array on the heap. Segments restored from v2 files keep only a
+// durable.SegmentReader over the mmap'd file: count and bounds come
+// from the footer, the scan-key and timestamp columns are zero-copy
+// views of the mapping, per-attribute columns decode lazily through the
+// store's block cache, and the AoS event array materializes only if a
+// caller actually needs whole events (gob export, compaction merges,
+// posting-path scans). Resident memory for a cold dataset is therefore
+// metadata, not data.
+//
 // Posting indexes (entity → event positions, operation histogram) are
 // built once, outside the store's write lock, after the segment becomes
 // visible: a seal never stalls concurrent appends or queries on index
 // maintenance. Until the build finishes, scans fall back to the
 // (time-bounded) sequential path; the ready flag publishes the indexes
-// with release/acquire semantics.
+// with release/acquire semantics. For reader-backed segments the
+// "build" is a lazy load of the file's index section, triggered the
+// first time a filter could profit from it.
 type Segment struct {
-	id     uint64
-	key    PartKey
-	events []sysmon.Event // sorted by StartTS; immutable after seal
+	id    uint64
+	key   PartKey
+	count int
+	// events is the AoS event array: always set for heap-sealed
+	// segments, lazily materialized (evOnce/evDone) for reader-backed
+	// ones. Read it through loadedEvents/materialize only.
+	events []sysmon.Event
 	minTS  int64
 	maxTS  int64
 	// minEventID/maxEventID bound the contained event IDs. Events are
@@ -42,20 +60,133 @@ type Segment struct {
 	postingSub map[sysmon.EntityID][]int32
 	postingObj map[sysmon.EntityID][]int32
 	opCount    [sysmon.NumOperations]int
+	// opsReady publishes opCount independently of the posting maps:
+	// v2 files persist the histogram in the block directory, so
+	// estimates use it without loading the index section. Atomic
+	// because the heap build path sets it concurrently with estimates.
+	opsReady atomic.Bool
 
 	// keysOnce/scanKeys is the packed scan-key column for the batch
 	// filter path (see batch.go), built lazily on the segment's first
 	// batch scan: one word per event instead of the whole 56-byte
-	// struct, so the dense predicate pass streams ~7x less memory.
+	// struct, so the dense predicate pass streams ~7x less memory. For
+	// reader-backed segments it is a zero-copy cast of the file's key
+	// column.
 	keysOnce sync.Once
 	scanKeys []uint64
+
+	// File backing (nil for heap-sealed segments). For lazily restored
+	// segments the pointer stays nil until openOnce runs: every bound a
+	// cold segment needs (count, time range, ID range) came from the
+	// manifest ref, so a reopening store defers even the file open —
+	// and its syscalls — until a scan actually touches the segment.
+	// Access through fileReader (forces the open) or reader (peeks).
+	rd       atomic.Pointer[durable.SegmentReader]
+	lazyPath string
+	openOnce sync.Once
+	bc       *BlockCache
+	onErr    func(error)
+
+	evOnce sync.Once
+	evDone atomic.Bool
+
+	tsOnce sync.Once
+	tsCol  []int64
+}
+
+// fileBacked reports whether the segment's authoritative data lives in
+// a segment file (opened or not) rather than on the heap.
+func (g *Segment) fileBacked() bool { return g.lazyPath != "" || g.rd.Load() != nil }
+
+// fileReader returns the segment's reader, opening the file on first
+// use for lazily restored segments. It returns nil for heap-backed
+// segments, for lazily opened files that turned out to be v1 (their
+// events are installed eagerly instead), and after a failed open (the
+// error is recorded and the data reads as absent).
+func (g *Segment) fileReader() *durable.SegmentReader {
+	if g.lazyPath == "" {
+		return g.rd.Load()
+	}
+	g.openOnce.Do(func() {
+		op, err := durable.OpenSegment(g.lazyPath)
+		if err != nil {
+			g.fail(err)
+			return
+		}
+		if rd := op.V2; rd != nil {
+			if rd.ID != g.id || rd.Count != g.count {
+				g.fail(fmt.Errorf("segment file %s does not match manifest (id %d vs %d, %d events vs %d)",
+					g.lazyPath, rd.ID, g.id, rd.Count, g.count))
+				return
+			}
+			if g.indexed && rd.Indexed {
+				for op, c := range rd.OpCount {
+					if op < sysmon.NumOperations {
+						g.opCount[op] = c
+					}
+				}
+				g.opsReady.Store(true)
+			}
+			g.rd.Store(rd)
+			return
+		}
+		// The format hint was stale: a v1 file decodes eagerly, exactly
+		// as if it had been restored at open.
+		sd := op.V1
+		if sd.ID != g.id || len(sd.Events) != g.count {
+			g.fail(fmt.Errorf("segment file %s does not match manifest (id %d vs %d, %d events vs %d)",
+				g.lazyPath, sd.ID, g.id, len(sd.Events), g.count))
+			return
+		}
+		g.events = sd.Events
+		if g.indexed && sd.Indexed {
+			g.postingSub = sd.PostingSub
+			g.postingObj = sd.PostingObj
+			for op, c := range sd.OpCount {
+				if op < sysmon.NumOperations {
+					g.opCount[op] = c
+				}
+			}
+			g.opsReady.Store(true)
+			g.ready.Store(true)
+		}
+		g.evDone.Store(true)
+	})
+	return g.rd.Load()
+}
+
+// fail records a lazy-decode failure (corrupt block reached by a scan)
+// with the owning store; the scan treats the unreadable data as absent.
+func (g *Segment) fail(err error) {
+	if g.onErr != nil {
+		g.onErr(err)
+	}
 }
 
 // keyColumn returns the segment's packed scan-key column, building it
 // on first use. Sealed segments are immutable, so the column is built
-// once and shared by every concurrent scan.
+// once and shared by every concurrent scan. Reader-backed segments cast
+// the mapped key column in place; nil is returned (and the error
+// recorded) if the column is unreadable.
 func (g *Segment) keyColumn() []uint64 {
 	g.keysOnce.Do(func() {
+		if rd := g.fileReader(); rd != nil {
+			col, err := rd.Column(durable.ColKey)
+			if err != nil {
+				g.fail(err)
+				return
+			}
+			if keys, ok := durable.AsUint64s(col); ok {
+				g.scanKeys = keys
+				return
+			}
+			keys := make([]uint64, len(col)/8)
+			for i := range keys {
+				keys[i] = binary.LittleEndian.Uint64(col[i*8:])
+			}
+			g.scanKeys = keys
+			return
+		}
 		keys := make([]uint64, len(g.events))
 		for i := range g.events {
 			ev := &g.events[i]
@@ -66,10 +197,72 @@ func (g *Segment) keyColumn() []uint64 {
 	return g.scanKeys
 }
 
+// tsColumn returns the StartTS column for reader-backed segments
+// (zero-copy from the mapping when aligned). Heap-backed segments use
+// their event array directly and never call this.
+func (g *Segment) tsColumn() []int64 {
+	g.tsOnce.Do(func() {
+		rd := g.fileReader()
+		if rd == nil {
+			return
+		}
+		col, err := rd.Column(durable.ColStartTS)
+		if err != nil {
+			g.fail(err)
+			return
+		}
+		if ts, ok := durable.AsInt64s(col); ok {
+			g.tsCol = ts
+			return
+		}
+		ts := make([]int64, len(col)/8)
+		for i := range ts {
+			ts[i] = int64(binary.LittleEndian.Uint64(col[i*8:]))
+		}
+		g.tsCol = ts
+	})
+	return g.tsCol
+}
+
+// loadedEvents returns the AoS event array if it is resident, nil
+// otherwise — the batch path uses it to choose between the in-memory
+// kernels and the columnar gather path, without forcing a materialize.
+func (g *Segment) loadedEvents() []sysmon.Event {
+	if !g.fileBacked() || g.evDone.Load() {
+		return g.events
+	}
+	return nil
+}
+
+// materialize returns the full AoS event array, decoding the segment
+// file on first call. On decode failure the error is recorded and an
+// empty array is returned: unreadable data reads as absent.
+func (g *Segment) materialize() []sysmon.Event {
+	if !g.fileBacked() || g.evDone.Load() {
+		return g.events
+	}
+	g.evOnce.Do(func() {
+		rd := g.fileReader()
+		if rd == nil {
+			// Open failed (data reads as absent), or a lazily opened v1
+			// file already installed its events.
+			return
+		}
+		evs, err := rd.MaterializeEvents()
+		if err != nil {
+			g.fail(err)
+			evs = nil
+		}
+		g.events = evs
+		g.evDone.Store(true)
+	})
+	return g.events
+}
+
 // newSegment seals a sorted event run into an immutable segment. The
 // caller must not retain write access to events.
 func newSegment(id uint64, key PartKey, events []sysmon.Event, indexed bool) *Segment {
-	g := &Segment{id: id, key: key, events: events, indexed: indexed}
+	g := &Segment{id: id, key: key, events: events, count: len(events), indexed: indexed}
 	if len(events) > 0 {
 		g.minTS = events[0].StartTS
 		g.maxTS = events[len(events)-1].StartTS
@@ -85,10 +278,11 @@ func newSegment(id uint64, key PartKey, events []sysmon.Event, indexed bool) *Se
 	return g
 }
 
-// restoreSegment rebuilds a sealed segment from its persisted form. The
-// posting indexes come straight from the file when present (and wanted),
-// so a load performs no index rebuild: the segment is ready to serve
-// indexed scans — and segment-granular cache reuse — immediately.
+// restoreSegment rebuilds a sealed segment from its eager (v1) persisted
+// form. The posting indexes come straight from the file when present
+// (and wanted), so a load performs no index rebuild: the segment is
+// ready to serve indexed scans — and segment-granular cache reuse —
+// immediately.
 func restoreSegment(d *durable.SegmentData, indexed bool) *Segment {
 	g := newSegment(d.ID, PartKey{AgentID: d.AgentID, Bucket: d.Bucket}, d.Events, indexed)
 	if indexed && d.Indexed {
@@ -99,19 +293,77 @@ func restoreSegment(d *durable.SegmentData, indexed bool) *Segment {
 				g.opCount[op] = c
 			}
 		}
+		g.opsReady.Store(true)
 		g.ready.Store(true)
 	}
 	return g
 }
 
+// restoreSegmentFromReader wraps an opened v2 segment file without
+// decoding any event data: count, time range, and ID bounds come from
+// the footer, the op histogram from the block directory. Columns and
+// posting lists load lazily; bc (may be nil) caches decoded blocks and
+// onErr receives lazy decode failures.
+func restoreSegmentFromReader(rd *durable.SegmentReader, indexed bool, bc *BlockCache, onErr func(error)) *Segment {
+	g := &Segment{
+		id:         rd.ID,
+		key:        PartKey{AgentID: rd.AgentID, Bucket: rd.Bucket},
+		count:      rd.Count,
+		minTS:      rd.MinTS,
+		maxTS:      rd.MaxTS,
+		minEventID: rd.MinEventID,
+		maxEventID: rd.MaxEventID,
+		indexed:    indexed,
+		bc:         bc,
+		onErr:      onErr,
+	}
+	g.rd.Store(rd)
+	if indexed && rd.Indexed {
+		for op, c := range rd.OpCount {
+			if op < sysmon.NumOperations {
+				g.opCount[op] = c
+			}
+		}
+		g.opsReady.Store(true)
+	}
+	return g
+}
+
+// restoreSegmentLazy rebuilds a sealed segment from its manifest ref
+// alone, without opening the segment file: count, time range, and ID
+// bounds all come from the ref, so a reopening store pays zero per-file
+// syscalls until a scan first touches the segment. The manifest's
+// Format hint says the file is v2; if the hint turns out stale, the
+// first access falls back to an eager v1 decode.
+func restoreSegmentLazy(ref *durable.SegmentRef, path string, indexed bool, bc *BlockCache, onErr func(error)) *Segment {
+	return &Segment{
+		id:         ref.ID,
+		key:        PartKey{AgentID: ref.AgentID, Bucket: ref.Bucket},
+		count:      ref.Events,
+		minTS:      ref.MinTS,
+		maxTS:      ref.MaxTS,
+		minEventID: ref.MinEventID,
+		maxEventID: ref.MaxEventID,
+		indexed:    indexed,
+		lazyPath:   path,
+		bc:         bc,
+		onErr:      onErr,
+	}
+}
+
+// reader peeks at the segment's file backing without forcing a lazy
+// open (nil when heap-resident or not yet opened).
+func (g *Segment) reader() *durable.SegmentReader { return g.rd.Load() }
+
 // segmentData exports the segment's persisted form. The events and
 // posting slices are shared, not copied: both sides are immutable.
+// Reader-backed segments materialize first.
 func (g *Segment) segmentData() *durable.SegmentData {
 	d := &durable.SegmentData{
 		ID:         g.id,
 		AgentID:    g.key.AgentID,
 		Bucket:     g.key.Bucket,
-		Events:     g.events,
+		Events:     g.materialize(),
 		MinEventID: g.minEventID,
 		MaxEventID: g.maxEventID,
 	}
@@ -131,44 +383,104 @@ func (g *Segment) ID() uint64 { return g.id }
 func (g *Segment) Key() PartKey { return g.key }
 
 // Len returns the number of events in the segment.
-func (g *Segment) Len() int { return len(g.events) }
+func (g *Segment) Len() int { return g.count }
 
 // TimeRange returns the minimum and maximum start timestamps.
 func (g *Segment) TimeRange() (int64, int64) { return g.minTS, g.maxTS }
 
-// Events exposes the segment's raw events. The slice is immutable and
-// must not be modified.
-func (g *Segment) Events() []sysmon.Event { return g.events }
+// Events exposes the segment's raw events, materializing a
+// reader-backed segment on first call. The slice is immutable and must
+// not be modified.
+func (g *Segment) Events() []sysmon.Event { return g.materialize() }
 
-// ApproxBytes estimates the segment's resident event-array footprint
-// (posting indexes excluded).
+// ApproxBytes estimates the segment's resident heap footprint for the
+// event data (posting indexes excluded). A reader-backed segment that
+// has not materialized holds no AoS array, so its heap cost is ~zero —
+// the mapped file is accounted separately (see StorageStats).
 func (g *Segment) ApproxBytes() uint64 {
-	return uint64(len(g.events)) * uint64(unsafe.Sizeof(sysmon.Event{}))
+	if g.fileBacked() && !g.evDone.Load() {
+		return 0
+	}
+	return uint64(g.count) * uint64(unsafe.Sizeof(sysmon.Event{}))
 }
 
 // buildIndexes constructs the posting lists and operation histogram.
 // It is idempotent and safe to call concurrently; the store calls it
-// after sealing, with no locks held.
+// after sealing, with no locks held. Reader-backed segments whose file
+// carries indexes defer to the lazy load instead of rebuilding.
 func (g *Segment) buildIndexes() {
 	if !g.indexed || g.ready.Load() {
 		return // unindexed, or restored with prebuilt indexes
 	}
+	if g.fileBacked() {
+		if rd := g.fileReader(); rd != nil && rd.Indexed {
+			g.ensureIndexes()
+			return
+		}
+		if g.ready.Load() {
+			return // lazily opened v1 file installed prebuilt indexes
+		}
+	}
 	g.buildOnce.Do(func() {
+		events := g.materialize()
 		g.postingSub = make(map[sysmon.EntityID][]int32)
 		g.postingObj = make(map[sysmon.EntityID][]int32)
-		for i := range g.events {
-			ev := &g.events[i]
+		for i := range events {
+			ev := &events[i]
 			g.postingSub[ev.Subject] = append(g.postingSub[ev.Subject], int32(i))
 			g.postingObj[ev.Object] = append(g.postingObj[ev.Object], int32(i))
 			g.opCount[ev.Op]++
 		}
+		g.opsReady.Store(true)
 		g.ready.Store(true)
 	})
 }
 
+// ensureIndexes makes the posting indexes available if they can be had
+// without a rebuild, loading a reader-backed segment's index section on
+// first need. Returns whether indexed scans may proceed.
+func (g *Segment) ensureIndexes() bool {
+	if !g.indexed {
+		return false
+	}
+	if g.ready.Load() {
+		return true
+	}
+	if !g.fileBacked() {
+		return false // heap segments index in the background post-seal
+	}
+	rd := g.fileReader()
+	if g.ready.Load() {
+		return true // lazily opened v1 file installed prebuilt indexes
+	}
+	if rd == nil || !rd.Indexed {
+		return false
+	}
+	g.buildOnce.Do(func() {
+		sub, obj, err := rd.ReadIndexes()
+		if err != nil {
+			g.fail(err)
+			return
+		}
+		g.postingSub = sub
+		g.postingObj = obj
+		g.ready.Store(true)
+	})
+	return g.ready.Load()
+}
+
+// postingApplicable reports whether the filter constrains an entity set
+// tightly enough for the posting path to win — the precondition for
+// lazily loading a reader-backed segment's index section at all.
+func (g *Segment) postingApplicable(f *EventFilter) bool {
+	const postingLimit = 512
+	subLen, objLen := f.Subjects.Len(), f.Objects.Len()
+	return (subLen >= 0 && subLen <= postingLimit) || (objLen >= 0 && objLen <= postingLimit)
+}
+
 // overlaps reports whether the segment's time range intersects [from, to).
 func (g *Segment) overlaps(from, to int64) bool {
-	if len(g.events) == 0 {
+	if g.count == 0 {
 		return false
 	}
 	if from != 0 && g.maxTS < from {
@@ -185,12 +497,19 @@ func (g *Segment) overlaps(from, to int64) bool {
 //
 // With indexes built, the scan picks the cheapest access path: the
 // shorter of the subject/object posting lists restricted by the filter's
-// entity sets, falling back to a (time-bounded) sequential scan.
+// entity sets, falling back to a (time-bounded) sequential scan. The
+// callback shape needs whole events, so reader-backed segments
+// materialize here; the engine's hot path uses CollectBatch instead,
+// which gathers from columns.
 func (g *Segment) scan(f *EventFilter, ops *[sysmon.NumOperations]bool, agents map[uint32]struct{}, fn func(*sysmon.Event) bool) bool {
-	if g.indexed && g.ready.Load() {
+	if g.indexed && (g.ready.Load() || (g.fileBacked() && g.postingApplicable(f) && g.ensureIndexes())) {
 		if list, ok := g.bestPostingList(f); ok {
+			events := g.materialize()
 			for _, pos := range list {
-				ev := &g.events[pos]
+				if int(pos) >= len(events) {
+					continue // materialize failed; data reads as absent
+				}
+				ev := &events[pos]
 				if f.matches(ev, ops, agents) {
 					if !fn(ev) {
 						return false
@@ -200,9 +519,10 @@ func (g *Segment) scan(f *EventFilter, ops *[sysmon.NumOperations]bool, agents m
 			return true
 		}
 	}
-	lo, hi := timeSlice(g.events, f.From, f.To)
+	events := g.materialize()
+	lo, hi := timeSlice(events, f.From, f.To)
 	for i := lo; i < hi; i++ {
-		ev := &g.events[i]
+		ev := &events[i]
 		if f.matches(ev, ops, agents) {
 			if !fn(ev) {
 				return false
@@ -241,19 +561,38 @@ func mergePostings(postings map[sysmon.EntityID][]int32, set *IDSet) []int32 {
 	return out
 }
 
+// timeSliceIdx returns the [lo, hi) position range of events in
+// [from, to), against whichever timestamp representation is resident:
+// the AoS array for heap segments, the mapped StartTS column for
+// reader-backed ones.
+func (g *Segment) timeSliceIdx(from, to int64) (int, int) {
+	// A window covering the whole segment needs no timestamp lookup at
+	// all — in particular it never forces a lazy segment's file open.
+	if (from == 0 || from <= g.minTS) && (to == 0 || to > g.maxTS) {
+		return 0, g.count
+	}
+	if evs := g.loadedEvents(); evs != nil || !g.fileBacked() {
+		return timeSlice(evs, from, to)
+	}
+	return timeSliceTS(g.tsColumn(), from, to)
+}
+
 // estimate returns an upper bound on how many events in the segment can
 // match the filter, using the op histogram and posting-list lengths when
-// the indexes are built, else the (time-sliced) segment size.
+// available, else the (time-sliced) segment size. For reader-backed
+// segments the histogram is free (persisted in the directory) and the
+// posting clamp triggers the lazy index load only when the filter's
+// entity sets could actually tighten the bound.
 func (g *Segment) estimate(f *EventFilter) int {
-	lo, hi := timeSlice(g.events, f.From, f.To)
+	lo, hi := g.timeSliceIdx(f.From, f.To)
 	n := hi - lo
 	if n <= 0 {
 		return 0
 	}
-	if !g.indexed || !g.ready.Load() {
+	if !g.indexed {
 		return n
 	}
-	if len(f.Ops) > 0 {
+	if len(f.Ops) > 0 && g.opsReady.Load() {
 		opN := 0
 		for _, op := range f.Ops {
 			if int(op) < sysmon.NumOperations {
@@ -262,6 +601,11 @@ func (g *Segment) estimate(f *EventFilter) int {
 		}
 		if opN < n {
 			n = opN
+		}
+	}
+	if !g.ready.Load() {
+		if !g.postingApplicable(f) || !g.ensureIndexes() {
+			return n
 		}
 	}
 	if s := postingEstimate(g.postingSub, f.Subjects, lo, hi); s >= 0 && s < n {
@@ -310,6 +654,21 @@ func timeSlice(events []sysmon.Event, from, to int64) (int, int) {
 	}
 	if to != 0 {
 		hi = sort.Search(len(events), func(i int) bool { return events[i].StartTS >= to })
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// timeSliceTS is timeSlice over a bare timestamp column.
+func timeSliceTS(ts []int64, from, to int64) (int, int) {
+	lo, hi := 0, len(ts)
+	if from != 0 {
+		lo = sort.Search(len(ts), func(i int) bool { return ts[i] >= from })
+	}
+	if to != 0 {
+		hi = sort.Search(len(ts), func(i int) bool { return ts[i] >= to })
 	}
 	if hi < lo {
 		hi = lo

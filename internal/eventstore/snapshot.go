@@ -413,8 +413,9 @@ func (sn *Snapshot) Agents() []uint32 {
 			continue
 		}
 		for _, g := range p.segs {
-			for j := range g.events {
-				seen[g.events[j].AgentID] = struct{}{}
+			evs := g.Events()
+			for j := range evs {
+				seen[evs[j].AgentID] = struct{}{}
 			}
 		}
 		evs := p.mem.Events()

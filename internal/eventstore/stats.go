@@ -49,6 +49,34 @@ func (s *Store) SegmentStats() SegmentStats {
 	return st
 }
 
+// StorageStats describes where sealed-segment bytes live: mapped (v2
+// segment files served through mmap — resident only as the page cache
+// decides), heap (eagerly decoded v1 segments, lazily materialized
+// events, and cached decompressed blocks), and the block cache's
+// hit/miss/eviction counters.
+type StorageStats struct {
+	MappedBytes int64           `json:"mapped_bytes"`
+	HeapBytes   int64           `json:"heap_bytes"`
+	BlockCache  BlockCacheStats `json:"block_cache"`
+}
+
+// StorageStats computes the store's storage-residency statistics.
+func (s *Store) StorageStats() StorageStats {
+	sn := s.Snapshot()
+	var st StorageStats
+	for i := range sn.parts {
+		for _, g := range sn.parts[i].segs {
+			if rd := g.reader(); rd != nil {
+				st.MappedBytes += rd.MappedBytes()
+			}
+			st.HeapBytes += int64(g.ApproxBytes())
+		}
+	}
+	st.BlockCache = s.blockCache.Stats()
+	st.HeapBytes += st.BlockCache.Bytes
+	return st
+}
+
 // Stats computes summary statistics for the store.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()

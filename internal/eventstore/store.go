@@ -69,6 +69,10 @@ type Store struct {
 	// in-memory stores. Set once before the store is shared.
 	dur *durableState
 
+	// blockCache holds decompressed v2 segment column blocks, shared by
+	// every mmap-backed segment of the store. nil when disabled.
+	blockCache *BlockCache
+
 	compactions   atomic.Uint64
 	segsCompacted atomic.Uint64
 
@@ -118,10 +122,11 @@ func (s *Store) afterCommit(sealed []*Segment) {
 func New(opts Options) *Store {
 	opts = opts.normalized()
 	return &Store{
-		opts:    opts,
-		dict:    newDictionary(opts.Dedup, opts.Indexes),
-		parts:   make(map[PartKey]*partState),
-		nextSeq: make(map[uint32]uint64),
+		opts:       opts,
+		dict:       newDictionary(opts.Dedup, opts.Indexes),
+		parts:      make(map[PartKey]*partState),
+		nextSeq:    make(map[uint32]uint64),
+		blockCache: NewBlockCache(opts.BlockCacheBytes),
 	}
 }
 
@@ -476,7 +481,7 @@ func (s *Store) Partitions() []*PartitionView {
 		p := &sn.parts[i]
 		pv := &PartitionView{Key: p.key}
 		for _, g := range p.segs {
-			pv.events = append(pv.events, g.events...)
+			pv.events = append(pv.events, g.Events()...)
 		}
 		pv.events = append(pv.events, p.mem.Events()...)
 		out = append(out, pv)

@@ -254,6 +254,7 @@ type DatasetStats struct {
 	// are global, repeated per dataset for convenience.
 	Scan     workpool.Stats          `json:"scan"`
 	Durable  eventstore.DurableStats `json:"durable"`
+	Storage  eventstore.StorageStats `json:"storage"`
 	Prepared PreparedStats           `json:"prepared"`
 	Ingest   IngestStats             `json:"ingest"`
 	Watch    WatchStats              `json:"watch"`
@@ -283,6 +284,7 @@ func (s *Service) DatasetStats(name string) DatasetStats {
 		ScanCache: s.db.ScanCacheStats(),
 		Scan:      s.db.ScanPoolStats(),
 		Durable:   s.db.DurableStats(),
+		Storage:   s.db.StorageStats(),
 		Prepared:  s.PreparedStats(),
 		Ingest:    s.IngestStats(),
 		Watch:     s.WatchStats(),

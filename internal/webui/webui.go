@@ -396,6 +396,14 @@ async function loadStoreStats() {
       line += ', ' + d.compactions + ' compactions (' + d.segments_compacted + ' segments merged)';
     }
     if (d.last_error) line += ' — durable error: ' + d.last_error;
+    const sg = st.storage || {};
+    if (sg.mapped_bytes || sg.heap_bytes) {
+      const bc = sg.block_cache || {};
+      line += ' — storage: ' + fmtBytes(sg.mapped_bytes || 0) + ' mapped, ' +
+          fmtBytes(sg.heap_bytes || 0) + ' heap, block cache ' + (bc.hits || 0) +
+          '/' + ((bc.hits || 0) + (bc.misses || 0)) + ' hits' +
+          (bc.evictions ? ' (' + bc.evictions + ' evictions)' : '');
+    }
     const p = st.prepared || {};
     if (p.statements || p.hits || p.evictions || p.expired) {
       line += ' — prepared: ' + (p.statements || 0) + ' statements, ' + (p.hits || 0) +
