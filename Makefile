@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-nommap bench bench-streaming bench-segments bench-persist bench-prepare bench-ingest bench-scan serve
+.PHONY: check fmt vet build test race race-nommap bench bench-streaming bench-segments bench-persist bench-prepare bench-ingest bench-scan bench-obs smoke-metrics serve
 
 check: fmt vet build race race-nommap
 
@@ -39,7 +39,7 @@ define run-bench
 	@rm -f bench.out
 endef
 
-bench: bench-streaming bench-segments bench-persist bench-prepare bench-ingest bench-scan
+bench: bench-streaming bench-segments bench-persist bench-prepare bench-ingest bench-scan bench-obs
 
 # Streaming/caching benchmarks on the Fig4 50k-event dataset: cold vs.
 # warm cache, full drain vs. LIMIT-50 early termination.
@@ -80,6 +80,35 @@ bench-ingest:
 # >= 2x cold speedup at 4 workers vs. sequential.
 bench-scan:
 	$(call run-bench,./internal/engine/,BenchmarkScan,10x,BENCH_scan.json)
+
+# Observability benchmarks on the Fig4 50k-event dataset: the full
+# four-pattern investigation query, cold-scanned, with and without a
+# query span in the context. Unlike the other bench targets this one
+# gates: benchjson asserts the traced run stays within 5% of the
+# untraced one (ns/op ratio <= 1.05, recorded in BENCH_obs.json), so
+# tracing stays cheap enough to leave on for every execution.
+bench-obs:
+	$(GO) test ./internal/engine/ -run XXX -bench 'BenchmarkObsFig4' \
+		-benchtime=10x > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
+	@cat bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_obs.json \
+		-max-ratio 'BenchmarkObsFig4TraceOn/BenchmarkObsFig4TraceOff<=1.05' < bench.out
+	@rm -f bench.out
+
+# Boot aiqlserver on the built-in demo dataset, scrape /metrics on both
+# the API and ops listeners, and lint the expositions with promlint.
+smoke-metrics:
+	$(GO) build -o aiqlserver.smoke ./cmd/aiqlserver
+	@./aiqlserver.smoke -addr 127.0.0.1:18080 -ops-addr 127.0.0.1:18081 & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null; rm -f aiqlserver.smoke metrics.smoke' EXIT; \
+	ok=0; for i in $$(seq 1 100); do \
+		if curl -fsS 127.0.0.1:18080/metrics > metrics.smoke 2>/dev/null; then ok=1; break; fi; \
+		sleep 0.2; done; \
+	[ $$ok -eq 1 ] || { echo "aiqlserver never served /metrics"; exit 1; }; \
+	$(GO) run ./cmd/promlint < metrics.smoke || exit 1; \
+	curl -fsS 127.0.0.1:18081/metrics | $(GO) run ./cmd/promlint || exit 1; \
+	curl -fsS -o /dev/null 127.0.0.1:18081/debug/pprof/cmdline || exit 1; \
+	echo "metrics smoke OK"
 
 # Web UI + JSON API on :8080 over the built-in demo dataset.
 serve:

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"github.com/aiql/aiql/internal/experiments"
+	"github.com/aiql/aiql/internal/obs"
 
 	aiql "github.com/aiql/aiql"
 )
@@ -43,8 +44,15 @@ func main() {
 		explain = flag.Bool("explain", false, "show the execution plan instead of running")
 		stats   = flag.Bool("stats", true, "print execution statistics after results")
 		migrate = flag.String("migrate", "", "one-shot: convert the -data gob snapshot into a durable store directory at this path, then exit")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		b := obs.Build()
+		fmt.Printf("aiql %s (%s)\n", b.Version, b.GoVersion)
+		return
+	}
 
 	if *migrate != "" {
 		if *data == "" {

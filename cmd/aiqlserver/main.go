@@ -33,6 +33,11 @@
 //	GET  /api/v1/watch?dataset=name    registered standing queries
 //	DELETE /api/v1/watch/{id}?dataset=name
 //	GET  /api/v1/watch/{id}/events?dataset=name   SSE stream of fresh matches
+//	GET  /api/v1/queries/slow          slow-query log (threshold via -slow-query-ms)
+//	GET  /metrics                      Prometheus text exposition
+//
+// -ops-addr adds a second listener with /metrics and /debug/pprof, and
+// "trace": true on a query request returns the execution's span tree.
 //
 // Every failure carries a stable machine-readable code (parse_error,
 // unknown_param, stmt_not_found, overloaded, ...) plus line/col for
@@ -42,23 +47,36 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"github.com/aiql/aiql/internal/catalog"
 	"github.com/aiql/aiql/internal/experiments"
+	"github.com/aiql/aiql/internal/obs"
 	"github.com/aiql/aiql/internal/service"
 	"github.com/aiql/aiql/internal/webui"
 
 	aiql "github.com/aiql/aiql"
 )
 
+// fatal logs the error through the structured logger and exits.
+func fatal(args ...any) {
+	slog.Error(fmt.Sprint(args...))
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	slog.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("aiqlserver: ")
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
 	var (
 		data       = flag.String("data", "", "dataset snapshot file served as dataset \"default\"; empty = built-in demo dataset (unless -datasets or -data-dir is given)")
 		dataDir    = flag.String("data-dir", "", "durable store directory served as dataset \"default\" (crash-recovered via MANIFEST + WAL; created if absent)")
@@ -80,8 +98,22 @@ func main() {
 		watchBuf   = flag.Int("watch-buffer", 0, "buffered matches per SSE subscriber before drop-oldest (0 = 256)")
 		segComp    = flag.String("segment-compression", "", "block codec for newly written v2 segment files: lz4 (default) or none")
 		blockCache = flag.Int64("block-cache-bytes", 0, "decompressed-block cache byte budget per dataset (0 = 32 MiB, negative disables)")
+		opsAddr    = flag.String("ops-addr", "", "optional separate listen address for the ops surface (/metrics + /debug/pprof); empty serves /metrics on -addr only")
+		slowMS     = flag.Int64("slow-query-ms", 500, "slow-query log threshold in milliseconds (0 logs every query, negative disables the log)")
+		slowCap    = flag.Int("slow-query-entries", 0, "slow-query log ring capacity (0 = 128)")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		b := obs.Build()
+		fmt.Printf("aiqlserver %s (%s)\n", b.Version, b.GoVersion)
+		return
+	}
+
+	metrics := obs.NewRegistry()
+	obs.RegisterRuntimeCollector(metrics)
+	slowLog := obs.NewSlowLog(*slowMS, *slowCap)
 
 	cat := catalog.New(catalog.Config{
 		Service: service.Config{
@@ -101,30 +133,32 @@ func main() {
 		ScanWorkers:        *scanWork,
 		SegmentCompression: *segComp,
 		BlockCacheBytes:    *blockCache,
+		Metrics:            metrics,
+		SlowLog:            slowLog,
 	})
 
 	if *datasets != "" {
 		for _, pair := range strings.Split(*datasets, ",") {
 			name, path, ok := strings.Cut(strings.TrimSpace(pair), "=")
 			if !ok || name == "" || path == "" {
-				log.Fatalf("bad -datasets entry %q, want name=path", pair)
+				fatalf("bad -datasets entry %q, want name=path", pair)
 			}
 			if _, err := cat.AddFile(name, path); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 	}
 	if *data != "" && *dataDir != "" {
-		log.Fatal("-data and -data-dir are mutually exclusive")
+		fatal("-data and -data-dir are mutually exclusive")
 	}
 	if *data != "" {
 		if _, err := cat.AddFile("default", *data); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	if *dataDir != "" {
 		if _, err := cat.AddDir("default", *dataDir); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	if len(cat.Names()) == 0 {
@@ -132,31 +166,53 @@ func main() {
 		db := aiql.FromStore(experiments.BuildStore(experiments.Fig4Dataset(50000, 10, 42)))
 		db.Flush() // seal the generated data so segment reuse applies immediately
 		if _, err := cat.AddDB("demo", db); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	if *defName != "" {
 		if err := cat.SetDefault(*defName); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/api/v1/", cat.Handler())
+	mux.Handle("/metrics", metrics.Handler())
 	mux.Handle("/", webui.NewWithProvider(cat))
+
+	if *opsAddr != "" {
+		// The ops surface gets its own listener so profiling and
+		// scraping stay reachable (and access-controllable) apart from
+		// the query API, and pprof is never exposed on the public port.
+		ops := http.NewServeMux()
+		ops.Handle("/metrics", metrics.Handler())
+		ops.HandleFunc("/debug/pprof/", pprof.Index)
+		ops.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		ops.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		ops.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		ops.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			slog.Info("ops listener up", "addr", *opsAddr)
+			if err := http.ListenAndServe(*opsAddr, ops); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	for _, name := range cat.Names() {
 		d, err := cat.Get(name)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		st := d.Service().DatasetStats(name)
-		log.Printf("dataset %q: %d events, %d chunks, %d sealed segments%s",
-			name, st.Store.Events, st.Store.Partitions, st.Store.Segments,
-			map[bool]string{true: " (default)"}[name == cat.DefaultName()])
+		slog.Info("dataset loaded", "dataset", name,
+			"events", st.Store.Events, "chunks", st.Store.Partitions,
+			"sealed_segments", st.Store.Segments,
+			"default", name == cat.DefaultName())
 	}
-	log.Printf("serving %d dataset(s) on %s (UI at / — API at /api/v1/query)", len(cat.Names()), *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		log.Fatal(err)
+	slog.Info("serving", "datasets", len(cat.Names()), "addr", *addr,
+		"version", obs.Build().Version, "slow_query_ms", slowLog.ThresholdMS())
+	if err := http.ListenAndServe(*addr, obs.AccessLog(logger, mux)); err != nil {
+		fatal(err)
 	}
 }

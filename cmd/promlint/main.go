@@ -1,0 +1,34 @@
+// Command promlint validates a Prometheus text-format exposition read
+// from stdin (the subset aiqlserver's /metrics emits: HELP/TYPE
+// comments, counter/gauge/histogram samples). CI pipes a live scrape
+// through it so a malformed exposition fails the build instead of
+// silently breaking scrapes in the field:
+//
+//	curl -fsS localhost:8080/metrics | go run ./cmd/promlint
+//
+// Exits 0 on a well-formed exposition, 1 otherwise (the first error is
+// printed with its line number).
+package main
+
+import (
+	"io"
+	"log"
+	"os"
+
+	"github.com/aiql/aiql/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("promlint: ")
+	body, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(body) == 0 {
+		log.Fatal("empty exposition on stdin")
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -24,12 +24,23 @@ type Benchmark struct {
 	MsPerOp    float64 `json:"ms_per_op"`
 }
 
+// Ratio is one asserted ns/op comparison between two benchmarks in the
+// report, recorded in the artifact so CI history shows the margin, not
+// just pass/fail.
+type Ratio struct {
+	Name  string  `json:"name"` // "Numerator/Denominator"
+	Value float64 `json:"value"`
+	Limit float64 `json:"limit"`
+	Pass  bool    `json:"pass"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	GOOS       string      `json:"goos,omitempty"`
 	GOARCH     string      `json:"goarch,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	Ratios     []Ratio     `json:"ratios,omitempty"`
 }
 
 // ErrNoBenchmarks reports that the parsed stream held no benchmark
@@ -82,6 +93,57 @@ func Parse(r io.Reader) (Report, error) {
 		return rep, ErrNoBenchmarks
 	}
 	return rep, nil
+}
+
+// find returns the first benchmark whose name matches exactly or up to
+// the `-N` GOMAXPROCS suffix go test appends (BenchmarkX-8).
+func (rep Report) find(name string) (Benchmark, bool) {
+	for _, b := range rep.Benchmarks {
+		if b.Name == name || strings.HasPrefix(b.Name, name+"-") {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// AssertRatio evaluates a "Numerator/Denominator<=Limit" spec against
+// the report's ns/op figures, appends the outcome to rep.Ratios, and
+// reports whether the bound held. It errors when the spec is malformed
+// or names a benchmark the report does not contain — CI must fail on a
+// gate that silently measured nothing.
+func (rep *Report) AssertRatio(spec string) (Ratio, error) {
+	names, limitStr, ok := strings.Cut(spec, "<=")
+	if !ok {
+		return Ratio{}, fmt.Errorf("benchjson: ratio spec %q, want Numerator/Denominator<=Limit", spec)
+	}
+	num, den, ok := strings.Cut(names, "/")
+	if !ok || num == "" || den == "" {
+		return Ratio{}, fmt.Errorf("benchjson: ratio spec %q, want Numerator/Denominator<=Limit", spec)
+	}
+	limit, err := strconv.ParseFloat(strings.TrimSpace(limitStr), 64)
+	if err != nil || limit <= 0 {
+		return Ratio{}, fmt.Errorf("benchjson: ratio spec %q: bad limit %q", spec, limitStr)
+	}
+	num, den = strings.TrimSpace(num), strings.TrimSpace(den)
+	nb, ok := rep.find(num)
+	if !ok {
+		return Ratio{}, fmt.Errorf("benchjson: ratio spec %q: no benchmark %q in report", spec, num)
+	}
+	db, ok := rep.find(den)
+	if !ok {
+		return Ratio{}, fmt.Errorf("benchjson: ratio spec %q: no benchmark %q in report", spec, den)
+	}
+	if db.NsPerOp <= 0 {
+		return Ratio{}, fmt.Errorf("benchjson: ratio spec %q: denominator %q has no ns/op", spec, den)
+	}
+	r := Ratio{
+		Name:  num + "/" + den,
+		Value: nb.NsPerOp / db.NsPerOp,
+		Limit: limit,
+	}
+	r.Pass = r.Value <= limit
+	rep.Ratios = append(rep.Ratios, r)
+	return r, nil
 }
 
 // Encode marshals the report as indented JSON with a trailing newline.

@@ -63,3 +63,50 @@ func TestEncodeRoundTrips(t *testing.T) {
 		}
 	}
 }
+
+func TestAssertRatio(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// 77741 / 213449 ≈ 0.364 — passes a 1.05 bound; suffix "-8" on the
+	// numerator must resolve from the bare name.
+	r, err := rep.AssertRatio("BenchmarkScanColdWorkers4/BenchmarkScanColdSequential<=1.05")
+	if err != nil {
+		t.Fatalf("AssertRatio: %v", err)
+	}
+	if !r.Pass || r.Value < 0.36 || r.Value > 0.37 || r.Limit != 1.05 {
+		t.Errorf("ratio = %+v", r)
+	}
+	// Inverted ratio ≈ 2.75 — must fail the bound without erroring.
+	r, err = rep.AssertRatio("BenchmarkScanColdSequential/BenchmarkScanColdWorkers4<=1.05")
+	if err != nil {
+		t.Fatalf("AssertRatio inverted: %v", err)
+	}
+	if r.Pass || r.Value < 2.7 || r.Value > 2.8 {
+		t.Errorf("inverted ratio = %+v", r)
+	}
+	if len(rep.Ratios) != 2 {
+		t.Errorf("report recorded %d ratios, want 2", len(rep.Ratios))
+	}
+	enc, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(enc), `"ratios"`) {
+		t.Error("encoded report missing ratios block")
+	}
+
+	for _, bad := range []string{
+		"no-limit-separator",
+		"OnlyOneName<=1.05",
+		"A/B<=zero",
+		"A/B<=-1",
+		"BenchmarkMissing/BenchmarkScanColdSequential<=1.05",
+		"BenchmarkScanColdSequential/BenchmarkMissing<=1.05",
+	} {
+		if _, err := rep.AssertRatio(bad); err == nil {
+			t.Errorf("AssertRatio(%q) succeeded; want error", bad)
+		}
+	}
+}

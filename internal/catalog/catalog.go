@@ -20,6 +20,7 @@ import (
 	"time"
 
 	aiql "github.com/aiql/aiql"
+	"github.com/aiql/aiql/internal/obs"
 	"github.com/aiql/aiql/internal/service"
 	"github.com/aiql/aiql/internal/workpool"
 )
@@ -54,6 +55,12 @@ type Config struct {
 	// BlockCacheBytes budgets each dataset's decompressed-block cache;
 	// 0 selects the store default, negative disables it.
 	BlockCacheBytes int64
+	// Metrics, when set, receives every dataset's counters as one
+	// scrape-time collector plus each service's per-query instruments.
+	Metrics *obs.Registry
+	// SlowLog, when set, is shared by every dataset's service; entries
+	// carry the dataset name.
+	SlowLog *obs.SlowLog
 }
 
 // Dataset is one named database with its service layer.
@@ -107,11 +114,13 @@ func New(cfg Config) *Catalog {
 	}
 	// Scan helpers are CPU-bound, so a pool wider than the machine only
 	// adds scheduling overhead: clamp to the cores available.
-	return &Catalog{
+	c := &Catalog{
 		cfg:      cfg,
 		scanPool: workpool.New(min(workers, runtime.GOMAXPROCS(0)) - 1),
 		sets:     make(map[string]*Dataset),
 	}
+	c.registerCollector(cfg.Metrics)
+	return c
 }
 
 // storageOptions returns the default storage options with the catalog's
@@ -148,7 +157,11 @@ func (c *Catalog) newDataset(name, path string, db *aiql.DB) *Dataset {
 	if c.cfg.CompactInterval > 0 {
 		db.StartCompactor(c.cfg.CompactInterval)
 	}
-	return &Dataset{name: name, path: path, svc: service.New(db, c.cfg.Service)}
+	svcCfg := c.cfg.Service
+	svcCfg.Dataset = name
+	svcCfg.Metrics = c.cfg.Metrics
+	svcCfg.SlowLog = c.cfg.SlowLog
+	return &Dataset{name: name, path: path, svc: service.New(db, svcCfg)}
 }
 
 // AddDB registers an in-memory database under name. The first dataset

@@ -2,7 +2,7 @@ package catalog
 
 import (
 	"encoding/json"
-	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 
@@ -95,6 +95,6 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("catalog: encode: %v", err)
+		slog.Warn("catalog: response encode failed", "error", err)
 	}
 }

@@ -1,0 +1,100 @@
+package catalog
+
+import (
+	"github.com/aiql/aiql/internal/obs"
+	"github.com/aiql/aiql/internal/service"
+)
+
+// registerCollector wires the catalog's subsystem counters into the
+// metrics registry as one scrape-time collector: every sample is read
+// from the live per-dataset stats snapshots, so /metrics and
+// /api/v1/stats report from the same source of truth and a dataset
+// hot-swap is picked up automatically (the collector walks whatever
+// datasets the catalog holds at scrape time). The shared scan pool is
+// emitted once, unlabeled, since its figures are process-global.
+func (c *Catalog) registerCollector(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.SetCollector("catalog", func() []obs.Sample {
+		var out []obs.Sample
+		for _, st := range c.Stats() {
+			out = append(out, datasetSamples(st)...)
+		}
+		ps := c.scanPool.Stats()
+		out = append(out,
+			gauge("aiql_scan_pool_workers", "Parallel-scan helper slot capacity.", nil, float64(ps.Workers)),
+			gauge("aiql_scan_pool_busy", "Parallel-scan helpers currently running a task.", nil, float64(ps.Busy)),
+			counter("aiql_scan_pool_tasks_total", "Scan tasks ever started on a pooled helper.", nil, float64(ps.Tasks)),
+			counter("aiql_scan_pool_saturated_total", "Pool submissions refused for lack of a free slot (ran inline).", nil, float64(ps.Saturated)),
+		)
+		return out
+	})
+}
+
+func counter(name, help string, labels []obs.Label, v float64) obs.Sample {
+	return obs.Sample{Name: name, Help: help, Kind: obs.KindCounter, Labels: labels, Value: v}
+}
+
+func gauge(name, help string, labels []obs.Label, v float64) obs.Sample {
+	return obs.Sample{Name: name, Help: help, Kind: obs.KindGauge, Labels: labels, Value: v}
+}
+
+// datasetSamples flattens one dataset's statistics blob into labeled
+// samples, one series per counter the JSON stats endpoint reports.
+func datasetSamples(st service.DatasetStats) []obs.Sample {
+	lbl := []obs.Label{{Name: "dataset", Value: st.Dataset}}
+	sv, store, sc := st.Service, st.Store, st.ScanCache
+	dur, stg, bc := st.Durable, st.Storage, st.Storage.BlockCache
+	pr, ing, w := st.Prepared, st.Ingest, st.Watch
+	return []obs.Sample{
+		counter("aiql_queries_total", "Query requests received (buffered and streaming).", lbl, float64(sv.Queries)),
+		counter("aiql_executions_total", "Engine executions actually started.", lbl, float64(sv.Executions)),
+		counter("aiql_cache_hits_total", "Query requests served from the result cache.", lbl, float64(sv.CacheHits)),
+		counter("aiql_cache_misses_total", "Query requests that missed the result cache.", lbl, float64(sv.CacheMisses)),
+		counter("aiql_coalesced_total", "Cache misses served by an identical in-flight execution.", lbl, float64(sv.Coalesced)),
+		counter("aiql_rejected_total", "Queries shed by admission control.", lbl, float64(sv.Rejected)),
+		counter("aiql_throttled_total", "Queries rejected by per-client fairness.", lbl, float64(sv.Throttled)),
+		counter("aiql_timeouts_total", "Queries aborted by their execution deadline.", lbl, float64(sv.Timeouts)),
+		counter("aiql_canceled_total", "Queries abandoned by their client.", lbl, float64(sv.Canceled)),
+		counter("aiql_errors_total", "Queries that failed with an execution or validation error.", lbl, float64(sv.Errors)),
+		counter("aiql_rows_streamed_total", "Rows delivered through the streaming endpoint.", lbl, float64(sv.RowsStreamed)),
+		gauge("aiql_active_queries", "Queries currently executing.", lbl, float64(sv.Active)),
+		gauge("aiql_queued_queries", "Queries waiting for a worker slot.", lbl, float64(sv.Queued)),
+		gauge("aiql_result_cache_entries", "Entries resident in the result cache.", lbl, float64(sv.CacheEntries)),
+		gauge("aiql_result_cache_bytes", "Approximate bytes resident in the result cache.", lbl, float64(sv.CacheBytes)),
+		gauge("aiql_store_events", "Events resident in the store.", lbl, float64(store.Events)),
+		gauge("aiql_store_segments", "Sealed segments in the store.", lbl, float64(store.Segments)),
+		gauge("aiql_store_sealed_bytes", "Approximate bytes held by sealed segments.", lbl, float64(store.SealedBytes)),
+		gauge("aiql_store_memtable_events", "Events in the unsealed memtables.", lbl, float64(store.MemtableEvents)),
+		counter("aiql_scan_cache_hits_total", "Sealed-segment scans served from the scan cache.", lbl, float64(sc.Hits)),
+		counter("aiql_scan_cache_misses_total", "Sealed-segment scans that had to run.", lbl, float64(sc.Misses)),
+		gauge("aiql_scan_cache_entries", "Entries resident in the segment scan cache.", lbl, float64(sc.Entries)),
+		gauge("aiql_scan_cache_bytes", "Approximate bytes resident in the segment scan cache.", lbl, float64(sc.Bytes)),
+		counter("aiql_wal_syncs_total", "WAL fsync batches.", lbl, float64(dur.WALSyncs)),
+		gauge("aiql_wal_bytes", "Bytes in the live WAL.", lbl, float64(dur.WALBytes)),
+		counter("aiql_compactions_total", "Background compaction passes that merged segments.", lbl, float64(dur.Compactions)),
+		counter("aiql_segments_compacted_total", "Sealed segments consumed by compaction.", lbl, float64(dur.SegmentsCompacted)),
+		gauge("aiql_segment_files", "Segment files on disk.", lbl, float64(dur.SegmentFiles)),
+		gauge("aiql_segment_file_bytes", "Bytes of segment files on disk.", lbl, float64(dur.SegmentFileBytes)),
+		gauge("aiql_storage_mapped_bytes", "Bytes of segment files currently memory-mapped.", lbl, float64(stg.MappedBytes)),
+		gauge("aiql_storage_heap_bytes", "Approximate heap bytes held by segment data.", lbl, float64(stg.HeapBytes)),
+		counter("aiql_block_cache_hits_total", "Block reads served from the decompressed-block cache.", lbl, float64(bc.Hits)),
+		counter("aiql_block_cache_misses_total", "Block reads that decompressed from disk.", lbl, float64(bc.Misses)),
+		counter("aiql_block_cache_evictions_total", "Blocks evicted from the decompressed-block cache.", lbl, float64(bc.Evictions)),
+		gauge("aiql_block_cache_bytes", "Bytes resident in the decompressed-block cache.", lbl, float64(bc.Bytes)),
+		gauge("aiql_block_cache_entries", "Blocks resident in the decompressed-block cache.", lbl, float64(bc.Entries)),
+		gauge("aiql_prepared_statements", "Statements resident in the prepared registry.", lbl, float64(pr.Statements)),
+		counter("aiql_prepared_hits_total", "Prepared-statement executions that found their handle.", lbl, float64(pr.Hits)),
+		counter("aiql_prepared_misses_total", "Prepared-statement lookups that missed.", lbl, float64(pr.Misses)),
+		counter("aiql_prepared_evictions_total", "Statements evicted from the prepared registry.", lbl, float64(pr.Evictions)),
+		counter("aiql_prepared_expired_total", "Statements expired by the idle TTL.", lbl, float64(pr.Expired)),
+		counter("aiql_ingest_requests_total", "Accepted ingest batches.", lbl, float64(ing.Requests)),
+		counter("aiql_ingest_events_total", "Events committed across all ingest batches.", lbl, float64(ing.Events)),
+		counter("aiql_ingest_rejected_total", "Ingest batches refused before commit.", lbl, float64(ing.Rejected)),
+		gauge("aiql_watches", "Registered standing queries.", lbl, float64(w.Watches)),
+		counter("aiql_watch_evals_total", "Post-ingest standing-query evaluations.", lbl, float64(w.Evals)),
+		counter("aiql_watch_matches_total", "Fresh rows pushed to watch subscribers.", lbl, float64(w.Matches)),
+		counter("aiql_watch_dropped_total", "Watch matches discarded by slow subscribers' buffers.", lbl, float64(w.Dropped)),
+	}
+}

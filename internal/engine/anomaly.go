@@ -11,6 +11,7 @@ import (
 	"github.com/aiql/aiql/internal/aiql/semantic"
 	"github.com/aiql/aiql/internal/eventstore"
 	"github.com/aiql/aiql/internal/numfmt"
+	"github.com/aiql/aiql/internal/obs"
 	"github.com/aiql/aiql/internal/sysmon"
 )
 
@@ -99,7 +100,10 @@ func (e *Engine) runAnomaly(ctx context.Context, snap *eventstore.Snapshot, q *a
 		return err
 	}
 	pp := plan.patterns[0]
+	qsp := obs.SpanFromContext(ctx)
+	ss := e.beginScanSpan(qsp, "scan "+pp.alias, stats)
 	events := e.scanPattern(ctx, snap, &pp.filter, pp, stats)
+	e.endScanSpan(ss, len(events))
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("engine: query aborted: %w", err)
 	}
@@ -121,6 +125,9 @@ func (e *Engine) runAnomaly(ctx context.Context, snap *eventstore.Snapshot, q *a
 	}
 	step, win := int64(q.Step), int64(q.Window)
 	numWin := int((to-1-from)/step) + 1
+	asp := qsp.Child("aggregate")
+	asp.SetInt("windows", int64(numWin))
+	defer asp.End()
 
 	env := &anomalyEnv{
 		subjName: q.Pattern.Subject.Name,

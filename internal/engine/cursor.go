@@ -9,6 +9,7 @@ import (
 
 	"github.com/aiql/aiql/internal/aiql/ast"
 	"github.com/aiql/aiql/internal/aiql/semantic"
+	"github.com/aiql/aiql/internal/obs"
 )
 
 // CursorOptions shape a streaming execution.
@@ -160,7 +161,9 @@ func (c *Cursor) Close() error {
 // execution errors surface through Cursor.Err. Queries with `$name`
 // parameters need Prepare + ExecutePreparedCursor to supply bindings.
 func (e *Engine) ExecuteCursor(ctx context.Context, src string, opts CursorOptions) (*Cursor, error) {
+	psp := obs.SpanFromContext(ctx).Child("parse")
 	p, err := e.Prepare(src)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -175,6 +178,8 @@ func (e *Engine) ExecuteQueryCursor(ctx context.Context, q ast.Query, opts Curso
 		cols []string
 	}
 	var cp compiled
+	psp := obs.SpanFromContext(ctx).Child("plan")
+	defer psp.End()
 	// The whole execution — planning estimates included — runs against
 	// one lock-free snapshot, so concurrent appends and seals never move
 	// data under the query and a cursor iterated across a store mutation

@@ -19,6 +19,7 @@ import (
 
 	"github.com/aiql/aiql/internal/aiql/ast"
 	"github.com/aiql/aiql/internal/eventstore"
+	"github.com/aiql/aiql/internal/obs"
 	"github.com/aiql/aiql/internal/workpool"
 )
 
@@ -125,7 +126,9 @@ func (e *Engine) ScanPool() *workpool.Pool { return e.pool.Load() }
 // aborts partition scans and binding joins mid-flight. Queries with
 // `$name` parameters need Prepare + ExecutePrepared to supply bindings.
 func (e *Engine) Execute(ctx context.Context, src string) (*Result, error) {
+	psp := obs.SpanFromContext(ctx).Child("parse")
 	p, err := e.Prepare(src)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}

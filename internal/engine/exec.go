@@ -9,6 +9,7 @@ import (
 	"github.com/aiql/aiql/internal/aiql/semantic"
 	"github.com/aiql/aiql/internal/eventstore"
 	"github.com/aiql/aiql/internal/numfmt"
+	"github.com/aiql/aiql/internal/obs"
 	"github.com/aiql/aiql/internal/sysmon"
 )
 
@@ -67,6 +68,7 @@ func (e *Engine) runMultievent(ctx context.Context, snap *eventstore.Snapshot, q
 	boundVars := map[string]bool{}
 	boundEvts := map[string]bool{}
 	last := len(plan.patterns) - 1
+	qsp := obs.SpanFromContext(ctx)
 
 	for step := 0; step < last; step++ {
 		pp := plan.patterns[step]
@@ -83,7 +85,9 @@ func (e *Engine) runMultievent(ctx context.Context, snap *eventstore.Snapshot, q
 			narrowByTemporal(&filter, plan.rels, sl, pp.alias, bindings, boundEvts)
 		}
 
+		ss := e.beginScanSpan(qsp, "scan "+pp.alias, stats)
 		events := e.scanPattern(ctx, snap, &filter, pp, stats)
+		e.endScanSpan(ss, len(events))
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("engine: query aborted: %w", err)
 		}
@@ -101,8 +105,11 @@ func (e *Engine) runMultievent(ctx context.Context, snap *eventstore.Snapshot, q
 				bindings = append(bindings, b)
 			}
 		} else {
+			jsp := qsp.Child("join " + pp.alias)
 			var err error
 			bindings, err = joinStep(ctx, bindings, events, sl, pp, plan.rels, boundVars, boundEvts)
+			jsp.SetInt("bindings", int64(len(bindings)))
+			jsp.End()
 			if err != nil {
 				return err
 			}
@@ -134,7 +141,10 @@ func (e *Engine) runMultievent(ctx context.Context, snap *eventstore.Snapshot, q
 	}
 	j := newJoiner(bindings, sl, pp, plan.rels, boundVars, boundEvts, last == 0)
 	proj := newProjector(e, q, info, sl)
-	return e.streamFinal(ctx, snap, &filter, pp, j, proj, stats, emit, limitHint)
+	ss := e.beginScanSpan(qsp, "scan "+pp.alias, stats)
+	err := e.streamFinal(ctx, snap, &filter, pp, j, proj, stats, emit, limitHint)
+	e.endScanSpan(ss, -1)
+	return err
 }
 
 // streamFinal scans the final pattern and pushes each full match through

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/aiql/aiql/internal/eventstore"
 	"github.com/aiql/aiql/internal/sysmon"
@@ -205,7 +206,9 @@ func (e *Engine) forEachUnitOrdered(ctx context.Context, units []eventstore.Scan
 		if claims[i].CompareAndSwap(false, true) {
 			scanUnit(i) // unclaimed: the consumer scans inline
 		} else {
+			waitStart := time.Now()
 			<-done[i]
+			stats.PoolWait += time.Since(waitStart)
 		}
 		if !consumeUnit(i) {
 			stop()

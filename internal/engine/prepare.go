@@ -12,6 +12,7 @@ import (
 	"github.com/aiql/aiql/internal/aiql/parser"
 	"github.com/aiql/aiql/internal/aiql/semantic"
 	"github.com/aiql/aiql/internal/numfmt"
+	"github.com/aiql/aiql/internal/obs"
 	"github.com/aiql/aiql/internal/qtext"
 )
 
@@ -419,6 +420,8 @@ func (e *Engine) ExecutePrepared(ctx context.Context, p *Prepared, params Params
 // of one statement share the compiled plan while each sees its own
 // frozen segment set.
 func (e *Engine) ExecutePreparedCursor(ctx context.Context, p *Prepared, params Params, opts CursorOptions) (*Cursor, error) {
+	psp := obs.SpanFromContext(ctx).Child("plan")
+	defer psp.End()
 	bound, err := p.Bind(params)
 	if err != nil {
 		return nil, err

@@ -26,6 +26,10 @@ type ExecStats struct {
 	Partitions    int      // hypertable chunks in the snapshot queried
 	SegmentHits   int      // sealed-segment scans served from the scan cache
 	SegmentMisses int      // sealed-segment scans that had to run
+	// PoolWait is coordinator time spent blocked on pooled scan helpers
+	// (zero under sequential scanning): high values mean the shared
+	// worker pool, not this query's own scanning, bounded the latency.
+	PoolWait time.Duration
 }
 
 // Len returns the number of result rows.

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"time"
+
+	"github.com/aiql/aiql/internal/eventstore"
+	"github.com/aiql/aiql/internal/obs"
+	"github.com/aiql/aiql/internal/workpool"
+)
+
+// scanSpan captures the counter baselines for one pattern scan so the
+// span can carry deltas: the per-execution stats (events scanned, scan
+// cache hits/misses, pool wait) are exact; the block-cache and
+// worker-pool counters are process-global, so under concurrent queries
+// their deltas attribute shared work approximately — good enough to
+// show "this scan decompressed ~N blocks", which is what the trace is
+// for.
+type scanSpan struct {
+	sp       *obs.Span
+	stats    *ExecStats
+	scanned  int64
+	hits     int
+	misses   int
+	bindings int
+	wait     time.Duration
+	bc       eventstore.BlockCacheStats
+	pool     workpool.Stats
+}
+
+// beginScanSpan opens a scan span under parent; nil parent (untraced
+// execution) returns nil and every later call no-ops.
+func (e *Engine) beginScanSpan(parent *obs.Span, name string, stats *ExecStats) *scanSpan {
+	if parent == nil {
+		return nil
+	}
+	return &scanSpan{
+		sp:       parent.Child(name),
+		stats:    stats,
+		scanned:  stats.ScannedEvents,
+		hits:     stats.SegmentHits,
+		misses:   stats.SegmentMisses,
+		bindings: stats.Bindings,
+		wait:     stats.PoolWait,
+		bc:       e.store.BlockCacheStats(),
+		pool:     e.pool.Load().Stats(),
+	}
+}
+
+// endScanSpan records the scan's counter deltas and closes the span.
+// matched < 0 means the scan streamed (final pattern) and has no
+// materialized match count; the bindings delta is recorded instead.
+func (e *Engine) endScanSpan(ss *scanSpan, matched int) {
+	if ss == nil {
+		return
+	}
+	st := ss.stats
+	ss.sp.SetInt("events_scanned", st.ScannedEvents-ss.scanned)
+	if matched >= 0 {
+		ss.sp.SetInt("events_matched", int64(matched))
+	} else {
+		ss.sp.SetInt("bindings", int64(st.Bindings-ss.bindings))
+	}
+	ss.sp.SetInt("scan_cache_hits", int64(st.SegmentHits-ss.hits))
+	ss.sp.SetInt("scan_cache_misses", int64(st.SegmentMisses-ss.misses))
+	ss.sp.SetInt("pool_wait_us", (st.PoolWait - ss.wait).Microseconds())
+	bc := e.store.BlockCacheStats()
+	ss.sp.SetInt("block_cache_hits", int64(bc.Hits-ss.bc.Hits))
+	// a block-cache miss is exactly one block decompressed
+	ss.sp.SetInt("blocks_decompressed", int64(bc.Misses-ss.bc.Misses))
+	ps := e.pool.Load().Stats()
+	ss.sp.SetInt("pool_tasks", int64(ps.Tasks-ss.pool.Tasks))
+	ss.sp.SetInt("pool_saturated", int64(ps.Saturated-ss.pool.Saturated))
+	ss.sp.End()
+}

@@ -77,6 +77,13 @@ func (s *Store) StorageStats() StorageStats {
 	return st
 }
 
+// BlockCacheStats reports the decompressed-block cache's counters
+// without walking the snapshot — cheap enough for per-span deltas in
+// the query tracer (StorageStats, by contrast, visits every segment).
+func (s *Store) BlockCacheStats() BlockCacheStats {
+	return s.blockCache.Stats()
+}
+
 // Stats computes summary statistics for the store.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Version identifies the build. It defaults to "dev" and is meant to
+// be stamped at link time:
+//
+//	go build -ldflags "-X github.com/aiql/aiql/internal/obs.Version=v1.2.3" ./cmd/aiqlserver
+var Version = "dev"
+
+// processStart anchors uptime reporting.
+var processStart = time.Now()
+
+// Uptime returns how long the process has been running.
+func Uptime() time.Duration { return time.Since(processStart) }
+
+// BuildInfo is the wire form of the build identity served in the
+// /api/v1/stats `build` block.
+type BuildInfo struct {
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Build reports the running binary's identity and uptime.
+func Build() BuildInfo {
+	return BuildInfo{
+		Version:       Version,
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: Uptime().Seconds(),
+	}
+}
+
+// RegisterRuntimeCollector wires Go runtime gauges and the build-info
+// marker into the registry under the "runtime" collector key:
+// goroutine count, heap figures (ReadMemStats at scrape time), uptime,
+// and aiql_build_info{version,go_version} = 1 in the standard
+// Prometheus build-info idiom.
+func RegisterRuntimeCollector(r *Registry) {
+	r.SetCollector("runtime", func() []Sample {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return []Sample{
+			{Name: "aiql_build_info", Help: "Build identity; value is always 1.", Kind: KindGauge,
+				Labels: []Label{{"version", Version}, {"go_version", runtime.Version()}}, Value: 1},
+			{Name: "aiql_process_uptime_seconds", Help: "Seconds since process start.", Kind: KindGauge,
+				Value: Uptime().Seconds()},
+			{Name: "aiql_go_goroutines", Help: "Live goroutines.", Kind: KindGauge,
+				Value: float64(runtime.NumGoroutine())},
+			{Name: "aiql_go_heap_alloc_bytes", Help: "Heap bytes allocated and in use.", Kind: KindGauge,
+				Value: float64(ms.HeapAlloc)},
+			{Name: "aiql_go_heap_sys_bytes", Help: "Heap bytes obtained from the OS.", Kind: KindGauge,
+				Value: float64(ms.HeapSys)},
+			{Name: "aiql_go_gc_total", Help: "Completed GC cycles.", Kind: KindCounter,
+				Value: float64(ms.NumGC)},
+		}
+	})
+}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// expositionContentType is the Prometheus text format version served
+// by Handler.
+const expositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteExposition renders every instrument and collector sample in the
+// Prometheus text format: families sorted by name, HELP/TYPE once per
+// name, series sorted by label key, so the output is deterministic and
+// golden-testable.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	colls := make([]func() []Sample, 0, len(r.collectors))
+	keys := make([]string, 0, len(r.collectors))
+	for k := range r.collectors {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		colls = append(colls, r.collectors[k])
+	}
+	r.mu.Unlock()
+
+	// Collectors run with no registry lock held: they call into the
+	// catalog/store stats paths, which may be arbitrarily slow and must
+	// never block registration.
+	type group struct {
+		help    string
+		kind    Kind
+		samples []Sample
+	}
+	groups := map[string]*group{}
+	order := []string{}
+	for _, fn := range colls {
+		for _, s := range fn() {
+			if !nameRE.MatchString(s.Name) || s.Kind == KindHistogram {
+				continue // never let a buggy collector corrupt the exposition
+			}
+			g, ok := groups[s.Name]
+			if !ok {
+				g = &group{help: s.Help, kind: s.Kind}
+				groups[s.Name] = g
+				order = append(order, s.Name)
+			}
+			g.samples = append(g.samples, s)
+		}
+	}
+
+	names := make([]string, 0, len(fams)+len(order))
+	for _, f := range fams {
+		names = append(names, f.name)
+	}
+	for _, n := range order {
+		if _, clash := r.lookup(n); !clash {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		if f, ok := r.lookup(name); ok {
+			writeFamily(bw, f)
+			continue
+		}
+		g := groups[name]
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(g.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, g.kind)
+		lines := make([]string, 0, len(g.samples))
+		for _, s := range g.samples {
+			lines = append(lines, name+renderLabels(s.Labels)+" "+formatValue(s.Value))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			bw.WriteString(l)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// lookup returns the instrument family for name, if one exists.
+func (r *Registry) lookup(name string) (*family, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	return f, ok
+}
+
+func writeFamily(w *bufio.Writer, f *family) {
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	keys := append([]string(nil), f.keys...)
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := f.series[k]
+		switch f.kind {
+		case KindCounter:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(float64(s.c.Value())))
+		case KindGauge:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(float64(s.g.Value())))
+		case KindHistogram:
+			var cum uint64
+			for i, bound := range s.h.bounds {
+				cum += s.h.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(s.labels, formatValue(bound)), cum)
+			}
+			cum += s.h.counts[len(s.h.bounds)].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(s.labels, "+Inf"), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatValue(s.h.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, s.h.Count())
+		}
+	}
+}
+
+// withLE merges the le bucket label into a rendered label fragment.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return strings.TrimSuffix(labels, "}") + `,le="` + le + `"}`
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// Handler serves the registry as GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		var buf bytes.Buffer
+		if err := r.WriteExposition(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", expositionContentType)
+		w.Write(buf.Bytes())
+	})
+}
+
+const expoMetricNameRE = `[a-zA-Z_:][a-zA-Z0-9_:]*`
+
+var (
+	expoSampleRE = regexp.MustCompile(`^(` + expoMetricNameRE + `)(\{[^}]*\})?\s+(\S+)(\s+-?\d+)?$`)
+	expoHelpRE   = regexp.MustCompile(`^# (HELP|TYPE) (` + expoMetricNameRE + `)(?: (.*))?$`)
+	expoLabelRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+)
+
+// ValidateExposition checks data against the Prometheus text format:
+// HELP/TYPE comment grammar, TYPE before (and at most once per) its
+// samples, metric and label name grammar, quoted label values, and
+// parseable sample values. It is the shared checker behind the
+// exposition golden test and the CI scrape-smoke (cmd/promlint), so a
+// malformed /metrics fails the same way in both places.
+func ValidateExposition(data []byte) error {
+	typed := map[string]string{}
+	seenSample := map[string]bool{}
+	lines := strings.Split(string(data), "\n")
+	if len(data) > 0 && !strings.HasSuffix(string(data), "\n") {
+		return fmt.Errorf("exposition does not end in a newline")
+	}
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			m := expoHelpRE.FindStringSubmatch(line)
+			if m == nil {
+				if strings.HasPrefix(line, "# HELP") || strings.HasPrefix(line, "# TYPE") {
+					return fmt.Errorf("line %d: malformed %s comment: %q", lineNo, strings.Fields(line)[1], line)
+				}
+				continue // free-form comment
+			}
+			if m[1] == "TYPE" {
+				name := m[2]
+				typ := strings.TrimSpace(m[3])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q for %s", lineNo, typ, name)
+				}
+				if _, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if seenSample[name] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				typed[name] = typ
+			}
+			continue
+		}
+		m := expoSampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample line: %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if labels != "" {
+			inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+			if inner != "" {
+				for _, pair := range splitLabelPairs(inner) {
+					if !expoLabelRE.MatchString(pair) {
+						return fmt.Errorf("line %d: malformed label pair %q", lineNo, pair)
+					}
+				}
+			}
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			switch value {
+			case "+Inf", "-Inf", "NaN":
+			default:
+				return fmt.Errorf("line %d: unparseable sample value %q", lineNo, value)
+			}
+		}
+		// histogram sub-series resolve to their family's TYPE
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if fam := strings.TrimSuffix(name, suffix); fam != name {
+				if typed[fam] == "histogram" || typed[fam] == "summary" {
+					base = fam
+				}
+				break
+			}
+		}
+		seenSample[base] = true
+	}
+	return nil
+}
+
+// splitLabelPairs splits a label body on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+			cur.WriteRune(r)
+		case r == '\\' && inQuote:
+			escaped = true
+			cur.WriteRune(r)
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text the registry renders for a
+// small fixed instrument set: family order, HELP/TYPE lines, series
+// order, label escaping, histogram expansion.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.MustCounter("aiql_queries_total", "Queries received.", Label{Name: "dataset", Value: "demo"}).Add(7)
+	r.MustCounter("aiql_queries_total", "Queries received.", Label{Name: "dataset", Value: "apt"}).Add(2)
+	r.MustGauge("aiql_active_queries", "Currently executing.").Set(3)
+	h := r.MustHistogram("aiql_query_duration_seconds", `Latency with "quotes" and \ slash.`, []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	r.SetCollector("extra", func() []Sample {
+		return []Sample{{Name: "aiql_go_goroutines", Help: "Live goroutines.", Kind: KindGauge, Value: 11}}
+	})
+
+	var sb strings.Builder
+	if err := r.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP aiql_active_queries Currently executing.
+# TYPE aiql_active_queries gauge
+aiql_active_queries 3
+# HELP aiql_go_goroutines Live goroutines.
+# TYPE aiql_go_goroutines gauge
+aiql_go_goroutines 11
+# HELP aiql_queries_total Queries received.
+# TYPE aiql_queries_total counter
+aiql_queries_total{dataset="apt"} 2
+aiql_queries_total{dataset="demo"} 7
+# HELP aiql_query_duration_seconds Latency with "quotes" and \\ slash.
+# TYPE aiql_query_duration_seconds histogram
+aiql_query_duration_seconds_bucket{le="0.5"} 1
+aiql_query_duration_seconds_bucket{le="2"} 2
+aiql_query_duration_seconds_bucket{le="+Inf"} 2
+aiql_query_duration_seconds_sum 1.25
+aiql_query_duration_seconds_count 2
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if err := ValidateExposition([]byte(got)); err != nil {
+		t.Errorf("golden exposition fails validation: %v", err)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.MustCounter("aiql_x_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != expositionContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	if err := ValidateExposition(rec.Body.Bytes()); err != nil {
+		t.Fatalf("handler output invalid: %v", err)
+	}
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST status = %d, want 405", rec.Code)
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"missing trailing newline": "# HELP aiql_x_total h\n# TYPE aiql_x_total counter\naiql_x_total 1",
+		"sample before TYPE":       "aiql_x_total 1\n# TYPE aiql_x_total counter\n",
+		"duplicate TYPE":           "# TYPE aiql_x_total counter\naiql_x_total 1\n# TYPE aiql_x_total counter\n",
+		"bad value":                "# TYPE aiql_x_total counter\naiql_x_total one\n",
+		"unquoted label":           "# TYPE aiql_x_total counter\naiql_x_total{a=b} 1\n",
+		"unclosed label brace":     "# TYPE aiql_x_total counter\naiql_x_total{a=\"b\" 1\n",
+		"bad metric name":          "# TYPE aiql-x counter\naiql-x 1\n",
+	}
+	for name, body := range cases {
+		if err := ValidateExposition([]byte(body)); err == nil {
+			t.Errorf("%s: validated; want error\n%s", name, body)
+		}
+	}
+	ok := "# HELP aiql_x_total h\n# TYPE aiql_x_total counter\naiql_x_total{a=\"b\",c=\"d\"} 1\naiql_x_total 2.5\n"
+	if err := ValidateExposition([]byte(ok)); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestRuntimeCollector(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeCollector(r)
+	var sb strings.Builder
+	if err := r.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"aiql_build_info{", "aiql_go_goroutines", "aiql_go_heap_alloc_bytes", "aiql_process_uptime_seconds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime collector output missing %q", want)
+		}
+	}
+	if err := ValidateExposition([]byte(out)); err != nil {
+		t.Errorf("runtime exposition invalid: %v", err)
+	}
+}

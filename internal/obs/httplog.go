@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// requestIDHeader carries the correlation ID. An inbound value (set by
+// a proxy or a retrying client) is respected so one logical request
+// correlates across hops; otherwise the middleware mints one.
+const requestIDHeader = "X-Request-Id"
+
+var requestSeq atomic.Uint64
+
+// newRequestID mints a process-unique correlation ID: the process
+// start instant anchors uniqueness across restarts, the sequence
+// number within the process.
+func newRequestID() string {
+	return fmt.Sprintf("%x-%x", processStart.UnixNano()&0xffffffffff, requestSeq.Add(1))
+}
+
+// statusWriter records the status and byte count while preserving the
+// Flusher the NDJSON/SSE streaming endpoints depend on.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController passthrough.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// AccessLog wraps next with structured request logging: one slog line
+// per request carrying method, path, status, bytes, duration, remote,
+// and the correlation ID (minted if absent, always echoed back in the
+// X-Request-Id response header). A nil logger uses slog.Default().
+func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get(requestIDHeader)
+		if reqID == "" {
+			reqID = newRequestID()
+			r.Header.Set(requestIDHeader, reqID)
+		}
+		w.Header().Set(requestIDHeader, reqID)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("request_id", reqID),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Int64("bytes", sw.bytes),
+			slog.String("duration", strconv.FormatFloat(float64(time.Since(start))/float64(time.Millisecond), 'f', 3, 64)+"ms"),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}

@@ -1,0 +1,381 @@
+// Package obs is the observability substrate: a dependency-free
+// metrics registry (atomic counters, gauges, fixed-bucket histograms)
+// with Prometheus text exposition, a per-query span tracer threaded
+// through the engine via context, a bounded slow-query log, and the
+// structured request-logging middleware the HTTP surface shares.
+//
+// Everything here is stdlib-only by design — the registry is the one
+// place later distributed/optimizer PRs emit into, so it must never
+// drag a dependency into the storage or engine packages that import it.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a metric family's exposition type.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one name=value metric dimension.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// nameRE is the registry's naming contract: every metric this system
+// exports is namespaced under aiql_ and lowercase, so dashboards can
+// select the whole surface with one matcher and a typo'd camelCase
+// name fails at registration instead of silently fragmenting series.
+var nameRE = regexp.MustCompile(`^aiql_[a-z0-9_]+$`)
+
+// labelNameRE is the Prometheus label-name grammar.
+var labelNameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// ValidMetricName reports whether name satisfies the registry's
+// aiql_[a-z0-9_]+ naming contract.
+func ValidMetricName(name string) bool { return nameRE.MatchString(name) }
+
+// Counter is a monotonically increasing metric. The nil Counter is
+// valid and discards updates, so call sites need no registry guard.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The nil Gauge is valid
+// and discards updates.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefBuckets are the default latency histogram bounds, in seconds:
+// 1ms to 10s, the band interactive investigation queries live in.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative at
+// exposition time only; Observe touches exactly one bucket counter,
+// the total count, and the sum. The nil Histogram is valid and
+// discards observations.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Sample is one scrape-time data point produced by a collector:
+// subsystems that already keep their own counters (store, durable
+// layer, caches) bridge them into the registry as samples instead of
+// double-counting into parallel instruments, so /metrics and
+// /api/v1/stats read the same source of truth.
+type Sample struct {
+	Name   string
+	Help   string
+	Kind   Kind // KindCounter or KindGauge
+	Labels []Label
+	Value  float64
+}
+
+// series is one labeled instrument inside a family.
+type series struct {
+	labels string // pre-rendered {a="b",...} or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups every label variant of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	bounds []float64 // histogram families only
+	series map[string]*series
+	keys   []string // registration order; sorted at exposition
+}
+
+// Registry holds instruments and collectors and renders them as
+// Prometheus text exposition. The nil Registry is valid: Must*
+// registration on it returns nil instruments, which discard updates —
+// so metrics are a construction-time choice, not a per-call branch.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	collectors map[string]func() []Sample
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families:   map[string]*family{},
+		collectors: map[string]func() []Sample{},
+	}
+}
+
+// register returns the series for (name, labels), creating family and
+// series as needed. Registration is get-or-create: a second caller
+// with the same name and labels receives the same instrument, so a
+// hot-swapped dataset keeps appending to its existing counters.
+func (r *Registry) register(name, help string, kind Kind, bounds []float64, labels []Label) (*series, error) {
+	if !nameRE.MatchString(name) {
+		return nil, fmt.Errorf("obs: metric name %q does not match %s", name, nameRE)
+	}
+	for _, l := range labels {
+		if !labelNameRE.MatchString(l.Name) {
+			return nil, fmt.Errorf("obs: label name %q on %s is not a valid Prometheus label", l.Name, name)
+		}
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, series: map[string]*series{}}
+		r.families[name] = f
+	} else if f.kind != kind {
+		return nil, fmt.Errorf("obs: metric %s already registered as %s, not %s", name, f.kind, kind)
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		switch kind {
+		case KindCounter:
+			s.c = &Counter{}
+		case KindGauge:
+			s.g = &Gauge{}
+		case KindHistogram:
+			h := &Histogram{bounds: append([]float64(nil), f.bounds...)}
+			h.counts = make([]atomic.Uint64, len(h.bounds)+1)
+			s.h = h
+		}
+		f.series[key] = s
+		f.keys = append(f.keys, key)
+	}
+	return s, nil
+}
+
+// Counter registers (or retrieves) a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) (*Counter, error) {
+	if r == nil {
+		return nil, nil
+	}
+	s, err := r.register(name, help, KindCounter, nil, labels)
+	if err != nil {
+		return nil, err
+	}
+	return s.c, nil
+}
+
+// Gauge registers (or retrieves) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) (*Gauge, error) {
+	if r == nil {
+		return nil, nil
+	}
+	s, err := r.register(name, help, KindGauge, nil, labels)
+	if err != nil {
+		return nil, err
+	}
+	return s.g, nil
+}
+
+// Histogram registers (or retrieves) a histogram with the given upper
+// bucket bounds (ascending; +Inf is implicit). Bounds are fixed by the
+// first registration of the name.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) (*Histogram, error) {
+	if r == nil {
+		return nil, nil
+	}
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		return nil, fmt.Errorf("obs: histogram %s bounds are not ascending", name)
+	}
+	s, err := r.register(name, help, KindHistogram, bounds, labels)
+	if err != nil {
+		return nil, err
+	}
+	return s.h, nil
+}
+
+// MustCounter is Counter, panicking on a registration error (a
+// programming bug: bad name or kind clash).
+func (r *Registry) MustCounter(name, help string, labels ...Label) *Counter {
+	c, err := r.Counter(name, help, labels...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustGauge is Gauge, panicking on a registration error.
+func (r *Registry) MustGauge(name, help string, labels ...Label) *Gauge {
+	g, err := r.Gauge(name, help, labels...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// MustHistogram is Histogram, panicking on a registration error.
+func (r *Registry) MustHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h, err := r.Histogram(name, help, bounds, labels...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// SetCollector installs (or replaces) the scrape-time sample source
+// registered under key. Keyed replacement is what makes dataset
+// hot-swaps clean: the catalog re-registers under the same key and the
+// old closure is dropped, never scraped again.
+func (r *Registry) SetCollector(key string, fn func() []Sample) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fn == nil {
+		delete(r.collectors, key)
+		return
+	}
+	r.collectors[key] = fn
+}
+
+// RemoveCollector drops the collector registered under key.
+func (r *Registry) RemoveCollector(key string) { r.SetCollector(key, nil) }
+
+// renderLabels renders a label set in sorted-name order as the
+// canonical {a="b",c="d"} fragment ("" for no labels).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\n\"") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '"':
+			b.WriteString(`\"`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

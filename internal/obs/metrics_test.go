@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	bad := []string{
+		"queries_total",          // missing namespace
+		"aiql_QueriesTotal",      // camelCase
+		"aiql_queries-total",     // dash
+		"aiql_queries total",     // space
+		"aiql_",                  // empty suffix
+		"http_requests_total",    // wrong namespace
+		"aiql_queries_total\n",   // trailing junk
+		"AIQL_queries_total",     // uppercase namespace
+		"aiql_queries_total{a}",  // label syntax in name
+		"aiql_très_total",        // non-ASCII
+		"aiql_queries_total ",    // trailing space
+		" aiql_queries_total",    // leading space
+		"",                       // empty
+		"aiql_queries_total$bad", // symbol
+	}
+	for _, name := range bad {
+		if _, err := r.Counter(name, "help"); err == nil {
+			t.Errorf("Counter(%q) registered; want naming-contract error", name)
+		}
+		if ValidMetricName(name) {
+			t.Errorf("ValidMetricName(%q) = true; want false", name)
+		}
+	}
+	if _, err := r.Counter("aiql_queries_total", "help"); err != nil {
+		t.Fatalf("valid name rejected: %v", err)
+	}
+}
+
+func TestRegisterRejectsBadLabelNames(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Counter("aiql_x_total", "h", Label{Name: "bad-label", Value: "v"}); err == nil {
+		t.Fatal("bad label name registered; want error")
+	}
+}
+
+func TestRegisterKindClash(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Counter("aiql_x_total", "h"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Gauge("aiql_x_total", "h"); err == nil {
+		t.Fatal("re-registering a counter as a gauge succeeded; want kind-clash error")
+	}
+}
+
+func TestRegisterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.MustCounter("aiql_x_total", "h", Label{Name: "dataset", Value: "demo"})
+	b := r.MustCounter("aiql_x_total", "h", Label{Name: "dataset", Value: "demo"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters; hot-swap would reset series")
+	}
+	c := r.MustCounter("aiql_x_total", "h", Label{Name: "dataset", Value: "other"})
+	if a == c {
+		t.Fatal("distinct label values shared one counter")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatalf("shared series out of sync: %d", b.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("aiql_lat_seconds", "h", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`aiql_lat_seconds_bucket{le="0.1"} 1`,
+		`aiql_lat_seconds_bucket{le="1"} 2`,
+		`aiql_lat_seconds_bucket{le="10"} 3`,
+		`aiql_lat_seconds_bucket{le="+Inf"} 4`,
+		`aiql_lat_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "aiql_lat_seconds_sum 55.55") {
+		t.Errorf("exposition missing sum line:\n%s", out)
+	}
+}
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Add(1)
+	c.Inc()
+	g.Set(5)
+	g.Add(-2)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil instruments reported non-zero values")
+	}
+	var r *Registry
+	cc, err := r.Counter("aiql_x_total", "h")
+	if err != nil || cc != nil {
+		t.Fatalf("nil registry: got (%v, %v), want (nil, nil)", cc, err)
+	}
+}

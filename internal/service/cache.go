@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/aiql/aiql/internal/engine"
+	"github.com/aiql/aiql/internal/obs"
 	"github.com/aiql/aiql/internal/qtext"
 )
 
@@ -26,6 +27,9 @@ type cacheEntry struct {
 	result *engine.Result
 	kind   string
 	bytes  int64 // approximate memory footprint, fixed at creation
+	// trace is the producing execution's span tree; responses expose it
+	// only when the request asked to be traced.
+	trace *obs.SpanNode
 }
 
 // approxResultBytes estimates the resident size of a result: the string

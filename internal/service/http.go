@@ -5,13 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
 	"time"
 
 	aiql "github.com/aiql/aiql"
+	"github.com/aiql/aiql/internal/obs"
 )
 
 // QueryRequest is the wire form of one query submission: inline query
@@ -40,6 +41,10 @@ type QueryRequest struct {
 	// Explain returns the scheduled pattern order and per-pattern
 	// estimates instead of executing the query.
 	Explain bool `json:"explain,omitempty"`
+	// Trace returns the execution's span tree alongside the rows
+	// (EXPLAIN ANALYZE style); the request bypasses the result-cache
+	// lookup so the spans describe a real execution.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // PrepareRequest is the wire form of a statement registration.
@@ -85,6 +90,9 @@ type QueryResult struct {
 	SegmentMisses int         `json:"segment_misses,omitempty"`
 	PatternOrder  []string    `json:"pattern_order,omitempty"`
 	Plan          []PlanEntry `json:"plan,omitempty"`
+	// Trace is the execution's span tree, present only when the request
+	// set "trace": true.
+	Trace *obs.SpanNode `json:"trace,omitempty"`
 }
 
 // StreamHeader is the first NDJSON line of a streaming response.
@@ -103,6 +111,9 @@ type StreamTrailer struct {
 	ScannedEvents int64   `json:"scanned_events"`
 	Error         string  `json:"error,omitempty"`
 	Code          string  `json:"code,omitempty"`
+	// Trace is the execution's span tree, present only when the request
+	// set "trace": true.
+	Trace *obs.SpanNode `json:"trace,omitempty"`
 }
 
 // maxRequestBody caps request bodies: queries are human-written text, so
@@ -177,6 +188,7 @@ func (s *Service) Handler() http.Handler {
 //	POST /api/v1/query/stream  QueryRequest → NDJSON stream
 //	POST /api/v1/check         CheckRequest → CheckResponse
 //	GET  /api/v1/stats[?dataset=name]       → DatasetStats
+//	GET  /api/v1/queries/slow               → SlowQueriesResponse
 //	POST /api/v1/ingest[?dataset=name]      NDJSON IngestRecord lines → IngestResult
 //	POST /api/v1/watch         WatchRequest → WatchInfo
 //	GET  /api/v1/watch[?dataset=name]       → []WatchInfo
@@ -211,6 +223,7 @@ func NewHandler(r Resolver) http.Handler {
 	mux.HandleFunc("/api/v1/query/stream", h.handleQueryStream)
 	mux.HandleFunc("/api/v1/check", h.handleCheck)
 	mux.HandleFunc("/api/v1/stats", h.handleStats)
+	mux.HandleFunc("/api/v1/queries/slow", h.handleSlowQueries)
 	mux.HandleFunc("/api/v1/ingest", h.handleIngest)
 	mux.HandleFunc("/api/v1/watch", h.handleWatch)
 	mux.HandleFunc("/api/v1/watch/", h.handleWatchSub)
@@ -297,6 +310,7 @@ func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Client:  clientKey(r),
 		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 		Explain: req.Explain,
+		Trace:   req.Trace,
 	})
 	if err != nil {
 		WriteError(w, err)
@@ -315,6 +329,7 @@ func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SegmentHits:   resp.Stats.SegmentHits,
 		SegmentMisses: resp.Stats.SegmentMisses,
 		PatternOrder:  resp.Stats.PatternOrder,
+		Trace:         resp.Trace,
 	}
 	for _, e := range resp.Plan {
 		out.Plan = append(out.Plan, PlanEntry{Alias: e.Alias, Estimate: e.Estimate})
@@ -358,6 +373,7 @@ func (h *apiHandler) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		Limit:   req.Limit,
 		Client:  clientKey(r),
 		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		Trace:   req.Trace,
 	},
 		func(cols []string, cached bool) error {
 			w.Header().Set("Content-Type", "application/x-ndjson")
@@ -393,6 +409,7 @@ func (h *apiHandler) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		Rows:          resp.TotalRows,
 		DurationMS:    float64(resp.Duration) / float64(time.Millisecond),
 		ScannedEvents: resp.Stats.ScannedEvents,
+		Trace:         resp.Trace,
 	}); encErr == nil {
 		flush()
 	}
@@ -422,6 +439,40 @@ func (h *apiHandler) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, svc.DatasetStats(name))
+}
+
+// SlowQueriesResponse is the wire form of the slow-query log: the
+// active threshold, the count of entries ever recorded (the ring keeps
+// only the most recent), and the retained entries newest-first.
+type SlowQueriesResponse struct {
+	ThresholdMS int64           `json:"threshold_ms"`
+	Total       uint64          `json:"total"`
+	Entries     []obs.SlowEntry `json:"entries"`
+}
+
+// handleSlowQueries reports the slow-query log. The log is shared
+// across datasets (each entry names its dataset), so the endpoint takes
+// no dataset parameter; a server configured without one reports a
+// negative threshold and no entries.
+func (h *apiHandler) handleSlowQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		WriteError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed, msg: "GET only"})
+		return
+	}
+	svc, ok := h.resolveService(w, "")
+	if !ok {
+		return
+	}
+	sl := svc.SlowLog()
+	entries, total := sl.Snapshot()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	writeJSON(w, http.StatusOK, SlowQueriesResponse{
+		ThresholdMS: sl.ThresholdMS(),
+		Total:       total,
+		Entries:     entries,
+	})
 }
 
 // WatchRequest is the wire form of a standing-query registration.
@@ -598,6 +649,6 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	}
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("service: encode: %v", err)
+		slog.Warn("service: response encode failed", "error", err)
 	}
 }

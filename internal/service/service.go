@@ -31,6 +31,7 @@ import (
 	aiql "github.com/aiql/aiql"
 	"github.com/aiql/aiql/internal/engine"
 	"github.com/aiql/aiql/internal/eventstore"
+	"github.com/aiql/aiql/internal/obs"
 	"github.com/aiql/aiql/internal/workpool"
 )
 
@@ -97,6 +98,16 @@ type Config struct {
 	// so a slow consumer sees the freshest matches, never a stalled
 	// ingest path. Default: 256.
 	WatchBuffer int
+	// Dataset names the dataset this service fronts; it labels the
+	// service's metric series and slow-query entries. Empty emits
+	// unlabeled series.
+	Dataset string
+	// Metrics, when set, receives the service's per-query instruments
+	// (latency histogram, scanned-events counter). Nil disables them.
+	Metrics *obs.Registry
+	// SlowLog, when set, records every execution at or above its
+	// threshold. Nil disables slow-query logging.
+	SlowLog *obs.SlowLog
 }
 
 func (c Config) withDefaults() Config {
@@ -181,6 +192,11 @@ type Request struct {
 	// pruning-power estimates) instead of executing the query: the
 	// response carries Plan and no rows.
 	Explain bool
+	// Trace requests the execution's span tree (EXPLAIN ANALYZE style):
+	// the response carries Trace alongside the rows. A traced request
+	// bypasses the result-cache lookup so the spans describe a real
+	// execution, though its result still fills the cache.
+	Trace bool
 }
 
 // Response is one query outcome.
@@ -201,6 +217,9 @@ type Response struct {
 	// Plan is the scheduled pattern order with estimates, set only for
 	// explain requests (which carry no rows).
 	Plan []engine.ExplainEntry
+	// Trace is the execution's span tree, set only when the request
+	// asked for it (Request.Trace).
+	Trace *obs.SpanNode
 }
 
 // Stats are the service's monotonic counters plus instantaneous gauges.
@@ -216,10 +235,14 @@ type Stats struct {
 	Canceled     uint64 `json:"canceled"`
 	Errors       uint64 `json:"errors"`
 	RowsStreamed uint64 `json:"rows_streamed"` // rows delivered through DoStream
-	Active       int64  `json:"active"`
-	Queued       int64  `json:"queued"`
-	CacheEntries int    `json:"cache_entries"`
-	CacheBytes   int64  `json:"cache_bytes"`
+	// ScannedEvents sums events touched by pattern scans across fresh
+	// executions (cache hits and coalesced followers re-report the
+	// leader's work and are not re-counted).
+	ScannedEvents uint64 `json:"scanned_events"`
+	Active        int64  `json:"active"`
+	Queued        int64  `json:"queued"`
+	CacheEntries  int    `json:"cache_entries"`
+	CacheBytes    int64  `json:"cache_bytes"`
 }
 
 // StoreStats is the wire form of one dataset's storage figures,
@@ -258,6 +281,7 @@ type DatasetStats struct {
 	Prepared PreparedStats           `json:"prepared"`
 	Ingest   IngestStats             `json:"ingest"`
 	Watch    WatchStats              `json:"watch"`
+	Build    obs.BuildInfo           `json:"build"`
 }
 
 // DatasetStats snapshots the service's counters together with its
@@ -288,6 +312,7 @@ func (s *Service) DatasetStats(name string) DatasetStats {
 		Prepared:  s.PreparedStats(),
 		Ingest:    s.IngestStats(),
 		Watch:     s.WatchStats(),
+		Build:     obs.Build(),
 	}
 }
 
@@ -314,29 +339,36 @@ type Service struct {
 	clientMu sync.Mutex
 	clients  map[string]int // in-flight executions per client key
 
-	queries      atomic.Uint64
-	executions   atomic.Uint64
-	cacheHits    atomic.Uint64
-	cacheMisses  atomic.Uint64
-	coalesced    atomic.Uint64
-	rejected     atomic.Uint64
-	throttled    atomic.Uint64
-	timeouts     atomic.Uint64
-	canceled     atomic.Uint64
-	errors       atomic.Uint64
-	rowsStreamed atomic.Uint64
-	active       atomic.Int64
-	queued       atomic.Int64
+	queries       atomic.Uint64
+	executions    atomic.Uint64
+	cacheHits     atomic.Uint64
+	cacheMisses   atomic.Uint64
+	coalesced     atomic.Uint64
+	rejected      atomic.Uint64
+	throttled     atomic.Uint64
+	timeouts      atomic.Uint64
+	canceled      atomic.Uint64
+	errors        atomic.Uint64
+	rowsStreamed  atomic.Uint64
+	scannedEvents atomic.Uint64
+	active        atomic.Int64
+	queued        atomic.Int64
 
 	ingests        atomic.Uint64
 	ingestEvents   atomic.Uint64
 	ingestRejected atomic.Uint64
+
+	// mDuration and mScanned are nil-safe obs instruments (no-ops when
+	// Config.Metrics is unset); slow is the shared slow-query log.
+	mDuration *obs.Histogram
+	mScanned  *obs.Counter
+	slow      *obs.SlowLog
 }
 
 // New creates a service over db.
 func New(db *aiql.DB, cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		db:       db,
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.Workers),
@@ -345,8 +377,28 @@ func New(db *aiql.DB, cfg Config) *Service {
 		watches:  newWatchRegistry(cfg.MaxWatches, cfg.WatchBuffer),
 		flights:  map[cacheKey]*flight{},
 		clients:  map[string]int{},
+		slow:     cfg.SlowLog,
 	}
+	if cfg.Metrics != nil {
+		var lbls []obs.Label
+		if cfg.Dataset != "" {
+			lbls = []obs.Label{{Name: "dataset", Value: cfg.Dataset}}
+		}
+		// Registration is get-or-create, so a dataset hot-swap building a
+		// fresh service over the same registry reuses the live series and
+		// the counters stay monotonic across swaps.
+		s.mDuration = cfg.Metrics.MustHistogram("aiql_query_duration_seconds",
+			"Query latency through the service layer, queue wait included.",
+			obs.DefBuckets, lbls...)
+		s.mScanned = cfg.Metrics.MustCounter("aiql_query_scanned_events_total",
+			"Events touched by pattern scans across fresh executions.", lbls...)
+	}
+	return s
 }
+
+// SlowLog returns the slow-query log this service records into (nil
+// when none is configured).
+func (s *Service) SlowLog() *obs.SlowLog { return s.slow }
 
 // DB returns the wrapped database.
 func (s *Service) DB() *aiql.DB { return s.db }
@@ -354,21 +406,22 @@ func (s *Service) DB() *aiql.DB { return s.db }
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	return Stats{
-		Queries:      s.queries.Load(),
-		Executions:   s.executions.Load(),
-		CacheHits:    s.cacheHits.Load(),
-		CacheMisses:  s.cacheMisses.Load(),
-		Coalesced:    s.coalesced.Load(),
-		Rejected:     s.rejected.Load(),
-		Throttled:    s.throttled.Load(),
-		Timeouts:     s.timeouts.Load(),
-		Canceled:     s.canceled.Load(),
-		Errors:       s.errors.Load(),
-		RowsStreamed: s.rowsStreamed.Load(),
-		Active:       s.active.Load(),
-		Queued:       s.queued.Load(),
-		CacheEntries: s.cache.len(),
-		CacheBytes:   s.cache.sizeBytes(),
+		Queries:       s.queries.Load(),
+		Executions:    s.executions.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Rejected:      s.rejected.Load(),
+		Throttled:     s.throttled.Load(),
+		Timeouts:      s.timeouts.Load(),
+		Canceled:      s.canceled.Load(),
+		Errors:        s.errors.Load(),
+		RowsStreamed:  s.rowsStreamed.Load(),
+		ScannedEvents: s.scannedEvents.Load(),
+		Active:        s.active.Load(),
+		Queued:        s.queued.Load(),
+		CacheEntries:  s.cache.len(),
+		CacheBytes:    s.cache.sizeBytes(),
 	}
 }
 
@@ -461,6 +514,18 @@ func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 		return &Response{Plan: plan, Kind: kind, Duration: time.Since(start)}, nil
 	}
 
+	resp, err := s.doResolved(ctx, req, target, start)
+	s.observe(req, target, start, resp, err)
+	if resp != nil && !req.Trace {
+		resp.Trace = nil
+	}
+	return resp, err
+}
+
+// doResolved is Do past target resolution: cursor resolution, cache
+// lookup, singleflight, admission, execution, page shaping. Split out
+// so Do can observe (metrics, slow log) every outcome in one place.
+func (s *Service) doResolved(ctx context.Context, req Request, target *execTarget, start time.Time) (*Response, error) {
 	norm := target.keyQuery
 	offset := 0
 
@@ -492,12 +557,16 @@ func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 		// evicted but not superseded: re-execute at the same generation
 	}
 	key := cacheKey{query: norm, commits: commits}
-	if entry, ok := s.cache.get(key); ok {
-		s.cacheHits.Add(1)
-		return s.shape(entry, req, start, true, offset), nil
-	}
-	if s.cache != nil {
-		s.cacheMisses.Add(1)
+	// A traced request skips the lookup (not the fill): the spans must
+	// describe a real execution, EXPLAIN ANALYZE style.
+	if !req.Trace {
+		if entry, ok := s.cache.get(key); ok {
+			s.cacheHits.Add(1)
+			return s.shape(entry, req, start, true, offset), nil
+		}
+		if s.cache != nil {
+			s.cacheMisses.Add(1)
+		}
 	}
 
 	if err := s.acquireClient(req.Client); err != nil {
@@ -508,6 +577,7 @@ func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 	var (
 		entry     *cacheEntry
 		coalesced bool
+		err       error
 	)
 	for attempt := 0; ; attempt++ {
 		entry, coalesced, err = s.executeShared(ctx, req, target, key)
@@ -594,7 +664,12 @@ func (s *Service) execute(ctx context.Context, req Request, target *execTarget, 
 	if kind == "" {
 		kind, _ = aiql.QueryKind(req.Query)
 	}
-	res, err := target.run(execCtx, s.db)
+	// Every execution is traced — spans are a handful of timed nodes, so
+	// the slow-query log always has the breakdown, not just when a
+	// client thought to ask for one.
+	tr := obs.NewTrace("query")
+	res, err := target.run(obs.WithSpan(execCtx, tr.Root()), s.db)
+	tr.Root().End()
 	if err != nil {
 		if ctxErr := execCtx.Err(); ctxErr != nil {
 			// a deadline expiry is a timeout; a cancelled parent means
@@ -610,7 +685,7 @@ func (s *Service) execute(ctx context.Context, req Request, target *execTarget, 
 		s.errors.Add(1)
 		return nil, err
 	}
-	return &cacheEntry{key: key, result: res, kind: kind, bytes: approxResultBytes(res)}, nil
+	return &cacheEntry{key: key, result: res, kind: kind, bytes: approxResultBytes(res), trace: tr.Tree()}, nil
 }
 
 func (s *Service) timeout(req Request) time.Duration {
@@ -737,7 +812,59 @@ func (s *Service) shape(entry *cacheEntry, req Request, start time.Time, cached 
 		Cached:     cached,
 		Kind:       entry.kind,
 		Stats:      entry.result.Stats,
+		Trace:      entry.trace,
 	}
+}
+
+// observe feeds the per-query instruments with one request's outcome:
+// the latency histogram (every request), the scanned-events counter
+// (fresh executions only — cache hits and coalesced followers re-report
+// the leader's work and must not re-count it), and the slow-query log.
+func (s *Service) observe(req Request, target *execTarget, start time.Time, resp *Response, err error) {
+	dur := time.Since(start)
+	s.mDuration.Observe(dur.Seconds())
+
+	var scanned int64
+	rows, cached := 0, false
+	var spans []obs.SpanSummary
+	kind := target.kind
+	if resp != nil {
+		scanned, rows, cached = resp.Stats.ScannedEvents, resp.TotalRows, resp.Cached
+		if !cached && scanned > 0 {
+			s.mScanned.Add(uint64(scanned))
+			s.scannedEvents.Add(uint64(scanned))
+		}
+		spans = obs.TopSpans(resp.Trace, 5)
+		if resp.Kind != "" {
+			kind = resp.Kind
+		}
+	}
+	if s.slow == nil {
+		return
+	}
+	qtxt := target.query
+	if target.stmt != nil {
+		qtxt = target.stmt.Source()
+	}
+	e := obs.SlowEntry{
+		Time:          start,
+		Dataset:       s.cfg.Dataset,
+		Kind:          kind,
+		Query:         normalizeQuery(qtxt),
+		DurationMS:    float64(dur) / float64(time.Millisecond),
+		Rows:          rows,
+		ScannedEvents: scanned,
+		Cached:        cached,
+		Spans:         spans,
+	}
+	if len(target.params) > 0 {
+		// fingerprint, not values: binding values may be sensitive
+		e.Bindings = fmt.Sprintf("%016x", hashQuery(target.keyQuery))
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	s.slow.Record(e)
 }
 
 // DoStream executes one query as a row stream: header receives the
@@ -757,48 +884,70 @@ func (s *Service) DoStream(ctx context.Context, req Request, header func(cols []
 	start := time.Now()
 	s.queries.Add(1)
 
-	limit := req.Limit
-	if limit < 0 {
-		limit = 0
-	}
-
 	target, err := s.resolveTarget(req)
 	if err != nil {
 		s.errors.Add(1)
 		return nil, err
 	}
 
+	resp, err := s.doStreamResolved(ctx, req, target, start, header, row)
+	s.observe(req, target, start, resp, err)
+	if resp != nil && !req.Trace {
+		resp.Trace = nil
+	}
+	return resp, err
+}
+
+// doStreamResolved is DoStream past target resolution. An execution cut
+// short by its sink (the client disconnected mid-stream) still returns
+// a Response — alongside the error — carrying the engine statistics of
+// the work actually done, so observe records the aborted query's
+// latency and scanned events instead of losing them.
+func (s *Service) doStreamResolved(ctx context.Context, req Request, target *execTarget, start time.Time, header func(cols []string, cached bool) error, row func([]string) error) (*Response, error) {
+	limit := req.Limit
+	if limit < 0 {
+		limit = 0
+	}
+
 	norm := target.keyQuery
 	commits := s.db.Store().Commits()
-	if entry, ok := s.cache.get(cacheKey{query: norm, commits: commits}); ok {
-		s.cacheHits.Add(1)
-		if err := header(entry.result.Columns, true); err != nil {
-			s.canceled.Add(1) // a sink failure means the client went away
-			return nil, err
-		}
-		rows := entry.result.Rows
-		if limit > 0 && len(rows) > limit {
-			rows = rows[:limit]
-		}
-		for _, r := range rows {
-			if err := row(r); err != nil {
-				s.canceled.Add(1)
-				return nil, err
+	if !req.Trace {
+		if entry, ok := s.cache.get(cacheKey{query: norm, commits: commits}); ok {
+			s.cacheHits.Add(1)
+			resp := &Response{
+				Columns: entry.result.Columns,
+				Cached:  true,
+				Kind:    entry.kind,
+				Stats:   entry.result.Stats,
+				Trace:   entry.trace,
 			}
-			s.rowsStreamed.Add(1)
+			if err := header(entry.result.Columns, true); err != nil {
+				s.canceled.Add(1) // a sink failure means the client went away
+				resp.Duration = time.Since(start)
+				return resp, err
+			}
+			rows := entry.result.Rows
+			if limit > 0 && len(rows) > limit {
+				rows = rows[:limit]
+			}
+			sent := 0
+			for _, r := range rows {
+				if err := row(r); err != nil {
+					s.canceled.Add(1)
+					resp.TotalRows = sent
+					resp.Duration = time.Since(start)
+					return resp, err
+				}
+				sent++
+				s.rowsStreamed.Add(1)
+			}
+			resp.TotalRows = sent
+			resp.Duration = time.Since(start)
+			return resp, nil
 		}
-		return &Response{
-			Columns:   entry.result.Columns,
-			Rows:      nil,
-			TotalRows: len(rows),
-			Duration:  time.Since(start),
-			Cached:    true,
-			Kind:      entry.kind,
-			Stats:     entry.result.Stats,
-		}, nil
-	}
-	if s.cache != nil {
-		s.cacheMisses.Add(1)
+		if s.cache != nil {
+			s.cacheMisses.Add(1)
+		}
 	}
 
 	if err := s.acquireClient(req.Client); err != nil {
@@ -820,11 +969,16 @@ func (s *Service) DoStream(ctx context.Context, req Request, header func(cols []
 	if kind == "" {
 		kind, _ = aiql.QueryKind(req.Query)
 	}
-	var cur *aiql.Cursor
+	tr := obs.NewTrace("query")
+	runCtx := obs.WithSpan(execCtx, tr.Root())
+	var (
+		cur *aiql.Cursor
+		err error
+	)
 	if target.stmt != nil {
-		cur, err = target.stmt.ExecCursor(execCtx, target.params, aiql.CursorOptions{Limit: limit})
+		cur, err = target.stmt.ExecCursor(runCtx, target.params, aiql.CursorOptions{Limit: limit})
 	} else {
-		cur, err = s.db.QueryCursor(execCtx, req.Query, aiql.CursorOptions{Limit: limit})
+		cur, err = s.db.QueryCursor(runCtx, req.Query, aiql.CursorOptions{Limit: limit})
 	}
 	if err != nil {
 		s.errors.Add(1)
@@ -832,37 +986,48 @@ func (s *Service) DoStream(ctx context.Context, req Request, header func(cols []
 	}
 	defer cur.Close()
 
+	// finish closes the cursor first — Close blocks until in-flight
+	// scans observe the abort — so the statistics and span tree are
+	// final in the returned Response whether the stream completed,
+	// failed, or was abandoned by its sink.
+	finish := func(streamed int) *Response {
+		cur.Close()
+		tr.Root().End()
+		return &Response{
+			Columns:   cur.Columns(),
+			TotalRows: streamed,
+			Duration:  time.Since(start),
+			Kind:      kind,
+			Stats:     cur.Stats(),
+			Trace:     tr.Tree(),
+		}
+	}
+
 	if err := header(cur.Columns(), false); err != nil {
 		s.canceled.Add(1) // a sink failure means the client went away
-		return nil, err
+		return finish(0), err
 	}
 	streamed := 0
 	for cur.Next() {
 		if err := row(cur.Row()); err != nil {
 			s.canceled.Add(1)
-			return nil, err
+			return finish(streamed), err
 		}
 		streamed++
 		s.rowsStreamed.Add(1)
 	}
 	if err := cur.Err(); err != nil {
+		resp := finish(streamed)
 		if ctxErr := execCtx.Err(); ctxErr != nil {
 			if errors.Is(ctxErr, context.Canceled) {
 				s.canceled.Add(1)
 			} else {
 				s.timeouts.Add(1)
 			}
-			return nil, fmt.Errorf("service: stream aborted after %s: %w", time.Since(start).Round(time.Millisecond), ctxErr)
+			return resp, fmt.Errorf("service: stream aborted after %s: %w", time.Since(start).Round(time.Millisecond), ctxErr)
 		}
 		s.errors.Add(1)
-		return nil, err
+		return resp, err
 	}
-	cur.Close()
-	return &Response{
-		Columns:   cur.Columns(),
-		TotalRows: streamed,
-		Duration:  time.Since(start),
-		Kind:      kind,
-		Stats:     cur.Stats(),
-	}, nil
+	return finish(streamed), nil
 }

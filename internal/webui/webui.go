@@ -10,7 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"html/template"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 
@@ -206,14 +206,14 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := page.Execute(w, nil); err != nil {
-		log.Printf("webui: render: %v", err)
+		slog.Warn("webui: page render failed", "error", err)
 	}
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("webui: encode: %v", err)
+		slog.Warn("webui: response encode failed", "error", err)
 	}
 }
 
