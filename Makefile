@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-nommap bench bench-streaming bench-segments bench-persist bench-prepare bench-ingest bench-scan bench-obs smoke-metrics serve
+.PHONY: check fmt vet build test race race-nommap bench bench-streaming bench-segments bench-persist bench-prepare bench-ingest bench-scan bench-obs bench-shard smoke-metrics smoke-shard serve
 
 check: fmt vet build race race-nommap
 
@@ -39,7 +39,7 @@ define run-bench
 	@rm -f bench.out
 endef
 
-bench: bench-streaming bench-segments bench-persist bench-prepare bench-ingest bench-scan bench-obs
+bench: bench-streaming bench-segments bench-persist bench-prepare bench-ingest bench-scan bench-obs bench-shard
 
 # Streaming/caching benchmarks on the Fig4 50k-event dataset: cold vs.
 # warm cache, full drain vs. LIMIT-50 early termination.
@@ -95,6 +95,13 @@ bench-obs:
 		-max-ratio 'BenchmarkObsFig4TraceOn/BenchmarkObsFig4TraceOff<=1.05' < bench.out
 	@rm -f bench.out
 
+# Sharded scatter-gather benchmarks on the Fig4 50k-event dataset: cold
+# full-corpus scatter + k-way merge-sort at 1, 2, and 4 local members.
+# The 1-shard run is the unsharded baseline the merge overhead is read
+# against.
+bench-shard:
+	$(call run-bench,./internal/shard/,BenchmarkShardColdScan,10x,BENCH_shard.json)
+
 # Boot aiqlserver on the built-in demo dataset, scrape /metrics on both
 # the API and ops listeners, and lint the expositions with promlint.
 smoke-metrics:
@@ -109,6 +116,44 @@ smoke-metrics:
 	curl -fsS 127.0.0.1:18081/metrics | $(GO) run ./cmd/promlint || exit 1; \
 	curl -fsS -o /dev/null 127.0.0.1:18081/debug/pprof/cmdline || exit 1; \
 	echo "metrics smoke OK"
+
+# Sharded-deployment smoke: two member aiqlservers (each serving the
+# built-in 50k-event demo dataset) behind one coordinator running the
+# partition map, exercised end to end over the wire — readiness via
+# /api/v1/healthz, a scatter-gather Fig4 investigation, a LIMIT-
+# paginated cursor walk, and a promlint-checked scrape of the
+# coordinator's aiql_shard_* metrics.
+smoke-shard:
+	$(GO) build -o aiqlserver.smoke ./cmd/aiqlserver
+	@printf '%s\n' '{"datasets":[{"dataset":"fig4","members":[{"name":"m1","url":"http://127.0.0.1:18091","dataset":"demo"},{"name":"m2","url":"http://127.0.0.1:18092","dataset":"demo"}]}]}' > shards.smoke.json; \
+	./aiqlserver.smoke -addr 127.0.0.1:18091 & m1=$$!; \
+	./aiqlserver.smoke -addr 127.0.0.1:18092 & m2=$$!; \
+	./aiqlserver.smoke -addr 127.0.0.1:18090 -shards shards.smoke.json & co=$$!; \
+	trap 'kill $$m1 $$m2 $$co 2>/dev/null; \
+		rm -f aiqlserver.smoke shards.smoke.json shard.smoke page1.smoke page2.smoke metrics.shard.smoke' EXIT; \
+	ok=0; for i in $$(seq 1 150); do \
+		if curl -fsS -o /dev/null 127.0.0.1:18091/api/v1/healthz 2>/dev/null && \
+		   curl -fsS -o /dev/null 127.0.0.1:18092/api/v1/healthz 2>/dev/null && \
+		   curl -fsS -o /dev/null 127.0.0.1:18090/api/v1/healthz 2>/dev/null; then ok=1; break; fi; \
+		sleep 0.2; done; \
+	[ $$ok -eq 1 ] || { echo "shard smoke: servers never became healthy"; exit 1; }; \
+	curl -fsS -X POST 127.0.0.1:18090/api/v1/query \
+		-d '{"query": "(at \"05/10/2018\") agentid = 1 proc p accept ip i[srcip = \"203.0.113.129\"] as evt return distinct p, i.src_ip"}' \
+		> shard.smoke || { echo "shard smoke: scatter-gather query failed"; exit 1; }; \
+	grep -q '"total_rows":[1-9]' shard.smoke || { echo "shard smoke: scatter-gather returned no rows:"; cat shard.smoke; exit 1; }; \
+	curl -fsS -X POST 127.0.0.1:18090/api/v1/query \
+		-d '{"query": "proc p write file f as evt return p, f", "limit": 5}' \
+		> page1.smoke || { echo "shard smoke: paginated query failed"; exit 1; }; \
+	cur=$$(sed -n 's/.*"next_cursor":"\([^"]*\)".*/\1/p' page1.smoke); \
+	[ -n "$$cur" ] || { echo "shard smoke: no next_cursor on page 1:"; cat page1.smoke; exit 1; }; \
+	curl -fsS -X POST 127.0.0.1:18090/api/v1/query \
+		-d "{\"query\": \"proc p write file f as evt return p, f\", \"limit\": 5, \"cursor\": \"$$cur\"}" \
+		> page2.smoke || { echo "shard smoke: cursor page failed"; exit 1; }; \
+	grep -q '"offset":5' page2.smoke || { echo "shard smoke: page 2 offset wrong:"; cat page2.smoke; exit 1; }; \
+	curl -fsS 127.0.0.1:18090/metrics > metrics.shard.smoke || exit 1; \
+	$(GO) run ./cmd/promlint < metrics.shard.smoke || exit 1; \
+	grep -q 'aiql_shard_fanouts_total' metrics.shard.smoke || { echo "shard smoke: no aiql_shard_* series in the exposition"; exit 1; }; \
+	echo "shard smoke OK"
 
 # Web UI + JSON API on :8080 over the built-in demo dataset.
 serve:

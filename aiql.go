@@ -192,6 +192,11 @@ func OpenPathWithOptions(path string, storage StorageOptions, cfg EngineConfig) 
 // queries on pinned snapshots are unaffected either way.
 func (db *DB) Close() error { return db.store.Close() }
 
+// Closed reports whether Close has been called. Health endpoints and
+// shard probes use this to report readiness without touching store
+// locks.
+func (db *DB) Closed() bool { return db.store.Closed() }
+
 // Compact merges chains of small sealed segments until none remains
 // below the configured target, retiring the old segment IDs from the
 // engine's scan cache. Durable databases install each merge as a new

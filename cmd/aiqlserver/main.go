@@ -12,12 +12,20 @@
 //	aiqlserver -data data.aiql -addr :8080
 //	aiqlserver -data-dir ./store -compact 30s
 //	aiqlserver -datasets "prod=proddir,staging=staging.aiql" -default prod
+//	aiqlserver -shards shards.json -shard-timeout 10s
 //
 // A dataset path may be a legacy gob snapshot file or a durable store
 // directory (file-per-segment snapshots + MANIFEST + WAL, recovered on
 // open); -data-dir serves a durable directory as the default dataset,
 // creating it if absent, and -compact runs each dataset's background
 // segment compactor.
+//
+// -shards declares sharded datasets from a partition-map JSON file:
+// each member is a local store directory or a remote aiqlserver peer
+// reached over the NDJSON stream API; this process becomes the
+// coordinator that scatters queries to the members the partition map
+// admits and merge-sorts their row streams (see the README's "Sharded
+// deployment" section for the format and the partial-results contract).
 //
 // API:
 //
@@ -33,6 +41,7 @@
 //	GET  /api/v1/watch?dataset=name    registered standing queries
 //	DELETE /api/v1/watch/{id}?dataset=name
 //	GET  /api/v1/watch/{id}/events?dataset=name   SSE stream of fresh matches
+//	GET  /api/v1/healthz?dataset=name  readiness/liveness (store open, WAL lock held, store generation)
 //	GET  /api/v1/queries/slow          slow-query log (threshold via -slow-query-ms)
 //	GET  /metrics                      Prometheus text exposition
 //
@@ -58,6 +67,7 @@ import (
 	"github.com/aiql/aiql/internal/experiments"
 	"github.com/aiql/aiql/internal/obs"
 	"github.com/aiql/aiql/internal/service"
+	"github.com/aiql/aiql/internal/shard"
 	"github.com/aiql/aiql/internal/webui"
 
 	aiql "github.com/aiql/aiql"
@@ -98,6 +108,10 @@ func main() {
 		watchBuf   = flag.Int("watch-buffer", 0, "buffered matches per SSE subscriber before drop-oldest (0 = 256)")
 		segComp    = flag.String("segment-compression", "", "block codec for newly written v2 segment files: lz4 (default) or none")
 		blockCache = flag.Int64("block-cache-bytes", 0, "decompressed-block cache byte budget per dataset (0 = 32 MiB, negative disables)")
+		shards     = flag.String("shards", "", "partition-map JSON declaring sharded datasets; each member is a local store dir or a remote peer URL (see README \"Sharded deployment\")")
+		shardTO    = flag.Duration("shard-timeout", 30*time.Second, "per-member execution timeout for sharded queries")
+		shardRetry = flag.Int("shard-retries", 2, "transport retries per remote member before it counts as unavailable (negative disables)")
+		shardProbe = flag.Duration("shard-probe", 15*time.Second, "remote member health/epoch probe interval (0 disables background probes)")
 		opsAddr    = flag.String("ops-addr", "", "optional separate listen address for the ops surface (/metrics + /debug/pprof); empty serves /metrics on -addr only")
 		slowMS     = flag.Int64("slow-query-ms", 500, "slow-query log threshold in milliseconds (0 logs every query, negative disables the log)")
 		slowCap    = flag.Int("slow-query-entries", 0, "slow-query log ring capacity (0 = 128)")
@@ -146,6 +160,22 @@ func main() {
 			if _, err := cat.AddFile(name, path); err != nil {
 				fatal(err)
 			}
+		}
+	}
+	if *shards != "" {
+		cfg, err := shard.LoadConfig(*shards)
+		if err != nil {
+			fatal(err)
+		}
+		for _, spec := range cfg.Datasets {
+			if _, err := cat.AddSharded(spec, catalog.ShardOptions{
+				ShardTimeout:  *shardTO,
+				Retries:       *shardRetry,
+				ProbeInterval: *shardProbe,
+			}); err != nil {
+				fatal(err)
+			}
+			slog.Info("sharded dataset registered", "dataset", spec.Dataset, "members", len(spec.Members))
 		}
 	}
 	if *data != "" && *dataDir != "" {

@@ -331,6 +331,12 @@ func (c *Catalog) Load(name, path string) (*Dataset, error) {
 	c.mu.RLock()
 	old := c.sets[name]
 	c.mu.RUnlock()
+	if old != nil && old.svc.Sharded() {
+		// A sharded dataset is a coordinator over member stores, not a
+		// snapshot; hot-swapping it under live fan-outs would strand the
+		// members. Restart with a new partition map instead.
+		return nil, fmt.Errorf("catalog: dataset %q is sharded and cannot be hot-swapped", name)
+	}
 
 	// When the reload targets the directory the old database is itself
 	// writing, close the old one BEFORE opening the new: Close drains

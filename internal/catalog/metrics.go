@@ -47,7 +47,7 @@ func datasetSamples(st service.DatasetStats) []obs.Sample {
 	sv, store, sc := st.Service, st.Store, st.ScanCache
 	dur, stg, bc := st.Durable, st.Storage, st.Storage.BlockCache
 	pr, ing, w := st.Prepared, st.Ingest, st.Watch
-	return []obs.Sample{
+	out := []obs.Sample{
 		counter("aiql_queries_total", "Query requests received (buffered and streaming).", lbl, float64(sv.Queries)),
 		counter("aiql_executions_total", "Engine executions actually started.", lbl, float64(sv.Executions)),
 		counter("aiql_cache_hits_total", "Query requests served from the result cache.", lbl, float64(sv.CacheHits)),
@@ -97,4 +97,27 @@ func datasetSamples(st service.DatasetStats) []obs.Sample {
 		counter("aiql_watch_matches_total", "Fresh rows pushed to watch subscribers.", lbl, float64(w.Matches)),
 		counter("aiql_watch_dropped_total", "Watch matches discarded by slow subscribers' buffers.", lbl, float64(w.Dropped)),
 	}
+	if sh := st.Shards; sh != nil {
+		out = append(out,
+			counter("aiql_shard_queries_total", "Queries fanned out by the shard coordinator.", lbl, float64(sh.Queries)),
+			counter("aiql_shard_partial_total", "Sharded queries that returned partial results.", lbl, float64(sh.Partial)),
+			gauge("aiql_shard_generation", "Hash of every member's store epoch (cache invalidation signal).", lbl, float64(sh.Generation)),
+		)
+		for _, m := range sh.Members {
+			ml := append([]obs.Label{{Name: "shard", Value: m.Shard}}, lbl...)
+			healthy := 0.0
+			if m.Healthy {
+				healthy = 1
+			}
+			out = append(out,
+				gauge("aiql_shard_healthy", "Whether the member answered its last probe or query.", ml, healthy),
+				counter("aiql_shard_fanouts_total", "Queries dispatched to the member.", ml, float64(m.Fanouts)),
+				counter("aiql_shard_pruned_total", "Queries skipped at the member by partition-map pruning.", ml, float64(m.Pruned)),
+				counter("aiql_shard_retries_total", "Transport retries against the member.", ml, float64(m.Retries)),
+				counter("aiql_shard_errors_total", "Member executions that failed.", ml, float64(m.Errors)),
+				counter("aiql_shard_rows_total", "Rows the member contributed to merges.", ml, float64(m.Rows)),
+			)
+		}
+	}
+	return out
 }

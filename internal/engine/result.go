@@ -32,21 +32,42 @@ type ExecStats struct {
 	PoolWait time.Duration
 }
 
+// Accumulate folds another execution's counters into s — the shard
+// coordinator sums the per-member statistics of a scatter-gathered
+// query this way. Elapsed and PatternOrder are deliberately left
+// untouched: wall-clock belongs to the merging execution, and member
+// plans are scheduled independently per shard.
+func (s *ExecStats) Accumulate(o ExecStats) {
+	s.ScannedEvents += o.ScannedEvents
+	s.Bindings += o.Bindings
+	s.Partitions += o.Partitions
+	s.SegmentHits += o.SegmentHits
+	s.SegmentMisses += o.SegmentMisses
+	s.PoolWait += o.PoolWait
+}
+
 // Len returns the number of result rows.
 func (r *Result) Len() int { return len(r.Rows) }
 
-// SortRows orders rows lexicographically, making result sets canonical
-// for comparison and display.
-func (r *Result) SortRows() {
-	sort.Slice(r.Rows, func(i, j int) bool {
-		a, b := r.Rows[i], r.Rows[j]
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
+// RowLess is the canonical row ordering of a finished result:
+// lexicographic over the rendered cells, shorter rows first on a shared
+// prefix. It is exported because it is a cross-process contract — the
+// shard coordinator merge-sorts member row streams with exactly this
+// comparator, so a scatter-gathered result is byte-identical to the
+// same query executed against one store.
+func RowLess(a, b []string) bool {
+	for k := 0; k < len(a) && k < len(b); k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
 		}
-		return len(a) < len(b)
-	})
+	}
+	return len(a) < len(b)
+}
+
+// SortRows orders rows lexicographically (RowLess), making result sets
+// canonical for comparison and display.
+func (r *Result) SortRows() {
+	sort.Slice(r.Rows, func(i, j int) bool { return RowLess(r.Rows[i], r.Rows[j]) })
 }
 
 // Table renders the result as an aligned text table.

@@ -385,6 +385,11 @@ func (s *Store) Commits() uint64 {
 	return s.commits
 }
 
+// Closed reports whether the store has been closed. While a durable
+// store is open its directory flock is held, so !Closed() doubles as
+// "the WAL lock is held" for health reporting.
+func (s *Store) Closed() bool { return s.closed.Load() }
+
 // Len returns the number of committed events.
 func (s *Store) Len() int {
 	s.mu.RLock()

@@ -30,6 +30,10 @@ type cacheEntry struct {
 	// trace is the producing execution's span tree; responses expose it
 	// only when the request asked to be traced.
 	trace *obs.SpanNode
+	// warnings names shard members that could not contribute; a
+	// non-empty list marks the result partial and bars the entry from
+	// the cache (executeShared skips the put).
+	warnings []ShardWarning
 }
 
 // approxResultBytes estimates the resident size of a result: the string

@@ -75,7 +75,18 @@ const (
 	// CodeWatchLimit: the dataset's standing-query capacity is reached;
 	// delete a watch or retry later.
 	CodeWatchLimit = "watch_limit"
+	// CodeShardUnavailable: a shard member was unreachable. As an error
+	// code the whole query failed (require_all, or every member down);
+	// as a warning code inside a 200 response it marks the result
+	// partial — complete for every healthy member, missing the rest.
+	CodeShardUnavailable = "shard_unavailable"
 )
+
+// ErrShardUnavailable reports that a required shard member could not be
+// reached: the caller set require_all, or no member at all was
+// reachable. Queries that can tolerate gaps should clear require_all
+// and read the warnings instead.
+var ErrShardUnavailable = errors.New("service: shard unavailable")
 
 // ErrorPosition is a 1-based source position in the submitted query.
 type ErrorPosition struct {
@@ -104,6 +115,14 @@ type apiError struct {
 }
 
 func (e *apiError) Error() string { return e.msg }
+
+// APIError builds an error carrying an explicit HTTP status and wire
+// code through WriteError/ErrorBody unchanged. The shard coordinator
+// uses it to relay a member's own structured failure (a binding
+// rejected by the member's store, say) without re-classifying it.
+func APIError(status int, code, msg string) error {
+	return &apiError{status: status, code: code, msg: msg}
+}
 
 // ErrorBody classifies err into the structured wire form.
 func ErrorBody(err error) ErrorResponse {
@@ -157,6 +176,8 @@ func ErrorBody(err error) ErrorResponse {
 		out.Code = CodeWatchNotFound
 	case errors.Is(err, ErrWatchLimit):
 		out.Code = CodeWatchLimit
+	case errors.Is(err, ErrShardUnavailable):
+		out.Code = CodeShardUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		out.Code = CodeTimeout
 	case errors.Is(err, context.Canceled):
@@ -194,6 +215,10 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrWatchLimit):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShardUnavailable):
+		// the member may come back momentarily; 503 + Retry-After tells
+		// the client to re-issue rather than treat the data as gone
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}

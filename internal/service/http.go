@@ -45,6 +45,14 @@ type QueryRequest struct {
 	// (EXPLAIN ANALYZE style); the request bypasses the result-cache
 	// lookup so the spans describe a real execution.
 	Trace bool `json:"trace,omitempty"`
+	// Sorted asks the stream endpoint for rows in the canonical result
+	// order (full materialization first) instead of production order.
+	// Shard coordinators set it when fanning out to members so the
+	// merged stream is deterministic.
+	Sorted bool `json:"sorted,omitempty"`
+	// RequireAll fails a sharded query when any member is unreachable
+	// instead of returning partial results with warnings.
+	RequireAll bool `json:"require_all,omitempty"`
 }
 
 // PrepareRequest is the wire form of a statement registration.
@@ -93,6 +101,11 @@ type QueryResult struct {
 	// Trace is the execution's span tree, present only when the request
 	// set "trace": true.
 	Trace *obs.SpanNode `json:"trace,omitempty"`
+	// Partial marks a scatter-gathered result some shard members could
+	// not contribute to; Warnings names them. Partial results do not
+	// paginate (next_cursor stays empty).
+	Partial  bool           `json:"partial,omitempty"`
+	Warnings []ShardWarning `json:"warnings,omitempty"`
 }
 
 // StreamHeader is the first NDJSON line of a streaming response.
@@ -111,6 +124,11 @@ type StreamTrailer struct {
 	ScannedEvents int64   `json:"scanned_events"`
 	Error         string  `json:"error,omitempty"`
 	Code          string  `json:"code,omitempty"`
+	// Partial marks a stream some shard members could not contribute
+	// to; Warnings names them with the typed shard_unavailable code.
+	// The rows already streamed are complete for every healthy member.
+	Partial  bool           `json:"partial,omitempty"`
+	Warnings []ShardWarning `json:"warnings,omitempty"`
 	// Trace is the execution's span tree, present only when the request
 	// set "trace": true.
 	Trace *obs.SpanNode `json:"trace,omitempty"`
@@ -222,6 +240,7 @@ func NewHandler(r Resolver) http.Handler {
 	mux.HandleFunc("/api/v1/query", h.handleQuery)
 	mux.HandleFunc("/api/v1/query/stream", h.handleQueryStream)
 	mux.HandleFunc("/api/v1/check", h.handleCheck)
+	mux.HandleFunc("/api/v1/healthz", h.handleHealthz)
 	mux.HandleFunc("/api/v1/stats", h.handleStats)
 	mux.HandleFunc("/api/v1/queries/slow", h.handleSlowQueries)
 	mux.HandleFunc("/api/v1/ingest", h.handleIngest)
@@ -302,15 +321,16 @@ func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := svc.Do(r.Context(), Request{
-		Query:   req.Query,
-		StmtID:  req.StmtID,
-		Params:  req.Params,
-		Limit:   req.Limit,
-		Cursor:  req.Cursor,
-		Client:  clientKey(r),
-		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
-		Explain: req.Explain,
-		Trace:   req.Trace,
+		Query:      req.Query,
+		StmtID:     req.StmtID,
+		Params:     req.Params,
+		Limit:      req.Limit,
+		Cursor:     req.Cursor,
+		Client:     clientKey(r),
+		Timeout:    time.Duration(req.TimeoutMS) * time.Millisecond,
+		Explain:    req.Explain,
+		Trace:      req.Trace,
+		RequireAll: req.RequireAll,
 	})
 	if err != nil {
 		WriteError(w, err)
@@ -330,6 +350,8 @@ func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SegmentMisses: resp.Stats.SegmentMisses,
 		PatternOrder:  resp.Stats.PatternOrder,
 		Trace:         resp.Trace,
+		Partial:       resp.Partial,
+		Warnings:      resp.Warnings,
 	}
 	for _, e := range resp.Plan {
 		out.Plan = append(out.Plan, PlanEntry{Alias: e.Alias, Estimate: e.Estimate})
@@ -367,13 +389,15 @@ func (h *apiHandler) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		flush = func() {}
 	}
 	resp, err := svc.DoStream(r.Context(), Request{
-		Query:   req.Query,
-		StmtID:  req.StmtID,
-		Params:  req.Params,
-		Limit:   req.Limit,
-		Client:  clientKey(r),
-		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
-		Trace:   req.Trace,
+		Query:      req.Query,
+		StmtID:     req.StmtID,
+		Params:     req.Params,
+		Limit:      req.Limit,
+		Client:     clientKey(r),
+		Timeout:    time.Duration(req.TimeoutMS) * time.Millisecond,
+		Trace:      req.Trace,
+		Sorted:     req.Sorted,
+		RequireAll: req.RequireAll,
 	},
 		func(cols []string, cached bool) error {
 			w.Header().Set("Content-Type", "application/x-ndjson")
@@ -409,6 +433,8 @@ func (h *apiHandler) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		Rows:          resp.TotalRows,
 		DurationMS:    float64(resp.Duration) / float64(time.Millisecond),
 		ScannedEvents: resp.Stats.ScannedEvents,
+		Partial:       resp.Partial,
+		Warnings:      resp.Warnings,
 		Trace:         resp.Trace,
 	}); encErr == nil {
 		flush()
@@ -427,6 +453,34 @@ func (h *apiHandler) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	kind, _ := aiql.QueryKind(req.Query)
 	writeJSON(w, http.StatusOK, CheckResponse{OK: true, Kind: kind})
+}
+
+// handleHealthz reports readiness/liveness for load balancers, shard
+// coordinators, and process supervisors: 200 with the Health body when
+// the dataset (selected by the `dataset` query parameter, default
+// otherwise) can serve queries, 503 when the catalog has not loaded it
+// or its store is closed. The body's generation is the store epoch
+// shard probes watch for remote cache invalidation.
+func (h *apiHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		WriteError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed, msg: "GET only"})
+		return
+	}
+	name := r.URL.Query().Get("dataset")
+	svc, err := h.resolve.Resolve(name)
+	if err != nil {
+		// the catalog is up but the dataset isn't loaded (or never will
+		// be): unavailable, with the structured reason inline
+		writeJSON(w, http.StatusServiceUnavailable, Health{Status: "unavailable", Dataset: name})
+		return
+	}
+	health := svc.Health()
+	health.Dataset = name
+	status := http.StatusOK
+	if health.Status != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, health)
 }
 
 // handleStats reports one dataset's full statistics: service counters,

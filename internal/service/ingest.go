@@ -183,6 +183,11 @@ type IngestResult struct {
 // resends it against the swapped-in store.
 func (s *Service) Ingest(ctx context.Context, client string, recs []aiql.Record) (*IngestResult, error) {
 	start := time.Now()
+	if s.shards != nil {
+		s.ingestRejected.Add(1)
+		return nil, &apiError{status: http.StatusBadRequest, code: CodeUnsupported,
+			msg: "service: a sharded dataset is read-only at the coordinator; ingest to the member owning the partition"}
+	}
 	if s.cfg.IngestMaxRecords > 0 && len(recs) > s.cfg.IngestMaxRecords {
 		s.ingestRejected.Add(1)
 		return nil, &apiError{status: http.StatusRequestEntityTooLarge, code: CodeTooLarge,

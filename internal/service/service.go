@@ -197,6 +197,19 @@ type Request struct {
 	// bypasses the result-cache lookup so the spans describe a real
 	// execution, though its result still fills the cache.
 	Trace bool
+	// Sorted asks DoStream for rows in the canonical result order
+	// (engine.RowLess) instead of production order. A sorted stream is
+	// served from the buffered execution path — the full result
+	// materializes (and fills the result cache) before the first row —
+	// so it trades first-row latency for a deterministic order. This is
+	// the wire contract shard coordinators rely on: sorted member
+	// streams merge into a result byte-identical to unsharded
+	// execution.
+	Sorted bool
+	// RequireAll fails a query over a sharded dataset when any member
+	// is unreachable, instead of degrading to partial results with
+	// shard_unavailable warnings. Ignored on unsharded datasets.
+	RequireAll bool
 }
 
 // Response is one query outcome.
@@ -220,6 +233,12 @@ type Response struct {
 	// Trace is the execution's span tree, set only when the request
 	// asked for it (Request.Trace).
 	Trace *obs.SpanNode
+	// Partial marks a scatter-gathered result some members could not
+	// contribute to; Warnings names them. Partial results are never
+	// cached and never paginate (NextCursor stays empty) — a later page
+	// could silently mix member availability.
+	Partial  bool
+	Warnings []ShardWarning
 }
 
 // Stats are the service's monotonic counters plus instantaneous gauges.
@@ -282,6 +301,9 @@ type DatasetStats struct {
 	Ingest   IngestStats             `json:"ingest"`
 	Watch    WatchStats              `json:"watch"`
 	Build    obs.BuildInfo           `json:"build"`
+	// Shards reports the coordinator's fan-out counters; nil on
+	// unsharded datasets.
+	Shards *ShardStats `json:"shards,omitempty"`
 }
 
 // DatasetStats snapshots the service's counters together with its
@@ -313,6 +335,7 @@ func (s *Service) DatasetStats(name string) DatasetStats {
 		Ingest:    s.IngestStats(),
 		Watch:     s.WatchStats(),
 		Build:     obs.Build(),
+		Shards:    s.ShardStats(),
 	}
 }
 
@@ -326,7 +349,12 @@ type flight struct {
 
 // Service executes queries for many concurrent clients over one database.
 type Service struct {
-	db       *aiql.DB
+	db *aiql.DB
+	// shards, when set, makes this a coordinator: executions
+	// scatter-gather across the backend's members and db serves
+	// planning only (compile, validate, explain). Nil on ordinary
+	// single-store services.
+	shards   ShardBackend
 	cfg      Config
 	sem      chan struct{} // worker slots
 	cache    *resultCache
@@ -394,6 +422,42 @@ func New(db *aiql.DB, cfg Config) *Service {
 			"Events touched by pattern scans across fresh executions.", lbls...)
 	}
 	return s
+}
+
+// NewSharded creates a coordinator service over a shard backend. The
+// planning database (typically empty and in-memory) serves compilation
+// only — statement preparation, binding validation, column/kind
+// inference, explain plans — while every execution scatter-gathers
+// across the backend's members. The result cache keys on the backend's
+// Generation instead of a local commit counter; ingest and standing
+// queries are rejected (writes belong to the members).
+func NewSharded(planning *aiql.DB, shards ShardBackend, cfg Config) *Service {
+	s := New(planning, cfg)
+	s.shards = shards
+	return s
+}
+
+// Sharded reports whether this service coordinates a sharded dataset.
+func (s *Service) Sharded() bool { return s.shards != nil }
+
+// ShardStats snapshots the shard coordinator's counters (nil when the
+// service is not sharded).
+func (s *Service) ShardStats() *ShardStats {
+	if s.shards == nil {
+		return nil
+	}
+	return s.shards.Stats()
+}
+
+// generation identifies the store version results are computed over —
+// the unit of result-cache keying and cursor-chain pinning. Local
+// services read the store's commit counter; coordinators ask the shard
+// backend for the members' combined generation.
+func (s *Service) generation() uint64 {
+	if s.shards != nil {
+		return s.shards.Generation()
+	}
+	return s.db.Store().Commits()
 }
 
 // SlowLog returns the slow-query log this service records into (nil
@@ -529,10 +593,10 @@ func (s *Service) doResolved(ctx context.Context, req Request, target *execTarge
 	norm := target.keyQuery
 	offset := 0
 
-	// The commit counter is read before execution; the entry is only
-	// stored if the counter is unchanged afterwards, so a cached result
-	// always reflects exactly the store version its key names.
-	commits := s.db.Store().Commits()
+	// The generation is read before execution; the entry is only
+	// stored if it is unchanged afterwards, so a cached result always
+	// reflects exactly the store version its key names.
+	commits := s.generation()
 	if req.Cursor != "" {
 		qhash, tokCommits, tokOffset, err := decodeCursorToken(req.Cursor)
 		if err != nil {
@@ -601,7 +665,7 @@ func (s *Service) doResolved(ctx context.Context, req Request, target *execTarge
 	// store still matched the token; if an append landed during
 	// re-execution the result may reflect the newer generation, so the
 	// chain expires rather than serving it.
-	if req.Cursor != "" && s.db.Store().Commits() != key.commits {
+	if req.Cursor != "" && s.generation() != key.commits {
 		return nil, ErrCursorExpired
 	}
 	return s.shape(entry, req, start, coalesced, offset), nil
@@ -635,8 +699,10 @@ func (s *Service) executeShared(ctx context.Context, req Request, target *execTa
 	f.entry, f.err = s.execute(ctx, req, target, key)
 	// Order matters for the at-most-one-execution guarantee: the entry
 	// is cached before the flight is removed, so a request arriving
-	// after the flight is gone finds the cache filled.
-	if f.err == nil && s.db.Store().Commits() == key.commits {
+	// after the flight is gone finds the cache filled. Partial results
+	// (some shard member missing) are never cached — the member may be
+	// back for the very next request.
+	if f.err == nil && len(f.entry.warnings) == 0 && s.generation() == key.commits {
 		s.cache.put(f.entry)
 	}
 	s.flightMu.Lock()
@@ -668,7 +734,25 @@ func (s *Service) execute(ctx context.Context, req Request, target *execTarget, 
 	// the slow-query log always has the breakdown, not just when a
 	// client thought to ask for one.
 	tr := obs.NewTrace("query")
-	res, err := target.run(obs.WithSpan(execCtx, tr.Root()), s.db)
+	var (
+		res   *engine.Result
+		warns []ShardWarning
+		err   error
+	)
+	if s.shards != nil {
+		var sq ShardQuery
+		sq, err = s.shardQuery(req, target)
+		if err != nil {
+			s.errors.Add(1)
+			return nil, err
+		}
+		res, warns, err = s.shards.Run(obs.WithSpan(execCtx, tr.Root()), sq)
+		if kind == "" {
+			kind = sq.Kind
+		}
+	} else {
+		res, err = target.run(obs.WithSpan(execCtx, tr.Root()), s.db)
+	}
 	tr.Root().End()
 	if err != nil {
 		if ctxErr := execCtx.Err(); ctxErr != nil {
@@ -685,7 +769,34 @@ func (s *Service) execute(ctx context.Context, req Request, target *execTarget, 
 		s.errors.Add(1)
 		return nil, err
 	}
-	return &cacheEntry{key: key, result: res, kind: kind, bytes: approxResultBytes(res), trace: tr.Tree()}, nil
+	return &cacheEntry{key: key, result: res, kind: kind, bytes: approxResultBytes(res), trace: tr.Tree(), warnings: warns}, nil
+}
+
+// shardQuery resolves a request to the form the shard backend fans
+// out: template text plus raw bindings (members compile against their
+// own stores), with the header and kind known from planning. Inline
+// text without bindings is compiled here against the planning database
+// so query errors surface as parse/semantic failures at the
+// coordinator, never as member execution errors.
+func (s *Service) shardQuery(req Request, target *execTarget) (ShardQuery, error) {
+	stmt := target.stmt
+	if stmt == nil {
+		var err error
+		if stmt, err = s.db.Prepare(target.query); err != nil {
+			return ShardQuery{}, err
+		}
+	}
+	// Limit stays zero here: the buffered path materializes the full
+	// result (pages are slices of it), so nothing may be pushed down.
+	// The streaming path sets its own limit before dispatch.
+	return ShardQuery{
+		Query:      stmt.Source(),
+		Params:     target.params,
+		Columns:    stmt.Columns(),
+		Kind:       stmt.Kind(),
+		Client:     req.Client,
+		RequireAll: req.RequireAll,
+	}, nil
 }
 
 func (s *Service) timeout(req Request) time.Duration {
@@ -799,7 +910,10 @@ func (s *Service) shape(entry *cacheEntry, req Request, start time.Time, cached 
 		end = total
 	}
 	next := ""
-	if end < total {
+	// Partial results never paginate: the entry is not cached, so a
+	// follow-up page would re-execute under different member
+	// availability and silently splice two different results.
+	if end < total && len(entry.warnings) == 0 {
 		next = encodeCursorToken(hashQuery(entry.key.query), entry.key.commits, end)
 	}
 	return &Response{
@@ -813,6 +927,8 @@ func (s *Service) shape(entry *cacheEntry, req Request, start time.Time, cached 
 		Kind:       entry.kind,
 		Stats:      entry.result.Stats,
 		Trace:      entry.trace,
+		Partial:    len(entry.warnings) > 0,
+		Warnings:   entry.warnings,
 	}
 }
 
@@ -910,7 +1026,7 @@ func (s *Service) doStreamResolved(ctx context.Context, req Request, target *exe
 	}
 
 	norm := target.keyQuery
-	commits := s.db.Store().Commits()
+	commits := s.generation()
 	if !req.Trace {
 		if entry, ok := s.cache.get(cacheKey{query: norm, commits: commits}); ok {
 			s.cacheHits.Add(1)
@@ -948,6 +1064,16 @@ func (s *Service) doStreamResolved(ctx context.Context, req Request, target *exe
 		if s.cache != nil {
 			s.cacheMisses.Add(1)
 		}
+	}
+
+	// Sorted streams and shard coordination leave the cursor pipeline:
+	// a coordinator merge-streams its members, a member serves the
+	// sorted order from the buffered execution path.
+	if s.shards != nil {
+		return s.doStreamSharded(ctx, req, target, start, header, row)
+	}
+	if req.Sorted {
+		return s.doStreamSorted(ctx, req, target, start, header, row)
 	}
 
 	if err := s.acquireClient(req.Client); err != nil {
@@ -1030,4 +1156,135 @@ func (s *Service) doStreamResolved(ctx context.Context, req Request, target *exe
 		return resp, err
 	}
 	return finish(streamed), nil
+}
+
+// doStreamSorted serves a stream in the canonical result order by
+// executing through the buffered path — full materialization, cache
+// fill, singleflight — and then walking the entry's rows. The limit
+// truncates the walk, not the execution, so a repeat with a larger
+// limit is a cache hit.
+func (s *Service) doStreamSorted(ctx context.Context, req Request, target *execTarget, start time.Time, header func(cols []string, cached bool) error, row func([]string) error) (*Response, error) {
+	if err := s.acquireClient(req.Client); err != nil {
+		return nil, err
+	}
+	defer s.releaseClient(req.Client)
+
+	key := cacheKey{query: target.keyQuery, commits: s.generation()}
+	entry, coalesced, err := s.executeShared(ctx, req, target, key)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{
+		Columns:  entry.result.Columns,
+		Cached:   coalesced,
+		Kind:     entry.kind,
+		Stats:    entry.result.Stats,
+		Trace:    entry.trace,
+		Partial:  len(entry.warnings) > 0,
+		Warnings: entry.warnings,
+	}
+	if err := header(entry.result.Columns, coalesced); err != nil {
+		s.canceled.Add(1)
+		resp.Duration = time.Since(start)
+		return resp, err
+	}
+	rows := entry.result.Rows
+	if req.Limit > 0 && len(rows) > req.Limit {
+		rows = rows[:req.Limit]
+	}
+	sent := 0
+	for _, r := range rows {
+		if err := row(r); err != nil {
+			s.canceled.Add(1)
+			resp.TotalRows = sent
+			resp.Duration = time.Since(start)
+			return resp, err
+		}
+		sent++
+		s.rowsStreamed.Add(1)
+	}
+	resp.TotalRows = sent
+	resp.Duration = time.Since(start)
+	return resp, nil
+}
+
+// doStreamSharded merge-streams a query across the shard backend's
+// members: rows arrive in canonical order as members produce them, and
+// a positive limit is pushed down so member streams terminate after the
+// merged prefix. A member lost mid-stream surfaces as warnings on the
+// returned Response (trailer material), not as an error, unless the
+// request set RequireAll.
+func (s *Service) doStreamSharded(ctx context.Context, req Request, target *execTarget, start time.Time, header func(cols []string, cached bool) error, row func([]string) error) (*Response, error) {
+	if err := s.acquireClient(req.Client); err != nil {
+		return nil, err
+	}
+	defer s.releaseClient(req.Client)
+	if err := s.admit(ctx); err != nil {
+		return nil, err
+	}
+	defer func() { <-s.sem }()
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	execCtx, cancel := context.WithTimeout(ctx, s.timeout(req))
+	defer cancel()
+
+	sq, err := s.shardQuery(req, target)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	if req.Limit > 0 {
+		sq.Limit = req.Limit
+	}
+
+	s.executions.Add(1)
+	tr := obs.NewTrace("query")
+	streamed := 0
+	sinkDead := false
+	stats, warns, err := s.shards.RunStream(obs.WithSpan(execCtx, tr.Root()), sq,
+		func(cols []string) error {
+			if e := header(cols, false); e != nil {
+				sinkDead = true
+				return e
+			}
+			return nil
+		},
+		func(r []string) error {
+			if e := row(r); e != nil {
+				sinkDead = true
+				return e
+			}
+			streamed++
+			s.rowsStreamed.Add(1)
+			return nil
+		})
+	tr.Root().End()
+	resp := &Response{
+		Columns:   sq.Columns,
+		TotalRows: streamed,
+		Duration:  time.Since(start),
+		Kind:      sq.Kind,
+		Stats:     stats,
+		Trace:     tr.Tree(),
+		Partial:   len(warns) > 0,
+		Warnings:  warns,
+	}
+	if err != nil {
+		if sinkDead {
+			s.canceled.Add(1)
+			return resp, err
+		}
+		if ctxErr := execCtx.Err(); ctxErr != nil {
+			if errors.Is(ctxErr, context.Canceled) {
+				s.canceled.Add(1)
+			} else {
+				s.timeouts.Add(1)
+			}
+			return resp, fmt.Errorf("service: stream aborted after %s: %w", time.Since(start).Round(time.Millisecond), ctxErr)
+		}
+		s.errors.Add(1)
+		return resp, err
+	}
+	return resp, nil
 }

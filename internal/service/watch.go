@@ -264,6 +264,10 @@ func (s *Service) Watch(ctx context.Context, src string, params map[string]any) 
 		return WatchInfo{}, &apiError{status: http.StatusBadRequest, code: CodeUnsupported,
 			msg: "service: standing queries are disabled on this dataset"}
 	}
+	if s.shards != nil {
+		return WatchInfo{}, &apiError{status: http.StatusBadRequest, code: CodeUnsupported,
+			msg: "service: standing queries are not supported on a sharded dataset; watch the member datasets"}
+	}
 	stmt, err := s.db.Prepare(src)
 	if err != nil {
 		return WatchInfo{}, err

@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	aiql "github.com/aiql/aiql"
+	"github.com/aiql/aiql/internal/datagen"
+	"github.com/aiql/aiql/internal/experiments"
+	"github.com/aiql/aiql/internal/service"
+)
+
+// fig4ShardQuery is a full-scan investigation over the Fig4 demo-apt
+// dataset: every process-writes-file event, the broadest pattern the
+// scenario produces, so the benchmark measures scatter + merge over the
+// whole 50k-event corpus.
+const fig4ShardQuery = `proc p write file f as evt return p, f`
+
+// buildShardedFig4 partitions the Fig4 50k-event dataset across n local
+// members by agentid (the natural host partitioning) and fronts them
+// with a coordinator.
+func buildShardedFig4(tb testing.TB, n int) (*Coordinator, service.ShardQuery) {
+	tb.Helper()
+	recs := datagen.Generate(experiments.Fig4Dataset(50000, 10, 42))
+	buckets := make([][]aiql.Record, n)
+	for _, r := range recs {
+		i := int(r.AgentID) % n
+		buckets[i] = append(buckets[i], r)
+	}
+	members := make([]Member, n)
+	for i, bucket := range buckets {
+		db := aiql.Open()
+		db.AppendAll(bucket)
+		db.Flush()
+		members[i] = Member{Name: fmt.Sprintf("m%d", i), Source: NewLocalSource(db)}
+	}
+	coord := NewCoordinator("fig4", members, Options{})
+	tb.Cleanup(func() { coord.Close() })
+	stmt, err := aiql.Open().Prepare(fig4ShardQuery)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return coord, service.ShardQuery{Query: fig4ShardQuery, Columns: stmt.Columns(), Kind: stmt.Kind()}
+}
+
+// BenchmarkShardColdScan: cold scatter-gather of the full Fig4 corpus
+// at 1, 2, and 4 local members. No result or scan caches are enabled,
+// so every iteration re-scans every member store; the 1-shard run is
+// the unsharded baseline the merge overhead is read against.
+func BenchmarkShardColdScan(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			coord, q := buildShardedFig4(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, warns, err := coord.Run(context.Background(), q)
+				if err != nil || len(warns) != 0 {
+					b.Fatalf("err=%v warns=%v", err, warns)
+				}
+				if len(res.Rows) == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,294 @@
+// Package client reaches a remote shard member over the existing
+// NDJSON query/stream wire format. The client asks the member for
+// sorted rows ("sorted": true), so the coordinator can merge member
+// streams deterministically; transport failures before any row is
+// delivered retry with exponential backoff, and every failure is
+// classified — throttled, query-rejected, or unavailable — so the
+// coordinator can propagate 429 hints faithfully, fail fast on real
+// query errors, and degrade to partial results only for genuinely
+// unreachable members.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/aiql/aiql/internal/engine"
+	"github.com/aiql/aiql/internal/service"
+)
+
+// ThrottledError reports a member 429: the member's own Retry-After
+// hint travels with it so the coordinator can propagate the largest
+// across members instead of synthesizing a new one. Never retried by
+// the client — backing off is the caller's contract.
+type ThrottledError struct {
+	After int // whole seconds from the member's Retry-After header
+	Msg   string
+}
+
+func (e *ThrottledError) Error() string {
+	return fmt.Sprintf("member throttled (retry after %ds): %s", e.After, e.Msg)
+}
+
+// QueryError reports that the member rejected the query itself (4xx):
+// the query, not the member, is the problem, so the whole fan-out
+// should fail with the member's structured code rather than degrade to
+// partial results.
+type QueryError struct {
+	Status int
+	Code   string
+	Msg    string
+}
+
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("member rejected query (%d %s): %s", e.Status, e.Code, e.Msg)
+}
+
+// TransportError reports the member is unavailable: connect failure,
+// 5xx, or a stream that died before its trailer, with retries
+// exhausted. The coordinator turns it into a shard_unavailable warning
+// (or error under require_all).
+type TransportError struct {
+	Msg string
+}
+
+func (e *TransportError) Error() string { return "member unavailable: " + e.Msg }
+
+// Options tune one member client.
+type Options struct {
+	// Dataset names the dataset on the member; empty selects its
+	// default.
+	Dataset string
+	// Timeout bounds each HTTP attempt end-to-end (connect through
+	// trailer). 0 leaves the context in charge. Default: 0.
+	Timeout time.Duration
+	// Retries is how many times a failed attempt is retried, on
+	// transport failures only and only while zero rows have been
+	// delivered (a retry after delivered rows would duplicate them).
+	// Default: 2.
+	Retries int
+	// Backoff is the first retry's delay, doubling per attempt.
+	// Default: 100ms.
+	Backoff time.Duration
+	// ClientID identifies the coordinator to the member's per-client
+	// admission accounting (X-Client-Id).
+	ClientID string
+	// HTTPClient overrides the transport (tests). Default:
+	// http.DefaultClient semantics with keep-alives.
+	HTTPClient *http.Client
+}
+
+// Client is one remote member's transport. Safe for concurrent use.
+type Client struct {
+	base    string
+	opts    Options
+	hc      *http.Client
+	retries atomic.Uint64
+}
+
+// New builds a client for the member at baseURL (scheme://host[:port],
+// no path).
+func New(baseURL string, opts Options) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("shard client: bad member url %q", baseURL)
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 2
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 100 * time.Millisecond
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(u.String(), "/"), opts: opts, hc: hc}, nil
+}
+
+// Retries reports the transport retries performed over the client's
+// lifetime (metrics).
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// Close releases idle connections.
+func (c *Client) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// Ping implements the shard source probe: GET /api/v1/healthz on the
+// member, returning its store generation as the epoch.
+func (c *Client) Ping(ctx context.Context) (uint64, error) {
+	u := c.base + "/api/v1/healthz"
+	if c.opts.Dataset != "" {
+		u += "?dataset=" + url.QueryEscape(c.opts.Dataset)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, &TransportError{Msg: err.Error()}
+	}
+	defer resp.Body.Close()
+	var h service.Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&h); err != nil {
+		return 0, &TransportError{Msg: "healthz: " + err.Error()}
+	}
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		return 0, &TransportError{Msg: fmt.Sprintf("healthz: %d %s", resp.StatusCode, h.Status)}
+	}
+	return h.Generation, nil
+}
+
+// Stream executes q on the member over POST /api/v1/query/stream with
+// sorted rows, calling row per row. Transport failures retry with
+// backoff while no row has been delivered; 429 and 4xx never retry.
+func (c *Client) Stream(ctx context.Context, q service.ShardQuery, row func([]string) error) (engine.ExecStats, error) {
+	payload, err := json.Marshal(service.QueryRequest{
+		Query:   q.Query,
+		Params:  q.Params,
+		Dataset: c.opts.Dataset,
+		Limit:   q.Limit,
+		Sorted:  true,
+	})
+	if err != nil {
+		return engine.ExecStats{}, err
+	}
+	backoff := c.opts.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return engine.ExecStats{}, &TransportError{Msg: "retry wait: " + ctx.Err().Error()}
+			}
+			backoff *= 2
+		}
+		stats, emitted, err := c.attempt(ctx, payload, row)
+		if err == nil {
+			return stats, nil
+		}
+		var te *TransportError
+		if !errors.As(err, &te) {
+			// throttled, query-rejected, or the sink itself failed:
+			// retrying cannot help and may duplicate work
+			return stats, err
+		}
+		if emitted > 0 {
+			// rows already reached the merge; a retry would replay them
+			return stats, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return engine.ExecStats{}, lastErr
+}
+
+// attempt is one HTTP round: request, classify status, decode the
+// NDJSON stream through the trailer.
+func (c *Client) attempt(ctx context.Context, payload []byte, row func([]string) error) (engine.ExecStats, int, error) {
+	rctx := ctx
+	if c.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, c.opts.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, c.base+"/api/v1/query/stream", bytes.NewReader(payload))
+	if err != nil {
+		return engine.ExecStats{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.opts.ClientID != "" {
+		req.Header.Set("X-Client-Id", c.opts.ClientID)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return engine.ExecStats{}, 0, &TransportError{Msg: err.Error()}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return engine.ExecStats{}, 0, classifyStatus(resp)
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	var hdr service.StreamHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return engine.ExecStats{}, 0, &TransportError{Msg: "stream header: " + err.Error()}
+	}
+	emitted := 0
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			// the stream died without a trailer — the member is gone
+			return engine.ExecStats{}, emitted, &TransportError{Msg: "stream cut mid-flight: " + err.Error()}
+		}
+		if len(raw) > 0 && raw[0] == '[' {
+			var r []string
+			if err := json.Unmarshal(raw, &r); err != nil {
+				return engine.ExecStats{}, emitted, &TransportError{Msg: "bad row: " + err.Error()}
+			}
+			if err := row(r); err != nil {
+				return engine.ExecStats{}, emitted, err
+			}
+			emitted++
+			continue
+		}
+		var tr service.StreamTrailer
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			return engine.ExecStats{}, emitted, &TransportError{Msg: "bad trailer: " + err.Error()}
+		}
+		if !tr.Done || tr.Error != "" {
+			// the member reported its own mid-stream failure; whatever
+			// the cause, this member's contribution is incomplete
+			return engine.ExecStats{}, emitted, &TransportError{Msg: fmt.Sprintf("member failed mid-stream: %s (%s)", tr.Error, tr.Code)}
+		}
+		return engine.ExecStats{ScannedEvents: tr.ScannedEvents}, emitted, nil
+	}
+}
+
+// classifyStatus maps a non-200 response to the typed error the
+// coordinator dispatches on.
+func classifyStatus(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var eb service.ErrorResponse
+	_ = json.Unmarshal(data, &eb)
+	msg := eb.Error
+	if msg == "" {
+		msg = strings.TrimSpace(string(data))
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if after < 1 {
+			after = 1
+		}
+		return &ThrottledError{After: after, Msg: msg}
+	case resp.StatusCode >= 500:
+		return &TransportError{Msg: fmt.Sprintf("status %d: %s", resp.StatusCode, msg)}
+	default:
+		code := eb.Code
+		if code == "" {
+			code = service.CodeBadRequest
+		}
+		return &QueryError{Status: resp.StatusCode, Code: code, Msg: msg}
+	}
+}

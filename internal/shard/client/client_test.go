@@ -1,0 +1,249 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/aiql/aiql/internal/service"
+)
+
+// memberStub scripts a member's query/stream endpoint: each request
+// pops the next behavior.
+type memberStub struct {
+	t        *testing.T
+	behave   []func(w http.ResponseWriter)
+	requests atomic.Int64
+}
+
+func (m *memberStub) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/query/stream", func(w http.ResponseWriter, r *http.Request) {
+		n := int(m.requests.Add(1)) - 1
+		var req service.QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			m.t.Errorf("bad request body: %v", err)
+		}
+		if !req.Sorted {
+			m.t.Error("shard client did not request sorted rows")
+		}
+		if n >= len(m.behave) {
+			m.t.Errorf("unexpected request #%d", n+1)
+			w.WriteHeader(500)
+			return
+		}
+		m.behave[n](w)
+	})
+	mux.HandleFunc("/api/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(service.Health{Status: "ok", StoreOpen: true, Generation: 42})
+	})
+	return mux
+}
+
+func serveRows(rows [][]string, scanned int64) func(http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		enc := json.NewEncoder(w)
+		enc.Encode(service.StreamHeader{Columns: []string{"p", "f"}})
+		for _, r := range rows {
+			enc.Encode(r)
+		}
+		enc.Encode(service.StreamTrailer{Done: true, Rows: len(rows), ScannedEvents: scanned})
+	}
+}
+
+func newClient(t *testing.T, srv *httptest.Server, opts Options) *Client {
+	t.Helper()
+	c, err := New(srv.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func collect(c *Client, q service.ShardQuery) ([][]string, int64, error) {
+	var rows [][]string
+	stats, err := c.Stream(context.Background(), q, func(r []string) error {
+		rows = append(rows, r)
+		return nil
+	})
+	return rows, stats.ScannedEvents, err
+}
+
+func TestStreamHappyPath(t *testing.T) {
+	want := [][]string{{"worker.exe", "a.log"}, {"worker.exe", "b.log"}}
+	stub := &memberStub{t: t, behave: []func(http.ResponseWriter){serveRows(want, 7)}}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+	c := newClient(t, srv, Options{Dataset: "events"})
+	rows, scanned, err := collect(c, service.ShardQuery{Query: "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, want) || scanned != 7 {
+		t.Fatalf("rows=%v scanned=%d", rows, scanned)
+	}
+	if c.Retries() != 0 {
+		t.Errorf("retries = %d, want 0", c.Retries())
+	}
+	if g, err := c.Ping(context.Background()); err != nil || g != 42 {
+		t.Fatalf("ping = %d/%v, want 42", g, err)
+	}
+}
+
+func TestThrottledNeverRetries(t *testing.T) {
+	stub := &memberStub{t: t, behave: []func(http.ResponseWriter){
+		func(w http.ResponseWriter) {
+			w.Header().Set("Retry-After", "11")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(service.ErrorResponse{Code: "client_throttled", Error: "busy"})
+		},
+	}}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+	c := newClient(t, srv, Options{})
+	_, _, err := collect(c, service.ShardQuery{Query: "q"})
+	var thr *ThrottledError
+	if !errors.As(err, &thr) || thr.After != 11 {
+		t.Fatalf("got %v, want ThrottledError carrying Retry-After 11", err)
+	}
+	if n := stub.requests.Load(); n != 1 {
+		t.Fatalf("429 was retried: %d requests", n)
+	}
+}
+
+func TestQueryRejectionNeverRetries(t *testing.T) {
+	stub := &memberStub{t: t, behave: []func(http.ResponseWriter){
+		func(w http.ResponseWriter) {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(service.ErrorResponse{Code: service.CodeParseError, Error: "syntax error"})
+		},
+	}}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+	c := newClient(t, srv, Options{})
+	_, _, err := collect(c, service.ShardQuery{Query: "q"})
+	var qe *QueryError
+	if !errors.As(err, &qe) || qe.Code != service.CodeParseError || qe.Status != 400 {
+		t.Fatalf("got %v, want QueryError{400, parse_error}", err)
+	}
+	if n := stub.requests.Load(); n != 1 {
+		t.Fatalf("4xx was retried: %d requests", n)
+	}
+}
+
+func TestTransportRetriesThenSucceeds(t *testing.T) {
+	want := [][]string{{"worker.exe", "a.log"}}
+	stub := &memberStub{t: t, behave: []func(http.ResponseWriter){
+		func(w http.ResponseWriter) { w.WriteHeader(http.StatusBadGateway) },
+		serveRows(want, 1),
+	}}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+	c := newClient(t, srv, Options{Backoff: time.Millisecond})
+	rows, _, err := collect(c, service.ShardQuery{Query: "q"})
+	if err != nil || !reflect.DeepEqual(rows, want) {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+	if c.Retries() != 1 {
+		t.Errorf("retries = %d, want 1", c.Retries())
+	}
+}
+
+func TestNoRetryAfterRowsDelivered(t *testing.T) {
+	stub := &memberStub{t: t, behave: []func(http.ResponseWriter){
+		func(w http.ResponseWriter) {
+			// rows flow, then the member dies without a trailer
+			enc := json.NewEncoder(w)
+			enc.Encode(service.StreamHeader{Columns: []string{"p", "f"}})
+			enc.Encode([]string{"worker.exe", "a.log"})
+			w.(http.Flusher).Flush()
+			if hj, ok := w.(http.Hijacker); ok {
+				conn, _, _ := hj.Hijack()
+				conn.Close()
+			}
+		},
+	}}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+	c := newClient(t, srv, Options{Backoff: time.Millisecond})
+	rows, _, err := collect(c, service.ShardQuery{Query: "q"})
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("got %v, want TransportError for a mid-stream cut", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("delivered rows = %d, want the 1 row that arrived", len(rows))
+	}
+	if n := stub.requests.Load(); n != 1 {
+		t.Fatalf("mid-stream failure was retried after delivering rows: %d requests (a retry would duplicate rows)", n)
+	}
+}
+
+func TestTrailerErrorIsTransport(t *testing.T) {
+	stub := &memberStub{t: t, behave: []func(http.ResponseWriter){
+		func(w http.ResponseWriter) {
+			enc := json.NewEncoder(w)
+			enc.Encode(service.StreamHeader{Columns: []string{"p", "f"}})
+			enc.Encode(service.StreamTrailer{Done: false, Error: "store closed", Code: "internal"})
+		},
+	}}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+	c := newClient(t, srv, Options{Retries: -1})
+	_, _, err := collect(c, service.ShardQuery{Query: "q"})
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("got %v, want TransportError for a failure trailer", err)
+	}
+}
+
+func TestPingUnavailable(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(service.Health{Status: "unavailable"})
+	}))
+	defer srv.Close()
+	c := newClient(t, srv, Options{})
+	if _, err := c.Ping(context.Background()); err == nil {
+		t.Fatal("ping to a 503 member succeeded")
+	}
+	srv.Close()
+	if _, err := c.Ping(context.Background()); err == nil {
+		t.Fatal("ping to a dead listener succeeded")
+	}
+}
+
+func TestBadURL(t *testing.T) {
+	for _, u := range []string{"", "not a url", "/just/a/path"} {
+		if _, err := New(u, Options{}); err == nil {
+			t.Errorf("New(%q) accepted", u)
+		}
+	}
+}
+
+func TestRetriesExhaust(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, "boom")
+	}))
+	defer srv.Close()
+	c := newClient(t, srv, Options{Retries: 2, Backoff: time.Millisecond})
+	_, _, err := collect(c, service.ShardQuery{Query: "q"})
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("got %v, want TransportError", err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("attempts = %d, want 1 + 2 retries", hits.Load())
+	}
+}

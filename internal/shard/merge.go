@@ -1,0 +1,40 @@
+package shard
+
+import "github.com/aiql/aiql/internal/engine"
+
+// heapItem is one member's current head row in the k-way merge.
+type heapItem struct {
+	row    []string
+	member int // index into the live member slice
+}
+
+// rowHeap orders head rows by the engine's canonical result order
+// (engine.RowLess), breaking exact ties by member index so the merge
+// is fully deterministic: the same member data always merges to the
+// same byte sequence.
+type rowHeap []heapItem
+
+func (h rowHeap) Len() int { return len(h) }
+
+func (h rowHeap) Less(i, j int) bool {
+	if engine.RowLess(h[i].row, h[j].row) {
+		return true
+	}
+	if engine.RowLess(h[j].row, h[i].row) {
+		return false
+	}
+	return h[i].member < h[j].member
+}
+
+func (h rowHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *rowHeap) Push(x any) { *h = append(*h, x.(heapItem)) }
+
+func (h *rowHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1].row = nil
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"math"
+
+	"github.com/aiql/aiql/internal/aiql/ast"
+	"github.com/aiql/aiql/internal/aiql/parser"
+	"github.com/aiql/aiql/internal/service"
+)
+
+// queryScope is what the coordinator can prove about a query's reach
+// from its header clauses alone: the resolved time window and any
+// globally-pinned agentids. An empty scope (the zero value) proves
+// nothing and prunes nothing — pruning is an optimization, so every
+// extraction failure degrades to "contact the member".
+type queryScope struct {
+	hasWindow bool
+	from, to  int64 // [from, to) unix nanos
+	agents    []int64
+}
+
+// scopeOf extracts the provable scope of a shard query, resolving
+// `$name` window and agentid parameters from the raw bindings exactly
+// as binding does.
+func scopeOf(q service.ShardQuery) queryScope {
+	var sc queryScope
+	parsed, err := parser.Parse(q.Query)
+	if err != nil {
+		return sc
+	}
+	head := parsed.Header()
+	if w := head.Window; w != nil {
+		sc.hasWindow, sc.from, sc.to = resolveWindow(w, q.Params)
+	}
+	for _, f := range head.Globals {
+		if f.Attr != "agentid" || f.Op != ast.CmpEQ {
+			continue
+		}
+		if id, ok := agentValue(f.Val, q.Params); ok {
+			sc.agents = append(sc.agents, id)
+		}
+	}
+	return sc
+}
+
+// resolveWindow turns a window clause (possibly parameterized) into
+// concrete [from, to) bounds. Unresolvable parameters widen the bound
+// to open rather than guessing.
+func resolveWindow(w *ast.TimeWindow, params map[string]any) (ok bool, from, to int64) {
+	from, to = w.From, w.To
+	if w.AtParam != "" {
+		s, found := params[w.AtParam].(string)
+		if !found {
+			return false, 0, 0
+		}
+		f, t, err := parser.ParseInstant(s, true)
+		if err != nil {
+			return false, 0, 0
+		}
+		from, to = f, t
+	}
+	if w.FromParam != "" {
+		s, found := params[w.FromParam].(string)
+		if !found {
+			return false, 0, 0
+		}
+		f, _, err := parser.ParseInstant(s, false)
+		if err != nil {
+			return false, 0, 0
+		}
+		from = f
+	}
+	if w.ToParam != "" {
+		s, found := params[w.ToParam].(string)
+		if !found {
+			return false, 0, 0
+		}
+		t, _, err := parser.ParseInstant(s, false)
+		if err != nil {
+			return false, 0, 0
+		}
+		to = t
+	}
+	if from == 0 && to == 0 {
+		return false, 0, 0
+	}
+	if to == 0 {
+		to = math.MaxInt64
+	}
+	if from == 0 {
+		from = math.MinInt64
+	}
+	return true, from, to
+}
+
+// agentValue resolves a global agentid filter's value, following a
+// `$name` parameter into the raw bindings.
+func agentValue(v ast.Value, params map[string]any) (int64, bool) {
+	if v.Param != "" {
+		switch n := params[v.Param].(type) {
+		case float64:
+			return int64(n), true
+		case int:
+			return int64(n), true
+		case int64:
+			return n, true
+		}
+		return 0, false
+	}
+	if v.IsNum {
+		return int64(v.Num), true
+	}
+	return 0, false
+}
+
+// admits reports whether a member's declared bounds could hold rows the
+// scope reaches: the time ranges overlap and the agent sets intersect.
+// Open bounds and empty scopes always admit.
+func (b Bounds) admits(sc queryScope) bool {
+	if sc.hasWindow && (sc.to <= b.From || sc.from >= b.To) {
+		return false
+	}
+	if len(sc.agents) > 0 && len(b.Agents) > 0 {
+		owned := false
+		for _, want := range sc.agents {
+			for _, have := range b.Agents {
+				if want == have {
+					owned = true
+				}
+			}
+		}
+		if !owned {
+			return false
+		}
+	}
+	return true
+}

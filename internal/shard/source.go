@@ -1,0 +1,76 @@
+package shard
+
+import (
+	"context"
+
+	aiql "github.com/aiql/aiql"
+	"github.com/aiql/aiql/internal/engine"
+	"github.com/aiql/aiql/internal/service"
+)
+
+// Source executes queries against one member store — the node-local vs
+// remote scan abstraction the coordinator fans out over. Stream
+// delivers the member's rows in the canonical sorted order
+// (engine.RowLess); a positive q.Limit stops after that many rows.
+// Implementations must be safe for concurrent use.
+type Source interface {
+	// Stream executes q and calls row for each sorted result row. The
+	// returned statistics describe the member's own execution work.
+	Stream(ctx context.Context, q service.ShardQuery, row func([]string) error) (engine.ExecStats, error)
+	// Ping probes liveness and returns the member's store epoch — any
+	// change means committed data moved and cached coordinator results
+	// are stale.
+	Ping(ctx context.Context) (epoch uint64, err error)
+	// Close releases the member's resources (store lock, idle
+	// connections).
+	Close() error
+}
+
+// LocalSource serves a member from an eventstore in this process.
+// Execution goes through the full buffered engine path, so rows come
+// out in canonical order with the member's result semantics intact.
+type LocalSource struct {
+	db *aiql.DB
+}
+
+// NewLocalSource wraps an open database as a shard member. The source
+// owns the database: Close closes it.
+func NewLocalSource(db *aiql.DB) *LocalSource { return &LocalSource{db: db} }
+
+// DB exposes the wrapped database (tests, catalog stats).
+func (s *LocalSource) DB() *aiql.DB { return s.db }
+
+// Stream implements Source by compiling against the member store and
+// walking the sorted buffered result.
+func (s *LocalSource) Stream(ctx context.Context, q service.ShardQuery, row func([]string) error) (engine.ExecStats, error) {
+	stmt, err := s.db.Prepare(q.Query)
+	if err != nil {
+		return engine.ExecStats{}, err
+	}
+	res, err := stmt.Exec(ctx, aiql.Params(q.Params))
+	if err != nil {
+		return engine.ExecStats{}, err
+	}
+	rows := res.Rows
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	for _, r := range rows {
+		if err := row(r); err != nil {
+			return res.Stats, err
+		}
+	}
+	return res.Stats, nil
+}
+
+// Ping implements Source: the local epoch is the store's commit
+// counter.
+func (s *LocalSource) Ping(ctx context.Context) (uint64, error) {
+	if s.db.Closed() {
+		return 0, aiql.ErrClosed
+	}
+	return s.db.Commits(), nil
+}
+
+// Close implements Source.
+func (s *LocalSource) Close() error { return s.db.Close() }

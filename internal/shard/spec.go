@@ -1,0 +1,153 @@
+// Package shard scatter-gathers queries across the members of a
+// sharded dataset. A sharded dataset is declared as a partition map —
+// by time range and/or agentid, both first-class in the data model —
+// over N member stores; members are local eventstore directories or
+// remote aiqlserver peers reached over the NDJSON query/stream wire
+// format. The coordinator fans a query out to every member the
+// partition map cannot prove irrelevant (time-window and agent
+// pruning), pushes limit hints down, and k-way merge-sorts the sorted
+// member streams with engine.RowLess — so a scatter-gathered result is
+// byte-identical to the same data queried in one unsharded store.
+//
+// Cross-shard joins are partition-local: a multievent query joins
+// entities within each member, so the partition map must keep every
+// event a query needs to correlate on the same member (the natural
+// agentid partitioning does this for host-local behavior queries;
+// cross-host queries need the involved agents co-resident).
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/aiql/aiql/internal/aiql/parser"
+)
+
+// MemberSpec declares one member of a sharded dataset in the partition
+// map: where the member lives (exactly one of Dir or URL) and which
+// slice of the data it owns. Bounds are advisory for pruning — a query
+// proven outside every declared bound skips the member without contact
+// — and do not filter rows: each member serves whatever its store
+// holds.
+type MemberSpec struct {
+	// Name identifies the member in warnings, metrics, and spans.
+	Name string `json:"name"`
+	// Dir is a local eventstore directory (durable layout).
+	Dir string `json:"dir,omitempty"`
+	// URL is a remote peer's base URL (http://host:port); the member is
+	// reached over the NDJSON query/stream endpoint.
+	URL string `json:"url,omitempty"`
+	// Dataset names the dataset on the remote peer; empty selects the
+	// peer's default dataset. Ignored for local members.
+	Dataset string `json:"dataset,omitempty"`
+	// From and To bound the member's time slice, [From, To), in the
+	// same literal formats time-window clauses accept (mm/dd/yyyy or
+	// yyyy-mm-dd, optionally with hh:mm:ss). Empty bounds are open.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Agents lists the agentids the member owns; empty means any.
+	Agents []int64 `json:"agents,omitempty"`
+}
+
+// DatasetSpec declares one sharded dataset: its catalog name and
+// partition map.
+type DatasetSpec struct {
+	Dataset string       `json:"dataset"`
+	Members []MemberSpec `json:"members"`
+}
+
+// Config is the -shards file format: every sharded dataset the server
+// coordinates.
+type Config struct {
+	Datasets []DatasetSpec `json:"datasets"`
+}
+
+// Bounds is a member's partition slice in executable form: the time
+// range [From, To) in unix nanos (math.MinInt64/MaxInt64 when open) and
+// the owned agent set (nil = all).
+type Bounds struct {
+	From, To int64
+	Agents   []int64
+}
+
+// Bounds resolves the spec's literal bounds. Errors name the offending
+// field so a bad partition map fails at load, not at query time.
+func (m MemberSpec) Bounds() (Bounds, error) {
+	b := Bounds{From: math.MinInt64, To: math.MaxInt64, Agents: m.Agents}
+	if m.From != "" {
+		from, _, err := parser.ParseInstant(m.From, false)
+		if err != nil {
+			return b, fmt.Errorf("member %q: from: %w", m.Name, err)
+		}
+		b.From = from
+	}
+	if m.To != "" {
+		to, _, err := parser.ParseInstant(m.To, false)
+		if err != nil {
+			return b, fmt.Errorf("member %q: to: %w", m.Name, err)
+		}
+		b.To = to
+	}
+	if b.From >= b.To {
+		return b, fmt.Errorf("member %q: empty time slice [%s, %s)", m.Name, m.From, m.To)
+	}
+	return b, nil
+}
+
+// Validate checks one dataset's partition map: a name per member,
+// exactly one placement, parseable bounds.
+func (d DatasetSpec) Validate() error {
+	if d.Dataset == "" {
+		return fmt.Errorf("shard: dataset spec without a name")
+	}
+	if len(d.Members) == 0 {
+		return fmt.Errorf("shard: dataset %q has no members", d.Dataset)
+	}
+	seen := map[string]bool{}
+	for _, m := range d.Members {
+		if m.Name == "" {
+			return fmt.Errorf("shard: dataset %q: member without a name", d.Dataset)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("shard: dataset %q: duplicate member %q", d.Dataset, m.Name)
+		}
+		seen[m.Name] = true
+		if (m.Dir == "") == (m.URL == "") {
+			return fmt.Errorf("shard: dataset %q: member %q must set exactly one of dir or url", d.Dataset, m.Name)
+		}
+		if _, err := m.Bounds(); err != nil {
+			return fmt.Errorf("shard: dataset %q: %w", d.Dataset, err)
+		}
+	}
+	return nil
+}
+
+// ParseConfig parses and validates a -shards config document.
+func ParseConfig(data []byte) (Config, error) {
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return cfg, fmt.Errorf("shard: bad config: %w", err)
+	}
+	seen := map[string]bool{}
+	for _, d := range cfg.Datasets {
+		if err := d.Validate(); err != nil {
+			return cfg, err
+		}
+		if seen[d.Dataset] {
+			return cfg, fmt.Errorf("shard: duplicate dataset %q", d.Dataset)
+		}
+		seen[d.Dataset] = true
+	}
+	return cfg, nil
+}
+
+// LoadConfig reads and parses a -shards config file.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("shard: %w", err)
+	}
+	return ParseConfig(data)
+}
